@@ -1,0 +1,69 @@
+"""Ablation A6: garbage-collection policy, on-demand vs periodic.
+
+The paper collects old versions "on demand ... i.e., if a new version has
+to be created and no space is available in the version array".  This
+ablation compares that policy against periodic sweeping on a hot-key
+update workload with a lagging reader, measuring both update cost and the
+retained version footprint.
+
+Run:  pytest benchmarks/bench_ablation_gc.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GCPolicy, TransactionManager
+
+from conftest import report_lines
+
+UPDATES = 300
+HOT_KEYS = 4
+
+
+def churn(manager: TransactionManager) -> int:
+    """Run the update churn; returns the post-run version footprint."""
+    for i in range(UPDATES):
+        with manager.transaction() as txn:
+            manager.write(txn, "S", i % HOT_KEYS, i)
+    return manager.table("S").version_count()
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+@pytest.mark.parametrize(
+    "policy,interval",
+    [(GCPolicy.ON_DEMAND, 0), (GCPolicy.PERIODIC, 10), (GCPolicy.PERIODIC, 100)],
+    ids=["on-demand", "periodic-10", "periodic-100"],
+)
+def test_gc_policy_update_cost(benchmark, policy, interval):
+    def run():
+        manager = TransactionManager(
+            protocol="mvcc", gc_policy=policy, gc_interval=max(1, interval)
+        )
+        manager.create_table("S", version_slots=8)
+        return churn(manager)
+
+    footprint = benchmark.pedantic(run, rounds=3, iterations=1)
+    report_lines(
+        f"GC policy {policy.value}" + (f" (interval {interval})" if interval else ""),
+        [f"retained versions after {UPDATES} updates over {HOT_KEYS} keys: "
+         f"{footprint}"],
+    )
+    # every policy must bound the footprint far below one version per update
+    assert footprint <= HOT_KEYS * 16
+
+
+@pytest.mark.benchmark(group="ablation-gc")
+def test_on_demand_gc_triggers_only_when_full(benchmark):
+    """On-demand GC performs zero work while the version array has room."""
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("S", version_slots=64)
+
+    def few_updates():
+        for i in range(8):
+            with manager.transaction() as txn:
+                manager.write(txn, "S", 0, i)
+
+    benchmark.pedantic(few_updates, rounds=1, iterations=1)
+    obj = manager.table("S").mvcc_object(0)
+    assert obj.gc_count == 0  # never ran: array never filled

@@ -1,0 +1,81 @@
+"""Ablation A4: consistency-protocol overhead (§4.3).
+
+The paper claims its modified 2-phase-commit variant "adds almost no
+overhead".  This ablation commits the same number of writes through (a)
+one single-state transaction and (b) a two-state grouped transaction with
+per-state commit votes, on the real protocol stack, and compares cost.
+
+Run:  pytest benchmarks/bench_ablation_group.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TransactionManager
+
+WRITES = 20
+
+
+def make_single() -> TransactionManager:
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("S")
+    return manager
+
+
+def make_grouped() -> TransactionManager:
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("S1")
+    manager.create_table("S2")
+    manager.register_group("g", ["S1", "S2"])
+    return manager
+
+
+@pytest.mark.benchmark(group="ablation-group")
+def test_single_state_commit(benchmark):
+    manager = make_single()
+
+    def txn():
+        with manager.transaction() as handle:
+            for i in range(WRITES):
+                manager.write(handle, "S", i, i)
+
+    benchmark(txn)
+
+
+@pytest.mark.benchmark(group="ablation-group")
+def test_two_state_group_commit(benchmark):
+    """Same write volume split over two grouped states with explicit
+    per-state commit votes (the stream-operator code path)."""
+    manager = make_grouped()
+
+    def txn():
+        handle = manager.begin(states=["S1", "S2"])
+        for i in range(WRITES // 2):
+            manager.write(handle, "S1", i, i)
+            manager.write(handle, "S2", i, i)
+        assert manager.commit_state(handle, "S1") is False
+        assert manager.commit_state(handle, "S2") is True
+
+    benchmark(txn)
+
+
+@pytest.mark.benchmark(group="ablation-group")
+@pytest.mark.parametrize("states", [1, 2, 4, 8])
+def test_group_commit_scaling(benchmark, states):
+    """Commit latency as the group widens (same total write count)."""
+    manager = TransactionManager(protocol="mvcc")
+    ids = [f"S{i}" for i in range(states)]
+    for state_id in ids:
+        manager.create_table(state_id)
+    if states > 1:
+        manager.register_group("g", ids)
+
+    def txn():
+        handle = manager.begin(states=ids)
+        for i in range(WRITES):
+            manager.write(handle, ids[i % states], i, i)
+        for state_id in ids:
+            manager.commit_state(handle, state_id)
+
+    benchmark(txn)

@@ -1,0 +1,60 @@
+"""Ablation A3: TO_STREAM trigger policy, per-tuple vs per-commit (§3).
+
+The trigger policy decides when TO_STREAM emits: on every tuple
+modification (low latency, emits uncommitted data, high volume) or on
+transaction commits (committed data only, deduplicated per key).  This
+ablation measures end-to-end pipeline cost and emission volume for both
+policies on the real stream framework.
+
+Run:  pytest benchmarks/bench_ablation_trigger.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.streams import Topology, TransactionalSource, TriggerPolicy
+
+from conftest import report_lines
+
+TUPLES = 500
+BATCH = 25
+HOT_KEYS = 5  # heavy per-key duplication within a batch
+
+
+def run_pipeline(trigger: TriggerPolicy) -> int:
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("S")
+    payloads = [{"k": i % HOT_KEYS, "v": i} for i in range(TUPLES)]
+    topo = Topology(manager, "q")
+    sink = (
+        topo.source(
+            TransactionalSource(payloads, batch_size=BATCH, key_fn=lambda p: p["k"])
+        )
+        .to_table("S")
+        .to_stream("S", trigger=trigger)
+        .sink()
+    )
+    topo.build()
+    topo.run()
+    return len(sink.tuples)
+
+
+@pytest.mark.benchmark(group="ablation-trigger")
+@pytest.mark.parametrize(
+    "trigger", [TriggerPolicy.ON_TUPLE, TriggerPolicy.ON_COMMIT],
+    ids=["per-tuple", "per-commit"],
+)
+def test_trigger_policy_cost(benchmark, trigger):
+    emissions = benchmark(run_pipeline, trigger)
+    report_lines(
+        f"TO_STREAM emissions ({trigger.value})",
+        [f"{emissions} emitted for {TUPLES} input tuples "
+         f"({TUPLES // BATCH} transactions, {HOT_KEYS} hot keys)"],
+    )
+    if trigger is TriggerPolicy.ON_TUPLE:
+        assert emissions == TUPLES  # every modification surfaces
+    else:
+        # per-commit dedup: at most HOT_KEYS emissions per transaction
+        assert emissions == (TUPLES // BATCH) * HOT_KEYS

@@ -1,0 +1,68 @@
+"""§5.2 claim: "the readers ... contribute almost exclusively to the total
+throughput" because the stream writer commits synchronously.
+
+Decomposes the measured total into reader and writer commits and checks
+the writer share stays marginal at both panel sizes.
+
+Run:  pytest benchmarks/bench_decomposition.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import run_benchmark
+
+from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, report_lines
+
+
+@pytest.mark.benchmark(group="decomposition")
+@pytest.mark.parametrize("readers", [4, 24])
+def test_readers_dominate_throughput(benchmark, readers):
+    result = benchmark.pedantic(
+        run_benchmark,
+        args=("mvcc", 0.0),
+        kwargs=dict(readers=readers, duration_us=BENCH_DURATION_US,
+                    warmup_us=BENCH_WARMUP_US),
+        rounds=1,
+        iterations=1,
+    )
+    writer_share = result.writer_commits / max(1, result.commits)
+    report_lines(
+        f"throughput decomposition ({readers} readers)",
+        [
+            f"reader commits: {result.reader_commits}",
+            f"writer commits: {result.writer_commits}",
+            f"writer share  : {writer_share * 100:.1f}%",
+        ],
+    )
+    assert writer_share < 0.25 if readers == 4 else writer_share < 0.05
+
+
+@pytest.mark.benchmark(group="decomposition")
+def test_sync_io_bounds_writer_rate(benchmark):
+    """The writer's commit rate is bounded by the synchronous I/O cost."""
+    from repro.sim import CostModel
+
+    def measure():
+        fast = run_benchmark(
+            "mvcc", 0.0, readers=0, writers=1,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+            cost=CostModel(commit_sync_io_us=10.0),
+        )
+        slow = run_benchmark(
+            "mvcc", 0.0, readers=0, writers=1,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+            cost=CostModel(commit_sync_io_us=100.0),
+        )
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_lines(
+        "writer rate vs sync I/O cost",
+        [
+            f"sync=10us : {fast.throughput_ktps:7.1f} K tps",
+            f"sync=100us: {slow.throughput_ktps:7.1f} K tps",
+        ],
+    )
+    assert fast.throughput_tps > 2 * slow.throughput_tps

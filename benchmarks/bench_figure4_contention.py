@@ -1,0 +1,121 @@
+"""Figure 4: throughput vs contention for MVCC / S2PL / BOCC.
+
+Regenerates both panels of the paper's evaluation figure (4 and 24
+concurrent ad-hoc queries, θ sweep 0 → 2.9) on the discrete-event
+simulator and asserts the paper's qualitative claims:
+
+* MVCC "provides consistently a good performance" across the θ sweep;
+* S2PL and BOCC are "brought to their knees" as contention rises;
+* BOCC is "slightly faster (~5%) than MVCC with little contention and
+  many concurrent ad-hoc queries";
+* MVCC's "caching effects are visible with a higher contention".
+
+Run:  pytest benchmarks/bench_figure4_contention.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FIGURE4_LEFT, FIGURE4_RIGHT, full_report, run_figure
+from repro.sim import run_benchmark
+
+from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, report_lines
+
+
+def _run_panel(spec):
+    return run_figure(
+        spec, duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US
+    )
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_left(benchmark):
+    """Left panel: 4 concurrent ad-hoc queries."""
+    run = benchmark.pedantic(_run_panel, args=(FIGURE4_LEFT,), rounds=1, iterations=1)
+    report_lines("Figure 4 (left, 4 ad-hoc queries)", full_report(run).splitlines())
+    verdicts = run.shape_verdicts()
+    assert verdicts["mvcc_stable"], verdicts
+    assert verdicts["s2pl_drops"], verdicts
+    assert verdicts["bocc_drops"], verdicts
+    assert verdicts["mvcc_wins_high_theta"], verdicts
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_right(benchmark):
+    """Right panel: 24 concurrent ad-hoc queries."""
+    run = benchmark.pedantic(_run_panel, args=(FIGURE4_RIGHT,), rounds=1, iterations=1)
+    report_lines("Figure 4 (right, 24 ad-hoc queries)", full_report(run).splitlines())
+    verdicts = run.shape_verdicts()
+    assert all(verdicts.values()), verdicts
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_bocc_low_contention_edge(benchmark):
+    """§5.2: BOCC ~5% above MVCC at θ=0 with 24 concurrent queries."""
+
+    def measure():
+        mvcc = run_benchmark(
+            "mvcc", 0.0, readers=24,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        bocc = run_benchmark(
+            "bocc", 0.0, readers=24,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        return mvcc, bocc
+
+    mvcc, bocc = benchmark.pedantic(measure, rounds=1, iterations=1)
+    edge = bocc.throughput_ktps / mvcc.throughput_ktps - 1.0
+    report_lines(
+        "BOCC low-contention edge (paper: ~+5%)",
+        [
+            f"MVCC  theta=0, 24 readers: {mvcc.throughput_ktps:8.1f} K tps",
+            f"BOCC  theta=0, 24 readers: {bocc.throughput_ktps:8.1f} K tps",
+            f"edge: {edge * 100:+.1f}%",
+        ],
+    )
+    assert 0.0 <= edge <= 0.15, f"edge {edge:+.2%} outside the expected band"
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_mvcc_caching_effect(benchmark):
+    """§5.2: 'at least for MVCC caching effects are visible with a higher
+    contention' — hit ratio and throughput both rise with θ."""
+
+    def measure():
+        low = run_benchmark(
+            "mvcc", 0.0, readers=24,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        high = run_benchmark(
+            "mvcc", 2.9, readers=24,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        return low, high
+
+    low, high = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_lines(
+        "MVCC caching effect",
+        [
+            f"theta=0.0: {low.throughput_ktps:8.1f} K tps, cache hit {low.cache_hit_ratio:.2f}",
+            f"theta=2.9: {high.throughput_ktps:8.1f} K tps, cache hit {high.cache_hit_ratio:.2f}",
+        ],
+    )
+    assert high.cache_hit_ratio > low.cache_hit_ratio
+    assert high.throughput_ktps >= low.throughput_ktps
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_mvcc_never_aborts_readers(benchmark):
+    """MVCC readers never block and never abort, at any contention."""
+    result = benchmark.pedantic(
+        run_benchmark,
+        args=("mvcc", 2.9),
+        kwargs=dict(readers=24, duration_us=BENCH_DURATION_US,
+                    warmup_us=BENCH_WARMUP_US),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.reader_aborts == 0
+    assert result.writer_aborts == 0

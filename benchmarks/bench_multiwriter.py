@@ -1,0 +1,59 @@
+"""Extension: multiple writer streams (paper §4.2's multi-writer case).
+
+The paper's evaluation uses a single stream writer; §4.2 sketches the
+multi-writer behaviour (write locks at commit + First-Committer-Wins).
+This extension measures how writer count scales throughput and conflict
+rates on the simulator, at low and high contention.
+
+Run:  pytest benchmarks/bench_multiwriter.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import run_benchmark
+
+from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, report_lines
+
+
+@pytest.mark.benchmark(group="multiwriter")
+@pytest.mark.parametrize("writers", [1, 2, 4])
+def test_writer_scaling_low_contention(benchmark, writers):
+    """Disjoint-ish keyspaces: writer throughput scales near-linearly."""
+    result = benchmark.pedantic(
+        run_benchmark,
+        args=("mvcc", 0.0),
+        kwargs=dict(readers=0, writers=writers,
+                    duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US),
+        rounds=1,
+        iterations=1,
+    )
+    report_lines(
+        f"{writers} writers, theta=0",
+        [f"writer commits: {result.writer_commits}, "
+         f"aborts: {result.writer_aborts} "
+         f"({result.throughput_ktps:.1f} K tps)"],
+    )
+    assert result.writer_aborts <= result.writer_commits * 0.01
+
+
+@pytest.mark.benchmark(group="multiwriter")
+def test_writer_conflicts_at_high_contention(benchmark):
+    """All writers hammer the hot key: FCW aborts appear."""
+    result = benchmark.pedantic(
+        run_benchmark,
+        args=("mvcc", 2.9),
+        kwargs=dict(readers=0, writers=4,
+                    duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US),
+        rounds=1,
+        iterations=1,
+    )
+    report_lines(
+        "4 writers, theta=2.9 (hot-key contention)",
+        [f"writer commits: {result.writer_commits}, "
+         f"FCW aborts: {result.writer_aborts}, "
+         f"abort rate {result.abort_rate:.2%}"],
+    )
+    assert result.writer_aborts > 0  # FCW engages between writers
+    assert result.writer_commits > 0  # yet progress continues

@@ -1,0 +1,133 @@
+"""Ablation A5 + storage microbenchmarks: the LSM base table.
+
+The paper configures RocksDB with ``sync = true`` "to guarantee failure
+atomicity" and attributes the writers' low throughput share to it.  These
+benchmarks quantify that knob on our LSM store, plus the point-read path
+(bloom filters + cache) the ad-hoc readers depend on.
+
+Run:  pytest benchmarks/bench_storage.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage import LSMOptions, LSMStore
+
+ROWS = 500
+# the paper's record shape: 4-byte keys, 20-byte values
+KEY = "{:04d}".format
+VALUE = b"v" * 20
+
+
+@pytest.mark.benchmark(group="storage-write")
+@pytest.mark.parametrize("sync", [False, True], ids=["sync-off", "sync-on"])
+def test_put_throughput_sync_knob(benchmark, tmp_path, sync):
+    store = LSMStore(tmp_path / ("s" if sync else "ns"), LSMOptions(sync=sync))
+    counter = iter(range(10_000_000))
+
+    def put_one():
+        i = next(counter)
+        store.put(KEY(i % 10_000).encode(), VALUE)
+
+    benchmark(put_one)
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-write")
+def test_batch_commit_amortises_sync(benchmark, tmp_path):
+    """One synced batch per transaction (the commit path's pattern)."""
+    store = LSMStore(tmp_path, LSMOptions(sync=True))
+    counter = iter(range(10_000_000))
+
+    def put_batch():
+        base = next(counter) * 10
+        store.write_batch(
+            puts=[(KEY((base + i) % 10_000).encode(), VALUE) for i in range(10)],
+            deletes=[],
+        )
+
+    benchmark(put_batch)
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-read")
+def test_point_read_hot(benchmark, tmp_path):
+    store = LSMStore(tmp_path, LSMOptions(sync=False))
+    for i in range(ROWS):
+        store.put(KEY(i).encode(), VALUE)
+    store.flush()
+
+    benchmark(store.get, KEY(ROWS // 2).encode())
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-read")
+def test_point_read_cold_uniform(benchmark, tmp_path):
+    store = LSMStore(
+        tmp_path, LSMOptions(sync=False, cache_capacity=32, auto_compact=False)
+    )
+    for i in range(ROWS):
+        store.put(KEY(i).encode(), VALUE)
+        if i % 100 == 99:
+            store.flush()
+    rng = random.Random(7)
+
+    def read_random():
+        return store.get(KEY(rng.randrange(ROWS)).encode())
+
+    benchmark(read_random)
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-read")
+def test_absent_key_bloom_short_circuit(benchmark, tmp_path):
+    store = LSMStore(tmp_path, LSMOptions(sync=False, cache_capacity=1))
+    for i in range(ROWS):
+        store.put(KEY(i).encode(), VALUE)
+    store.flush()
+
+    def read_absent():
+        return store.get(b"zzzz-absent")
+
+    benchmark(read_absent)
+    assert store.stats.bloom_skips > 0 or store.stats.sstable_reads == 0
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-scan")
+def test_range_scan(benchmark, tmp_path):
+    store = LSMStore(tmp_path, LSMOptions(sync=False))
+    for i in range(ROWS):
+        store.put(KEY(i).encode(), VALUE)
+    store.flush()
+
+    def scan_range():
+        return sum(1 for _ in store.scan(KEY(100).encode(), KEY(200).encode()))
+
+    count = benchmark(scan_range)
+    assert count == 100
+    store.close()
+
+
+@pytest.mark.benchmark(group="storage-maintenance")
+def test_compaction_cost(benchmark, tmp_path):
+    def build_and_compact():
+        store = LSMStore(
+            tmp_path / str(next(counter)),
+            LSMOptions(sync=False, auto_compact=False),
+        )
+        for batch in range(4):
+            for i in range(100):
+                store.put(KEY(i).encode(), f"b{batch}".encode() * 5)
+            store.flush()
+        store.compact_all()
+        shape = store.level_shape()
+        store.close()
+        return shape
+
+    counter = iter(range(10_000))
+    shape = benchmark.pedantic(build_and_compact, rounds=3, iterations=1)
+    assert sum(shape.values()) == 1  # fully compacted into one run

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks run the simulated Figure-4 workload at a reduced virtual
+duration (the curves stabilise well below the default); the
+full-resolution sweep is available via ``examples/protocol_comparison.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Virtual measurement window per benchmark point (microseconds).
+BENCH_DURATION_US = 30_000.0
+BENCH_WARMUP_US = 8_000.0
+
+
+@pytest.fixture(scope="session")
+def sim_settings() -> dict:
+    return {"duration_us": BENCH_DURATION_US, "warmup_us": BENCH_WARMUP_US}
+
+
+def report_lines(title: str, lines: list[str]) -> None:
+    """Print a labelled report block (captured into bench output logs)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Concurrent ad-hoc analytics against a live stream (threads, real locks).
+
+A writer thread continuously feeds batches into two grouped states while
+reader threads run snapshot queries.  This exercises the *real* (threaded)
+protocol implementations — the correctness side of the paper's claims:
+
+* every multi-state read observes exactly one group commit (never a mix);
+* readers never block the writer, the writer never blocks readers (MVCC);
+* the total across both states is always an exact multiple of the batch
+  invariant, even mid-stream.
+
+Run:  python examples/adhoc_analytics.py [protocol]   (mvcc | s2pl | bocc)
+"""
+
+import sys
+import threading
+import time
+
+from repro import TransactionManager
+from repro.errors import TransactionAborted
+
+
+BATCHES = 60
+BATCH = 20  # keys per batch, written symmetrically to both states
+READERS = 4
+
+
+def writer(mgr: TransactionManager, stop: threading.Event) -> int:
+    """Stream writer: each batch bumps the same keys in both states."""
+    committed = 0
+    for batch in range(BATCHES):
+        if stop.is_set():
+            break
+
+        def work(txn, batch=batch):
+            for key in range(BATCH):
+                mgr.write(txn, "state_a", key, batch + 1)
+                mgr.write(txn, "state_b", key, batch + 1)
+
+        mgr.run_transaction(work, states=["state_a", "state_b"])
+        committed += 1
+    return committed
+
+
+def reader(mgr: TransactionManager, results: list, stop: threading.Event) -> None:
+    """Ad-hoc analytics: assert cross-state consistency per *committed*
+    snapshot.
+
+    The observations are judged only after the snapshot commits: under
+    BOCC a reader may legally observe mixed values during its optimistic
+    read phase — the protocol's guarantee is that such a transaction never
+    validates, so its reads are discarded on abort.
+    """
+    checks = violations = 0
+    while not stop.is_set():
+        try:
+            with mgr.snapshot() as view:
+                rows = [
+                    view.multi_get(["state_a", "state_b"], key)
+                    for key in range(BATCH)
+                ]
+        except TransactionAborted:
+            continue  # reads discarded; nothing to judge
+        for row in rows:
+            checks += 1
+            if row["state_a"] != row["state_b"]:
+                violations += 1
+        time.sleep(0)
+    results.append((checks, violations))
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "mvcc"
+    mgr = TransactionManager(protocol=protocol)
+    mgr.create_table("state_a")
+    mgr.create_table("state_b")
+    mgr.register_group("stream", ["state_a", "state_b"])
+    mgr.table("state_a").bulk_load([(k, 0) for k in range(BATCH)])
+    mgr.table("state_b").bulk_load([(k, 0) for k in range(BATCH)])
+
+    stop = threading.Event()
+    results: list = []
+    reader_threads = [
+        threading.Thread(target=reader, args=(mgr, results, stop)) for _ in range(READERS)
+    ]
+    for t in reader_threads:
+        t.start()
+
+    start = time.perf_counter()
+    committed = writer(mgr, stop)
+    elapsed = time.perf_counter() - start
+    stop.set()
+    for t in reader_threads:
+        t.join()
+
+    total_checks = sum(c for c, _ in results)
+    total_violations = sum(v for _, v in results)
+    print(f"protocol            : {protocol}")
+    print(f"writer batches      : {committed} in {elapsed:.2f}s")
+    print(f"reader snapshots    : {total_checks} key checks across {READERS} threads")
+    print(f"consistency breaches: {total_violations}")
+    assert total_violations == 0, "multi-state consistency violated!"
+    print("all multi-state reads were consistent ✓")
+    print("stats:", mgr.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 4 from the command line (small, fast configuration).
+
+Runs the simulated contention sweep for both panels and prints the
+throughput tables, ASCII charts and shape verdicts.  The full-resolution
+version lives in benchmarks/bench_figure4_contention.py.
+
+Run:  python examples/protocol_comparison.py [--fast]
+"""
+
+import sys
+import time
+
+from repro.bench import FIGURE4_LEFT, FIGURE4_RIGHT, full_report, run_figure
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    duration = 20_000.0 if fast else 60_000.0
+    warmup = 5_000.0 if fast else 15_000.0
+
+    for spec in (FIGURE4_LEFT, FIGURE4_RIGHT):
+        start = time.perf_counter()
+        run = run_figure(spec, duration_us=duration, warmup_us=warmup)
+        elapsed = time.perf_counter() - start
+        print(full_report(run))
+        print(f"\n(regenerated in {elapsed:.1f}s wall clock, "
+              f"{duration / 1000:.0f}ms virtual time per point)\n")
+        print("=" * 72)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: transactional stream processing in a few dozen lines.
+
+Demonstrates the paper's core ideas end to end:
+
+1. two queryable states written *together* by one stream query,
+2. snapshot-isolated ad-hoc reads that never observe half a commit,
+3. the First-Committer-Wins rule between concurrent ad-hoc writers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TransactionManager, WriteConflict
+from repro.streams import Topology, TransactionalSource, from_tables
+
+
+def main() -> None:
+    # -- setup: two states, grouped because one stream query writes both ----
+    mgr = TransactionManager(protocol="mvcc")
+    mgr.create_table("readings")
+    mgr.create_table("totals")
+
+    # -- a stream query: batches of 5 readings form one transaction --------
+    readings = [{"sensor": i % 4, "value": float(i)} for i in range(20)]
+    topo = Topology(mgr, "ingest")
+    (
+        topo.source(
+            TransactionalSource(readings, batch_size=5, key_fn=lambda r: r["sensor"])
+        )
+        .to_table("readings")
+        .aggregate(key_fn=lambda r: r["sensor"], fields={"sum": ("value", "sum")})
+        .to_table("totals")
+    )
+    topo.build()
+    topo.run()
+    print(f"stream query committed {topo.txn_context.transactions_started} transactions")
+
+    # -- ad-hoc query: one snapshot across both states ---------------------
+    row = from_tables(mgr, ["readings", "totals"], key=2)
+    print(f"sensor 2 under one snapshot: {row}")
+
+    # -- snapshot isolation: a reader pinned before a commit stays stable --
+    reader = mgr.begin()
+    before = mgr.read(reader, "readings", 2)
+    with mgr.transaction() as txn:
+        mgr.write(txn, "readings", 2, {"sensor": 2, "value": 999.0})
+    after_in_same_snapshot = mgr.read(reader, "readings", 2)
+    mgr.commit(reader)
+    assert before == after_in_same_snapshot, "snapshot must be stable"
+    print(f"reader kept its snapshot: {after_in_same_snapshot}")
+    print(f"new snapshot sees:        {from_tables(mgr, ['readings'], 2)['readings']}")
+
+    # -- first-committer-wins between two concurrent writers ---------------
+    t1, t2 = mgr.begin(), mgr.begin()
+    mgr.read(t1, "totals", 2), mgr.read(t2, "totals", 2)
+    mgr.write(t1, "totals", 2, {"sum": 1.0})
+    mgr.write(t2, "totals", 2, {"sum": 2.0})
+    mgr.commit(t1)
+    try:
+        mgr.commit(t2)
+    except WriteConflict as exc:
+        print(f"second committer aborted as expected: {exc}")
+
+    print("protocol stats:", mgr.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Durability and restart recovery over the LSM-backed tables.
+
+Simulates the paper's persistence requirement: committed transactions
+survive a crash, uncommitted work vanishes, and the recovered group
+``LastCTS`` restores exactly the pre-crash snapshot boundary.
+
+The "crash" is real in the only way that matters for the recovery code
+path: the first process's in-memory state (version indexes, open
+transactions, oracle) is discarded without any orderly shutdown of the
+transactional layer, and a second system instance recovers purely from the
+on-disk artifacts (LSM WAL + SSTables + context log).
+
+Run:  python examples/recovery_demo.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.recovery import DurableSystem
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_recovery_"))
+    print(f"workspace: {workdir}")
+    try:
+        # ---- phase 1: run, commit, then "crash" ---------------------------
+        system = DurableSystem(workdir, protocol="mvcc", sync=True)
+        system.create_table("inventory")
+        system.create_table("orders")
+        system.register_group("shop", ["inventory", "orders"])
+        mgr = system.manager
+
+        for batch in range(5):
+            with mgr.transaction() as txn:
+                for item in range(10):
+                    mgr.write(txn, "inventory", item, {"stock": 100 - batch})
+                    mgr.write(txn, "orders", (batch, item), {"qty": 1})
+
+        pre_crash_cts = mgr.context.group("shop").last_cts
+        print(f"committed 5 group transactions; LastCTS = {pre_crash_cts}")
+
+        # an uncommitted transaction that must NOT survive:
+        doomed = mgr.begin()
+        mgr.write(doomed, "inventory", 0, {"stock": -999})
+        print("left one transaction uncommitted (stock=-999) ...")
+
+        # crash: flush nothing explicitly beyond what commits already synced
+        for table in mgr.tables():
+            table.backend.close()  # release file handles only
+        system.context_store.close()
+        del system, mgr, doomed
+        print("crashed (process state dropped)\n")
+
+        # ---- phase 2: restart and recover ---------------------------------
+        recovered = DurableSystem(workdir, protocol="mvcc", sync=True)
+        recovered.create_table("inventory")
+        recovered.create_table("orders")
+        recovered.register_group("shop", ["inventory", "orders"])
+        report = recovered.recover()
+
+        print(f"recovered states   : {report.states}")
+        print(f"rows per state     : {report.rows_recovered}")
+        print(f"recovered LastCTS  : {report.last_cts}")
+        assert report.last_cts["shop"] == pre_crash_cts
+
+        with recovered.manager.snapshot() as view:
+            stock = view.get("inventory", 0)
+            orders = sum(1 for _ in view.scan("orders"))
+        print(f"inventory[0]       : {stock}")
+        print(f"order rows         : {orders}")
+        assert stock == {"stock": 96}, "last committed batch must be visible"
+        assert orders == 50
+        print("uncommitted write is gone, committed data intact ✓")
+
+        # the recovered system keeps working transactionally:
+        with recovered.manager.transaction() as txn:
+            recovered.manager.write(txn, "inventory", 0, {"stock": 42})
+        with recovered.manager.snapshot() as view:
+            print(f"post-recovery write: {view.get('inventory', 0)}")
+        recovered.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

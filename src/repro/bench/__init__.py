@@ -1,0 +1,39 @@
+"""Benchmark harness: regenerate every table/figure of the evaluation."""
+
+from .figures import (
+    ALL_FIGURES,
+    FIGURE4_LEFT,
+    FIGURE4_PANELS,
+    FIGURE4_RIGHT,
+    FIGURE4_THETAS,
+    PROTOCOLS,
+    ExpectedShape,
+    FigureSpec,
+)
+from .reporting import (
+    format_abort_table,
+    format_ascii_chart,
+    format_figure_table,
+    format_verdicts,
+    full_report,
+)
+from .runner import Curve, FigureRun, run_figure
+
+__all__ = [
+    "ALL_FIGURES",
+    "Curve",
+    "ExpectedShape",
+    "FIGURE4_LEFT",
+    "FIGURE4_PANELS",
+    "FIGURE4_RIGHT",
+    "FIGURE4_THETAS",
+    "FigureRun",
+    "FigureSpec",
+    "PROTOCOLS",
+    "format_abort_table",
+    "format_ascii_chart",
+    "format_figure_table",
+    "format_verdicts",
+    "full_report",
+    "run_figure",
+]

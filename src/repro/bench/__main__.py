@@ -1,0 +1,125 @@
+"""Command-line benchmark runner: ``python -m repro.bench``.
+
+Regenerates the paper's figures from the terminal without pytest::
+
+    python -m repro.bench figure4                 # both panels
+    python -m repro.bench figure4 --readers 24    # one panel
+    python -m repro.bench point --protocol mvcc --theta 2.9 --readers 24
+    python -m repro.bench sweep --protocol bocc --readers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..sim.harness import run_benchmark, sweep_theta
+from .figures import ALL_FIGURES, FIGURE4_THETAS, FigureSpec
+from .reporting import full_report
+from .runner import run_figure
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration-ms", type=float, default=40.0,
+                        help="virtual measurement window per point")
+    parser.add_argument("--warmup-ms", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    specs = ALL_FIGURES
+    if args.readers is not None:
+        specs = [
+            FigureSpec(
+                experiment_id=f"figure4-{args.readers}-readers",
+                description=f"throughput vs contention, {args.readers} ad-hoc queries",
+                readers=args.readers,
+            )
+        ]
+    for spec in specs:
+        run = run_figure(
+            spec,
+            duration_us=args.duration_ms * 1000,
+            warmup_us=args.warmup_ms * 1000,
+            seed=args.seed,
+        )
+        print(full_report(run))
+        print()
+    return 0
+
+
+def _cmd_point(args: argparse.Namespace) -> int:
+    result = run_benchmark(
+        args.protocol,
+        args.theta,
+        readers=args.readers,
+        writers=args.writers,
+        duration_us=args.duration_ms * 1000,
+        warmup_us=args.warmup_ms * 1000,
+        seed=args.seed,
+    )
+    print(f"protocol          : {result.protocol}")
+    print(f"theta             : {result.theta}")
+    print(f"readers / writers : {result.readers} / {args.writers}")
+    print(f"throughput        : {result.throughput_ktps:.1f} K tps")
+    print(f"reader commits    : {result.reader_commits}")
+    print(f"writer commits    : {result.writer_commits}")
+    print(f"abort rate        : {result.abort_rate:.3f}")
+    print(f"lock waits        : {result.lock_waits}")
+    print(f"cache hit ratio   : {result.cache_hit_ratio:.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    results = sweep_theta(
+        args.protocol,
+        list(FIGURE4_THETAS),
+        readers=args.readers,
+        duration_us=args.duration_ms * 1000,
+        warmup_us=args.warmup_ms * 1000,
+        seed=args.seed,
+    )
+    print(f"{'theta':>6} | {'K tps':>10} | {'abort %':>8} | {'cache':>6}")
+    for result in results:
+        print(
+            f"{result.theta:6.1f} | {result.throughput_ktps:10.1f} | "
+            f"{100 * result.abort_rate:8.2f} | {result.cache_hit_ratio:6.2f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure4", help="regenerate Figure 4")
+    p_fig.add_argument("--readers", type=int, default=None,
+                       help="run only the panel with this reader count")
+    _add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure4)
+
+    p_point = sub.add_parser("point", help="one benchmark point")
+    p_point.add_argument("--protocol", required=True,
+                         choices=["mvcc", "s2pl", "bocc"])
+    p_point.add_argument("--theta", type=float, default=0.0)
+    p_point.add_argument("--readers", type=int, default=4)
+    p_point.add_argument("--writers", type=int, default=1)
+    _add_common(p_point)
+    p_point.set_defaults(func=_cmd_point)
+
+    p_sweep = sub.add_parser("sweep", help="theta sweep for one protocol")
+    p_sweep.add_argument("--protocol", required=True,
+                         choices=["mvcc", "s2pl", "bocc"])
+    p_sweep.add_argument("--readers", type=int, default=4)
+    _add_common(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Plain-text reporting of benchmark runs (the rows/series of the paper).
+
+No plotting dependencies: figures render as aligned text tables plus an
+ASCII chart, mirroring exactly the series a plotting script would consume.
+"""
+
+from __future__ import annotations
+
+from .runner import FigureRun
+
+
+def format_figure_table(run: FigureRun) -> str:
+    """The figure's data as an aligned table (one row per θ)."""
+    lines = [
+        f"# {run.spec.experiment_id}: {run.spec.description}",
+        "",
+    ]
+    header = f"{'theta':>6} | " + " | ".join(
+        f"{p.upper():>10}" for p in run.spec.protocols
+    )
+    lines.append(header + "   (K tps)")
+    lines.append("-" * len(header))
+    for i, theta in enumerate(run.spec.thetas):
+        cells = " | ".join(
+            f"{run.curves[p].results[i].throughput_ktps:10.1f}"
+            for p in run.spec.protocols
+        )
+        lines.append(f"{theta:6.1f} | {cells}")
+    lines.append("")
+    lines.append(format_abort_table(run))
+    return "\n".join(lines)
+
+
+def format_abort_table(run: FigureRun) -> str:
+    lines = [f"{'theta':>6} | " + " | ".join(
+        f"{p.upper() + ' ab%':>10}" for p in run.spec.protocols
+    )]
+    for i, theta in enumerate(run.spec.thetas):
+        cells = " | ".join(
+            f"{100 * run.curves[p].results[i].abort_rate:10.1f}"
+            for p in run.spec.protocols
+        )
+        lines.append(f"{theta:6.1f} | {cells}")
+    return "\n".join(lines)
+
+
+def format_ascii_chart(run: FigureRun, width: int = 60, height: int = 16) -> str:
+    """A rough ASCII rendering of the throughput curves."""
+    symbols = {"mvcc": "M", "s2pl": "S", "bocc": "B"}
+    all_values = [
+        r.throughput_ktps
+        for curve in run.curves.values()
+        for r in curve.results
+    ]
+    top = max(all_values) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    thetas = run.spec.thetas
+    theta_span = (thetas[-1] - thetas[0]) or 1.0
+    for protocol, curve in run.curves.items():
+        symbol = symbols.get(protocol, protocol[0].upper())
+        for theta, result in zip(curve.thetas, curve.results):
+            x = int((theta - thetas[0]) / theta_span * (width - 1))
+            y = height - 1 - int(result.throughput_ktps / top * (height - 1))
+            grid[y][x] = symbol
+    lines = [f"{run.spec.experiment_id} (top = {top:.0f} K tps)"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" theta {thetas[0]:.1f} .. {thetas[-1]:.1f}   M=MVCC S=S2PL B=BOCC")
+    return "\n".join(lines)
+
+
+def format_verdicts(run: FigureRun) -> str:
+    """Shape-check verdicts as a pass/fail list."""
+    lines = [f"shape checks for {run.spec.experiment_id}:"]
+    for name, passed in run.shape_verdicts().items():
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    return "\n".join(lines)
+
+
+def full_report(run: FigureRun) -> str:
+    return "\n\n".join(
+        [format_figure_table(run), format_ascii_chart(run), format_verdicts(run)]
+    )

@@ -1,0 +1,110 @@
+"""Benchmark runner: regenerate the paper's figure data series.
+
+Drives the simulation harness over a :class:`~repro.bench.figures.FigureSpec`
+and returns the measured curves, plus shape checks against the qualitative
+expectations recorded in the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.costmodel import CostModel
+from ..sim.harness import SimResult, run_benchmark
+from ..workload.generator import WorkloadConfig
+from .figures import FigureSpec
+
+
+@dataclass
+class Curve:
+    """One protocol's series over the θ sweep."""
+
+    protocol: str
+    thetas: list[float]
+    results: list[SimResult]
+
+    def throughputs_ktps(self) -> list[float]:
+        return [r.throughput_ktps for r in self.results]
+
+    def at_theta(self, theta: float) -> SimResult:
+        return self.results[self.thetas.index(theta)]
+
+
+@dataclass
+class FigureRun:
+    """All curves of one figure panel plus the shape verdicts."""
+
+    spec: FigureSpec
+    curves: dict[str, Curve] = field(default_factory=dict)
+
+    def curve(self, protocol: str) -> Curve:
+        return self.curves[protocol]
+
+    # -------------------------------------------------------- shape checks
+
+    def shape_verdicts(self) -> dict[str, bool]:
+        """Evaluate the paper's qualitative claims on the measured data."""
+        expected = self.spec.expected
+        theta_lo = self.spec.thetas[0]
+        theta_hi = self.spec.thetas[-1]
+        mvcc = self.curves["mvcc"]
+        s2pl = self.curves["s2pl"]
+        bocc = self.curves["bocc"]
+
+        mvcc_base = mvcc.at_theta(theta_lo).throughput_ktps
+        mvcc_floor = min(mvcc.throughputs_ktps())
+        verdicts = {
+            "mvcc_stable": mvcc_floor >= expected.mvcc_stability_floor * mvcc_base,
+            "s2pl_drops": (
+                s2pl.at_theta(theta_hi).throughput_ktps
+                <= expected.s2pl_collapse_ceiling * s2pl.at_theta(theta_lo).throughput_ktps
+            ),
+            "bocc_drops": (
+                bocc.at_theta(theta_hi).throughput_ktps
+                <= expected.bocc_collapse_ceiling * bocc.at_theta(theta_lo).throughput_ktps
+            ),
+            "mvcc_wins_high_theta": (
+                mvcc.at_theta(theta_hi).throughput_ktps
+                >= expected.mvcc_win_factor_high_theta
+                * max(
+                    s2pl.at_theta(theta_hi).throughput_ktps,
+                    bocc.at_theta(theta_hi).throughput_ktps,
+                )
+            ),
+        }
+        lo_edge, hi_edge = expected.bocc_low_contention_edge
+        edge = (
+            bocc.at_theta(theta_lo).throughput_ktps
+            / mvcc.at_theta(theta_lo).throughput_ktps
+            - 1.0
+        )
+        verdicts["bocc_low_contention_edge"] = lo_edge <= edge <= hi_edge
+        return verdicts
+
+
+def run_figure(
+    spec: FigureSpec,
+    duration_us: float = 60_000.0,
+    warmup_us: float = 15_000.0,
+    config: WorkloadConfig | None = None,
+    cost: CostModel | None = None,
+    seed: int = 42,
+) -> FigureRun:
+    """Regenerate one figure panel's data."""
+    run = FigureRun(spec)
+    for protocol in spec.protocols:
+        results = [
+            run_benchmark(
+                protocol,
+                theta,
+                readers=spec.readers,
+                duration_us=duration_us,
+                warmup_us=warmup_us,
+                config=config,
+                cost=cost,
+                seed=seed,
+            )
+            for theta in spec.thetas
+        ]
+        run.curves[protocol] = Curve(protocol, list(spec.thetas), results)
+    return run

@@ -1,0 +1,94 @@
+"""Core contribution: snapshot isolation for transactional stream states.
+
+Implements the paper's three components — multi-versioned queryable states,
+the MVCC concurrency protocol (plus S2PL and BOCC baselines), and the
+multi-state consistency protocol — behind the
+:class:`~repro.core.manager.TransactionManager` facade.
+"""
+
+from .bocc import BOCCProtocol
+from .codecs import (
+    BYTES_CODEC,
+    FLOAT_CODEC,
+    INT4_CODEC,
+    INT8_CODEC,
+    JSON_CODEC,
+    PICKLE_CODEC,
+    STR_CODEC,
+    BytesCodec,
+    Codec,
+    FloatCodec,
+    IntCodec,
+    JsonCodec,
+    PickleCodec,
+    StrCodec,
+)
+from .context import GroupInfo, StateContext, StateInfo
+from .gc import GarbageCollector, GCPolicy, GCReport
+from .group_commit import GroupCommitCoordinator
+from .indexes import IndexSet, SecondaryIndex
+from .isolation import IsolationLevel
+from .locks import LockManager, LockMode
+from .manager import TransactionManager
+from .mvcc import MVCCProtocol
+from .protocol import ConcurrencyControl, ProtocolStats, make_protocol, protocol_names
+from .s2pl import S2PLProtocol
+from .snapshot import SnapshotView
+from .table import StateTable
+from .timestamps import INF_TS, ZERO_TS, AtomicBitmask, TimestampOracle
+from .transactions import StateFlag, Transaction, TxnStatus
+from .version_store import DEFAULT_SLOTS, MVCCObject, VersionEntry
+from .write_set import ReadSet, WriteEntry, WriteKind, WriteSet
+
+__all__ = [
+    "AtomicBitmask",
+    "BOCCProtocol",
+    "BYTES_CODEC",
+    "BytesCodec",
+    "Codec",
+    "ConcurrencyControl",
+    "DEFAULT_SLOTS",
+    "FLOAT_CODEC",
+    "FloatCodec",
+    "GCPolicy",
+    "GCReport",
+    "GarbageCollector",
+    "GroupCommitCoordinator",
+    "GroupInfo",
+    "INF_TS",
+    "INT4_CODEC",
+    "INT8_CODEC",
+    "IndexSet",
+    "IntCodec",
+    "IsolationLevel",
+    "JSON_CODEC",
+    "JsonCodec",
+    "LockManager",
+    "LockMode",
+    "MVCCObject",
+    "MVCCProtocol",
+    "PICKLE_CODEC",
+    "PickleCodec",
+    "ProtocolStats",
+    "ReadSet",
+    "S2PLProtocol",
+    "STR_CODEC",
+    "SecondaryIndex",
+    "SnapshotView",
+    "StateContext",
+    "StateFlag",
+    "StateInfo",
+    "StateTable",
+    "StrCodec",
+    "TimestampOracle",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+    "VersionEntry",
+    "WriteEntry",
+    "WriteKind",
+    "WriteSet",
+    "ZERO_TS",
+    "make_protocol",
+    "protocol_names",
+]

@@ -1,0 +1,118 @@
+"""Codecs translating Python objects to the byte-oriented base tables.
+
+The transactional layer works on arbitrary Python keys/values; the storage
+layer (:mod:`repro.storage`) works on bytes.  A :class:`Codec` bridges the
+two.  Keys additionally need *order preservation* so range scans over the
+base table match Python-level ordering — ``IntCodec`` therefore uses
+fixed-width big-endian encoding and ``StrCodec`` plain UTF-8.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import pickle
+import struct
+from typing import Any
+
+
+class Codec(abc.ABC):
+    """Bidirectional object <-> bytes translation."""
+
+    @abc.abstractmethod
+    def encode(self, obj: Any) -> bytes:
+        """Serialise ``obj``."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes) -> Any:
+        """Inverse of :meth:`encode`."""
+
+
+class BytesCodec(Codec):
+    """Identity codec for callers that already speak bytes."""
+
+    def encode(self, obj: Any) -> bytes:
+        if not isinstance(obj, (bytes, bytearray)):
+            raise TypeError(f"BytesCodec expects bytes, got {type(obj).__name__}")
+        return bytes(obj)
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class StrCodec(Codec):
+    """UTF-8 strings; order-preserving for ASCII-comparable strings."""
+
+    def encode(self, obj: Any) -> bytes:
+        if not isinstance(obj, str):
+            raise TypeError(f"StrCodec expects str, got {type(obj).__name__}")
+        return obj.encode("utf-8")
+
+    def decode(self, data: bytes) -> str:
+        return data.decode("utf-8")
+
+
+class IntCodec(Codec):
+    """Fixed-width unsigned integers, big-endian => order-preserving.
+
+    The paper's workload uses 4-byte keys; ``width=4`` is the default and
+    matches it exactly.
+    """
+
+    def __init__(self, width: int = 4) -> None:
+        if width not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported integer width: {width}")
+        self.width = width
+        self._max = (1 << (8 * width)) - 1
+
+    def encode(self, obj: Any) -> bytes:
+        if not isinstance(obj, int) or isinstance(obj, bool):
+            raise TypeError(f"IntCodec expects int, got {type(obj).__name__}")
+        if not 0 <= obj <= self._max:
+            raise ValueError(f"{obj} out of range for {self.width}-byte unsigned int")
+        return obj.to_bytes(self.width, "big")
+
+    def decode(self, data: bytes) -> int:
+        return int.from_bytes(data, "big")
+
+
+class FloatCodec(Codec):
+    """IEEE-754 doubles (not order-preserving across signs; value use only)."""
+
+    _pack = struct.Struct(">d")
+
+    def encode(self, obj: Any) -> bytes:
+        return self._pack.pack(float(obj))
+
+    def decode(self, data: bytes) -> float:
+        return self._pack.unpack(data)[0]
+
+
+class JsonCodec(Codec):
+    """JSON for structured values (tuples become lists on decode)."""
+
+    def encode(self, obj: Any) -> bytes:
+        return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    def decode(self, data: bytes) -> Any:
+        return json.loads(data.decode("utf-8"))
+
+
+class PickleCodec(Codec):
+    """Pickle for arbitrary Python values (the permissive default)."""
+
+    def encode(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+#: Shared stateless instances (codecs carry no mutable state).
+BYTES_CODEC = BytesCodec()
+STR_CODEC = StrCodec()
+INT4_CODEC = IntCodec(4)
+INT8_CODEC = IntCodec(8)
+FLOAT_CODEC = FloatCodec()
+JSON_CODEC = JsonCodec()
+PICKLE_CODEC = PickleCodec()

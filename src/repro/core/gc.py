@@ -1,0 +1,74 @@
+"""Garbage collection of obsolete versions (paper Section 4.1).
+
+The paper cleans up old versions **on demand**: only when a new version
+must be installed and the version array has no free slot
+(:meth:`repro.core.version_store.MVCCObject.install` does exactly that,
+scoped to the single object involved).  This module adds the complementary
+maintenance sweep — a table- or context-wide collection pass — plus a
+small policy object so benchmarks can compare on-demand with periodic
+collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .context import StateContext
+from .table import StateTable
+
+
+class GCPolicy(Enum):
+    """When version garbage is collected."""
+
+    #: Only inside ``install`` when an object runs out of slots (the paper).
+    ON_DEMAND = "on-demand"
+    #: On-demand plus explicit sweeps every ``interval`` commits.
+    PERIODIC = "periodic"
+
+
+@dataclass
+class GCReport:
+    """Outcome of one collection sweep."""
+
+    tables: int = 0
+    objects_scanned: int = 0
+    versions_reclaimed: int = 0
+    oldest_active: int = 0
+
+
+class GarbageCollector:
+    """Context-wide version collector.
+
+    The collection horizon is ``OldestActiveVersion`` — the oldest snapshot
+    any active transaction may still read (see
+    :meth:`repro.core.context.StateContext.oldest_active_version`).
+    """
+
+    def __init__(self, context: StateContext, policy: GCPolicy = GCPolicy.ON_DEMAND,
+                 interval: int = 1000) -> None:
+        self.context = context
+        self.policy = policy
+        self.interval = max(1, interval)
+        self._commits_since_sweep = 0
+        self.total_reclaimed = 0
+
+    def sweep(self, tables: list[StateTable]) -> GCReport:
+        """Collect every table against the current horizon."""
+        report = GCReport(oldest_active=self.context.oldest_active_version())
+        for table in tables:
+            report.tables += 1
+            report.objects_scanned += len(table.keys())
+            report.versions_reclaimed += table.collect_garbage(report.oldest_active)
+        self.total_reclaimed += report.versions_reclaimed
+        self._commits_since_sweep = 0
+        return report
+
+    def notify_commit(self, tables: list[StateTable]) -> GCReport | None:
+        """Periodic-policy hook: sweep every ``interval`` commits."""
+        if self.policy is not GCPolicy.PERIODIC:
+            return None
+        self._commits_since_sweep += 1
+        if self._commits_since_sweep >= self.interval:
+            return self.sweep(tables)
+        return None

@@ -1,0 +1,141 @@
+"""Consistency protocol for transactions spanning multiple states (§4.3).
+
+When a continuous query updates several states, their changes must become
+visible together.  The paper coordinates this through the state context:
+
+* each arriving per-state commit sets that state's flag to ``Commit``;
+* nothing is persisted until **all** states registered for the transaction
+  are ready; the operator that sets the **last** flag becomes the
+  *coordinator* and executes the global commit;
+* one ``Abort`` flag aborts the transaction globally;
+* readers observe only completed group commits through ``LastCTS``, which
+  the commit path publishes at the very end.
+
+This is the paper's lightweight variant of two-phase commit: the per-state
+``Commit`` flags are the votes, the last voter doubles as coordinator, and
+there is no separate prepare round-trip because all participants share one
+process and one context.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ABORT_GROUP, ABORT_USER, TransactionAborted
+from .context import StateContext
+from .protocol import ConcurrencyControl
+from .transactions import StateFlag, Transaction, TxnStatus
+
+
+class GroupCommitCoordinator:
+    """Drives per-state commit/abort flags to a global outcome."""
+
+    def __init__(self, context: StateContext, protocol: ConcurrencyControl) -> None:
+        self.context = context
+        self.protocol = protocol
+        #: Guards the flag-inspection + outcome-decision step so exactly one
+        #: operator observes "all flags Commit" and becomes coordinator.
+        self._decision_mutex = threading.Lock()
+        self.global_commits = 0
+        self.global_aborts = 0
+
+    # ------------------------------------------------------------ votes
+
+    def commit_state(self, txn: Transaction, state_id: str) -> bool:
+        """Vote ``Commit`` for one state.
+
+        Returns ``True`` when this call completed the global commit (the
+        caller was the coordinating operator), ``False`` when the
+        transaction still waits for other states' votes.
+
+        Raises :class:`~repro.errors.TransactionAborted` when the global
+        outcome is (or becomes) an abort — including when this very vote
+        triggers a validation failure during the global commit.
+        """
+        txn.ensure_active()
+        txn.register_state(state_id)
+        with self._decision_mutex:
+            txn.flag(state_id, StateFlag.COMMIT)
+            if txn.any_flagged_abort():
+                self._abort_locked(txn, ABORT_GROUP)
+                raise TransactionAborted(
+                    f"transaction {txn.txn_id} aborted globally (another state "
+                    "voted abort)",
+                    txn_id=txn.txn_id,
+                    reason=ABORT_GROUP,
+                )
+            if not txn.all_flagged_commit():
+                return False
+            # This operator set the last flag: it coordinates.
+            txn.status = TxnStatus.COMMITTING
+        try:
+            commit_ts = self.protocol.commit_transaction(txn)
+        except TransactionAborted as exc:
+            with self._decision_mutex:
+                txn.mark_aborted(exc.reason)
+            self.context.finish(txn)
+            self.global_aborts += 1
+            raise
+        with self._decision_mutex:
+            txn.mark_committed(commit_ts)
+        self.context.finish(txn)
+        self.global_commits += 1
+        return True
+
+    def abort_state(self, txn: Transaction, state_id: str, reason: str = ABORT_USER) -> None:
+        """Vote ``Abort`` for one state — aborts the transaction globally."""
+        if txn.is_finished():
+            return
+        with self._decision_mutex:
+            txn.flag(state_id, StateFlag.ABORT)
+            self._abort_locked(txn, reason)
+
+    def abort_transaction(self, txn: Transaction, reason: str = ABORT_USER) -> None:
+        """Abort regardless of per-state flags (user rollback, errors)."""
+        if txn.is_finished():
+            return
+        with self._decision_mutex:
+            self._abort_locked(txn, reason)
+
+    def _abort_locked(self, txn: Transaction, reason: str) -> None:
+        if txn.is_finished():
+            return
+        self.protocol.abort_transaction(txn)
+        txn.mark_aborted(reason)
+        self.context.finish(txn)
+        self.global_aborts += 1
+
+    # ------------------------------------------------------------ shortcut
+
+    def commit_all(self, txn: Transaction) -> int:
+        """Vote ``Commit`` for every registered state at once.
+
+        Convenience for query-centric (ad-hoc) transactions where a single
+        caller owns the whole transaction.  Read-only transactions (no
+        registered states) commit trivially.
+        """
+        txn.ensure_active()
+        states = txn.registered_states()
+        if not states:
+            # Read-only: still runs the protocol's commit step (BOCC must
+            # validate reads; the others short-circuit cheaply).
+            try:
+                commit_ts = self.protocol.commit_transaction(txn)
+            except TransactionAborted as exc:
+                txn.mark_aborted(exc.reason)
+                self.context.finish(txn)
+                self.global_aborts += 1
+                raise
+            txn.mark_committed(commit_ts)
+            self.context.finish(txn)
+            self.global_commits += 1
+            return commit_ts
+        for state_id in states:
+            self.commit_state(txn, state_id)
+        if txn.status is not TxnStatus.COMMITTED:  # pragma: no cover - guard
+            raise TransactionAborted(
+                f"transaction {txn.txn_id} did not reach a committed state",
+                txn_id=txn.txn_id,
+            )
+        assert txn.commit_ts is not None
+        return txn.commit_ts

@@ -1,0 +1,44 @@
+"""Isolation levels for ad-hoc reads (paper Section 3).
+
+"For reads of the FROM operator, we have to consider isolation properties.
+This also applies if FROM provides access to a data stream: here different
+isolation levels should provide different levels of visibility."
+
+The MVCC protocol supports three visibility levels per transaction:
+
+* :attr:`IsolationLevel.SNAPSHOT` (default) — the paper's snapshot
+  isolation: all reads observe the group's ``LastCTS`` as of the first
+  read (``ReadCTS`` pinning + overlap rule);
+* :attr:`IsolationLevel.READ_COMMITTED` — every read observes the newest
+  *committed* version at that instant; no pinning, so two reads of the
+  same key may differ, but dirty data is never visible;
+* :attr:`IsolationLevel.READ_UNCOMMITTED` — reads additionally see the
+  uncommitted write sets of concurrently *active* transactions (newest
+  transaction wins).  This is the paper's lowest visibility level for
+  monitoring-style stream consumers that prefer freshness over stability.
+
+S2PL provides serialisability through locks and BOCC through validation;
+for those protocols the level is recorded but does not weaken their
+native guarantees (lock-based read-committed would require a different
+lock-release discipline, out of the paper's scope).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class IsolationLevel(Enum):
+    """Visibility level of a transaction's reads."""
+
+    SNAPSHOT = "snapshot"
+    READ_COMMITTED = "read-committed"
+    READ_UNCOMMITTED = "read-uncommitted"
+
+    @property
+    def sees_uncommitted(self) -> bool:
+        return self is IsolationLevel.READ_UNCOMMITTED
+
+    @property
+    def pins_snapshot(self) -> bool:
+        return self is IsolationLevel.SNAPSHOT

@@ -1,0 +1,231 @@
+"""Lock manager for the S2PL baseline (and generic latch helpers).
+
+Implements hierarchical two-phase locking with the standard multi-granularity
+modes — intention-shared (IS), intention-exclusive (IX), shared (S) and
+exclusive (X) — over abstract resources (we use table-level and key-level
+resources).  Deadlocks are detected with a waits-for graph checked at block
+time; the requester is the victim (simple, starvation-free for the retrying
+workloads the benchmarks run).  A timeout provides a liveness backstop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Hashable
+
+from ..errors import DeadlockDetected, LockTimeout
+
+
+class LockMode(Enum):
+    """Multi-granularity lock modes."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+
+
+#: mode -> set of modes it is compatible with.
+_COMPATIBLE: dict[LockMode, frozenset[LockMode]] = {
+    LockMode.IS: frozenset({LockMode.IS, LockMode.IX, LockMode.S}),
+    LockMode.IX: frozenset({LockMode.IS, LockMode.IX}),
+    LockMode.S: frozenset({LockMode.IS, LockMode.S}),
+    LockMode.X: frozenset(),
+}
+
+#: Partial order used for upgrades: a holder of ``stronger(a, b)`` already
+#: covers the weaker request.
+_STRENGTH: dict[LockMode, int] = {
+    LockMode.IS: 0,
+    LockMode.IX: 1,
+    LockMode.S: 1,
+    LockMode.X: 2,
+}
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Whether two lock modes can be held concurrently by different txns."""
+    return b in _COMPATIBLE[a]
+
+
+def covers(held: LockMode, requested: LockMode) -> bool:
+    """Whether an already-held mode subsumes a new request by the same txn."""
+    if held is requested:
+        return True
+    if held is LockMode.X:
+        return True
+    if held is LockMode.S and requested is LockMode.IS:
+        return True
+    if held is LockMode.IX and requested is LockMode.IS:
+        return True
+    return False
+
+
+@dataclass
+class _ResourceLock:
+    """Lock state of one resource: current holders and their modes."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: int = 0
+
+
+class LockManager:
+    """Central lock table with deadlock detection.
+
+    One global mutex + condition keeps the implementation simple and
+    correct; the S2PL benchmarks run on the discrete-event simulator where
+    lock waits are modelled separately, so this mutex is never the measured
+    bottleneck.
+    """
+
+    def __init__(self, timeout: float = 10.0, deadlock_detection: bool = True) -> None:
+        self.timeout = timeout
+        self.deadlock_detection = deadlock_detection
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._locks: dict[Hashable, _ResourceLock] = {}
+        self._held_by_txn: dict[int, set[Hashable]] = {}
+        #: waits-for edges, only populated while a txn is blocked.
+        self._waits_for: dict[int, set[int]] = {}
+        self.deadlocks = 0
+        self.timeouts = 0
+        self.waits = 0
+
+    # -------------------------------------------------------------- acquire
+
+    def acquire(
+        self, txn_id: int, resource: Hashable, mode: LockMode, timeout: float | None = None
+    ) -> bool:
+        """Block until ``txn_id`` holds ``resource`` in (at least) ``mode``.
+
+        Returns ``True`` when the caller had to wait for the grant, ``False``
+        for wait-free grants (including already-covered re-requests).  Raises
+        :class:`~repro.errors.DeadlockDetected` when granting would
+        deadlock, or :class:`~repro.errors.LockTimeout` after ``timeout``.
+        """
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        with self._cond:
+            lock = self._locks.get(resource)
+            if lock is None:
+                lock = self._locks[resource] = _ResourceLock()
+
+            held = lock.holders.get(txn_id)
+            if held is not None and covers(held, mode):
+                return False
+
+            waited = False
+            while not self._grantable(lock, txn_id, mode):
+                waited = True
+                blockers = {
+                    holder
+                    for holder, held_mode in lock.holders.items()
+                    if holder != txn_id and not compatible(held_mode, mode)
+                }
+                if self.deadlock_detection and self._would_deadlock(txn_id, blockers):
+                    self.deadlocks += 1
+                    raise DeadlockDetected(
+                        f"txn {txn_id} requesting {mode.value} on {resource!r} "
+                        f"would deadlock with {sorted(blockers)}",
+                        txn_id=txn_id,
+                    )
+                self._waits_for[txn_id] = blockers
+                lock.waiters += 1
+                self.waits += 1
+                try:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self.timeouts += 1
+                        raise LockTimeout(
+                            f"txn {txn_id} timed out on {mode.value} {resource!r}",
+                            txn_id=txn_id,
+                        )
+                finally:
+                    lock.waiters -= 1
+                    self._waits_for.pop(txn_id, None)
+
+            self._grant(lock, txn_id, mode)
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            return waited
+
+    def _grantable(self, lock: _ResourceLock, txn_id: int, mode: LockMode) -> bool:
+        for holder, held_mode in lock.holders.items():
+            if holder == txn_id:
+                continue
+            if not compatible(held_mode, mode):
+                return False
+        return True
+
+    @staticmethod
+    def _grant(lock: _ResourceLock, txn_id: int, mode: LockMode) -> None:
+        held = lock.holders.get(txn_id)
+        if held is None or _STRENGTH[mode] > _STRENGTH[held] or (
+            # S + IX both strength 1; holding one and requesting the other
+            # escalates to X-equivalent SIX; we conservatively use X.
+            held is not mode and _STRENGTH[mode] == _STRENGTH[held]
+        ):
+            if held is not None and held is not mode and _STRENGTH[mode] == _STRENGTH[held]:
+                lock.holders[txn_id] = LockMode.X
+            else:
+                lock.holders[txn_id] = mode
+
+    def _would_deadlock(self, requester: int, blockers: set[int]) -> bool:
+        """DFS over waits-for: would ``requester -> blockers`` close a cycle?"""
+        stack = list(blockers)
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == requester:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waits_for.get(node, ()))
+        return False
+
+    # -------------------------------------------------------------- release
+
+    def release(self, txn_id: int, resource: Hashable) -> None:
+        with self._cond:
+            lock = self._locks.get(resource)
+            if lock is not None and txn_id in lock.holders:
+                del lock.holders[txn_id]
+                if not lock.holders and not lock.waiters:
+                    del self._locks[resource]
+            held = self._held_by_txn.get(txn_id)
+            if held is not None:
+                held.discard(resource)
+                if not held:
+                    del self._held_by_txn[txn_id]
+            self._cond.notify_all()
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock of ``txn_id``; returns how many were held."""
+        with self._cond:
+            resources = self._held_by_txn.pop(txn_id, set())
+            for resource in resources:
+                lock = self._locks.get(resource)
+                if lock is not None:
+                    lock.holders.pop(txn_id, None)
+                    if not lock.holders and not lock.waiters:
+                        del self._locks[resource]
+            if resources:
+                self._cond.notify_all()
+            return len(resources)
+
+    # ---------------------------------------------------------- diagnostics
+
+    def holders(self, resource: Hashable) -> dict[int, LockMode]:
+        with self._mutex:
+            lock = self._locks.get(resource)
+            return dict(lock.holders) if lock is not None else {}
+
+    def held_resources(self, txn_id: int) -> set[Hashable]:
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, set()))
+
+    def lock_count(self) -> int:
+        with self._mutex:
+            return len(self._locks)

@@ -1,0 +1,173 @@
+"""Abstract concurrency-control interface shared by MVCC, S2PL and BOCC.
+
+The paper's evaluation compares its MVCC design against S2PL and BOCC with
+"fundamentally the same consistency protocol for multiple states" — so the
+reproduction factors the protocol surface into this ABC and the group-commit
+coordinator (:mod:`repro.core.group_commit`) drives any implementation.
+
+Per-operation contract (all raise :class:`~repro.errors.TransactionAborted`
+subclasses when the protocol decides the transaction must die):
+
+* :meth:`read` / :meth:`scan` — isolated reads;
+* :meth:`write` / :meth:`delete` — buffered, atomically-applied mutations;
+* :meth:`commit_transaction` — the whole-transaction commit step executed by
+  the coordinating operator, covering validation, version installation,
+  base-table persistence and ``LastCTS`` publication;
+* :meth:`abort_transaction` — release every resource; never fails.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import StateError, UnknownState
+from .context import StateContext
+from .table import StateTable
+from .transactions import Transaction
+
+
+@dataclass
+class ProtocolStats:
+    """Counters every protocol maintains (benchmark plumbing)."""
+
+    reads: int = 0
+    writes: int = 0
+    commits: int = 0
+    aborts: int = 0
+    conflicts: int = 0
+    validations: int = 0
+    lock_waits: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict[str, int]:
+        data = {
+            "reads": self.reads,
+            "writes": self.writes,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "conflicts": self.conflicts,
+            "validations": self.validations,
+            "lock_waits": self.lock_waits,
+        }
+        data.update(self.extra)
+        return data
+
+
+class ConcurrencyControl(abc.ABC):
+    """Base class for the three concurrency-control engines."""
+
+    #: Registry-facing protocol name ("mvcc", "s2pl", "bocc").
+    name: str = "abstract"
+
+    def __init__(self, context: StateContext) -> None:
+        self.context = context
+        self.tables: dict[str, StateTable] = {}
+        self.stats = ProtocolStats()
+
+    # ------------------------------------------------------------- plumbing
+
+    def attach_table(self, table: StateTable) -> None:
+        if table.state_id in self.tables:
+            raise StateError(f"table {table.state_id!r} already attached")
+        self.tables[table.state_id] = table
+
+    def table(self, state_id: str) -> StateTable:
+        table = self.tables.get(state_id)
+        if table is None:
+            raise UnknownState(f"no table attached for state {state_id!r}")
+        return table
+
+    def on_begin(self, txn: Transaction) -> None:
+        """Hook invoked right after a transaction is created."""
+
+    # ------------------------------------------------------------ data path
+
+    @abc.abstractmethod
+    def read(self, txn: Transaction, state_id: str, key: Any) -> Any | None:
+        """Isolated point read (``None`` when invisible/absent)."""
+
+    @abc.abstractmethod
+    def scan(
+        self, txn: Transaction, state_id: str, low: Any = None, high: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Isolated range scan merged with the transaction's own writes."""
+
+    @abc.abstractmethod
+    def write(self, txn: Transaction, state_id: str, key: Any, value: Any) -> None:
+        """Buffer an upsert."""
+
+    @abc.abstractmethod
+    def delete(self, txn: Transaction, state_id: str, key: Any) -> None:
+        """Buffer a delete."""
+
+    # ----------------------------------------------------------- txn ending
+
+    @abc.abstractmethod
+    def commit_transaction(self, txn: Transaction) -> int:
+        """Commit every buffered change atomically; returns the commit ts."""
+
+    @abc.abstractmethod
+    def abort_transaction(self, txn: Transaction) -> None:
+        """Drop buffered changes and release all protocol resources."""
+
+    # --------------------------------------------------------------- common
+
+    def _groups_of_states(self, state_ids: list[str]) -> list[str]:
+        """Distinct group ids owning ``state_ids`` (ordered, deduplicated)."""
+        seen: list[str] = []
+        for state_id in state_ids:
+            gid = self.context.state(state_id).group_id
+            if gid not in seen:
+                seen.append(gid)
+        return seen
+
+    def _gc_horizon(self, written_states: list[str]) -> int:
+        """Safe garbage-collection horizon for a commit's on-demand GC.
+
+        Besides the oldest active snapshot, the horizon is capped by the
+        smallest *published* ``LastCTS`` of the groups being written: a
+        version superseded by a commit that has not published yet must
+        survive, because a reader pinning right now still snapshots at the
+        old ``LastCTS`` and may need it.
+        """
+        horizon = self.context.oldest_active_version()
+        for group_id in self._groups_of_states(written_states):
+            horizon = min(horizon, self.context.last_cts(group_id))
+        return horizon
+
+    def _publish(self, txn: Transaction, commit_ts: int) -> None:
+        """Publish ``LastCTS`` for every group the transaction wrote.
+
+        Runs **after** every member state's changes were applied — the
+        consistency protocol's visibility point.
+        """
+        written_states = [sid for sid, ws in txn.write_sets.items() if ws]
+        for group_id in self._groups_of_states(written_states):
+            self.context.publish_group_commit(group_id, commit_ts)
+
+
+#: Protocol registry: name -> factory taking the shared StateContext.
+_REGISTRY: dict[str, Callable[[StateContext], ConcurrencyControl]] = {}
+
+
+def register_protocol(
+    name: str, factory: Callable[[StateContext], ConcurrencyControl]
+) -> None:
+    """Register a protocol factory under ``name`` (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def make_protocol(name: str, context: StateContext, **kwargs: Any) -> ConcurrencyControl:
+    """Instantiate a registered protocol by name."""
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise StateError(f"unknown protocol {name!r}; known: {known}")
+    return factory(context, **kwargs)  # type: ignore[call-arg]
+
+
+def protocol_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,165 @@
+"""Strict two-phase locking baseline (paper Section 5, Eswaran et al.).
+
+S2PL acquires locks as data is accessed (growing phase) and releases them
+only at transaction end (strict release), giving serialisability without
+validation:
+
+* point read  — IS on the table, S on the key;
+* point write — IX on the table, X on the key;
+* range scan  — S on the table (coarse; predicate locking is out of scope);
+* commit      — apply the buffered write sets (locks make them conflict-free
+  by construction), publish group ``LastCTS``, release all locks;
+* abort       — drop the write sets, release all locks.
+
+Like the other protocols it buffers writes in the uncommitted write set, so
+abort needs no undo; holding X locks until commit is what serialises
+conflicting writers, not in-place mutation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import ExitStack
+from typing import Any, Hashable
+
+from ..errors import TransactionAborted
+from .context import StateContext
+from .locks import LockManager, LockMode
+from .protocol import ConcurrencyControl, register_protocol
+from .transactions import Transaction
+from .write_set import WriteKind
+
+
+def _table_resource(state_id: str) -> Hashable:
+    return ("table", state_id)
+
+
+def _key_resource(state_id: str, key: Any) -> Hashable:
+    return ("key", state_id, key)
+
+
+class S2PLProtocol(ConcurrencyControl):
+    """Strict 2PL with multi-granularity locks and deadlock detection."""
+
+    name = "s2pl"
+
+    def __init__(
+        self,
+        context: StateContext,
+        lock_timeout: float = 10.0,
+        deadlock_detection: bool = True,
+    ) -> None:
+        super().__init__(context)
+        self.lock_manager = LockManager(
+            timeout=lock_timeout, deadlock_detection=deadlock_detection
+        )
+
+    # ------------------------------------------------------------ data path
+
+    def _lock(self, txn: Transaction, resource: Hashable, mode: LockMode) -> None:
+        try:
+            waited = self.lock_manager.acquire(txn.txn_id, resource, mode)
+        except TransactionAborted as exc:
+            # Data-path abort (deadlock victim / timeout): finalise the
+            # handle here — there is no coordinator call to do it later.
+            self.abort_transaction(txn)
+            txn.mark_aborted(exc.reason)
+            self.context.finish(txn)
+            raise
+        if waited:
+            self.stats.lock_waits += 1
+        txn.locks.append(resource)
+
+    def read(self, txn: Transaction, state_id: str, key: Any) -> Any | None:
+        txn.ensure_active()
+        self.stats.reads += 1
+        write_set = txn.write_sets.get(state_id)
+        if write_set is not None:
+            entry = write_set.get(key)
+            if entry is not None:
+                return None if entry.kind is WriteKind.DELETE else entry.value
+        self._lock(txn, _table_resource(state_id), LockMode.IS)
+        self._lock(txn, _key_resource(state_id, key), LockMode.S)
+        version = self.table(state_id).read_live(key)
+        return version.value if version is not None else None
+
+    def scan(
+        self, txn: Transaction, state_id: str, low: Any = None, high: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        txn.ensure_active()
+        self._lock(txn, _table_resource(state_id), LockMode.S)
+        table = self.table(state_id)
+        write_set = txn.write_sets.get(state_id)
+        own = dict(write_set.entries) if write_set is not None else {}
+        for key, value in table.scan_live(low, high):
+            entry = own.pop(key, None)
+            if entry is None:
+                yield key, value
+            elif entry.kind is WriteKind.UPSERT:
+                yield key, entry.value
+        extra = [
+            (key, entry.value)
+            for key, entry in own.items()
+            if entry.kind is WriteKind.UPSERT
+            and (low is None or key >= low)
+            and (high is None or key < high)
+        ]
+        try:
+            extra.sort()
+        except TypeError:
+            pass
+        yield from extra
+
+    def write(self, txn: Transaction, state_id: str, key: Any, value: Any) -> None:
+        txn.ensure_active()
+        self.table(state_id)
+        self._lock(txn, _table_resource(state_id), LockMode.IX)
+        self._lock(txn, _key_resource(state_id, key), LockMode.X)
+        txn.register_state(state_id)
+        txn.write_set_for(state_id).upsert(key, value)
+        self.stats.writes += 1
+
+    def delete(self, txn: Transaction, state_id: str, key: Any) -> None:
+        txn.ensure_active()
+        self.table(state_id)
+        self._lock(txn, _table_resource(state_id), LockMode.IX)
+        self._lock(txn, _key_resource(state_id, key), LockMode.X)
+        txn.register_state(state_id)
+        txn.write_set_for(state_id).delete(key)
+        self.stats.writes += 1
+
+    # ----------------------------------------------------------- txn ending
+
+    def commit_transaction(self, txn: Transaction) -> int:
+        written = sorted(sid for sid, ws in txn.write_sets.items() if ws)
+        if not written:
+            commit_ts = self.context.oracle.current()
+            self.lock_manager.release_all(txn.txn_id)
+            self.stats.commits += 1
+            return commit_ts
+
+        with ExitStack() as stack:
+            for state_id in written:
+                stack.enter_context(self.table(state_id).commit_latch)
+            commit_ts = self.context.oracle.next()
+            oldest = self._gc_horizon(written)
+            for state_id in written:
+                self.table(state_id).apply_write_set(
+                    txn.write_sets[state_id], commit_ts, oldest
+                )
+            self._publish(txn, commit_ts)
+        # Strict release: only after the commit is fully applied.
+        self.lock_manager.release_all(txn.txn_id)
+        txn.locks.clear()
+        self.stats.commits += 1
+        return commit_ts
+
+    def abort_transaction(self, txn: Transaction) -> None:
+        for write_set in txn.write_sets.values():
+            write_set.clear()
+        self.lock_manager.release_all(txn.txn_id)
+        txn.locks.clear()
+        self.stats.aborts += 1
+
+
+register_protocol("s2pl", S2PLProtocol)

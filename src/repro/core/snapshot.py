@@ -1,0 +1,81 @@
+"""Read-only snapshot views over one or more states.
+
+A :class:`SnapshotView` materialises the paper's reader-side contract: all
+reads of an ad-hoc query observe *the same* completed group commit
+(``LastCTS``), including across multiple states of one topology, and the
+overlap rule picks the older version when topologies with different
+``LastCTS`` are combined.
+
+The view is a thin convenience wrapper over a transaction handle — it pins
+snapshots through the normal protocol read path, so every isolation property
+of the underlying protocol carries over.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from .protocol import ConcurrencyControl
+from .transactions import Transaction
+
+
+class SnapshotView:
+    """Consistent read-only view of a set of states for one transaction."""
+
+    def __init__(self, protocol: ConcurrencyControl, txn: Transaction) -> None:
+        self._protocol = protocol
+        self._txn = txn
+
+    @property
+    def txn(self) -> Transaction:
+        return self._txn
+
+    def get(self, state_id: str, key: Any) -> Any | None:
+        """Snapshot point read."""
+        return self._protocol.read(self._txn, state_id, key)
+
+    def scan(
+        self, state_id: str, low: Any = None, high: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Snapshot range scan."""
+        return self._protocol.scan(self._txn, state_id, low, high)
+
+    def multi_get(self, state_ids: list[str], key: Any) -> dict[str, Any | None]:
+        """Read the same key from several states under one snapshot.
+
+        This is the paper's canonical consistency check: a stream query
+        writing two states atomically must never expose one state's update
+        without the other's to this call.
+        """
+        return {sid: self.get(sid, key) for sid in state_ids}
+
+    def index_lookup(
+        self, state_id: str, index_name: str, index_key: Any
+    ) -> list[tuple[Any, Any]]:
+        """Equality lookup through a secondary index, snapshot-consistent.
+
+        Returns ``(primary_key, value)`` pairs whose indexed attribute
+        equals ``index_key`` under this view's snapshot.  Values are read
+        through the normal protocol path, so isolation carries over.
+        """
+        table = self._protocol.table(state_id)
+        index = table.index(index_name)
+        if self._txn.isolation.pins_snapshot and hasattr(
+            self._protocol, "context"
+        ) and self._protocol.name == "mvcc":
+            group_id = self._protocol.context.state(state_id).group_id
+            ts = self._protocol.context.pin_snapshot(self._txn, group_id)
+            keys = index.lookup_at(index_key, ts)
+        else:
+            keys = index.lookup_live(index_key)
+        out = []
+        for key in keys:
+            value = self._protocol.read(self._txn, state_id, key)
+            if value is not None:
+                out.append((key, value))
+        return out
+
+    def pinned_snapshots(self) -> dict[str, int]:
+        """Group id -> pinned ReadCTS (diagnostics and tests)."""
+        return dict(self._txn.read_cts)

@@ -1,0 +1,254 @@
+"""The transactional table wrapper (paper Figure 3, left-hand side).
+
+A :class:`StateTable` wraps **any** key-value backend (the paper: "any
+existing backend structure with a key-value mapping can be used") and adds
+the multi-version index: every key maps to an
+:class:`~repro.core.version_store.MVCCObject`.
+
+Division of labour:
+
+* the **version index** (in memory, volatile) answers snapshot reads and
+  holds recent history;
+* the **base table** (the pluggable backend, e.g. the LSM store) always
+  holds the *newest committed* value per key and provides persistence; the
+  commit path pushes each commit's changes into it as one atomic, synced
+  batch ("the changes are populated atomically and isolated into the base
+  table").
+
+On restart the version index is rebuilt from the base table with a single
+bootstrap version per key (commit timestamp = the group's recovered
+``LastCTS``), which restores exactly the view of the last completed commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from typing import Any
+
+from collections.abc import Callable, Hashable
+
+from ..storage.kvstore import KVStore, MemoryKVStore
+from .codecs import PICKLE_CODEC, Codec
+from .indexes import IndexSet, SecondaryIndex
+from .timestamps import ZERO_TS
+from .version_store import DEFAULT_SLOTS, MVCCObject, VersionEntry
+from .write_set import WriteKind, WriteSet
+
+
+class StateTable:
+    """Versioned, backend-agnostic representation of one queryable state."""
+
+    def __init__(
+        self,
+        state_id: str,
+        backend: KVStore | None = None,
+        key_codec: Codec = PICKLE_CODEC,
+        value_codec: Codec = PICKLE_CODEC,
+        version_slots: int = DEFAULT_SLOTS,
+    ) -> None:
+        self.state_id = state_id
+        self.backend = backend if backend is not None else MemoryKVStore()
+        self.key_codec = key_codec
+        self.value_codec = value_codec
+        self.version_slots = version_slots
+        self._index: dict[Any, MVCCObject] = {}
+        #: guards structural changes to the key -> MVCCObject mapping.
+        self._index_latch = threading.RLock()
+        #: the short commit-time synchronisation the paper describes; held
+        #: while a commit validates and installs its versions.
+        self.commit_latch = threading.RLock()
+        #: monotonic counters for observability.
+        self.commits_applied = 0
+        self.versions_installed = 0
+        #: snapshot-consistent secondary indexes (maintained at commit).
+        self.indexes = IndexSet()
+
+    # -------------------------------------------------------------- lookups
+
+    def mvcc_object(self, key: Any, create: bool = False) -> MVCCObject | None:
+        """The version array for ``key``; optionally created when missing."""
+        with self._index_latch:
+            obj = self._index.get(key)
+            if obj is None and create:
+                obj = self._index[key] = MVCCObject(self.version_slots)
+            return obj
+
+    def read_version_at(self, key: Any, ts: int) -> VersionEntry | None:
+        """Snapshot read: the version of ``key`` visible at ``ts``."""
+        obj = self.mvcc_object(key)
+        if obj is None:
+            return None
+        return obj.read_at(ts)
+
+    def read_live(self, key: Any) -> VersionEntry | None:
+        """Read the newest committed version (single-version protocols)."""
+        obj = self.mvcc_object(key)
+        if obj is None:
+            return None
+        return obj.live_version()
+
+    def latest_cts(self, key: Any) -> int:
+        """Newest commit timestamp recorded for ``key`` (0 when unwritten)."""
+        obj = self.mvcc_object(key)
+        return obj.latest_cts() if obj is not None else 0
+
+    def keys(self) -> list[Any]:
+        """All keys with at least one version, in sorted order."""
+        with self._index_latch:
+            keys = list(self._index)
+        try:
+            keys.sort()
+        except TypeError:
+            # heterogeneous keys: fall back to insertion order
+            pass
+        return keys
+
+    def scan_at(self, ts: int, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Snapshot range scan with ``low <= key < high`` bounds."""
+        for key in self.keys():
+            if low is not None and key < low:
+                continue
+            if high is not None and key >= high:
+                break
+            version = self.read_version_at(key, ts)
+            if version is not None:
+                yield key, version.value
+
+    def scan_live(self, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
+        for key in self.keys():
+            if low is not None and key < low:
+                continue
+            if high is not None and key >= high:
+                break
+            version = self.read_live(key)
+            if version is not None:
+                yield key, version.value
+
+    def __len__(self) -> int:
+        """Number of keys with a live (committed, undeleted) version."""
+        return sum(1 for _ in self.scan_live())
+
+    # --------------------------------------------------------------- commit
+
+    def apply_write_set(
+        self, write_set: WriteSet, commit_ts: int, oldest_active: int
+    ) -> None:
+        """Install a committed write set into the version index **and** push
+        it to the base table as one atomic batch.
+
+        Caller must hold :attr:`commit_latch` (the group-commit path does).
+        """
+        puts: list[tuple[bytes, bytes]] = []
+        deletes: list[bytes] = []
+        for key, entry in write_set.entries.items():
+            obj = self.mvcc_object(key, create=True)
+            if entry.kind is WriteKind.UPSERT:
+                obj.install(entry.value, commit_ts, oldest_active)
+                puts.append(
+                    (self.key_codec.encode(key), self.value_codec.encode(entry.value))
+                )
+                self.versions_installed += 1
+                for index in self.indexes.all():
+                    index.apply_upsert(key, entry.value, commit_ts)
+            else:
+                obj.mark_deleted(commit_ts)
+                deletes.append(self.key_codec.encode(key))
+                for index in self.indexes.all():
+                    index.apply_delete(key, commit_ts)
+        self.backend.write_batch(puts, deletes)
+        self.commits_applied += 1
+
+    # ------------------------------------------------------------ bootstrap
+
+    def bulk_load(self, items: Iterator[tuple[Any, Any]] | list[tuple[Any, Any]]) -> int:
+        """Load initial data outside any transaction (commit ts = 0).
+
+        Used to initialise benchmark tables; visible to every snapshot.
+        """
+        count = 0
+        puts: list[tuple[bytes, bytes]] = []
+        with self.commit_latch:
+            for key, value in items:
+                obj = self.mvcc_object(key, create=True)
+                obj.install(value, ZERO_TS, ZERO_TS)
+                puts.append(
+                    (self.key_codec.encode(key), self.value_codec.encode(value))
+                )
+                for index in self.indexes.all():
+                    index.apply_upsert(key, value, ZERO_TS)
+                count += 1
+            self.backend.write_batch(puts, [])
+        return count
+
+    def load_from_backend(self, bootstrap_cts: int = ZERO_TS) -> int:
+        """Rebuild the version index from the base table (recovery path).
+
+        Every persisted key gets one bootstrap version stamped with
+        ``bootstrap_cts`` (the recovered group ``LastCTS``), restoring the
+        view of the last completed commit.
+        """
+        count = 0
+        with self.commit_latch:
+            self._index.clear()
+            for kbytes, vbytes in self.backend.scan():
+                key = self.key_codec.decode(kbytes)
+                value = self.value_codec.decode(vbytes)
+                obj = self.mvcc_object(key, create=True)
+                obj.install(value, bootstrap_cts, bootstrap_cts)
+                for index in self.indexes.all():
+                    index.apply_upsert(key, value, bootstrap_cts)
+                count += 1
+        return count
+
+    # -------------------------------------------------------------- indexes
+
+    def create_index(
+        self, name: str, extractor: Callable[[Any], Hashable | None]
+    ) -> SecondaryIndex:
+        """Attach a snapshot-consistent secondary index.
+
+        Existing committed rows are back-filled under the commit latch so
+        lookups are complete from the moment this returns.
+        """
+        with self.commit_latch:
+            index = self.indexes.create(name, extractor)
+            for key in self.keys():
+                obj = self.mvcc_object(key)
+                if obj is None:
+                    continue
+                live = obj.live_version()
+                if live is not None:
+                    index.apply_upsert(key, live.value, live.cts)
+        return index
+
+    def index(self, name: str) -> SecondaryIndex:
+        return self.indexes.get(name)
+
+    def index_lookup_at(self, name: str, index_key: Hashable, ts: int) -> list[Any]:
+        """Primary keys matching ``index_key`` at snapshot ``ts``."""
+        return self.indexes.get(name).lookup_at(index_key, ts)
+
+    # ------------------------------------------------------------------- GC
+
+    def collect_garbage(self, oldest_active: int) -> int:
+        """Table-wide GC sweep (versions + index postings)."""
+        reclaimed = 0
+        with self._index_latch:
+            objects = list(self._index.values())
+        for obj in objects:
+            reclaimed += obj.collect(oldest_active)
+        for index in self.indexes.all():
+            reclaimed += index.collect(oldest_active)
+        return reclaimed
+
+    def version_count(self) -> int:
+        with self._index_latch:
+            objects = list(self._index.values())
+        return sum(obj.version_count() for obj in objects)
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StateTable({self.state_id!r}, keys={len(self.keys())})"

@@ -1,0 +1,136 @@
+"""Logical timestamps and the global atomic counter.
+
+The paper (Section 4.1) generates *all* timestamps — transaction ids and
+commit timestamps alike — from one global atomic counter, so the two share a
+single total order.  CPython has no lock-free integers, so the oracle wraps a
+plain counter in a mutex; the critical section is a single increment, which
+keeps the oracle far away from being a bottleneck relative to everything else
+a transaction does.
+
+``INF_TS`` plays the role of an "infinite" deletion timestamp: a version with
+``dts == INF_TS`` is the live (not yet superseded) version.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Deletion timestamp of a live version ("infinity").  Any real timestamp
+#: produced by the oracle is strictly smaller.
+INF_TS: int = 2**63 - 1
+
+#: Timestamp strictly smaller than anything the oracle produces.  Used as the
+#: commit timestamp of bootstrap data so it is visible to every snapshot.
+ZERO_TS: int = 0
+
+
+class TimestampOracle:
+    """Process-wide monotonic logical clock.
+
+    Every call to :meth:`next` returns a fresh, strictly increasing integer.
+    The first issued timestamp is ``1`` so that ``ZERO_TS`` (bootstrap data)
+    is older than every transaction.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"timestamp oracle cannot start below zero: {start}")
+        self._lock = threading.Lock()
+        self._value = start
+
+    def next(self) -> int:
+        """Return the next timestamp (atomically increments the counter)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def current(self) -> int:
+        """Return the most recently issued timestamp without advancing."""
+        with self._lock:
+            return self._value
+
+    def advance_to(self, value: int) -> None:
+        """Fast-forward the counter to at least ``value``.
+
+        Used during recovery so timestamps issued after a restart are newer
+        than everything found in the persisted context.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimestampOracle(current={self.current()})"
+
+
+class AtomicBitmask:
+    """A fixed-width bitmask updated under CAS-like semantics.
+
+    Models the paper's ``UsedSlots`` 64-bit integer (footnote 2: "updated by
+    CAS operations").  CPython cannot express a true CAS on an int, so the
+    compare-and-swap loop is emulated with a tiny mutex; the public interface
+    (claim a free slot, release a slot, test a slot) is exactly what a CAS
+    implementation would offer, which keeps the port to a lock-free language
+    mechanical.
+    """
+
+    __slots__ = ("_lock", "_mask", "width")
+
+    def __init__(self, width: int = 64) -> None:
+        if width <= 0:
+            raise ValueError(f"bitmask width must be positive: {width}")
+        self.width = width
+        self._mask = 0
+        self._lock = threading.Lock()
+
+    def claim_free_slot(self) -> int | None:
+        """Atomically find and set the lowest clear bit.
+
+        Returns the claimed slot index or ``None`` when the mask is full.
+        """
+        with self._lock:
+            if self._mask == (1 << self.width) - 1:
+                return None
+            free = ~self._mask & ((1 << self.width) - 1)
+            slot = (free & -free).bit_length() - 1
+            self._mask |= 1 << slot
+            return slot
+
+    def claim_slot(self, slot: int) -> bool:
+        """Atomically set a specific bit; ``False`` if it was already set."""
+        self._check(slot)
+        with self._lock:
+            bit = 1 << slot
+            if self._mask & bit:
+                return False
+            self._mask |= bit
+            return True
+
+    def release_slot(self, slot: int) -> None:
+        """Atomically clear a bit (idempotent)."""
+        self._check(slot)
+        with self._lock:
+            self._mask &= ~(1 << slot)
+
+    def is_set(self, slot: int) -> bool:
+        self._check(slot)
+        with self._lock:
+            return bool(self._mask & (1 << slot))
+
+    def used_count(self) -> int:
+        with self._lock:
+            return bin(self._mask).count("1")
+
+    def snapshot(self) -> int:
+        """Return the raw mask value (for diagnostics and tests)."""
+        with self._lock:
+            return self._mask
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.width:
+            raise IndexError(f"slot {slot} out of range for width {self.width}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomicBitmask(width={self.width}, mask={self.snapshot():#x})"

@@ -1,0 +1,172 @@
+"""Transaction handles and per-transaction bookkeeping.
+
+A :class:`Transaction` is the runtime record the paper keeps in the state
+context's *Active Transactions* table: its id/timestamp, the list of
+accessed states with a per-state status flag (Active / Commit / Abort), and
+the pinned read timestamp (``ReadCTS``) per topology group.  The write and
+read sets buffered per state live here too.
+
+A transaction handle is driven by a single client thread; the tiny internal
+mutex only guards the status flags that the group-commit coordinator
+inspects from other operators' threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Any
+
+from ..errors import InvalidTransactionState
+from .isolation import IsolationLevel
+from .write_set import ReadSet, WriteSet
+
+
+class TxnStatus(Enum):
+    """Lifecycle of the whole transaction."""
+
+    ACTIVE = "active"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class StateFlag(Enum):
+    """Per-state status inside the active-transactions table (Figure 3)."""
+
+    ACTIVE = "active"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+class Transaction:
+    """Handle for one running transaction."""
+
+    __slots__ = (
+        "txn_id",
+        "start_ts",
+        "status",
+        "commit_ts",
+        "abort_reason",
+        "state_flags",
+        "read_cts",
+        "write_sets",
+        "read_sets",
+        "locks",
+        "slot",
+        "_mutex",
+        "restarts",
+        "isolation",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        slot: int | None = None,
+        isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+    ) -> None:
+        self.txn_id = txn_id
+        #: visibility level of this transaction's reads (paper Section 3).
+        self.isolation = isolation
+        #: Begin timestamp; shares the counter domain with commit timestamps
+        #: (the paper draws *all* timestamps from one global atomic counter).
+        self.start_ts = txn_id
+        self.status = TxnStatus.ACTIVE
+        self.commit_ts: int | None = None
+        self.abort_reason: str | None = None
+        #: state id -> StateFlag, for every state this transaction touched.
+        self.state_flags: dict[str, StateFlag] = {}
+        #: topology/group id -> pinned snapshot timestamp (ReadCTS).
+        self.read_cts: dict[str, int] = {}
+        self.write_sets: dict[str, WriteSet] = {}
+        self.read_sets: dict[str, ReadSet] = {}
+        #: lock tokens held (S2PL); released on commit/abort.
+        self.locks: list[Any] = []
+        #: slot index in the context's active-transaction bit vector.
+        self.slot = slot
+        self._mutex = threading.Lock()
+        #: number of times workload drivers restarted this logical work unit
+        #: (BOCC/MVCC conflict aborts); informational.
+        self.restarts = 0
+
+    # ----------------------------------------------------------- state sets
+
+    def register_state(self, state_id: str) -> None:
+        """Add ``state_id`` to the accessed-state list (flag = Active)."""
+        with self._mutex:
+            self.state_flags.setdefault(state_id, StateFlag.ACTIVE)
+
+    def registered_states(self) -> list[str]:
+        with self._mutex:
+            return list(self.state_flags)
+
+    def write_set_for(self, state_id: str) -> WriteSet:
+        ws = self.write_sets.get(state_id)
+        if ws is None:
+            ws = self.write_sets[state_id] = WriteSet()
+        return ws
+
+    def read_set_for(self, state_id: str) -> ReadSet:
+        rs = self.read_sets.get(state_id)
+        if rs is None:
+            rs = self.read_sets[state_id] = ReadSet()
+        return rs
+
+    # ------------------------------------------------------------ flag flow
+
+    def flag(self, state_id: str, flag: StateFlag) -> None:
+        """Set the per-state status flag (coordinator input)."""
+        with self._mutex:
+            self.state_flags[state_id] = flag
+
+    def flags_snapshot(self) -> dict[str, StateFlag]:
+        with self._mutex:
+            return dict(self.state_flags)
+
+    def all_flagged_commit(self) -> bool:
+        with self._mutex:
+            return bool(self.state_flags) and all(
+                f is StateFlag.COMMIT for f in self.state_flags.values()
+            )
+
+    def any_flagged_abort(self) -> bool:
+        with self._mutex:
+            return any(f is StateFlag.ABORT for f in self.state_flags.values())
+
+    # --------------------------------------------------------- status guard
+
+    def ensure_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"transaction {self.txn_id} is {self.status.value}, not active",
+                txn_id=self.txn_id,
+            )
+
+    def is_finished(self) -> bool:
+        return self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+
+    def mark_committed(self, commit_ts: int) -> None:
+        self.status = TxnStatus.COMMITTED
+        self.commit_ts = commit_ts
+
+    def mark_aborted(self, reason: str) -> None:
+        self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    # ------------------------------------------------------------ snapshots
+
+    def pinned_snapshot(self, group_id: str) -> int | None:
+        """ReadCTS pinned for ``group_id`` (``None`` before the first read)."""
+        return self.read_cts.get(group_id)
+
+    def snapshot_or_start(self, group_id: str) -> int:
+        """Snapshot used for conflict checks: the pinned ReadCTS when the
+        transaction read the group, else its begin timestamp (blind writes
+        validate against everything committed after begin — strictly safe)."""
+        return self.read_cts.get(group_id, self.start_ts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Transaction(id={self.txn_id}, status={self.status.value}, "
+            f"states={list(self.state_flags)})"
+        )

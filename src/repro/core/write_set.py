@@ -1,0 +1,99 @@
+"""Uncommitted write sets (the paper's "dirty array").
+
+All writes of an active transaction are buffered here, per state, and only
+merged into the table at commit.  That gives the paper's two properties for
+free:
+
+* aborts are trivial — drop the write set, no undo inside the table;
+* committed and uncommitted versions never mix in the version arrays.
+
+A write set also serves read-your-own-writes: reads first consult the write
+set before resolving a snapshot version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class WriteKind(Enum):
+    """What a buffered entry will do to the table at commit."""
+
+    UPSERT = "upsert"
+    DELETE = "delete"
+
+
+@dataclass
+class WriteEntry:
+    """A single buffered mutation."""
+
+    kind: WriteKind
+    value: Any = None
+
+
+@dataclass
+class WriteSet:
+    """Buffered mutations of one transaction against one state.
+
+    Later writes to the same key overwrite earlier ones (last-writer-wins
+    inside a transaction), so at commit each key carries exactly one entry.
+    """
+
+    entries: dict[Any, WriteEntry] = field(default_factory=dict)
+
+    def upsert(self, key: Any, value: Any) -> None:
+        self.entries[key] = WriteEntry(WriteKind.UPSERT, value)
+
+    def delete(self, key: Any) -> None:
+        self.entries[key] = WriteEntry(WriteKind.DELETE)
+
+    def get(self, key: Any) -> WriteEntry | None:
+        """Return the buffered entry for ``key`` (``None`` if unwritten)."""
+        return self.entries.get(key)
+
+    def keys(self) -> set[Any]:
+        return set(self.entries)
+
+    def overlaps(self, other: "WriteSet") -> bool:
+        """True when the two write sets touch at least one common key."""
+        mine, theirs = self.entries, other.entries
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        return any(key in theirs for key in mine)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+
+@dataclass
+class ReadSet:
+    """Keys read by a transaction from one state (BOCC validation input).
+
+    Stores the observed snapshot metadata so tests can assert repeatable
+    reads; only the key set matters for backward validation.
+    """
+
+    keys: set[Any] = field(default_factory=set)
+
+    def record(self, key: Any) -> None:
+        self.keys.add(key)
+
+    def intersects(self, keys: set[Any]) -> bool:
+        mine, theirs = self.keys, keys
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        return any(key in theirs for key in mine)
+
+    def clear(self) -> None:
+        self.keys.clear()
+
+    def __len__(self) -> int:
+        return len(self.keys)

@@ -1,0 +1,13 @@
+"""Recovery: persistent context metadata, checkpoints, restart procedure."""
+
+from .checkpoint import CheckpointInfo, CheckpointManager
+from .recovery import DurableSystem, RecoveryReport
+from .redo import ContextStore
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointManager",
+    "ContextStore",
+    "DurableSystem",
+    "RecoveryReport",
+]

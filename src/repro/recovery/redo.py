@@ -1,0 +1,123 @@
+"""Persistence of the recovery-critical context metadata.
+
+The paper (Section 4.1): topology groups track "the last committed
+transaction (LastCTS) per group ... For recovery purposes, this information
+needs to be persistent."  The :class:`ContextStore` writes exactly that —
+group id -> LastCTS — through on every group commit, using the same
+CRC-framed append-only log format as the storage WAL so torn tails are
+tolerated.
+
+Snapshotting: the log is compacted whenever it exceeds
+``compact_after_records`` by rewriting only the latest value per group.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+import zlib
+
+from ..errors import WALError
+
+_FRAME = struct.Struct("<II")
+
+
+class ContextStore:
+    """Durable group -> LastCTS map with write-through semantics."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        sync: bool = True,
+        compact_after_records: int = 4096,
+    ) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.compact_after_records = compact_after_records
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._values: dict[str, int] = {}
+        self._records = 0
+        self._load()
+        self._file = open(self.path, "ab")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        pos = 0
+        while pos + _FRAME.size <= len(data):
+            crc, length = _FRAME.unpack_from(data, pos)
+            pos += _FRAME.size
+            if pos + length > len(data):
+                break  # torn tail
+            payload = data[pos : pos + length]
+            pos += length
+            if zlib.crc32(payload) != crc:
+                break  # torn/corrupt tail: stop at safe prefix
+            group_id, ts = self._decode(payload)
+            self._values[group_id] = max(self._values.get(group_id, 0), ts)
+            self._records += 1
+
+    @staticmethod
+    def _encode(group_id: str, ts: int) -> bytes:
+        gid = group_id.encode("utf-8")
+        return len(gid).to_bytes(2, "little") + gid + ts.to_bytes(8, "little")
+
+    @staticmethod
+    def _decode(payload: bytes) -> tuple[str, int]:
+        glen = int.from_bytes(payload[:2], "little")
+        group_id = payload[2 : 2 + glen].decode("utf-8")
+        ts = int.from_bytes(payload[2 + glen : 10 + glen], "little")
+        return group_id, ts
+
+    # ------------------------------------------------------------------ API
+
+    def record(self, group_id: str, last_cts: int) -> None:
+        """Persist one group-commit publication (the context hook target)."""
+        if self._file.closed:
+            raise WALError(f"record on closed context store {self.path}")
+        payload = self._encode(group_id, last_cts)
+        self._file.write(_FRAME.pack(zlib.crc32(payload), len(payload)))
+        self._file.write(payload)
+        if self.sync:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._values[group_id] = max(self._values.get(group_id, 0), last_cts)
+        self._records += 1
+        if self._records >= self.compact_after_records:
+            self.compact()
+
+    def values(self) -> dict[str, int]:
+        """The recovered (or current) group -> LastCTS map."""
+        return dict(self._values)
+
+    def last_cts(self, group_id: str) -> int:
+        return self._values.get(group_id, 0)
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only the newest record per group."""
+        self._file.close()
+        tmp = self.path.with_suffix(".compact")
+        with open(tmp, "wb") as fh:
+            for group_id, ts in sorted(self._values.items()):
+                payload = self._encode(group_id, ts)
+                fh.write(_FRAME.pack(zlib.crc32(payload), len(payload)))
+                fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+        self._records = len(self._values)
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "ContextStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

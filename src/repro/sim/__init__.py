@@ -1,0 +1,29 @@
+"""Discrete-event concurrency simulator (the paper's testbed substitute).
+
+Runs the Figure-4 benchmark in virtual time over the real protocol data
+structures, sidestepping the GIL for concurrency measurements.  See
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from .clients import CLIENTS, SimEnvironment, SimStats
+from .costmodel import CostModel, SimCache
+from .des import Acquire, Delay, Release, Simulator
+from .harness import SimResult, run_benchmark, sweep_theta
+from .resources import SimLatch, SimLock
+
+__all__ = [
+    "Acquire",
+    "CLIENTS",
+    "CostModel",
+    "Delay",
+    "Release",
+    "SimCache",
+    "SimEnvironment",
+    "SimLatch",
+    "SimLock",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "run_benchmark",
+    "sweep_theta",
+]

@@ -1,0 +1,135 @@
+"""Discrete-event simulation kernel (virtual-time concurrency).
+
+Why this exists: CPython's GIL serialises threads, so measuring the
+*concurrency* behaviour of the protocols (Figure 4's 4–24 parallel ad-hoc
+queries on a 24-hardware-thread Xeon) with wall-clock threads would measure
+the GIL, not the protocols.  The simulator instead runs each client as a
+coroutine in **virtual time**: computation and I/O are charged from an
+explicit cost model, and waiting (latches, reader/writer locks) is modelled
+by the simulated resources in :mod:`repro.sim.resources`.  The *data-path*
+operations still execute the real core data structures — version arrays,
+write sets, validation logic — so correctness properties hold inside the
+simulation too.
+
+Processes are Python generators that ``yield`` commands:
+
+* ``Delay(microseconds)`` — consume virtual service time;
+* ``Acquire(resource, mode)`` — block until the resource grants;
+* ``Release(resource)`` — release (may wake waiters).
+
+The event loop is a classic future-event-list over a binary heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Consume ``us`` microseconds of virtual time."""
+
+    us: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Block until ``resource`` grants in ``mode`` ("S" or "X")."""
+
+    resource: Any
+    mode: str = "X"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release ``resource`` (must hold it)."""
+
+    resource: Any
+
+
+Command = Delay | Acquire | Release
+Process = Generator[Command, None, None]
+
+
+class Simulator:
+    """Virtual-time scheduler for coroutine processes."""
+
+    def __init__(self) -> None:
+        #: current virtual time in microseconds.
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process]] = []
+        self._seq = 0
+        self.events_processed = 0
+        self.processes_finished = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def spawn(self, process: Process, at: float | None = None) -> None:
+        """Register a process; it first runs at time ``at`` (default now)."""
+        self._schedule(process, self.now if at is None else at)
+
+    def _schedule(self, process: Process, at: float) -> None:
+        if at < self.now:
+            raise SimulationError(f"cannot schedule into the past: {at} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, process))
+
+    def wake(self, process: Process) -> None:
+        """Resume a process blocked on a resource (called by resources)."""
+        self._schedule(process, self.now)
+
+    # ------------------------------------------------------------- stepping
+
+    def _step_process(self, process: Process) -> None:
+        """Advance one process until it blocks, delays or finishes."""
+        while True:
+            try:
+                command = next(process)
+            except StopIteration:
+                self.processes_finished += 1
+                return
+            if isinstance(command, Delay):
+                if command.us < 0:
+                    raise SimulationError(f"negative delay: {command.us}")
+                self._schedule(process, self.now + command.us)
+                return
+            if isinstance(command, Acquire):
+                granted = command.resource.request(self, process, command.mode)
+                if granted:
+                    continue  # granted immediately: keep stepping
+                return  # blocked: the resource wakes us later
+            if isinstance(command, Release):
+                command.resource.release(self, process)
+                continue
+            raise SimulationError(f"unknown simulation command: {command!r}")
+
+    def run_until(self, t_end: float) -> float:
+        """Process events until virtual time ``t_end``; returns final time."""
+        while self._heap and self._heap[0][0] <= t_end:
+            at, _seq, process = heapq.heappop(self._heap)
+            self.now = at
+            self.events_processed += 1
+            self._step_process(process)
+        self.now = max(self.now, t_end)
+        return self.now
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> float:
+        """Drain the event list entirely (bounded by ``max_events``)."""
+        events = 0
+        while self._heap:
+            events += 1
+            if events > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+            at, _seq, process = heapq.heappop(self._heap)
+            self.now = at
+            self.events_processed += 1
+            self._step_process(process)
+        return self.now
+
+    def pending(self) -> int:
+        return len(self._heap)

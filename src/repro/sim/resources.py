@@ -1,0 +1,100 @@
+"""Simulated synchronisation resources (locks and latches in virtual time).
+
+A :class:`SimLock` is a reader-writer lock with FIFO fairness: requests are
+granted strictly in arrival order, so a waiting writer blocks later readers
+(no writer starvation) — the behaviour that produces S2PL's contention
+collapse, because a stream writer re-acquiring the hot key keeps the reader
+queue long.  A :class:`SimLatch` is the degenerate exclusive-only case used
+for commit latches and validation critical sections.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .des import Simulator
+
+
+class SimLock:
+    """FIFO reader-writer lock in virtual time.
+
+    Modes: ``"S"`` (shared) and ``"X"`` (exclusive).  Re-entrant upgrades
+    are not supported (the sim clients never need them: S2PL readers only
+    read, writers only write).
+    """
+
+    __slots__ = ("name", "_holders", "_mode", "_queue", "waits", "grants")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._holders: set[Any] = set()
+        self._mode: str | None = None
+        self._queue: deque[tuple[Any, str]] = deque()
+        self.waits = 0
+        self.grants = 0
+
+    # ------------------------------------------------------------- protocol
+
+    def request(self, sim: "Simulator", process: Any, mode: str) -> bool:
+        """Grant immediately (returns True) or enqueue (returns False)."""
+        if mode not in ("S", "X"):
+            raise SimulationError(f"bad lock mode {mode!r}")
+        if self._grantable(mode):
+            self._grant(process, mode)
+            return True
+        self._queue.append((process, mode))
+        self.waits += 1
+        return False
+
+    def _grantable(self, mode: str) -> bool:
+        if not self._holders:
+            # FIFO: even a free lock must respect earlier queued requests.
+            return not self._queue
+        if mode == "S" and self._mode == "S" and not self._queue:
+            return True
+        return False
+
+    def _grant(self, process: Any, mode: str) -> None:
+        self._holders.add(process)
+        self._mode = mode
+        self.grants += 1
+
+    def release(self, sim: "Simulator", process: Any) -> None:
+        if process not in self._holders:
+            raise SimulationError(f"release of {self.name!r} by non-holder")
+        self._holders.discard(process)
+        if not self._holders:
+            self._mode = None
+            self._wake_queue(sim)
+
+    def _wake_queue(self, sim: "Simulator") -> None:
+        """Grant the head of the queue; batch-grant consecutive readers."""
+        if not self._queue:
+            return
+        process, mode = self._queue.popleft()
+        self._grant(process, mode)
+        sim.wake(process)
+        if mode == "S":
+            while self._queue and self._queue[0][1] == "S":
+                reader, reader_mode = self._queue.popleft()
+                self._grant(reader, reader_mode)
+                sim.wake(reader)
+
+    # ---------------------------------------------------------- diagnostics
+
+    def held(self) -> bool:
+        return bool(self._holders)
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class SimLatch(SimLock):
+    """Exclusive-only lock (commit latches, validation critical sections)."""
+
+    def request(self, sim: "Simulator", process: Any, mode: str = "X") -> bool:
+        return super().request(sim, process, "X")

@@ -1,0 +1,115 @@
+"""Key-value store interface and the in-memory reference backend.
+
+The paper's transactional table wrapper is backend-agnostic: "any existing
+backend structure with a key-value mapping can be used" (Section 4.1).  This
+module defines that contract (:class:`KVStore`) plus a trivial in-memory
+implementation used for fast tests and volatile states; the durable
+implementation is :class:`repro.storage.lsm.LSMStore`.
+
+Keys and values are ``bytes`` at this layer; the transactional table handles
+object (de)serialisation above it.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from collections.abc import Iterator
+
+
+class KVStore(abc.ABC):
+    """Minimal ordered key-value contract the transactional layer needs."""
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for ``key`` or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` (no-op when absent)."""
+
+    @abc.abstractmethod
+    def scan(
+        self, low: bytes | None = None, high: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate live ``(key, value)`` pairs with ``low <= key < high``."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release resources; the store must not be used afterwards."""
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
+        """Apply a batch of mutations.
+
+        The default implementation applies them one by one; durable backends
+        override this to make the batch a single atomic, synced unit (that
+        atomicity is what the commit protocol's "populated atomically ...
+        into the base table" step relies on).
+        """
+        for key, value in puts:
+            self.put(key, value)
+        for key in deletes:
+            self.delete(key)
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class MemoryKVStore(KVStore):
+    """Dictionary-backed volatile store (for tests and transient states)."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+
+    def get(self, key: bytes) -> bytes | None:
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def scan(
+        self, low: bytes | None = None, high: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        with self._lock:
+            keys = sorted(self._data)
+        for key in keys:
+            if low is not None and key < low:
+                continue
+            if high is not None and key >= high:
+                break
+            with self._lock:
+                value = self._data.get(key)
+            if value is not None:
+                yield key, value
+
+    def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
+        with self._lock:
+            for key, value in puts:
+                self._data[key] = value
+            for key in deletes:
+                self._data.pop(key, None)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

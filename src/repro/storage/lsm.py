@@ -1,0 +1,350 @@
+"""LSM-tree key-value store — the reproduction's RocksDB substitute.
+
+Architecture (mirroring the log-structured merge design the paper's base
+table, RocksDB, uses):
+
+* writes go to the :class:`~repro.storage.wal.WriteAheadLog` first (durable
+  when ``sync=True``, the paper's configuration), then into the memtable;
+* when the memtable exceeds ``memtable_bytes`` it is flushed to an
+  immutable :class:`~repro.storage.sstable.SSTable` at level 0;
+* when a level accumulates ``fanout`` tables, they are merged (size-tiered
+  compaction) into one table at the next level, dropping shadowed versions
+  and — at the bottom level — tombstones;
+* reads consult memtable → L0 tables (newest first) → deeper levels, with
+  bloom filters short-circuiting tables that cannot contain the key, and an
+  LRU cache making hot keys memory-resident.
+
+Crash consistency: the manifest is replaced atomically; the WAL is replayed
+on open and truncated only after a successful flush.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from heapq import merge as heap_merge
+from pathlib import Path
+
+from ..errors import StorageError
+from .cache import LRUCache
+from .kvstore import KVStore
+from .manifest import Manifest
+from .memtable import TOMBSTONE, MemTable, Tombstone
+from .sstable import SSTable, SSTableWriter
+from .wal import KIND_DELETE, KIND_PUT, WriteAheadLog, decode_kv, encode_kv
+
+_WAL_NAME = "wal.log"
+
+
+@dataclass
+class LSMOptions:
+    """Tuning knobs, defaulted to match the paper's RocksDB setup in spirit.
+
+    The paper keeps RocksDB defaults "and only set the sync option to true
+    to guarantee failure atomicity" — hence ``sync=True`` here.
+    """
+
+    sync: bool = True
+    memtable_bytes: int = 4 * 1024 * 1024
+    fanout: int = 4
+    max_levels: int = 6
+    index_interval: int = 16
+    bloom_bits_per_key: int = 10
+    cache_capacity: int = 65536
+    auto_compact: bool = True
+
+
+@dataclass
+class LSMStats:
+    """Operational counters for benchmarks and tests."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    bloom_skips: int = 0
+    sstable_reads: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class LSMStore(KVStore):
+    """Durable ordered key-value store with WAL + memtable + SSTables."""
+
+    def __init__(self, directory: str | os.PathLike[str], options: LSMOptions | None = None) -> None:
+        self.directory = Path(directory)
+        self.options = options or LSMOptions()
+        self.stats = LSMStats()
+        self._lock = threading.RLock()
+        self._closed = False
+
+        self._manifest = Manifest(self.directory)
+        self._tables: dict[int, list[SSTable]] = {}
+        for level, name in self._manifest.tables:
+            table = SSTable(self._manifest.table_path(name))
+            self._tables.setdefault(level, []).append(table)
+        self._manifest.collect_garbage()
+
+        self._memtable = MemTable()
+        self._cache = LRUCache(self.options.cache_capacity)
+
+        wal_path = self.directory / _WAL_NAME
+        self._replay_wal(wal_path)
+        self._wal = WriteAheadLog(wal_path, sync=self.options.sync)
+
+    # ------------------------------------------------------------------ WAL
+
+    def _replay_wal(self, wal_path: Path) -> None:
+        """Re-apply the intact WAL prefix into the fresh memtable."""
+        for kind, payload in WriteAheadLog.replay(wal_path):
+            if kind == KIND_PUT:
+                key, value = decode_kv(payload)
+                self._memtable.put(key, value)
+            elif kind == KIND_DELETE:
+                self._memtable.delete(payload)
+
+    # ------------------------------------------------------------ mutations
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._ensure_open()
+        with self._lock:
+            self._wal.append(KIND_PUT, encode_kv(key, value))
+            self._memtable.put(key, value)
+            self._cache.put(key, value)
+            self.stats.puts += 1
+            self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._ensure_open()
+        with self._lock:
+            self._wal.append(KIND_DELETE, key)
+            self._memtable.delete(key)
+            self._cache.invalidate(key)
+            self.stats.deletes += 1
+            self._maybe_flush()
+
+    def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
+        """Apply a batch atomically w.r.t. crash recovery.
+
+        All records are appended to the WAL before the single sync, so a
+        crash either replays the whole batch prefix or none of its tail —
+        and since the transactional layer only marks a transaction committed
+        *after* this returns, partial batches are invisible.
+        """
+        self._ensure_open()
+        with self._lock:
+            sync = self._wal.sync_on_append
+            self._wal.sync_on_append = False
+            try:
+                for key, value in puts:
+                    self._wal.append(KIND_PUT, encode_kv(key, value))
+                for key in deletes:
+                    self._wal.append(KIND_DELETE, key)
+            finally:
+                self._wal.sync_on_append = sync
+            if sync:
+                self._wal.sync()
+            for key, value in puts:
+                self._memtable.put(key, value)
+                self._cache.put(key, value)
+                self.stats.puts += 1
+            for key in deletes:
+                self._memtable.delete(key)
+                self._cache.invalidate(key)
+                self.stats.deletes += 1
+            self._maybe_flush()
+
+    # ---------------------------------------------------------------- reads
+
+    def get(self, key: bytes) -> bytes | None:
+        self._ensure_open()
+        self.stats.gets += 1
+        cached = self._cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        with self._lock:
+            value, found = self._memtable.get(key)
+            if found:
+                if value is not None:
+                    self._cache.put(key, value)
+                return value
+            for level in sorted(self._tables):
+                # newest table first within a level
+                for table in reversed(self._tables[level]):
+                    if not table.might_contain(key):
+                        self.stats.bloom_skips += 1
+                        continue
+                    self.stats.sstable_reads += 1
+                    value, found = table.get(key)
+                    if found:
+                        if value is not None:
+                            self._cache.put(key, value)
+                        return value
+        return None
+
+    def scan(
+        self, low: bytes | None = None, high: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Merged, shadow-resolved range scan across memtable and all runs."""
+        self._ensure_open()
+        with self._lock:
+            sources: list[list[tuple[bytes, bytes | Tombstone | None]]] = [
+                list(self._memtable.range(low, high))
+            ]
+            for level in sorted(self._tables):
+                for table in reversed(self._tables[level]):
+                    sources.append(list(table.range(low, high)))
+        # Source 0 is newest; tag each record with its source rank so the
+        # newest version of a key wins the merge.
+        tagged = [
+            [(key, rank, value) for key, value in source]
+            for rank, source in enumerate(sources)
+        ]
+        last_key: bytes | None = None
+        for key, _rank, value in heap_merge(*tagged):
+            if key == last_key:
+                continue
+            last_key = key
+            if value is TOMBSTONE or value is None:
+                continue
+            yield key, value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    # ------------------------------------------------------------- flushing
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes() >= self.options.memtable_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Persist the memtable as a new L0 SSTable and truncate the WAL."""
+        with self._lock:
+            entries = self._memtable.items()
+            if not entries:
+                return
+            name = f"{self._manifest.allocate_file_number():08d}.sst"
+            writer = SSTableWriter(
+                self._manifest.table_path(name),
+                index_interval=self.options.index_interval,
+                bits_per_key=self.options.bloom_bits_per_key,
+            )
+            table = writer.write(
+                (key, None if value is TOMBSTONE else value)
+                for key, value in entries
+            )
+            self._tables.setdefault(0, []).append(table)
+            self._manifest.register(0, name)
+            self._manifest.save()
+            self.stats.flushes += 1
+
+            self._memtable = MemTable()
+            self._wal.close()
+            WriteAheadLog.truncate(self.directory / _WAL_NAME)
+            self._wal = WriteAheadLog(self.directory / _WAL_NAME, sync=self.options.sync)
+
+            if self.options.auto_compact:
+                self._compact_if_needed()
+
+    # ----------------------------------------------------------- compaction
+
+    def _compact_if_needed(self) -> None:
+        for level in range(self.options.max_levels):
+            if len(self._tables.get(level, [])) >= self.options.fanout:
+                self.compact_level(level)
+
+    def compact_level(self, level: int) -> None:
+        """Size-tiered merge of every table at ``level`` into ``level + 1``."""
+        with self._lock:
+            inputs = self._tables.get(level, [])
+            if not inputs:
+                return
+            target = min(level + 1, self.options.max_levels - 1)
+            is_bottom = target == self.options.max_levels - 1 and not any(
+                self._tables.get(lvl) for lvl in range(target + 1, self.options.max_levels)
+            )
+            merged = self._merge_tables(inputs, drop_tombstones=is_bottom)
+            removed = [t.path.name for t in inputs]
+
+            added: list[tuple[int, str]] = []
+            new_table: SSTable | None = None
+            if merged:
+                name = f"{self._manifest.allocate_file_number():08d}.sst"
+                writer = SSTableWriter(
+                    self._manifest.table_path(name),
+                    index_interval=self.options.index_interval,
+                    bits_per_key=self.options.bloom_bits_per_key,
+                )
+                new_table = writer.write(iter(merged))
+                added.append((target, name))
+
+            removed_set = set(removed)
+            self._tables[level] = [
+                t for t in self._tables.get(level, []) if t.path.name not in removed_set
+            ]
+            if new_table is not None:
+                self._tables.setdefault(target, []).append(new_table)
+            self._manifest.replace(removed, added)
+            self._manifest.save()
+            for name in removed:
+                self._manifest.table_path(name).unlink(missing_ok=True)
+            self.stats.compactions += 1
+
+    @staticmethod
+    def _merge_tables(
+        tables: list[SSTable], drop_tombstones: bool
+    ) -> list[tuple[bytes, bytes | None]]:
+        """K-way merge; for duplicate keys the newest (highest-rank) wins."""
+        tagged = []
+        for rank, table in enumerate(tables):
+            # Higher rank = newer table; invert so the merge sees newest first.
+            tagged.append(
+                [(key, -rank, value) for key, value in table.items()]
+            )
+        out: list[tuple[bytes, bytes | None]] = []
+        last_key: bytes | None = None
+        for key, _neg_rank, value in heap_merge(*tagged):
+            if key == last_key:
+                continue
+            last_key = key
+            if value is None and drop_tombstones:
+                continue
+            out.append((key, value))
+        return out
+
+    # -------------------------------------------------------------- control
+
+    def compact_all(self) -> None:
+        """Fully compact every level (maintenance / test helper)."""
+        for level in range(self.options.max_levels - 1):
+            self.compact_level(level)
+
+    def table_count(self) -> int:
+        with self._lock:
+            return sum(len(tables) for tables in self._tables.values())
+
+    def level_shape(self) -> dict[int, int]:
+        """``{level: table count}`` for assertions about compaction."""
+        with self._lock:
+            return {level: len(tables) for level, tables in self._tables.items() if tables}
+
+    def cache_hit_ratio(self) -> float:
+        return self._cache.hit_ratio()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            self._wal.close()
+            self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"LSM store at {self.directory} is closed")
+
+
+_MISS = object()

@@ -1,0 +1,103 @@
+"""The manifest tracks which SSTable files constitute the store.
+
+On every flush or compaction the new table set is written to a fresh
+manifest file and atomically renamed over the previous one (rename is the
+classic crash-safe publication primitive).  On open, the manifest names the
+live tables; any ``.sst`` file not listed is leftover garbage from an
+interrupted compaction and is deleted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import CorruptionError
+
+_MANIFEST_NAME = "MANIFEST.json"
+_TMP_SUFFIX = ".tmp"
+
+
+class Manifest:
+    """Atomic, versioned record of the live SSTable set.
+
+    The manifest payload is ``{"next_file": int, "tables": [[level, name],
+    ...]}``; table order within a level is oldest-first (matching the merge
+    precedence used by the read path).
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / _MANIFEST_NAME
+        self.next_file_number = 1
+        self.tables: list[tuple[int, str]] = []
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise CorruptionError(f"unreadable manifest {self.path}: {exc}") from exc
+        try:
+            self.next_file_number = int(payload["next_file"])
+            self.tables = [(int(level), str(name)) for level, name in payload["tables"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptionError(f"malformed manifest {self.path}: {exc}") from exc
+
+    def allocate_file_number(self) -> int:
+        number = self.next_file_number
+        self.next_file_number += 1
+        return number
+
+    def table_path(self, name: str) -> Path:
+        return self.directory / name
+
+    def register(self, level: int, name: str) -> None:
+        """Add a table to the live set (persist with :meth:`save`)."""
+        self.tables.append((level, name))
+
+    def replace(
+        self, removed: list[str], added: list[tuple[int, str]]
+    ) -> None:
+        """Swap compaction inputs for outputs in one logical step."""
+        removed_set = set(removed)
+        self.tables = [t for t in self.tables if t[1] not in removed_set]
+        self.tables.extend(added)
+
+    def tables_at_level(self, level: int) -> list[str]:
+        return [name for lvl, name in self.tables if lvl == level]
+
+    def levels(self) -> list[int]:
+        return sorted({lvl for lvl, _ in self.tables})
+
+    def save(self) -> None:
+        """Atomically persist the current table set."""
+        payload = {
+            "next_file": self.next_file_number,
+            "tables": [[level, name] for level, name in self.tables],
+        }
+        tmp = self.path.with_suffix(_TMP_SUFFIX)
+        tmp.write_text(json.dumps(payload))
+        with open(tmp, "rb+") as fh:
+            os.fsync(fh.fileno())
+        tmp.replace(self.path)
+
+    def garbage_files(self) -> list[Path]:
+        """``.sst`` files present on disk but absent from the manifest."""
+        live = {name for _, name in self.tables}
+        return [
+            p
+            for p in self.directory.glob("*.sst")
+            if p.name not in live
+        ]
+
+    def collect_garbage(self) -> int:
+        """Delete orphaned table files; returns how many were removed."""
+        removed = 0
+        for path in self.garbage_files():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

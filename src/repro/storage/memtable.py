@@ -1,0 +1,84 @@
+"""The mutable in-memory component of the LSM store.
+
+A memtable is a skip list of the most recent writes, guarded by a
+read-write latch.  Deletes are recorded as tombstones (not removals) so
+that flushing the memtable produces a run that correctly shadows older
+values of the key in lower levels.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+
+
+class Tombstone:
+    """Singleton marker for a deleted key inside memtables and merges."""
+
+    _instance: "Tombstone | None" = None
+
+    def __new__(cls) -> "Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<tombstone>"
+
+
+TOMBSTONE = Tombstone()
+
+
+class MemTable:
+    """Latched skip-list memtable with approximate size accounting."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        # Import here keeps the storage package import-order flexible.
+        from .skiplist import SkipList
+
+        self._list = SkipList(seed=seed)
+        self._latch = threading.RLock()
+        self._approx_bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        with self._latch:
+            self._list.insert(key, value)
+            self._approx_bytes += len(key) + len(value) + 24
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for ``key``."""
+        with self._latch:
+            self._list.insert(key, TOMBSTONE)
+            self._approx_bytes += len(key) + 24
+
+    def get(self, key: bytes) -> tuple[bytes | None, bool]:
+        """Return ``(value, found)``; tombstones yield ``(None, True)``."""
+        with self._latch:
+            sentinel = object()
+            value = self._list.get(key, sentinel)
+        if value is sentinel:
+            return None, False
+        if value is TOMBSTONE:
+            return None, True
+        return value, True
+
+    def items(self) -> list[tuple[bytes, bytes | Tombstone]]:
+        """Snapshot of all entries in key order (tombstones included)."""
+        with self._latch:
+            return list(self._list.items())
+
+    def range(self, low: bytes | None, high: bytes | None) -> Iterator[tuple[bytes, bytes | Tombstone]]:
+        with self._latch:
+            snapshot = list(self._list.range(low, high))
+        yield from snapshot
+
+    def approximate_bytes(self) -> int:
+        with self._latch:
+            return self._approx_bytes
+
+    def __len__(self) -> int:
+        with self._latch:
+            return len(self._list)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0

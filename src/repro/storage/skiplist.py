@@ -1,0 +1,197 @@
+"""A probabilistic skip list used as the memtable's ordered index.
+
+LSM engines (RocksDB included) keep the mutable in-memory component in a
+skip list because it offers O(log n) ordered insert/lookup with cheap
+concurrent reads.  This implementation is deliberately classic: towers of
+forward pointers, geometric level distribution, and in-order iteration.  A
+single writer mutates the list while readers traverse it under the caller's
+latching discipline (the memtable wraps it in a read-write latch).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Any
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[_Node | None] = [None] * level
+
+
+class SkipList:
+    """Ordered mapping with O(log n) expected insert, lookup and floor/ceil.
+
+    Keys must be mutually comparable.  ``None`` is a legal value (the LSM
+    layer uses a dedicated tombstone object instead of ``None``, so no
+    ambiguity arises there).
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return
+
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new_node = _Node(key, value, level)
+        for lvl in range(level):
+            new_node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new_node
+        self._size += 1
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._find_floor_node(key)
+        if node is not self._head and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def delete(self, key: Any) -> bool:
+        """Physically remove ``key``; returns whether it was present."""
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+
+        target = node.forward[0]
+        if target is None or target.key != key:
+            return False
+        for lvl in range(self._level):
+            if update[lvl].forward[lvl] is not target:
+                break
+            update[lvl].forward[lvl] = target.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def _find_floor_node(self, key: Any) -> _Node:
+        """Return the rightmost node with ``node.key <= key`` (or the head)."""
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key <= key:
+                node = nxt
+                nxt = node.forward[lvl]
+        return node
+
+    def floor(self, key: Any) -> tuple[Any, Any] | None:
+        """Largest (key, value) pair with stored key <= ``key``."""
+        node = self._find_floor_node(key)
+        if node is self._head:
+            return None
+        return node.key, node.value
+
+    def ceiling(self, key: Any) -> tuple[Any, Any] | None:
+        """Smallest (key, value) pair with stored key >= ``key``."""
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+        candidate = node.forward[0]
+        if candidate is None:
+            return None
+        return candidate.key, candidate.value
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate (key, value) pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_high: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Iterate pairs with ``low <= key < high`` (or ``<= high``).
+
+        ``None`` bounds are open on that side.
+        """
+        if low is None:
+            node = self._head.forward[0]
+        else:
+            floor = self._find_floor_node(low)
+            node = floor if floor is not self._head and floor.key >= low else None
+            if node is None:
+                node = floor.forward[0] if floor is not self._head else self._head.forward[0]
+                # floor returned a node < low; advance past it
+                while node is not None and node.key < low:
+                    node = node.forward[0]
+        while node is not None:
+            if high is not None:
+                if include_high:
+                    if node.key > high:
+                        break
+                elif node.key >= high:
+                    break
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    def first(self) -> tuple[Any, Any] | None:
+        node = self._head.forward[0]
+        if node is None:
+            return None
+        return node.key, node.value
+
+    def last(self) -> tuple[Any, Any] | None:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None:
+                node = nxt
+                nxt = node.forward[lvl]
+        if node is self._head:
+            return None
+        return node.key, node.value

@@ -1,0 +1,136 @@
+"""Write-ahead log with CRC-protected records and an fsync knob.
+
+The paper configures RocksDB with ``sync = true`` "to guarantee failure
+atomicity": every write reaches stable storage before the operation returns.
+This module reproduces that knob.  Records are framed as::
+
+    crc32(4) | length(4) | kind(1) | payload(length)
+
+so that a torn tail (partial record after a crash) is detected during replay
+and cleanly truncated instead of corrupting recovery, mirroring RocksDB's
+``kTolerateCorruptedTailRecords`` behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..errors import WALError
+
+_HEADER = struct.Struct("<IIB")
+
+#: Record kinds.
+KIND_PUT = 1
+KIND_DELETE = 2
+KIND_COMMIT = 3
+KIND_CHECKPOINT = 4
+
+
+def encode_kv(key: bytes, value: bytes) -> bytes:
+    """Frame a key/value pair as ``klen(4) | key | value``."""
+    return len(key).to_bytes(4, "little") + key + value
+
+
+def decode_kv(payload: bytes) -> tuple[bytes, bytes]:
+    klen = int.from_bytes(payload[:4], "little")
+    return payload[4 : 4 + klen], payload[4 + klen :]
+
+
+class WriteAheadLog:
+    """Append-only redo log.
+
+    ``sync=True`` forces an ``fsync`` after every append, giving the
+    durability the paper's evaluation relies on (and the write-path cost its
+    throughput analysis attributes to writers).  With ``sync=False`` appends
+    are buffered and flushed on :meth:`close` or :meth:`sync`.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync_on_append = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, kind: int, payload: bytes) -> None:
+        """Append one record; durable on return when ``sync`` is on."""
+        if self._closed:
+            raise WALError(f"append on closed WAL {self.path}")
+        crc = zlib.crc32(bytes([kind]) + payload)
+        self._file.write(_HEADER.pack(crc, len(payload), kind))
+        self._file.write(payload)
+        if self.sync_on_append:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def append_put(self, key: bytes, value: bytes) -> None:
+        self.append(KIND_PUT, encode_kv(key, value))
+
+    def append_delete(self, key: bytes) -> None:
+        self.append(KIND_DELETE, key)
+
+    def append_commit(self, txn_id: int) -> None:
+        self.append(KIND_COMMIT, txn_id.to_bytes(8, "little"))
+
+    def sync(self) -> None:
+        if self._closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self.sync()
+            self._file.close()
+            self._closed = True
+
+    def size_bytes(self) -> int:
+        self._file.flush()
+        return self.path.stat().st_size
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @staticmethod
+    def replay(path: str | os.PathLike[str]) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(kind, payload)`` for every intact record.
+
+        A corrupt or truncated tail ends the iteration silently (last-record
+        torn writes are expected after a crash); corruption *before* the tail
+        raises :class:`~repro.errors.WALError` via checksum mismatch only if
+        followed by further intact data — we cannot distinguish that without
+        record sequence numbers, so replay is conservative and simply stops
+        at the first bad frame, which is the safe prefix semantics recovery
+        needs.
+        """
+        path = Path(path)
+        if not path.exists():
+            return
+        with open(path, "rb") as fh:
+            while True:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return
+                crc, length, kind = _HEADER.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length:
+                    return
+                if zlib.crc32(bytes([kind]) + payload) != crc:
+                    return
+                yield kind, payload
+
+    @staticmethod
+    def truncate(path: str | os.PathLike[str]) -> None:
+        """Delete the log file (after its contents were checkpointed)."""
+        Path(path).unlink(missing_ok=True)

@@ -1,0 +1,154 @@
+"""Dataflow operators: the push-based building blocks of a topology.
+
+PipeFabric (the paper's host framework) models a query as a graph of
+operators connected by subscribed streams; data is *pushed* from sources
+through the graph.  This module provides the operator base class plus the
+standard stateless transformations; stateful operators (windows,
+aggregates) and the linking operators (TO_TABLE, TO_STREAM, FROM) live in
+their own modules.
+
+Every operator forwards punctuations downstream unchanged unless it
+overrides :meth:`Operator.on_punctuation` — that default is what lets
+transaction boundaries reach all sinks of a branching pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from .punctuations import Punctuation
+from .tuples import StreamTuple
+
+Element = StreamTuple | Punctuation
+
+
+class Operator:
+    """Base class: publish/subscribe plumbing plus element dispatch."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self._subscribers: list["Operator"] = []
+        self.tuples_in = 0
+        self.tuples_out = 0
+
+    def subscribe(self, downstream: "Operator") -> "Operator":
+        """Connect ``downstream`` to this operator's output; returns it."""
+        self._subscribers.append(downstream)
+        return downstream
+
+    def publish(self, element: Element) -> None:
+        if isinstance(element, StreamTuple):
+            self.tuples_out += 1
+        for subscriber in self._subscribers:
+            subscriber.process(element)
+
+    def process(self, element: Element) -> None:
+        """Dispatch one incoming element."""
+        if isinstance(element, Punctuation):
+            self.on_punctuation(element)
+        else:
+            self.tuples_in += 1
+            self.on_tuple(element)
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        """Handle a data tuple; the default is pass-through."""
+        self.publish(tup)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        """Handle a control element; the default forwards it downstream."""
+        self.publish(punctuation)
+
+    def downstream(self) -> list["Operator"]:
+        return list(self._subscribers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class MapOp(Operator):
+    """Transform each payload with ``fn``."""
+
+    def __init__(self, fn: Callable[[Any], Any], name: str = "") -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self.publish(tup.with_payload(self.fn(tup.payload)))
+
+
+class FilterOp(Operator):
+    """Drop tuples whose payload fails ``predicate``."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "") -> None:
+        super().__init__(name)
+        self.predicate = predicate
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        if self.predicate(tup.payload):
+            self.publish(tup)
+
+
+class FlatMapOp(Operator):
+    """Expand each payload into zero or more output payloads."""
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]], name: str = "") -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        for payload in self.fn(tup.payload):
+            self.publish(tup.with_payload(payload))
+
+
+class KeyByOp(Operator):
+    """Assign each tuple's key with ``key_fn(payload)``."""
+
+    def __init__(self, key_fn: Callable[[Any], Any], name: str = "") -> None:
+        super().__init__(name)
+        self.key_fn = key_fn
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self.publish(tup.with_key(self.key_fn(tup.payload)))
+
+
+class SinkOp(Operator):
+    """Collect tuples (and optionally punctuations) for inspection."""
+
+    def __init__(self, name: str = "", keep_punctuations: bool = False) -> None:
+        super().__init__(name)
+        self.tuples: list[StreamTuple] = []
+        self.punctuations: list[Punctuation] = []
+        self.keep_punctuations = keep_punctuations
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self.tuples.append(tup)
+        self.publish(tup)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        if self.keep_punctuations:
+            self.punctuations.append(punctuation)
+        self.publish(punctuation)
+
+    def payloads(self) -> list[Any]:
+        return [t.payload for t in self.tuples]
+
+    def clear(self) -> None:
+        self.tuples.clear()
+        self.punctuations.clear()
+
+
+class ForEachOp(Operator):
+    """Invoke a callback per tuple (side-effect sink)."""
+
+    def __init__(self, fn: Callable[[StreamTuple], None], name: str = "") -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self.fn(tup)
+        self.publish(tup)
+
+
+class UnionOp(Operator):
+    """Merge several upstream flows into one (order = arrival order)."""

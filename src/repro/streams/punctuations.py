@@ -1,0 +1,143 @@
+"""Punctuations: control elements marking transaction boundaries.
+
+The paper's *data-centric* transaction model marks transaction boundaries
+(BOT, COMMIT, ROLLBACK) with dedicated stream elements — punctuations in the
+sense of Tucker et al. — interleaved with the ordinary data tuples.  A
+transaction therefore spans a consecutive run of stream tuples, from a whole
+stream down to a single tuple (auto-commit).
+
+Punctuations flow through the dataflow graph like tuples: every operator
+forwards them downstream by default, so each ``TO_TABLE`` sink of a topology
+observes every boundary and can cast its per-state commit/abort vote to the
+consistency protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class PunctuationKind(Enum):
+    """Control-element kinds."""
+
+    #: Begin of transaction.
+    BOT = "bot"
+    #: Commit the current transaction.
+    COMMIT = "commit"
+    #: Roll back the current transaction.
+    ROLLBACK = "rollback"
+    #: End of stream (flush + terminate).
+    EOS = "eos"
+
+
+@dataclass
+class Punctuation:
+    """A control element travelling the dataflow like a tuple."""
+
+    kind: PunctuationKind
+    timestamp: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def is_boundary(self) -> bool:
+        return self.kind in (
+            PunctuationKind.BOT,
+            PunctuationKind.COMMIT,
+            PunctuationKind.ROLLBACK,
+        )
+
+
+BOT = PunctuationKind.BOT
+COMMIT = PunctuationKind.COMMIT
+ROLLBACK = PunctuationKind.ROLLBACK
+EOS = PunctuationKind.EOS
+
+
+def bot(timestamp: int = 0) -> Punctuation:
+    return Punctuation(PunctuationKind.BOT, timestamp)
+
+
+def commit(timestamp: int = 0) -> Punctuation:
+    return Punctuation(PunctuationKind.COMMIT, timestamp)
+
+
+def rollback(timestamp: int = 0) -> Punctuation:
+    return Punctuation(PunctuationKind.ROLLBACK, timestamp)
+
+
+def eos(timestamp: int = 0) -> Punctuation:
+    return Punctuation(PunctuationKind.EOS, timestamp)
+
+
+class PunctuationGuard:
+    """Validates the boundary protocol of a punctuated element stream.
+
+    The data-centric model implies a grammar: ``BOT (tuple)* (COMMIT |
+    ROLLBACK)`` repeated, optionally closed by ``EOS``.  Feeding elements
+    through :meth:`check` raises
+    :class:`~repro.errors.PunctuationError` on violations — duplicate BOT,
+    COMMIT/ROLLBACK without a preceding BOT, or anything after EOS.  Used
+    by drivers that want malformed upstream streams rejected early instead
+    of silently auto-committed.
+    """
+
+    def __init__(self, allow_autocommit_tuples: bool = True) -> None:
+        #: when False, data tuples outside BOT..COMMIT are rejected too.
+        self.allow_autocommit_tuples = allow_autocommit_tuples
+        self._in_transaction = False
+        self._ended = False
+
+    def check(self, element: Any) -> Any:
+        """Validate one element; returns it unchanged for chaining."""
+        from ..errors import PunctuationError
+
+        if self._ended:
+            raise PunctuationError("element after EOS")
+        if not isinstance(element, Punctuation):
+            if not self._in_transaction and not self.allow_autocommit_tuples:
+                raise PunctuationError("data tuple outside a transaction")
+            return element
+        kind = element.kind
+        if kind is PunctuationKind.BOT:
+            if self._in_transaction:
+                raise PunctuationError("BOT inside an open transaction")
+            self._in_transaction = True
+        elif kind in (PunctuationKind.COMMIT, PunctuationKind.ROLLBACK):
+            if not self._in_transaction:
+                raise PunctuationError(f"{kind.value} without preceding BOT")
+            self._in_transaction = False
+        elif kind is PunctuationKind.EOS:
+            self._ended = True
+        return element
+
+    def check_all(self, elements: list[Any]) -> list[Any]:
+        """Validate a whole element list; returns it unchanged."""
+        for element in elements:
+            self.check(element)
+        return elements
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+
+def transaction_batches(
+    elements: list[Any], batch_size: int
+) -> list[Any]:
+    """Wrap every ``batch_size`` consecutive elements in BOT/COMMIT marks.
+
+    Turns a plain tuple list into a data-centric transactional stream: each
+    batch of tuples becomes one transaction.  ``batch_size=1`` yields the
+    auto-commit style.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive: {batch_size}")
+    out: list[Any] = []
+    for i in range(0, len(elements), batch_size):
+        chunk = elements[i : i + batch_size]
+        ts = getattr(chunk[0], "timestamp", 0)
+        out.append(bot(ts))
+        out.extend(chunk)
+        out.append(commit(getattr(chunk[-1], "timestamp", ts)))
+    return out

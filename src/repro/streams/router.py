@@ -1,0 +1,75 @@
+"""Routing operators: split one stream into predicate-selected branches.
+
+The Figure-1 topology fans the meter stream out into several sub-pipelines
+(raw storage, windowed aggregation, verification).  A plain ``subscribe``
+duplicates the stream; :class:`RouterOp` instead *partitions* it — each
+tuple goes to exactly the branches whose predicate accepts it, with an
+optional default branch for the rest.  Punctuations go to every branch so
+transaction boundaries stay intact in all partitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import StreamError
+from .operators import Operator
+from .punctuations import Punctuation
+from .tuples import StreamTuple
+
+
+class _Branch(Operator):
+    """The output endpoint of one router branch."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+
+class RouterOp(Operator):
+    """Partition tuples over named predicate branches.
+
+    ``exclusive=True`` (default) stops at the first matching branch, giving
+    a partition; ``False`` delivers to every matching branch (multicast).
+    """
+
+    def __init__(self, exclusive: bool = True, name: str = "") -> None:
+        super().__init__(name or "router")
+        self.exclusive = exclusive
+        self._branches: list[tuple[str, Callable[[Any], bool], _Branch]] = []
+        self._default: _Branch | None = None
+
+    def branch(self, name: str, predicate: Callable[[Any], bool]) -> Operator:
+        """Add a predicate branch; returns its endpoint operator."""
+        if any(existing == name for existing, _p, _b in self._branches):
+            raise StreamError(f"router branch {name!r} already exists")
+        endpoint = _Branch(f"{self.name}:{name}")
+        self._branches.append((name, predicate, endpoint))
+        return endpoint
+
+    def default(self) -> Operator:
+        """The branch receiving tuples no predicate accepted."""
+        if self._default is None:
+            self._default = _Branch(f"{self.name}:default")
+        return self._default
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        delivered = False
+        for _name, predicate, endpoint in self._branches:
+            if predicate(tup.payload):
+                endpoint.publish(tup)
+                delivered = True
+                if self.exclusive:
+                    break
+        if not delivered and self._default is not None:
+            self._default.publish(tup)
+
+    def on_punctuation(self, punctuation: Punctuation) -> None:
+        for _name, _predicate, endpoint in self._branches:
+            endpoint.publish(punctuation)
+        if self._default is not None:
+            self._default.publish(punctuation)
+        self.publish(punctuation)
+
+    def branch_names(self) -> list[str]:
+        return [name for name, _p, _b in self._branches]

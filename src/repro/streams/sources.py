@@ -1,0 +1,98 @@
+"""Stream sources feeding elements into a topology.
+
+Sources are operators with no upstream; the topology driver calls
+:meth:`Source.drain` (or pushes elements explicitly) to move data through
+the graph.  The transactional variants weave BOT/COMMIT punctuations into
+the element flow, producing a data-centric transactional stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+from .operators import Element, Operator
+from .punctuations import eos, transaction_batches
+from .tuples import StreamTuple
+
+
+class Source(Operator):
+    """Base class for sources; pushing an element = publishing it."""
+
+    def push(self, element: Element) -> None:
+        self.publish(element)
+
+    def drain(self) -> int:
+        """Push every pending element; returns how many were pushed."""
+        count = 0
+        for element in self.elements():
+            self.publish(element)
+            count += 1
+        return count
+
+    def elements(self) -> Iterator[Element]:
+        """The pending elements (overridden by concrete sources)."""
+        return iter(())
+
+
+class MemorySource(Source):
+    """Replay a fixed list of elements (tuples and/or punctuations)."""
+
+    def __init__(self, elements: Iterable[Element], name: str = "") -> None:
+        super().__init__(name or "memory_source")
+        self._elements = list(elements)
+
+    def elements(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+
+class GeneratorSource(Source):
+    """Pull elements from a generator factory (fresh iterator per drain)."""
+
+    def __init__(
+        self, factory: Callable[[], Iterable[Element]], name: str = ""
+    ) -> None:
+        super().__init__(name or "generator_source")
+        self.factory = factory
+
+    def elements(self) -> Iterator[Element]:
+        return iter(self.factory())
+
+
+class TransactionalSource(Source):
+    """Wrap raw payloads into a punctuated transactional stream.
+
+    Every ``batch_size`` payloads become one transaction (BOT ... COMMIT);
+    ``batch_size=1`` is the auto-commit style.  An EOS punctuation is
+    appended so downstream operators flush and any open transaction
+    commits.
+    """
+
+    def __init__(
+        self,
+        payloads: Iterable[Any],
+        batch_size: int = 1,
+        key_fn: Callable[[Any], Any] | None = None,
+        append_eos: bool = True,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "transactional_source")
+        tuples = []
+        for i, payload in enumerate(payloads):
+            key = key_fn(payload) if key_fn is not None else None
+            tuples.append(StreamTuple(payload, timestamp=i, key=key))
+        self._elements: list[Element] = (
+            transaction_batches(tuples, batch_size) if tuples else []
+        )
+        if append_eos:
+            last_ts = tuples[-1].timestamp if tuples else 0
+            self._elements.append(eos(last_ts))
+
+    def elements(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)

@@ -1,0 +1,63 @@
+"""Stream elements: data tuples and their mutation semantics.
+
+A stream in the paper's model is "a potentially infinite sequence of tuples
+of data, where tuples carry an implicit or explicit ordering".  Our
+:class:`StreamTuple` carries a payload, an explicit logical timestamp and a
+*mutation kind* — whether the tuple inserts/updates or deletes when it
+reaches a table (``TO_TABLE`` decides insert vs update by key presence;
+deletes arrive either from window eviction or as explicit delete tuples,
+exactly the two cases Section 3 lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class TupleOp(Enum):
+    """What this tuple does when it reaches a state table."""
+
+    #: Insert or update, depending on key presence (Section 3).
+    UPSERT = "upsert"
+    #: Explicit or window-eviction delete.
+    DELETE = "delete"
+
+
+@dataclass
+class StreamTuple:
+    """One data element flowing through a topology."""
+
+    payload: Any
+    timestamp: int = 0
+    key: Any = None
+    op: TupleOp = TupleOp.UPSERT
+    #: Free-form metadata (origin stream, batch id, ...) for operators.
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def with_payload(self, payload: Any) -> "StreamTuple":
+        """Copy with a replaced payload (used by map-style operators)."""
+        return StreamTuple(payload, self.timestamp, self.key, self.op, dict(self.meta))
+
+    def with_key(self, key: Any) -> "StreamTuple":
+        return StreamTuple(self.payload, self.timestamp, key, self.op, dict(self.meta))
+
+    def as_delete(self) -> "StreamTuple":
+        return StreamTuple(self.payload, self.timestamp, self.key, TupleOp.DELETE, dict(self.meta))
+
+    def is_delete(self) -> bool:
+        return self.op is TupleOp.DELETE
+
+
+def make_tuples(
+    payloads: list[Any],
+    key_fn: Any = None,
+    start_ts: int = 0,
+) -> list[StreamTuple]:
+    """Convenience constructor: wrap raw payloads as ordered stream tuples."""
+    out = []
+    for i, payload in enumerate(payloads):
+        key = key_fn(payload) if key_fn is not None else None
+        out.append(StreamTuple(payload, timestamp=start_ts + i, key=key))
+    return out

@@ -1,0 +1,102 @@
+"""Window operators maintaining sliding/tumbling extents of a stream.
+
+Stateful operators in the paper's model "exploit tables as internal
+structures to publish their state" — a window's content is exactly the
+queryable state the smart-metering scenario keeps ("Local State (30 min)").
+
+To make a downstream table mirror the window content, a window operator
+emits the arriving tuple (UPSERT) and re-emits every *expired* tuple as a
+DELETE — the paper's "a delete occurs if the tuple is outdated (e.g., from
+a window)".  Feeding a window into ``TO_TABLE`` therefore keeps the state
+table equal to the live window, transactionally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .operators import Operator
+from .tuples import StreamTuple
+
+
+class SlidingCountWindow(Operator):
+    """Keep the most recent ``size`` tuples; evict the oldest beyond that."""
+
+    def __init__(self, size: int, name: str = "") -> None:
+        super().__init__(name)
+        if size <= 0:
+            raise ValueError(f"window size must be positive: {size}")
+        self.size = size
+        self._buffer: deque[StreamTuple] = deque()
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self._buffer.append(tup)
+        self.publish(tup)
+        while len(self._buffer) > self.size:
+            expired = self._buffer.popleft()
+            self.publish(expired.as_delete())
+
+    def contents(self) -> list[StreamTuple]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class TumblingCountWindow(Operator):
+    """Partition the stream into disjoint chunks of ``size`` tuples.
+
+    When a chunk completes, its tuples have all been forwarded; the chunk's
+    tuples are then evicted (DELETE) *before* the next chunk starts, so a
+    mirroring table always holds at most one full window.
+    """
+
+    def __init__(self, size: int, name: str = "") -> None:
+        super().__init__(name)
+        if size <= 0:
+            raise ValueError(f"window size must be positive: {size}")
+        self.size = size
+        self._buffer: list[StreamTuple] = []
+        self.windows_closed = 0
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        if len(self._buffer) >= self.size:
+            for old in self._buffer:
+                self.publish(old.as_delete())
+            self._buffer.clear()
+            self.windows_closed += 1
+        self._buffer.append(tup)
+        self.publish(tup)
+
+    def contents(self) -> list[StreamTuple]:
+        return list(self._buffer)
+
+
+class SlidingTimeWindow(Operator):
+    """Keep tuples whose timestamp lies within ``duration`` of the newest.
+
+    Timestamps are the logical ordering attribute carried by every stream
+    tuple (Section 3: "tuples carry an implicit or explicit ordering"); the
+    smart-metering example uses seconds-since-start.
+    """
+
+    def __init__(self, duration: int, name: str = "") -> None:
+        super().__init__(name)
+        if duration <= 0:
+            raise ValueError(f"window duration must be positive: {duration}")
+        self.duration = duration
+        self._buffer: deque[StreamTuple] = deque()
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self._buffer.append(tup)
+        self.publish(tup)
+        horizon = tup.timestamp - self.duration
+        while self._buffer and self._buffer[0].timestamp <= horizon:
+            expired = self._buffer.popleft()
+            self.publish(expired.as_delete())
+
+    def contents(self) -> list[StreamTuple]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,32 @@
+"""Workload generators: the paper's micro benchmark and the Figure-1
+smart-metering scenario, built on a Gray-et-al. Zipfian key generator."""
+
+from .generator import (
+    GROUP_ID,
+    STATE_A,
+    STATE_B,
+    Operation,
+    TransactionScript,
+    WorkloadConfig,
+    WorkloadGenerator,
+    apply_script,
+    initial_rows,
+)
+from .smartmeter import MeterReading, MeterSpec, SmartMeterScenario
+from .zipf import ZipfianGenerator
+
+__all__ = [
+    "GROUP_ID",
+    "MeterReading",
+    "MeterSpec",
+    "Operation",
+    "STATE_A",
+    "STATE_B",
+    "SmartMeterScenario",
+    "TransactionScript",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "ZipfianGenerator",
+    "apply_script",
+    "initial_rows",
+]

@@ -1,0 +1,138 @@
+"""Smart-metering scenario generator (paper Figure 1).
+
+The paper motivates transactional stream processing with a smart-metering
+use case: household smart meters and the global infrastructure feed
+measurement streams; a continuous query maintains windowed aggregates and
+measurement tables; readings are verified against a specification table;
+ad-hoc queries run analytics over the shared states.
+
+This module synthesises that input: per-meter time series with daily load
+shapes, occasional anomalies (spikes that violate the specification), and
+the specification table itself.  ``examples/smart_metering.py`` assembles
+the full Figure-1 topology from it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+
+@dataclass
+class MeterReading:
+    """One measurement tuple from a smart meter."""
+
+    meter_id: int
+    timestamp: int  # seconds since scenario start
+    power_kw: float
+    voltage_v: float
+    is_home: bool  # household meter vs infrastructure meter
+
+    def as_dict(self) -> dict:
+        return {
+            "meter_id": self.meter_id,
+            "timestamp": self.timestamp,
+            "power_kw": self.power_kw,
+            "voltage_v": self.voltage_v,
+            "is_home": self.is_home,
+        }
+
+
+@dataclass
+class MeterSpec:
+    """Specification row: the allowed envelope for one meter."""
+
+    meter_id: int
+    max_power_kw: float
+    min_voltage_v: float
+    max_voltage_v: float
+
+    def violated_by(self, reading: MeterReading) -> bool:
+        return (
+            reading.power_kw > self.max_power_kw
+            or not self.min_voltage_v <= reading.voltage_v <= self.max_voltage_v
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "meter_id": self.meter_id,
+            "max_power_kw": self.max_power_kw,
+            "min_voltage_v": self.min_voltage_v,
+            "max_voltage_v": self.max_voltage_v,
+        }
+
+
+class SmartMeterScenario:
+    """Deterministic generator for the Figure-1 scenario."""
+
+    def __init__(
+        self,
+        num_home_meters: int = 20,
+        num_infra_meters: int = 5,
+        anomaly_rate: float = 0.02,
+        seed: int = 7,
+    ) -> None:
+        if num_home_meters <= 0 and num_infra_meters <= 0:
+            raise ValueError("scenario needs at least one meter")
+        self.num_home_meters = num_home_meters
+        self.num_infra_meters = num_infra_meters
+        self.anomaly_rate = anomaly_rate
+        self._rng = random.Random(seed)
+
+    # ---------------------------------------------------------------- specs
+
+    def specifications(self) -> list[MeterSpec]:
+        """One specification row per meter."""
+        specs = []
+        for meter_id in range(self.num_home_meters):
+            specs.append(MeterSpec(meter_id, max_power_kw=10.0,
+                                   min_voltage_v=210.0, max_voltage_v=240.0))
+        for i in range(self.num_infra_meters):
+            meter_id = self.num_home_meters + i
+            specs.append(MeterSpec(meter_id, max_power_kw=500.0,
+                                   min_voltage_v=380.0, max_voltage_v=420.0))
+        return specs
+
+    # ------------------------------------------------------------- readings
+
+    def _base_power(self, meter_id: int, timestamp: int, is_home: bool) -> float:
+        """Daily load curve: morning and evening peaks for households."""
+        hour = (timestamp / 3600.0) % 24.0
+        if is_home:
+            morning = math.exp(-((hour - 7.5) ** 2) / 2.0)
+            evening = math.exp(-((hour - 19.0) ** 2) / 4.0)
+            return 0.3 + 2.5 * morning + 4.0 * evening
+        daytime = math.exp(-((hour - 13.0) ** 2) / 18.0)
+        return 50.0 + 150.0 * daytime + (meter_id % 7) * 5.0
+
+    def reading_at(self, meter_id: int, timestamp: int) -> MeterReading:
+        is_home = meter_id < self.num_home_meters
+        power = self._base_power(meter_id, timestamp, is_home)
+        power *= 1.0 + self._rng.gauss(0.0, 0.05)
+        nominal_v = 230.0 if is_home else 400.0
+        voltage = nominal_v * (1.0 + self._rng.gauss(0.0, 0.01))
+        if self._rng.random() < self.anomaly_rate:
+            # anomaly: power spike beyond the specification envelope
+            power = (12.0 if is_home else 600.0) * (1.0 + self._rng.random())
+        return MeterReading(meter_id, timestamp, round(power, 3), round(voltage, 2), is_home)
+
+    def readings(
+        self, duration_s: int, interval_s: int = 60
+    ) -> Iterator[MeterReading]:
+        """All meters' readings for ``duration_s``, round-robin per tick."""
+        total_meters = self.num_home_meters + self.num_infra_meters
+        for timestamp in range(0, duration_s, interval_s):
+            for meter_id in range(total_meters):
+                yield self.reading_at(meter_id, timestamp)
+
+    def home_readings(self, duration_s: int, interval_s: int = 60) -> Iterator[MeterReading]:
+        for reading in self.readings(duration_s, interval_s):
+            if reading.is_home:
+                yield reading
+
+    def infra_readings(self, duration_s: int, interval_s: int = 60) -> Iterator[MeterReading]:
+        for reading in self.readings(duration_s, interval_s):
+            if not reading.is_home:
+                yield reading

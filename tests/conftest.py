@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TransactionManager
+
+#: All three concurrency-control protocols under test.
+PROTOCOLS = ["mvcc", "s2pl", "bocc"]
+
+
+@pytest.fixture(params=PROTOCOLS)
+def any_protocol(request) -> str:
+    """Parametrises a test over every protocol implementation."""
+    return request.param
+
+
+@pytest.fixture()
+def mgr() -> TransactionManager:
+    """A fresh MVCC transaction manager with two grouped states A and B."""
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("A")
+    manager.create_table("B")
+    manager.register_group("g", ["A", "B"])
+    return manager
+
+
+@pytest.fixture()
+def mgr_any(any_protocol) -> TransactionManager:
+    """Same two-state setup, parametrised over all protocols."""
+    manager = TransactionManager(protocol=any_protocol)
+    manager.create_table("A")
+    manager.create_table("B")
+    manager.register_group("g", ["A", "B"])
+    return manager
+
+
+def load_initial(manager: TransactionManager, n: int = 10) -> None:
+    """Bulk-load n rows (key i -> i * 10) into both states."""
+    manager.table("A").bulk_load([(i, i * 10) for i in range(n)])
+    manager.table("B").bulk_load([(i, i * 100) for i in range(n)])

@@ -1,0 +1,134 @@
+"""Tests for the benchmark harness: figures, runner, reporting, CLI."""
+
+import pytest
+
+from repro.bench import (
+    ALL_FIGURES,
+    FIGURE4_LEFT,
+    FIGURE4_RIGHT,
+    FIGURE4_THETAS,
+    ExpectedShape,
+    FigureSpec,
+    format_ascii_chart,
+    format_figure_table,
+    format_verdicts,
+    full_report,
+    run_figure,
+)
+from repro.workload import WorkloadConfig
+
+_FAST = dict(
+    duration_us=2_000,
+    warmup_us=500,
+    config=WorkloadConfig(table_size=500),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    spec = FigureSpec(
+        experiment_id="tiny",
+        description="fast test panel",
+        thetas=[0.0, 2.9],
+        readers=2,
+    )
+    return run_figure(spec, **_FAST)
+
+
+class TestFigureSpecs:
+    def test_paper_panels_defined(self):
+        assert FIGURE4_LEFT.readers == 4
+        assert FIGURE4_RIGHT.readers == 24
+        assert ALL_FIGURES == [FIGURE4_LEFT, FIGURE4_RIGHT]
+
+    def test_theta_axis_matches_paper(self):
+        assert FIGURE4_THETAS[0] == 0.0
+        assert FIGURE4_THETAS[-1] == pytest.approx(2.9)
+
+    def test_protocol_order(self):
+        assert FIGURE4_LEFT.protocols == ["mvcc", "s2pl", "bocc"]
+
+    def test_expected_shape_defaults(self):
+        shape = ExpectedShape()
+        assert 0 < shape.s2pl_collapse_ceiling < 1
+        assert shape.mvcc_win_factor_high_theta > 1
+
+
+class TestRunner:
+    def test_curves_cover_all_protocols(self, tiny_run):
+        assert set(tiny_run.curves) == {"mvcc", "s2pl", "bocc"}
+
+    def test_curve_indexing(self, tiny_run):
+        curve = tiny_run.curve("mvcc")
+        assert curve.at_theta(0.0).theta == 0.0
+        assert len(curve.throughputs_ktps()) == 2
+
+    def test_results_carry_positive_throughput(self, tiny_run):
+        for curve in tiny_run.curves.values():
+            assert all(r.throughput_tps > 0 for r in curve.results)
+
+    def test_shape_verdicts_keys(self, tiny_run):
+        verdicts = tiny_run.shape_verdicts()
+        assert set(verdicts) == {
+            "mvcc_stable",
+            "s2pl_drops",
+            "bocc_drops",
+            "mvcc_wins_high_theta",
+            "bocc_low_contention_edge",
+        }
+
+
+class TestReporting:
+    def test_table_contains_all_thetas(self, tiny_run):
+        text = format_figure_table(tiny_run)
+        assert "0.0" in text and "2.9" in text
+        assert "MVCC" in text and "S2PL" in text and "BOCC" in text
+
+    def test_ascii_chart_renders(self, tiny_run):
+        chart = format_ascii_chart(tiny_run)
+        assert "M" in chart
+        assert chart.count("\n") > 10
+
+    def test_verdicts_format(self, tiny_run):
+        text = format_verdicts(tiny_run)
+        assert "PASS" in text or "FAIL" in text
+
+    def test_full_report_combines_all(self, tiny_run):
+        report = full_report(tiny_run)
+        assert "tiny" in report
+        assert "shape checks" in report
+
+
+class TestCLI:
+    def test_point_command(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main([
+            "point", "--protocol", "mvcc", "--theta", "0.5",
+            "--readers", "2", "--duration-ms", "2", "--warmup-ms", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_sweep_command(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main([
+            "sweep", "--protocol", "bocc", "--readers", "1",
+            "--duration-ms", "1", "--warmup-ms", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "theta" in out
+
+    def test_figure4_single_panel(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main([
+            "figure4", "--readers", "2",
+            "--duration-ms", "1", "--warmup-ms", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure4-2-readers" in out

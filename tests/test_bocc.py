@@ -1,0 +1,133 @@
+"""Tests for the backward-oriented optimistic concurrency control baseline."""
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.errors import ValidationFailure
+
+from conftest import load_initial
+
+
+@pytest.fixture()
+def bocc() -> TransactionManager:
+    manager = TransactionManager(protocol="bocc")
+    manager.create_table("A")
+    manager.create_table("B")
+    manager.register_group("g", ["A", "B"])
+    load_initial(manager)
+    return manager
+
+
+class TestBasics:
+    def test_read_write_commit(self, bocc):
+        with bocc.transaction() as txn:
+            assert bocc.read(txn, "A", 1) == 10
+            bocc.write(txn, "A", 1, "updated")
+        with bocc.snapshot() as view:
+            assert view.get("A", 1) == "updated"
+
+    def test_reads_never_block(self, bocc):
+        writer = bocc.begin()
+        bocc.write(writer, "A", 1, "uncommitted")
+        reader = bocc.begin()
+        # optimistic read proceeds; sees committed value only
+        assert bocc.read(reader, "A", 1) == 10
+        bocc.commit(reader)
+        bocc.commit(writer)
+
+    def test_read_your_own_writes(self, bocc):
+        txn = bocc.begin()
+        bocc.write(txn, "A", 1, "mine")
+        assert bocc.read(txn, "A", 1) == "mine"
+        bocc.commit(txn)
+
+
+class TestValidation:
+    def test_reader_invalidated_by_concurrent_writer(self, bocc):
+        reader = bocc.begin()
+        bocc.read(reader, "A", 1)  # recorded in read set
+        with bocc.transaction() as writer:
+            bocc.write(writer, "A", 1, "overwritten")
+        with pytest.raises(ValidationFailure):
+            bocc.commit(reader)
+
+    def test_reader_of_unrelated_keys_commits(self, bocc):
+        reader = bocc.begin()
+        bocc.read(reader, "A", 1)
+        with bocc.transaction() as writer:
+            bocc.write(writer, "A", 2, "other-key")
+        bocc.commit(reader)  # no intersection: fine
+
+    def test_reader_of_other_state_commits(self, bocc):
+        reader = bocc.begin()
+        bocc.read(reader, "A", 1)
+        with bocc.transaction() as writer:
+            bocc.write(writer, "B", 1, "same key, other state")
+        bocc.commit(reader)
+
+    def test_commits_before_begin_are_irrelevant(self, bocc):
+        with bocc.transaction() as writer:
+            bocc.write(writer, "A", 1, "early")
+        reader = bocc.begin()
+        bocc.read(reader, "A", 1)
+        bocc.commit(reader)
+
+    def test_pure_writer_always_validates(self, bocc):
+        # a blind writer has an empty read set: backward validation passes
+        w1, w2 = bocc.begin(), bocc.begin()
+        bocc.write(w1, "A", 1, "w1")
+        bocc.write(w2, "A", 1, "w2")
+        bocc.commit(w1)
+        bocc.commit(w2)  # last writer wins under pure BOCC
+        with bocc.snapshot() as view:
+            assert view.get("A", 1) == "w2"
+
+    def test_read_modify_write_conflict(self, bocc):
+        """Two concurrent increments: the later validator must abort."""
+        t1, t2 = bocc.begin(), bocc.begin()
+        v1 = bocc.read(t1, "A", 5)
+        v2 = bocc.read(t2, "A", 5)
+        bocc.write(t1, "A", 5, v1 + 1)
+        bocc.write(t2, "A", 5, v2 + 1)
+        bocc.commit(t1)
+        with pytest.raises(ValidationFailure):
+            bocc.commit(t2)
+        with bocc.snapshot() as view:
+            assert view.get("A", 5) == 51  # no lost update
+
+    def test_validation_failure_then_retry(self, bocc):
+        reader = bocc.begin()
+        bocc.read(reader, "A", 1)
+        with bocc.transaction() as writer:
+            bocc.write(writer, "A", 1, "v2")
+        with pytest.raises(ValidationFailure):
+            bocc.commit(reader)
+        retry = bocc.begin()
+        assert bocc.read(retry, "A", 1) == "v2"
+        bocc.commit(retry)
+
+    def test_scan_is_validated(self, bocc):
+        reader = bocc.begin()
+        list(bocc.scan(reader, "A"))
+        with bocc.transaction() as writer:
+            bocc.write(writer, "A", 3, "mid-scan")
+        with pytest.raises(ValidationFailure):
+            bocc.commit(reader)
+
+
+class TestLogPruning:
+    def test_log_pruned_when_no_actives(self, bocc):
+        for i in range(20):
+            with bocc.transaction() as txn:
+                bocc.write(txn, "A", i, i)
+        # with no active transactions the retained log shrinks to O(1)
+        assert bocc.protocol.committed_log_len() <= 1
+
+    def test_log_retained_for_active_transaction(self, bocc):
+        reader = bocc.begin()
+        bocc.read(reader, "B", 1)
+        for i in range(10):
+            with bocc.transaction() as txn:
+                bocc.write(txn, "A", i, i)
+        assert bocc.protocol.committed_log_len() >= 10
+        bocc.commit(reader)

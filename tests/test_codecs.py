@@ -1,0 +1,102 @@
+"""Tests for object <-> bytes codecs."""
+
+import pytest
+
+from repro.core.codecs import (
+    BytesCodec,
+    FloatCodec,
+    IntCodec,
+    JsonCodec,
+    PickleCodec,
+    StrCodec,
+)
+
+
+class TestIntCodec:
+    def test_roundtrip(self):
+        codec = IntCodec(4)
+        for value in (0, 1, 1000, 2**32 - 1):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_order_preserving(self):
+        codec = IntCodec(4)
+        values = [0, 5, 17, 1000, 2**20]
+        encoded = [codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_out_of_range(self):
+        codec = IntCodec(1)
+        with pytest.raises(ValueError):
+            codec.encode(256)
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            IntCodec(4).encode(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            IntCodec(4).encode("5")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            IntCodec(3)
+
+    def test_paper_key_width(self):
+        # The paper's benchmark uses 4-byte keys.
+        assert len(IntCodec(4).encode(12345)) == 4
+
+
+class TestStrCodec:
+    def test_roundtrip(self):
+        codec = StrCodec()
+        for value in ("", "abc", "üñïçødé"):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_rejects_bytes(self):
+        with pytest.raises(TypeError):
+            StrCodec().encode(b"raw")
+
+
+class TestBytesCodec:
+    def test_identity(self):
+        codec = BytesCodec()
+        assert codec.encode(b"x") == b"x"
+        assert codec.decode(b"x") == b"x"
+
+    def test_accepts_bytearray(self):
+        assert BytesCodec().encode(bytearray(b"ab")) == b"ab"
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            BytesCodec().encode("nope")
+
+
+class TestFloatCodec:
+    def test_roundtrip(self):
+        codec = FloatCodec()
+        for value in (0.0, -1.5, 3.14159, 1e300):
+            assert codec.decode(codec.encode(value)) == value
+
+
+class TestJsonCodec:
+    def test_roundtrip_dict(self):
+        codec = JsonCodec()
+        obj = {"a": 1, "b": [1, 2, 3], "c": {"nested": True}}
+        assert codec.decode(codec.encode(obj)) == obj
+
+    def test_deterministic(self):
+        codec = JsonCodec()
+        assert codec.encode({"b": 1, "a": 2}) == codec.encode({"a": 2, "b": 1})
+
+
+class TestPickleCodec:
+    def test_roundtrip_arbitrary(self):
+        codec = PickleCodec()
+        obj = {"key": (1, 2), "set": frozenset([3])}
+        assert codec.decode(codec.encode(obj)) == obj
+
+    def test_roundtrip_tuple_keys(self):
+        codec = PickleCodec()
+        assert codec.decode(codec.encode((1, "a"))) == (1, "a")

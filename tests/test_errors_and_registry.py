@@ -1,0 +1,98 @@
+"""Tests for the exception hierarchy and the protocol registry."""
+
+import pytest
+
+from repro import errors
+from repro.core import StateContext, make_protocol, protocol_names
+from repro.core.protocol import ConcurrencyControl, register_protocol
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaves = [
+            errors.TransactionAborted("x"),
+            errors.WriteConflict("x"),
+            errors.ValidationFailure("x"),
+            errors.DeadlockDetected("x"),
+            errors.LockTimeout("x"),
+            errors.InvalidTransactionState("x"),
+            errors.UnknownState("x"),
+            errors.UnknownTopology("x"),
+            errors.CorruptionError("x"),
+            errors.WALError("x"),
+            errors.TopologyBuildError("x"),
+            errors.PunctuationError("x"),
+            errors.SimulationError("x"),
+            errors.BenchmarkError("x"),
+        ]
+        assert all(isinstance(e, errors.ReproError) for e in leaves)
+
+    def test_abort_reasons(self):
+        assert errors.WriteConflict("x").reason == errors.ABORT_WRITE_CONFLICT
+        assert errors.ValidationFailure("x").reason == errors.ABORT_VALIDATION
+        assert errors.DeadlockDetected("x").reason == errors.ABORT_DEADLOCK
+        assert errors.LockTimeout("x").reason == errors.ABORT_LOCK_TIMEOUT
+
+    def test_conflicts_are_aborts(self):
+        assert isinstance(errors.WriteConflict("x"), errors.TransactionAborted)
+        assert isinstance(errors.ValidationFailure("x"), errors.TransactionAborted)
+
+    def test_txn_id_carried(self):
+        exc = errors.WriteConflict("conflict", txn_id=42)
+        assert exc.txn_id == 42
+
+    def test_catching_base_catches_all_transaction_control(self):
+        with pytest.raises(errors.TransactionAborted):
+            raise errors.DeadlockDetected("victim")
+
+
+class TestProtocolRegistry:
+    def test_builtins_registered(self):
+        assert {"mvcc", "s2pl", "bocc"} <= set(protocol_names())
+
+    def test_make_protocol_case_insensitive(self):
+        ctx = StateContext()
+        assert make_protocol("MVCC", ctx).name == "mvcc"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(errors.StateError, match="mvcc"):
+            make_protocol("2pl", StateContext())
+
+    def test_custom_protocol_registration(self):
+        class NullProtocol(ConcurrencyControl):
+            name = "null-test"
+
+            def read(self, txn, state_id, key):
+                return None
+
+            def scan(self, txn, state_id, low=None, high=None):
+                return iter(())
+
+            def write(self, txn, state_id, key, value):
+                pass
+
+            def delete(self, txn, state_id, key):
+                pass
+
+            def commit_transaction(self, txn):
+                return self.context.oracle.next()
+
+            def abort_transaction(self, txn):
+                pass
+
+        register_protocol("null-test", NullProtocol)
+        instance = make_protocol("null-test", StateContext())
+        assert instance.name == "null-test"
+
+    def test_kwargs_forwarded(self):
+        ctx = StateContext()
+        protocol = make_protocol("mvcc", ctx, eager_conflict_check=True)
+        assert protocol.eager_conflict_check is True
+
+    def test_protocol_stats_snapshot(self):
+        ctx = StateContext()
+        protocol = make_protocol("mvcc", ctx)
+        snap = protocol.stats.snapshot()
+        assert snap["reads"] == 0
+        protocol.stats.extra["custom"] = 5
+        assert protocol.stats.snapshot()["custom"] == 5

@@ -1,0 +1,56 @@
+"""Smoke tests running every example script end to end.
+
+Each example doubles as an integration test of the public API; failures
+here mean the documented entry points broke.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "second committer aborted as expected" in out
+    assert "reader kept its snapshot" in out
+
+
+def test_smart_metering():
+    out = run_example("smart_metering.py")
+    assert "violations found" in out
+    assert "joint snapshot for meter 3: measurement=True, aggregate=True" in out
+
+
+@pytest.mark.parametrize("protocol", ["mvcc", "bocc"])
+def test_adhoc_analytics(protocol):
+    out = run_example("adhoc_analytics.py", protocol)
+    assert "consistency breaches: 0" in out
+    assert "all multi-state reads were consistent" in out
+
+
+def test_recovery_demo():
+    out = run_example("recovery_demo.py")
+    assert "uncommitted write is gone, committed data intact" in out
+    assert "post-recovery write: {'stock': 42}" in out
+
+
+def test_protocol_comparison_fast():
+    out = run_example("protocol_comparison.py", "--fast", timeout=600)
+    assert "figure4-left" in out
+    assert "figure4-right" in out
+    assert "shape checks" in out

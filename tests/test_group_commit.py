@@ -1,0 +1,202 @@
+"""Tests for the multi-state consistency protocol (paper Section 4.3)."""
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.core.transactions import StateFlag, TxnStatus
+from repro.errors import TransactionAborted, WriteConflict
+
+from conftest import load_initial
+
+
+class TestVoting:
+    def test_commit_waits_for_all_states(self, mgr):
+        """Nothing persists until every registered state voted Commit."""
+        txn = mgr.begin(states=["A", "B"])
+        mgr.write(txn, "A", 1, "a")
+        mgr.write(txn, "B", 1, "b")
+        done = mgr.commit_state(txn, "A")
+        assert done is False  # B has not voted yet
+        with mgr.snapshot() as view:
+            assert view.get("A", 1) is None  # not yet visible
+        done = mgr.commit_state(txn, "B")
+        assert done is True  # last voter coordinates the global commit
+        with mgr.snapshot() as view:
+            assert view.get("A", 1) == "a"
+            assert view.get("B", 1) == "b"
+
+    def test_last_voter_becomes_coordinator(self, mgr):
+        txn = mgr.begin(states=["A", "B"])
+        mgr.write(txn, "A", 1, "a")
+        mgr.write(txn, "B", 1, "b")
+        assert mgr.commit_state(txn, "B") is False
+        assert txn.status is TxnStatus.ACTIVE
+        assert mgr.commit_state(txn, "A") is True
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_single_state_commit_is_immediate(self, mgr):
+        txn = mgr.begin()
+        mgr.write(txn, "A", 1, "solo")
+        assert mgr.commit_state(txn, "A") is True
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_abort_vote_aborts_globally(self, mgr):
+        txn = mgr.begin(states=["A", "B"])
+        mgr.write(txn, "A", 1, "a")
+        mgr.write(txn, "B", 1, "b")
+        mgr.abort_state(txn, "B")
+        assert txn.status is TxnStatus.ABORTED
+        with mgr.snapshot() as view:
+            assert view.get("A", 1) is None
+            assert view.get("B", 1) is None
+
+    def test_commit_vote_after_abort_raises(self, mgr):
+        txn = mgr.begin(states=["A", "B"])
+        mgr.write(txn, "A", 1, "a")
+        mgr.abort_state(txn, "B")
+        with pytest.raises(Exception):
+            mgr.commit_state(txn, "A")
+
+    def test_flags_tracked_per_state(self, mgr):
+        txn = mgr.begin(states=["A", "B"])
+        mgr.write(txn, "A", 1, "a")
+        mgr.commit_state(txn, "A")
+        flags = txn.flags_snapshot()
+        assert flags["A"] is StateFlag.COMMIT
+        assert flags["B"] is StateFlag.ACTIVE
+
+
+class TestAtomicVisibility:
+    def test_multi_state_commit_atomic_for_readers(self, mgr_any):
+        """The paper's central guarantee: readers see both states' updates
+        from the same transaction, or neither."""
+        mgr = mgr_any
+        if mgr.protocol.name == "s2pl":
+            pytest.skip(
+                "single-threaded interleaving self-deadlocks under S2PL by "
+                "design; the threaded variant lives in test_s2pl.py"
+            )
+        load_initial(mgr)
+        for round_number in range(5):
+            reader = mgr.begin()
+            a = mgr.read(reader, "A", 1)
+            with mgr.transaction() as writer:
+                mgr.write(writer, "A", 1, f"round-{round_number}")
+                mgr.write(writer, "B", 1, f"round-{round_number}")
+            b = mgr.read(reader, "B", 1)
+            try:
+                mgr.commit(reader)
+            except TransactionAborted:
+                # BOCC legitimately invalidates the reader here; its reads
+                # are then discarded, so no consistency claim applies.
+                assert mgr.protocol.name == "bocc"
+                continue
+            # For MVCC the pinned snapshot makes (a, b) consistent: both
+            # values stem from the same commit — either both initial or
+            # both from the same round.  (S2PL/BOCC enforce consistency via
+            # locks/validation; their reads here interleave legally.)
+            if mgr.protocol.name == "mvcc":
+                if isinstance(a, str):
+                    assert a == b, (a, b)
+                else:
+                    assert (a, b) == (10, 100)
+
+    def test_group_last_cts_published_once_per_commit(self, mgr):
+        before = mgr.context.last_cts("g")
+        with mgr.transaction() as txn:
+            mgr.write(txn, "A", 1, "x")
+            mgr.write(txn, "B", 1, "y")
+        after = mgr.context.last_cts("g")
+        assert after > before
+        assert after == txn.commit_ts
+
+    def test_snapshot_pins_group_last_cts(self, mgr):
+        with mgr.transaction() as txn:
+            mgr.write(txn, "A", 1, "v1")
+            mgr.write(txn, "B", 1, "w1")
+        reader = mgr.begin()
+        mgr.read(reader, "A", 1)
+        pinned = reader.read_cts["g"]
+        assert pinned == mgr.context.last_cts("g")
+        mgr.commit(reader)
+
+    def test_overlap_rule_uses_older_version(self, mgr):
+        """Reading overlapping topologies with different LastCTS must use
+        the older one (paper Section 4.3, final paragraph)."""
+        ctx = mgr.context
+        # Craft an artificial overlap: group g2 shares state A with g.
+        from repro.core.context import GroupInfo
+
+        ctx._groups["g2"] = GroupInfo("g2", ["A"], last_cts=0)
+        with mgr.transaction() as txn:
+            mgr.write(txn, "A", 1, "newer")
+            mgr.write(txn, "B", 1, "newer")
+        # g has advanced; g2 is stale at 0.
+        txn2 = mgr.begin()
+        ctx.pin_snapshot(txn2, "g2")  # pins 0
+        pinned_g = ctx.pin_snapshot(txn2, "g")  # overlaps g2 -> takes 0
+        assert pinned_g == 0
+        mgr.commit(txn2)
+
+    def test_no_overlap_keeps_independent_snapshots(self, mgr):
+        mgr.create_table("C")  # own singleton group
+        with mgr.transaction() as txn:
+            mgr.write(txn, "A", 1, "x")
+            mgr.write(txn, "B", 1, "y")
+        reader = mgr.begin()
+        a_pin = mgr.context.pin_snapshot(reader, "g")
+        c_pin = mgr.context.pin_snapshot(reader, "__singleton:C")
+        assert a_pin > 0
+        assert c_pin == 0  # never written
+        mgr.commit(reader)
+
+
+class TestConflictDuringGroupCommit:
+    def test_conflict_aborts_whole_group(self, mgr):
+        load_initial(mgr)
+        t1 = mgr.begin(states=["A", "B"])
+        mgr.write(t1, "A", 1, "t1a")
+        mgr.write(t1, "B", 1, "t1b")
+        with mgr.transaction() as interloper:
+            mgr.write(interloper, "A", 1, "stolen")
+        mgr.commit_state(t1, "A")
+        with pytest.raises(WriteConflict):
+            mgr.commit_state(t1, "B")  # coordinator hits FCW
+        assert t1.status is TxnStatus.ABORTED
+        with mgr.snapshot() as view:
+            assert view.get("A", 1) == "stolen"
+            assert view.get("B", 1) == 100  # t1's B write rolled back
+
+    def test_coordinator_counts(self, mgr):
+        with mgr.transaction() as txn:
+            mgr.write(txn, "A", 1, "x")
+        assert mgr.coordinator.global_commits >= 1
+        t2 = mgr.begin()
+        mgr.write(t2, "A", 2, "y")
+        mgr.abort(t2)
+        assert mgr.coordinator.global_aborts >= 1
+
+    def test_abort_is_idempotent(self, mgr):
+        txn = mgr.begin()
+        mgr.write(txn, "A", 1, "x")
+        mgr.abort(txn)
+        mgr.abort(txn)  # second abort is a no-op
+        assert txn.status is TxnStatus.ABORTED
+
+
+class TestTransactionAbortedPropagation:
+    def test_context_manager_aborts_on_error(self, mgr):
+        with pytest.raises(RuntimeError):
+            with mgr.transaction() as txn:
+                mgr.write(txn, "A", 1, "doomed")
+                raise RuntimeError("user code failed")
+        with mgr.snapshot() as view:
+            assert view.get("A", 1) is None
+
+    def test_context_manager_propagates_conflict(self, mgr):
+        load_initial(mgr)
+        with pytest.raises(TransactionAborted):
+            with mgr.transaction() as txn:
+                mgr.write(txn, "A", 1, "mine")
+                with mgr.transaction() as other:
+                    mgr.write(other, "A", 1, "theirs")

@@ -1,0 +1,133 @@
+"""Tests for snapshot-consistent secondary indexes."""
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.core.indexes import SecondaryIndex
+from repro.errors import StateError
+
+
+@pytest.fixture()
+def mgr() -> TransactionManager:
+    manager = TransactionManager(protocol="mvcc")
+    table = manager.create_table("meters")
+    table.bulk_load(
+        [
+            (1, {"city": "Ilmenau", "kw": 1.0}),
+            (2, {"city": "Erfurt", "kw": 2.0}),
+            (3, {"city": "Ilmenau", "kw": 3.0}),
+        ]
+    )
+    table.create_index("by_city", lambda v: v["city"])
+    return manager
+
+
+class TestUnit:
+    def test_upsert_and_lookup(self):
+        index = SecondaryIndex("i", lambda v: v["g"])
+        index.apply_upsert("pk1", {"g": "a"}, commit_ts=5)
+        assert index.lookup_at("a", 5) == ["pk1"]
+        assert index.lookup_at("a", 4) == []
+        assert index.lookup_live("a") == ["pk1"]
+
+    def test_reindex_on_attribute_change(self):
+        index = SecondaryIndex("i", lambda v: v["g"])
+        index.apply_upsert("pk1", {"g": "a"}, 5)
+        index.apply_upsert("pk1", {"g": "b"}, 9)
+        assert index.lookup_at("a", 7) == ["pk1"]  # old snapshot
+        assert index.lookup_at("a", 9) == []
+        assert index.lookup_at("b", 9) == ["pk1"]
+
+    def test_unchanged_attribute_is_noop(self):
+        index = SecondaryIndex("i", lambda v: v["g"])
+        index.apply_upsert("pk1", {"g": "a", "x": 1}, 5)
+        index.apply_upsert("pk1", {"g": "a", "x": 2}, 9)
+        assert index.entries_added == 1
+        assert index.lookup_at("a", 9) == ["pk1"]
+
+    def test_delete_closes_posting(self):
+        index = SecondaryIndex("i", lambda v: v["g"])
+        index.apply_upsert("pk1", {"g": "a"}, 5)
+        index.apply_delete("pk1", 8)
+        assert index.lookup_at("a", 7) == ["pk1"]
+        assert index.lookup_at("a", 8) == []
+
+    def test_none_extraction_skips_row(self):
+        index = SecondaryIndex("i", lambda v: v.get("g"))
+        index.apply_upsert("pk1", {"other": 1}, 5)
+        assert index.posting_count() == 0
+
+    def test_gc_drops_dead_postings(self):
+        index = SecondaryIndex("i", lambda v: v["g"])
+        index.apply_upsert("pk1", {"g": "a"}, 5)
+        index.apply_upsert("pk1", {"g": "b"}, 9)
+        assert index.posting_count() == 2
+        assert index.collect(oldest_active=9) == 1
+        assert index.posting_count() == 1
+        assert index.lookup_at("b", 9) == ["pk1"]
+
+
+class TestTableIntegration:
+    def test_backfill_on_create(self, mgr):
+        with mgr.snapshot() as view:
+            rows = view.index_lookup("meters", "by_city", "Ilmenau")
+        assert sorted(k for k, _ in rows) == [1, 3]
+
+    def test_committed_writes_maintain_index(self, mgr):
+        with mgr.transaction() as txn:
+            mgr.write(txn, "meters", 4, {"city": "Erfurt", "kw": 9.0})
+        with mgr.snapshot() as view:
+            rows = view.index_lookup("meters", "by_city", "Erfurt")
+        assert sorted(k for k, _ in rows) == [2, 4]
+
+    def test_uncommitted_writes_invisible_via_index(self, mgr):
+        txn = mgr.begin()
+        mgr.write(txn, "meters", 5, {"city": "Jena", "kw": 1.0})
+        with mgr.snapshot() as view:
+            assert view.index_lookup("meters", "by_city", "Jena") == []
+        mgr.abort(txn)
+
+    def test_snapshot_consistency_of_index_reads(self, mgr):
+        reader = mgr.begin()
+        mgr.read(reader, "meters", 1)  # pin the snapshot
+        with mgr.transaction() as txn:
+            mgr.write(txn, "meters", 1, {"city": "Weimar", "kw": 1.0})
+        from repro.core import SnapshotView
+
+        view = SnapshotView(mgr.protocol, reader)
+        rows = view.index_lookup("meters", "by_city", "Ilmenau")
+        assert sorted(k for k, _ in rows) == [1, 3]  # pre-move snapshot
+        assert view.index_lookup("meters", "by_city", "Weimar") == []
+        mgr.commit(reader)
+        with mgr.snapshot() as fresh:
+            assert [k for k, _ in fresh.index_lookup("meters", "by_city", "Weimar")] == [1]
+
+    def test_delete_updates_index(self, mgr):
+        with mgr.transaction() as txn:
+            mgr.delete(txn, "meters", 2)
+        with mgr.snapshot() as view:
+            assert view.index_lookup("meters", "by_city", "Erfurt") == []
+
+    def test_duplicate_index_name_rejected(self, mgr):
+        with pytest.raises(StateError):
+            mgr.table("meters").create_index("by_city", lambda v: v["city"])
+
+    def test_unknown_index_rejected(self, mgr):
+        with pytest.raises(StateError):
+            mgr.table("meters").index("nope")
+
+    def test_rebuild_after_recovery_load(self, mgr):
+        table = mgr.table("meters")
+        table.load_from_backend(bootstrap_cts=0)
+        with mgr.snapshot() as view:
+            rows = view.index_lookup("meters", "by_city", "Ilmenau")
+        assert sorted(k for k, _ in rows) == [1, 3]
+
+    def test_gc_via_manager(self, mgr):
+        for i in range(5):
+            with mgr.transaction() as txn:
+                mgr.write(txn, "meters", 1, {"city": f"C{i}", "kw": 0.0})
+        reclaimed = mgr.collect_garbage()
+        assert reclaimed > 0
+        with mgr.snapshot() as view:
+            assert [k for k, _ in view.index_lookup("meters", "by_city", "C4")] == [1]

@@ -1,0 +1,119 @@
+"""Tests for the FROM-operator isolation levels (paper Section 3)."""
+
+import pytest
+
+from repro.core import IsolationLevel, TransactionManager
+
+
+@pytest.fixture()
+def mgr() -> TransactionManager:
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("S")
+    manager.table("S").bulk_load([(1, "initial")])
+    return manager
+
+
+class TestSnapshotLevel:
+    def test_default_is_snapshot(self, mgr):
+        txn = mgr.begin()
+        assert txn.isolation is IsolationLevel.SNAPSHOT
+        mgr.commit(txn)
+
+    def test_snapshot_stable_across_commits(self, mgr):
+        reader = mgr.begin(isolation=IsolationLevel.SNAPSHOT)
+        assert mgr.read(reader, "S", 1) == "initial"
+        with mgr.transaction() as w:
+            mgr.write(w, "S", 1, "updated")
+        assert mgr.read(reader, "S", 1) == "initial"
+        mgr.commit(reader)
+
+
+class TestReadCommitted:
+    def test_sees_fresh_commits_per_read(self, mgr):
+        reader = mgr.begin(isolation=IsolationLevel.READ_COMMITTED)
+        assert mgr.read(reader, "S", 1) == "initial"
+        with mgr.transaction() as w:
+            mgr.write(w, "S", 1, "updated")
+        # non-repeatable read is the defining property of RC
+        assert mgr.read(reader, "S", 1) == "updated"
+        mgr.commit(reader)
+
+    def test_never_sees_uncommitted(self, mgr):
+        writer = mgr.begin()
+        mgr.write(writer, "S", 1, "dirty")
+        reader = mgr.begin(isolation=IsolationLevel.READ_COMMITTED)
+        assert mgr.read(reader, "S", 1) == "initial"
+        mgr.commit(reader)
+        mgr.abort(writer)
+
+    def test_scan_reads_live(self, mgr):
+        reader = mgr.begin(isolation=IsolationLevel.READ_COMMITTED)
+        list(mgr.scan(reader, "S"))  # no pin created
+        with mgr.transaction() as w:
+            mgr.write(w, "S", 2, "late")
+        rows = dict(mgr.scan(reader, "S"))
+        assert rows[2] == "late"
+        mgr.commit(reader)
+
+    def test_no_snapshot_pinned(self, mgr):
+        reader = mgr.begin(isolation=IsolationLevel.READ_COMMITTED)
+        mgr.read(reader, "S", 1)
+        assert reader.read_cts == {}
+        mgr.commit(reader)
+
+
+class TestReadUncommitted:
+    def test_sees_active_writers_buffer(self, mgr):
+        writer = mgr.begin()
+        mgr.write(writer, "S", 1, "dirty")
+        reader = mgr.begin(isolation=IsolationLevel.READ_UNCOMMITTED)
+        assert mgr.read(reader, "S", 1) == "dirty"
+        mgr.abort(writer)
+        # after the abort the dirty value is gone again
+        assert mgr.read(reader, "S", 1) == "initial"
+        mgr.commit(reader)
+
+    def test_sees_uncommitted_delete(self, mgr):
+        writer = mgr.begin()
+        mgr.delete(writer, "S", 1)
+        reader = mgr.begin(isolation=IsolationLevel.READ_UNCOMMITTED)
+        assert mgr.read(reader, "S", 1) is None
+        mgr.abort(writer)
+        mgr.commit(reader)
+
+    def test_newest_active_writer_wins(self, mgr):
+        w1 = mgr.begin()
+        mgr.write(w1, "S", 1, "older-dirty")
+        w2 = mgr.begin()
+        mgr.write(w2, "S", 1, "newer-dirty")
+        reader = mgr.begin(isolation=IsolationLevel.READ_UNCOMMITTED)
+        assert mgr.read(reader, "S", 1) == "newer-dirty"
+        mgr.commit(reader)
+        mgr.abort(w1)
+        mgr.abort(w2)
+
+    def test_own_writes_still_win(self, mgr):
+        other = mgr.begin()
+        mgr.write(other, "S", 1, "other-dirty")
+        txn = mgr.begin(isolation=IsolationLevel.READ_UNCOMMITTED)
+        mgr.write(txn, "S", 1, "mine")
+        assert mgr.read(txn, "S", 1) == "mine"
+        mgr.abort(txn)
+        mgr.abort(other)
+
+
+class TestViaSnapshotView:
+    def test_view_accepts_isolation(self, mgr):
+        writer = mgr.begin()
+        mgr.write(writer, "S", 1, "dirty")
+        with mgr.snapshot(isolation=IsolationLevel.READ_UNCOMMITTED) as view:
+            assert view.get("S", 1) == "dirty"
+        with mgr.snapshot() as view:
+            assert view.get("S", 1) == "initial"
+        mgr.abort(writer)
+
+    def test_level_flags(self):
+        assert IsolationLevel.SNAPSHOT.pins_snapshot
+        assert not IsolationLevel.READ_COMMITTED.pins_snapshot
+        assert IsolationLevel.READ_UNCOMMITTED.sees_uncommitted
+        assert not IsolationLevel.READ_COMMITTED.sees_uncommitted

@@ -1,0 +1,199 @@
+"""Tests for the lock manager: modes, compatibility, deadlock detection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.locks import LockManager, LockMode, compatible, covers
+from repro.errors import DeadlockDetected, LockTimeout
+
+
+class TestCompatibility:
+    def test_matrix(self):
+        assert compatible(LockMode.IS, LockMode.IX)
+        assert compatible(LockMode.IS, LockMode.S)
+        assert compatible(LockMode.IX, LockMode.IX)
+        assert not compatible(LockMode.IX, LockMode.S)
+        assert compatible(LockMode.S, LockMode.S)
+        assert not compatible(LockMode.S, LockMode.X)
+        assert not compatible(LockMode.X, LockMode.X)
+        assert not compatible(LockMode.IS, LockMode.X)
+
+    def test_covers(self):
+        assert covers(LockMode.X, LockMode.S)
+        assert covers(LockMode.X, LockMode.IX)
+        assert covers(LockMode.S, LockMode.IS)
+        assert covers(LockMode.IX, LockMode.IS)
+        assert not covers(LockMode.S, LockMode.X)
+        assert not covers(LockMode.IS, LockMode.S)
+
+
+class TestAcquireRelease:
+    def test_acquire_grants_immediately_when_free(self):
+        lm = LockManager()
+        waited = lm.acquire(1, "r", LockMode.X)
+        assert waited is False
+        assert lm.holders("r") == {1: LockMode.X}
+
+    def test_reacquire_covered_is_noop(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.acquire(1, "r", LockMode.S) is False
+        assert lm.holders("r") == {1: LockMode.X}
+
+    def test_shared_lock_coexists(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        assert set(lm.holders("r")) == {1, 2}
+
+    def test_upgrade_s_to_x_when_sole_holder(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.holders("r") == {1: LockMode.X}
+
+    def test_release_wakes_waiter(self):
+        lm = LockManager(timeout=5)
+        lm.acquire(1, "r", LockMode.X)
+        granted = threading.Event()
+
+        def waiter():
+            lm.acquire(2, "r", LockMode.X)
+            granted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not granted.is_set()
+        lm.release(1, "r")
+        assert granted.wait(timeout=5)
+        thread.join()
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.S)
+        lm.acquire(1, "b", LockMode.X)
+        assert lm.release_all(1) == 2
+        assert lm.held_resources(1) == set()
+        assert lm.lock_count() == 0
+
+    def test_release_all_of_unknown_txn(self):
+        assert LockManager().release_all(42) == 0
+
+    def test_lock_table_shrinks(self):
+        lm = LockManager()
+        lm.acquire(1, "r", LockMode.X)
+        lm.release(1, "r")
+        assert lm.lock_count() == 0
+
+
+class TestTimeouts:
+    def test_timeout_raises(self):
+        lm = LockManager(timeout=0.05)
+        lm.acquire(1, "r", LockMode.X)
+        with pytest.raises(LockTimeout):
+            lm.acquire(2, "r", LockMode.X)
+        assert lm.timeouts == 1
+
+    def test_per_call_timeout_override(self):
+        lm = LockManager(timeout=60)
+        lm.acquire(1, "r", LockMode.X)
+        start = time.monotonic()
+        with pytest.raises(LockTimeout):
+            lm.acquire(2, "r", LockMode.X, timeout=0.05)
+        assert time.monotonic() - start < 2
+
+
+class TestDeadlockDetection:
+    def test_two_party_cycle_detected(self):
+        lm = LockManager(timeout=5)
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+
+        outcome: list = []
+
+        def t2_wants_a():
+            try:
+                lm.acquire(2, "a", LockMode.X)
+                outcome.append("granted")
+            except (DeadlockDetected, LockTimeout) as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=t2_wants_a)
+        thread.start()
+        time.sleep(0.05)
+        # closing the cycle: txn 1 wants b, held by waiting txn 2
+        with pytest.raises(DeadlockDetected):
+            lm.acquire(1, "b", LockMode.X)
+        # unblock txn 2 (victim was the requester, txn 1)
+        lm.release_all(1)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome == ["granted"]
+        assert lm.deadlocks >= 1
+
+    def test_detection_can_be_disabled(self):
+        lm = LockManager(timeout=0.05, deadlock_detection=False)
+        lm.acquire(1, "a", LockMode.X)
+        with pytest.raises(LockTimeout):  # falls back to timeout
+            lm.acquire(2, "a", LockMode.X)
+
+    def test_no_false_positive_on_simple_wait(self):
+        lm = LockManager(timeout=1)
+        lm.acquire(1, "r", LockMode.X)
+        done = []
+
+        def waiter():
+            lm.acquire(2, "r", LockMode.S)
+            done.append(True)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        lm.release_all(1)
+        thread.join(timeout=5)
+        assert done == [True]
+        assert lm.deadlocks == 0
+
+
+class TestConcurrentStress:
+    def test_many_threads_disjoint_resources(self):
+        lm = LockManager(timeout=5)
+        errors = []
+
+        def worker(txn_id):
+            try:
+                for i in range(50):
+                    lm.acquire(txn_id, ("r", txn_id, i), LockMode.X)
+                lm.release_all(txn_id)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert lm.lock_count() == 0
+
+    def test_contended_counter_with_mutual_exclusion(self):
+        lm = LockManager(timeout=10)
+        counter = {"value": 0}
+
+        def worker(txn_id):
+            for _ in range(25):
+                lm.acquire(txn_id, "counter", LockMode.X)
+                current = counter["value"]
+                time.sleep(0)  # force interleaving
+                counter["value"] = current + 1
+                lm.release(txn_id, "counter")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["value"] == 100

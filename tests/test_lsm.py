@@ -1,0 +1,220 @@
+"""Tests for the LSM store: durability, compaction, crash recovery."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import LSMOptions, LSMStore
+
+
+def small_options(**overrides) -> LSMOptions:
+    defaults = dict(sync=False, memtable_bytes=2048, fanout=3, max_levels=4)
+    defaults.update(overrides)
+    return LSMOptions(**defaults)
+
+
+class TestBasicOps:
+    def test_put_get(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"v")
+            assert store.get(b"k") == b"v"
+            assert store.get(b"absent") is None
+
+    def test_overwrite(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"v1")
+            store.put(b"k", b"v2")
+            assert store.get(b"k") == b"v2"
+
+    def test_delete(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"v")
+            store.delete(b"k")
+            assert store.get(b"k") is None
+
+    def test_delete_shadows_flushed_value(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"old")
+            store.flush()  # now on disk
+            store.delete(b"k")  # tombstone in memtable
+            assert store.get(b"k") is None
+
+    def test_contains(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"v")
+            assert b"k" in store
+            assert b"x" not in store
+
+    def test_use_after_close_raises(self, tmp_path):
+        store = LSMStore(tmp_path, small_options())
+        store.close()
+        with pytest.raises(StorageError):
+            store.get(b"k")
+
+
+class TestScan:
+    def test_scan_across_memtable_and_sstables(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            for i in range(0, 100, 2):
+                store.put(f"k{i:04d}".encode(), str(i).encode())
+            store.flush()
+            for i in range(1, 100, 2):
+                store.put(f"k{i:04d}".encode(), str(i).encode())
+            keys = [k for k, _ in store.scan()]
+            assert keys == sorted(f"k{i:04d}".encode() for i in range(100))
+
+    def test_scan_newest_version_wins(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"old")
+            store.flush()
+            store.put(b"k", b"new")
+            assert dict(store.scan()) == {b"k": b"new"}
+
+    def test_scan_excludes_tombstones(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            store.flush()
+            store.delete(b"a")
+            assert dict(store.scan()) == {b"b": b"2"}
+
+    def test_scan_bounds(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            for i in range(20):
+                store.put(f"k{i:04d}".encode(), b"v")
+            got = [k for k, _ in store.scan(b"k0005", b"k0010")]
+            assert got == [f"k{i:04d}".encode() for i in range(5, 10)]
+
+    def test_len(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            for i in range(30):
+                store.put(str(i).encode(), b"v")
+            store.delete(b"5")
+            assert len(store) == 29
+
+
+class TestFlushCompaction:
+    def test_auto_flush_on_threshold(self, tmp_path):
+        with LSMStore(tmp_path, small_options(memtable_bytes=512)) as store:
+            for i in range(100):
+                store.put(f"key-{i:05d}".encode(), b"x" * 20)
+            assert store.stats.flushes > 0
+            assert store.table_count() >= 1
+
+    def test_compaction_reduces_table_count(self, tmp_path):
+        options = small_options(memtable_bytes=256, fanout=2)
+        with LSMStore(tmp_path, options) as store:
+            for i in range(200):
+                store.put(f"key-{i:05d}".encode(), b"x" * 16)
+            assert store.stats.compactions > 0
+            # all data still readable after compactions
+            assert store.get(b"key-00000") == b"x" * 16
+            assert store.get(b"key-00199") == b"x" * 16
+
+    def test_compact_all_single_table(self, tmp_path):
+        with LSMStore(tmp_path, small_options(auto_compact=False)) as store:
+            for batch in range(4):
+                for i in range(20):
+                    store.put(f"k{i:03d}".encode(), f"b{batch}".encode())
+                store.flush()
+            assert store.table_count() == 4
+            store.compact_all()
+            assert store.table_count() == 1
+            assert store.get(b"k010") == b"b3"  # newest survives
+
+    def test_tombstones_dropped_at_bottom_level(self, tmp_path):
+        with LSMStore(tmp_path, small_options(auto_compact=False)) as store:
+            store.put(b"dead", b"v")
+            store.flush()
+            store.delete(b"dead")
+            store.flush()
+            store.compact_all()
+            assert store.get(b"dead") is None
+            # after full compaction the tombstone itself is gone
+            remaining = [
+                t for tables in store._tables.values() for t in tables
+            ]
+            all_records = [rec for t in remaining for rec in t.items()]
+            assert (b"dead", None) not in all_records
+
+    def test_flush_empty_memtable_is_noop(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            before = store.stats.flushes
+            store.flush()
+            assert store.stats.flushes == before
+
+
+class TestDurability:
+    def test_reopen_after_clean_close(self, tmp_path):
+        store = LSMStore(tmp_path, small_options())
+        for i in range(50):
+            store.put(str(i).encode(), str(i * 2).encode())
+        store.close()
+        reopened = LSMStore(tmp_path, small_options())
+        for i in range(50):
+            assert reopened.get(str(i).encode()) == str(i * 2).encode()
+        reopened.close()
+
+    def test_wal_replay_after_crash(self, tmp_path):
+        """Unflushed writes survive via WAL replay (no orderly close)."""
+        store = LSMStore(tmp_path, small_options(sync=True))
+        store.put(b"durable", b"yes")
+        store._wal.sync()
+        # simulate crash: drop the object without close()/flush()
+        del store
+        recovered = LSMStore(tmp_path, small_options(sync=True))
+        assert recovered.get(b"durable") == b"yes"
+        recovered.close()
+
+    def test_wal_truncated_after_flush(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"k", b"v")
+            store.flush()
+            assert store._wal.size_bytes() == 0
+
+    def test_deletes_survive_restart(self, tmp_path):
+        store = LSMStore(tmp_path, small_options())
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.close()
+        reopened = LSMStore(tmp_path, small_options())
+        assert reopened.get(b"k") is None
+        reopened.close()
+
+    def test_write_batch_atomic_unit(self, tmp_path):
+        store = LSMStore(tmp_path, small_options(sync=True))
+        store.write_batch(
+            puts=[(b"a", b"1"), (b"b", b"2")],
+            deletes=[],
+        )
+        del store  # crash
+        recovered = LSMStore(tmp_path, small_options(sync=True))
+        assert recovered.get(b"a") == b"1"
+        assert recovered.get(b"b") == b"2"
+        recovered.close()
+
+
+class TestStats:
+    def test_bloom_skips_counted(self, tmp_path):
+        with LSMStore(tmp_path, small_options(auto_compact=False)) as store:
+            store.put(b"present", b"v")
+            store.flush()
+            store.put(b"other", b"w")
+            store.flush()
+            store._cache.clear()
+            store.get(b"present")
+            assert store.stats.bloom_skips + store.stats.sstable_reads > 0
+
+    def test_cache_serves_hot_reads(self, tmp_path):
+        with LSMStore(tmp_path, small_options()) as store:
+            store.put(b"hot", b"v")
+            store.flush()
+            for _ in range(10):
+                store.get(b"hot")
+            assert store.cache_hit_ratio() > 0.5
+
+    def test_level_shape(self, tmp_path):
+        with LSMStore(tmp_path, small_options(auto_compact=False)) as store:
+            store.put(b"k", b"v")
+            store.flush()
+            assert store.level_shape() == {0: 1}

@@ -1,0 +1,116 @@
+"""Thread-safety tests for the LSM store (concurrent readers + writer)."""
+
+import threading
+
+from repro.storage import LSMOptions, LSMStore
+
+
+def test_concurrent_readers_during_writes(tmp_path):
+    store = LSMStore(
+        tmp_path, LSMOptions(sync=False, memtable_bytes=4096, fanout=2)
+    )
+    for i in range(200):
+        store.put(f"seed-{i:04d}".encode(), str(i).encode())
+    stop = threading.Event()
+    errors: list = []
+
+    def writer():
+        try:
+            for i in range(500):
+                store.put(f"new-{i:05d}".encode(), b"x" * 32)
+                if i % 100 == 99:
+                    store.flush()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def reader():
+        try:
+            while not stop.is_set():
+                for i in range(0, 200, 17):
+                    value = store.get(f"seed-{i:04d}".encode())
+                    assert value == str(i).encode()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert store.get(b"new-00499") == b"x" * 32
+    store.close()
+
+
+def test_concurrent_scans_during_compaction(tmp_path):
+    store = LSMStore(
+        tmp_path, LSMOptions(sync=False, auto_compact=False)
+    )
+    for batch in range(4):
+        for i in range(100):
+            store.put(f"k{i:04d}".encode(), f"b{batch}".encode())
+        store.flush()
+    errors: list = []
+    done = threading.Event()
+
+    def compactor():
+        try:
+            store.compact_all()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def scanner():
+        try:
+            while not done.is_set():
+                rows = dict(store.scan())
+                assert len(rows) == 100
+                assert all(v == b"b3" for v in rows.values())
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=compactor),
+               threading.Thread(target=scanner)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    store.close()
+
+
+def test_concurrent_batches_atomic(tmp_path):
+    """Concurrent write_batch calls never interleave partially."""
+    store = LSMStore(tmp_path, LSMOptions(sync=False))
+    errors: list = []
+
+    def batcher(tag: int):
+        try:
+            for i in range(50):
+                store.write_batch(
+                    puts=[
+                        (f"pair-a-{i:03d}".encode(), str(tag).encode()),
+                        (f"pair-b-{i:03d}".encode(), str(tag).encode()),
+                    ],
+                    deletes=[],
+                )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=batcher, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # both halves of every pair carry the same (last-writer) tag
+    for i in range(50):
+        a = store.get(f"pair-a-{i:03d}".encode())
+        b = store.get(f"pair-b-{i:03d}".encode())
+        assert a == b
+    store.close()

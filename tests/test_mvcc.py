@@ -1,0 +1,274 @@
+"""Tests for the MVCC snapshot-isolation protocol (paper Section 4.2)."""
+
+import pytest
+
+from repro.core import TransactionManager
+from repro.errors import InvalidTransactionState, WriteConflict
+
+from conftest import load_initial
+
+
+@pytest.fixture()
+def mvcc() -> TransactionManager:
+    manager = TransactionManager(protocol="mvcc")
+    manager.create_table("A")
+    manager.create_table("B")
+    manager.register_group("g", ["A", "B"])
+    load_initial(manager)
+    return manager
+
+
+class TestReads:
+    def test_read_committed_data(self, mvcc):
+        txn = mvcc.begin()
+        assert mvcc.read(txn, "A", 3) == 30
+        mvcc.commit(txn)
+
+    def test_read_missing_key(self, mvcc):
+        txn = mvcc.begin()
+        assert mvcc.read(txn, "A", 9999) is None
+        mvcc.commit(txn)
+
+    def test_read_your_own_writes(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.write(txn, "A", 3, "mine")
+        assert mvcc.read(txn, "A", 3) == "mine"
+        mvcc.commit(txn)
+
+    def test_read_your_own_delete(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.delete(txn, "A", 3)
+        assert mvcc.read(txn, "A", 3) is None
+        mvcc.commit(txn)
+
+    def test_uncommitted_writes_invisible_to_others(self, mvcc):
+        writer = mvcc.begin()
+        mvcc.write(writer, "A", 3, "dirty")
+        reader = mvcc.begin()
+        assert mvcc.read(reader, "A", 3) == 30
+        mvcc.abort(writer)
+        mvcc.commit(reader)
+
+    def test_snapshot_stability(self, mvcc):
+        reader = mvcc.begin()
+        assert mvcc.read(reader, "A", 1) == 10
+        with mvcc.transaction() as w:
+            mvcc.write(w, "A", 1, "new")
+            mvcc.write(w, "A", 2, "new2")
+        # same snapshot: both keys stay at their pinned versions
+        assert mvcc.read(reader, "A", 1) == 10
+        assert mvcc.read(reader, "A", 2) == 20
+        mvcc.commit(reader)
+
+    def test_new_snapshot_sees_commit(self, mvcc):
+        with mvcc.transaction() as w:
+            mvcc.write(w, "A", 1, "new")
+        txn = mvcc.begin()
+        assert mvcc.read(txn, "A", 1) == "new"
+        mvcc.commit(txn)
+
+    def test_reads_never_block_or_abort(self, mvcc):
+        # 50 overlapping writers + interleaved reads: reads always succeed.
+        for i in range(50):
+            reader = mvcc.begin()
+            with mvcc.transaction() as w:
+                mvcc.write(w, "A", 1, i)
+            assert mvcc.read(reader, "A", 1) is not None
+            mvcc.commit(reader)
+
+
+class TestScans:
+    def test_scan_snapshot(self, mvcc):
+        txn = mvcc.begin()
+        rows = dict(mvcc.scan(txn, "A"))
+        assert rows == {i: i * 10 for i in range(10)}
+        mvcc.commit(txn)
+
+    def test_scan_bounds(self, mvcc):
+        txn = mvcc.begin()
+        rows = list(mvcc.scan(txn, "A", low=3, high=6))
+        assert [k for k, _ in rows] == [3, 4, 5]
+        mvcc.commit(txn)
+
+    def test_scan_merges_own_writes(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.write(txn, "A", 3, "updated")
+        mvcc.write(txn, "A", 100, "inserted")
+        mvcc.delete(txn, "A", 5)
+        rows = dict(mvcc.scan(txn, "A"))
+        assert rows[3] == "updated"
+        assert rows[100] == "inserted"
+        assert 5 not in rows
+        mvcc.commit(txn)
+
+    def test_scan_does_not_see_concurrent_commit(self, mvcc):
+        reader = mvcc.begin()
+        _pin = mvcc.read(reader, "A", 0)
+        with mvcc.transaction() as w:
+            mvcc.write(w, "A", 200, "late")
+        rows = dict(mvcc.scan(reader, "A"))
+        assert 200 not in rows
+        mvcc.commit(reader)
+
+
+class TestFirstCommitterWins:
+    def test_conflicting_writers(self, mvcc):
+        t1, t2 = mvcc.begin(), mvcc.begin()
+        mvcc.read(t1, "A", 1)
+        mvcc.read(t2, "A", 1)
+        mvcc.write(t1, "A", 1, "first")
+        mvcc.write(t2, "A", 1, "second")
+        mvcc.commit(t1)
+        with pytest.raises(WriteConflict):
+            mvcc.commit(t2)
+        # first committer's value survives
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == "first"
+
+    def test_disjoint_writers_both_commit(self, mvcc):
+        t1, t2 = mvcc.begin(), mvcc.begin()
+        mvcc.write(t1, "A", 1, "x")
+        mvcc.write(t2, "A", 2, "y")
+        mvcc.commit(t1)
+        mvcc.commit(t2)
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == "x"
+            assert view.get("A", 2) == "y"
+
+    def test_blind_write_conflict(self, mvcc):
+        # writers that never read still obey FCW (validated against start ts)
+        t1, t2 = mvcc.begin(), mvcc.begin()
+        mvcc.write(t1, "B", 1, "x")
+        mvcc.write(t2, "B", 1, "y")
+        mvcc.commit(t1)
+        with pytest.raises(WriteConflict):
+            mvcc.commit(t2)
+
+    def test_conflict_in_one_state_aborts_whole_txn(self, mvcc):
+        t1, t2 = mvcc.begin(), mvcc.begin()
+        mvcc.write(t1, "A", 1, "x")
+        mvcc.write(t2, "A", 1, "y")
+        mvcc.write(t2, "B", 5, "y-b")
+        mvcc.commit(t1)
+        with pytest.raises(WriteConflict):
+            mvcc.commit(t2)
+        # t2's B-write must not have been applied
+        with mvcc.snapshot() as view:
+            assert view.get("B", 5) == 500
+
+    def test_write_after_conflicting_commit_without_read(self, mvcc):
+        t_old = mvcc.begin()  # old snapshot
+        with mvcc.transaction() as w:
+            mvcc.write(w, "A", 1, "newer")
+        mvcc.write(t_old, "A", 1, "stale")
+        with pytest.raises(WriteConflict):
+            mvcc.commit(t_old)
+
+
+class TestEagerConflictCheck:
+    def test_eager_mode_aborts_at_write_time(self):
+        manager = TransactionManager(protocol="mvcc", eager_conflict_check=True)
+        manager.create_table("A")
+        t1 = manager.begin()
+        t2 = manager.begin()
+        manager.write(t1, "A", 1, "older")
+        with pytest.raises(WriteConflict):
+            manager.write(t2, "A", 1, "younger")
+        assert t2.is_finished()
+        manager.commit(t1)
+
+    def test_eager_mode_allows_disjoint(self):
+        manager = TransactionManager(protocol="mvcc", eager_conflict_check=True)
+        manager.create_table("A")
+        t1, t2 = manager.begin(), manager.begin()
+        manager.write(t1, "A", 1, "x")
+        manager.write(t2, "A", 2, "y")
+        manager.commit(t1)
+        manager.commit(t2)
+
+
+class TestAborts:
+    def test_abort_discards_writes(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.write(txn, "A", 1, "discarded")
+        mvcc.abort(txn)
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == 10
+
+    def test_operations_after_abort_rejected(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.abort(txn)
+        with pytest.raises(InvalidTransactionState):
+            mvcc.read(txn, "A", 1)
+        with pytest.raises(InvalidTransactionState):
+            mvcc.write(txn, "A", 1, "x")
+
+    def test_operations_after_commit_rejected(self, mvcc):
+        txn = mvcc.begin()
+        mvcc.commit(txn)
+        with pytest.raises(InvalidTransactionState):
+            mvcc.write(txn, "A", 1, "x")
+
+    def test_abort_then_retry_succeeds(self, mvcc):
+        t1, t2 = mvcc.begin(), mvcc.begin()
+        mvcc.write(t1, "A", 1, "w1")
+        mvcc.write(t2, "A", 1, "w2")
+        mvcc.commit(t1)
+        with pytest.raises(WriteConflict):
+            mvcc.commit(t2)
+        retry = mvcc.begin()
+        mvcc.write(retry, "A", 1, "w2-retried")
+        mvcc.commit(retry)
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == "w2-retried"
+
+
+class TestDeletes:
+    def test_committed_delete(self, mvcc):
+        with mvcc.transaction() as txn:
+            mvcc.delete(txn, "A", 1)
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) is None
+
+    def test_old_snapshot_still_sees_deleted_key(self, mvcc):
+        reader = mvcc.begin()
+        assert mvcc.read(reader, "A", 1) == 10
+        with mvcc.transaction() as txn:
+            mvcc.delete(txn, "A", 1)
+        assert mvcc.read(reader, "A", 1) == 10
+        mvcc.commit(reader)
+
+    def test_reinsert_after_delete(self, mvcc):
+        with mvcc.transaction() as txn:
+            mvcc.delete(txn, "A", 1)
+        with mvcc.transaction() as txn:
+            mvcc.write(txn, "A", 1, "back")
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == "back"
+
+
+class TestReadOnly:
+    def test_read_only_commit_is_cheap(self, mvcc):
+        before = mvcc.protocol.stats.commits
+        txn = mvcc.begin()
+        mvcc.read(txn, "A", 1)
+        mvcc.commit(txn)
+        assert mvcc.protocol.stats.commits == before + 1
+        assert txn.commit_ts is not None
+
+    def test_run_transaction_retries_conflicts(self, mvcc):
+        # force one conflict, then the retry must succeed
+        attempts = []
+
+        def work(txn):
+            attempts.append(txn.txn_id)
+            mvcc.read(txn, "A", 1)
+            if len(attempts) == 1:
+                with mvcc.transaction() as w:
+                    mvcc.write(w, "A", 1, "interloper")
+            mvcc.write(txn, "A", 1, "worker")
+
+        mvcc.run_transaction(work)
+        assert len(attempts) == 2
+        with mvcc.snapshot() as view:
+            assert view.get("A", 1) == "worker"

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the transactional core.
+
+The central invariants under arbitrary interleavings of transactions:
+
+* **snapshot stability** — a reader's view never changes mid-transaction;
+* **version-interval disjointness** — a key's version lifetimes never
+  overlap, so at most one version is visible at any timestamp;
+* **serialisable history for FCW writers** — the final table state equals
+  the result of applying committed transactions in commit-timestamp order;
+* **GC never touches reachable versions**.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransactionManager
+from repro.core.version_store import MVCCObject
+from repro.errors import TransactionAborted
+
+small_keys = st.integers(min_value=0, max_value=5)
+small_values = st.integers(min_value=0, max_value=100)
+
+#: A transaction script: list of (key, value) writes plus read keys.
+txn_scripts = st.lists(
+    st.tuples(small_keys, small_values), min_size=1, max_size=4
+)
+
+
+class TestVersionIntervals:
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_never_overlap(self, gaps):
+        obj = MVCCObject(capacity=4)
+        ts = 0
+        for gap in gaps:
+            ts += gap
+            obj.install(f"v{ts}", ts, oldest_active=0)
+        versions = obj.versions()
+        spans = sorted((v.cts, v.dts) for v in versions)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start or a_start == b_start
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=2,
+                    max_size=20), st.integers(min_value=0, max_value=400))
+    @settings(max_examples=100, deadline=None)
+    def test_at_most_one_visible(self, gaps, probe):
+        obj = MVCCObject(capacity=4)
+        ts = 0
+        for gap in gaps:
+            ts += gap
+            obj.install(f"v{ts}", ts, oldest_active=0)
+        visible = [v for v in obj.versions() if v.visible_at(probe)]
+        assert len(visible) <= 1
+
+
+class TestSerialisedCommits:
+    @given(st.lists(txn_scripts, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_final_state_matches_commit_order_replay(self, scripts):
+        """Run overlapping writers; replaying the *committed* transactions
+        in commit-ts order over a dict must reproduce the table."""
+        mgr = TransactionManager(protocol="mvcc")
+        mgr.create_table("S")
+        committed: list[tuple[int, list[tuple[int, int]]]] = []
+        open_txns = [(mgr.begin(), script) for script in scripts]
+        for txn, script in open_txns:
+            for key, value in script:
+                mgr.write(txn, "S", key, value)
+        for txn, script in open_txns:
+            try:
+                mgr.commit(txn)
+                committed.append((txn.commit_ts, script))
+            except TransactionAborted:
+                pass
+
+        model: dict[int, int] = {}
+        for _ts, script in sorted(committed):
+            for key, value in script:
+                model[key] = value
+        with mgr.snapshot() as view:
+            table = dict(view.scan("S"))
+        assert table == model
+
+    @given(st.lists(txn_scripts, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_first_committer_wins_exactly(self, scripts):
+        """Of a set of fully-overlapping concurrent writers (all begun
+        before any commit), at most those with disjoint write sets commit."""
+        mgr = TransactionManager(protocol="mvcc")
+        mgr.create_table("S")
+        txns = [(mgr.begin(), script) for script in scripts]
+        for txn, script in txns:
+            for key, value in script:
+                mgr.write(txn, "S", key, value)
+        committed_keysets: list[set[int]] = []
+        for txn, script in txns:
+            keyset = {k for k, _ in script}
+            try:
+                mgr.commit(txn)
+            except TransactionAborted:
+                # an aborted txn must overlap some earlier committer
+                assert any(keyset & seen for seen in committed_keysets)
+            else:
+                # a committed txn must not overlap any earlier committer
+                assert all(not (keyset & seen) for seen in committed_keysets)
+                committed_keysets.append(keyset)
+
+
+class TestSnapshotStability:
+    @given(
+        st.lists(txn_scripts, min_size=1, max_size=6),
+        st.lists(small_keys, min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reader_view_immune_to_commits(self, scripts, probe_keys):
+        mgr = TransactionManager(protocol="mvcc")
+        mgr.create_table("S")
+        mgr.table("S").bulk_load([(k, -1) for k in range(6)])
+
+        reader = mgr.begin()
+        first_view = {k: mgr.read(reader, "S", k) for k in probe_keys}
+        for script in scripts:
+            try:
+                with mgr.transaction() as writer:
+                    for key, value in script:
+                        mgr.write(writer, "S", key, value)
+            except TransactionAborted:
+                pass
+            # after every interfering commit the reader's view is unchanged
+            for key in probe_keys:
+                assert mgr.read(reader, "S", key) == first_view[key]
+        mgr.commit(reader)
+
+    @given(st.lists(txn_scripts, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_gc_never_breaks_active_snapshot(self, scripts):
+        mgr = TransactionManager(protocol="mvcc")
+        mgr.create_table("S", version_slots=2)  # tiny arrays force GC
+        mgr.table("S").bulk_load([(k, -1) for k in range(6)])
+        reader = mgr.begin()
+        baseline = {k: mgr.read(reader, "S", k) for k in range(6)}
+        for script in scripts:
+            with mgr.transaction() as writer:
+                for key, value in script:
+                    mgr.write(writer, "S", key, value)
+        mgr.collect_garbage()
+        for key in range(6):
+            assert mgr.read(reader, "S", key) == baseline[key]
+        mgr.commit(reader)
+
+
+class TestWriteSetSemantics:
+    @given(st.lists(st.tuples(st.booleans(), small_keys, small_values),
+                    max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_read_your_writes_matches_model(self, operations):
+        mgr = TransactionManager(protocol="mvcc")
+        mgr.create_table("S")
+        txn = mgr.begin()
+        model: dict[int, int | None] = {}
+        for is_delete, key, value in operations:
+            if is_delete:
+                mgr.delete(txn, "S", key)
+                model[key] = None
+            else:
+                mgr.write(txn, "S", key, value)
+                model[key] = value
+            for probe, expected in model.items():
+                assert mgr.read(txn, "S", probe) == expected
+        mgr.commit(txn)

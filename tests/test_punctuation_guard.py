@@ -1,0 +1,65 @@
+"""Tests for the punctuation-protocol guard."""
+
+import pytest
+
+from repro.errors import PunctuationError
+from repro.streams import (
+    PunctuationGuard,
+    StreamTuple,
+    bot,
+    commit,
+    eos,
+    rollback,
+    transaction_batches,
+)
+
+
+class TestGuard:
+    def test_legal_sequence_passes(self):
+        guard = PunctuationGuard()
+        elements = [bot(), StreamTuple(1), StreamTuple(2), commit(),
+                    bot(), StreamTuple(3), rollback(), eos()]
+        assert guard.check_all(elements) == elements
+
+    def test_generated_batches_are_legal(self):
+        guard = PunctuationGuard()
+        tuples = [StreamTuple(i) for i in range(7)]
+        guard.check_all(transaction_batches(tuples, 3))
+
+    def test_duplicate_bot_rejected(self):
+        guard = PunctuationGuard()
+        guard.check(bot())
+        with pytest.raises(PunctuationError, match="BOT inside"):
+            guard.check(bot())
+
+    def test_commit_without_bot_rejected(self):
+        with pytest.raises(PunctuationError, match="without preceding BOT"):
+            PunctuationGuard().check(commit())
+
+    def test_rollback_without_bot_rejected(self):
+        with pytest.raises(PunctuationError, match="without preceding BOT"):
+            PunctuationGuard().check(rollback())
+
+    def test_element_after_eos_rejected(self):
+        guard = PunctuationGuard()
+        guard.check(eos())
+        with pytest.raises(PunctuationError, match="after EOS"):
+            guard.check(StreamTuple(1))
+
+    def test_autocommit_tuples_default_allowed(self):
+        PunctuationGuard().check(StreamTuple(1))
+
+    def test_strict_mode_rejects_loose_tuples(self):
+        guard = PunctuationGuard(allow_autocommit_tuples=False)
+        with pytest.raises(PunctuationError, match="outside a transaction"):
+            guard.check(StreamTuple(1))
+        guard.check(bot())
+        guard.check(StreamTuple(1))  # inside: fine
+
+    def test_in_transaction_flag(self):
+        guard = PunctuationGuard()
+        assert not guard.in_transaction
+        guard.check(bot())
+        assert guard.in_transaction
+        guard.check(commit())
+        assert not guard.in_transaction

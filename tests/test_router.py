@@ -1,0 +1,82 @@
+"""Tests for the routing/split operator."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams import (
+    MemorySource,
+    RouterOp,
+    SinkOp,
+    bot,
+    commit,
+    make_tuples,
+)
+
+
+def build_router(exclusive=True):
+    router = RouterOp(exclusive=exclusive)
+    small_sink, large_sink, default_sink = SinkOp(), SinkOp(), SinkOp()
+    router.branch("small", lambda x: x < 10).subscribe(small_sink)
+    router.branch("large", lambda x: x >= 100).subscribe(large_sink)
+    router.default().subscribe(default_sink)
+    return router, small_sink, large_sink, default_sink
+
+
+class TestRouting:
+    def test_partition(self):
+        router, small, large, default = build_router()
+        for tup in make_tuples([1, 500, 50, 2, 101]):
+            router.process(tup)
+        assert small.payloads() == [1, 2]
+        assert large.payloads() == [500, 101]
+        assert default.payloads() == [50]
+
+    def test_exclusive_first_match_wins(self):
+        router = RouterOp(exclusive=True)
+        first, second = SinkOp(), SinkOp()
+        router.branch("a", lambda x: x > 0).subscribe(first)
+        router.branch("b", lambda x: x > 0).subscribe(second)
+        for tup in make_tuples([5]):
+            router.process(tup)
+        assert first.payloads() == [5]
+        assert second.payloads() == []
+
+    def test_multicast_mode(self):
+        router = RouterOp(exclusive=False)
+        first, second = SinkOp(), SinkOp()
+        router.branch("a", lambda x: x > 0).subscribe(first)
+        router.branch("b", lambda x: x > 3).subscribe(second)
+        for tup in make_tuples([5, 1]):
+            router.process(tup)
+        assert first.payloads() == [5, 1]
+        assert second.payloads() == [5]
+
+    def test_unmatched_without_default_dropped(self):
+        router = RouterOp()
+        sink = SinkOp()
+        router.branch("never", lambda x: False).subscribe(sink)
+        for tup in make_tuples([1, 2]):
+            router.process(tup)
+        assert sink.payloads() == []
+
+    def test_punctuations_reach_all_branches(self):
+        router, *_ = build_router()
+        sinks = [SinkOp(keep_punctuations=True) for _ in range(3)]
+        router._branches[0][2].subscribe(sinks[0])
+        router._branches[1][2].subscribe(sinks[1])
+        router.default().subscribe(sinks[2])
+        source = MemorySource([bot(), *make_tuples([1]), commit()])
+        source.subscribe(router)
+        source.drain()
+        for sink in sinks:
+            assert len(sink.punctuations) == 2
+
+    def test_duplicate_branch_rejected(self):
+        router = RouterOp()
+        router.branch("x", lambda p: True)
+        with pytest.raises(StreamError):
+            router.branch("x", lambda p: True)
+
+    def test_branch_names(self):
+        router, *_ = build_router()
+        assert router.branch_names() == ["small", "large"]

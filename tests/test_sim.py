@@ -1,0 +1,307 @@
+"""Tests for the discrete-event simulator: kernel, resources, clients."""
+
+import pytest
+
+from repro.errors import BenchmarkError, SimulationError
+from repro.sim import (
+    Acquire,
+    CostModel,
+    Delay,
+    Release,
+    SimCache,
+    SimEnvironment,
+    SimLatch,
+    SimLock,
+    Simulator,
+    run_benchmark,
+    sweep_theta,
+)
+from repro.workload import WorkloadConfig
+
+
+class TestSimulatorKernel:
+    def test_delays_advance_virtual_time(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Delay(10)
+            trace.append(sim.now)
+            yield Delay(5)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_to_completion()
+        assert trace == [0.0, 10.0, 15.0]
+
+    def test_processes_interleave_by_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            yield Delay(delay)
+            order.append(name)
+
+        sim.spawn(proc("late", 20))
+        sim.spawn(proc("early", 5))
+        sim.run_to_completion()
+        assert order == ["early", "late"]
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield Delay(100)
+            fired.append(True)
+
+        sim.spawn(proc())
+        sim.run_until(50)
+        assert not fired
+        assert sim.now == 50
+        sim.run_to_completion()
+        assert fired
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(-1)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_to_completion()
+
+    def test_event_budget_enforced(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Delay(1)
+
+        sim.spawn(forever())
+        with pytest.raises(SimulationError):
+            sim.run_to_completion(max_events=100)
+
+    def test_counters(self):
+        sim = Simulator()
+
+        def proc():
+            yield Delay(1)
+
+        sim.spawn(proc())
+        sim.run_to_completion()
+        assert sim.processes_finished == 1
+        assert sim.events_processed >= 1
+
+
+class TestSimLock:
+    def test_exclusive_blocks_second(self):
+        sim = Simulator()
+        lock = SimLock("l")
+        order = []
+
+        def proc(name, hold):
+            yield Acquire(lock, "X")
+            order.append(f"{name}-in@{sim.now}")
+            yield Delay(hold)
+            yield Release(lock)
+
+        sim.spawn(proc("a", 10))
+        sim.spawn(proc("b", 10))
+        sim.run_to_completion()
+        assert order == ["a-in@0.0", "b-in@10.0"]
+
+    def test_shared_readers_coexist(self):
+        sim = Simulator()
+        lock = SimLock("l")
+        entered = []
+
+        def reader(name):
+            yield Acquire(lock, "S")
+            entered.append((name, sim.now))
+            yield Delay(10)
+            yield Release(lock)
+
+        sim.spawn(reader("r1"))
+        sim.spawn(reader("r2"))
+        sim.run_to_completion()
+        assert [t for _, t in entered] == [0.0, 0.0]  # concurrent
+
+    def test_fifo_writer_blocks_later_readers(self):
+        """A queued X request must not be starved by a reader stream."""
+        sim = Simulator()
+        lock = SimLock("l")
+        order = []
+
+        def reader(name, start):
+            yield Delay(start)
+            yield Acquire(lock, "S")
+            order.append((name, sim.now))
+            yield Delay(10)
+            yield Release(lock)
+
+        def writer():
+            yield Delay(1)
+            yield Acquire(lock, "X")
+            order.append(("w", sim.now))
+            yield Delay(5)
+            yield Release(lock)
+
+        sim.spawn(reader("r1", 0))
+        sim.spawn(writer())       # queues at t=1 behind r1
+        sim.spawn(reader("r2", 2))  # must wait behind the queued writer
+        sim.run_to_completion()
+        assert order == [("r1", 0.0), ("w", 10.0), ("r2", 15.0)]
+
+    def test_batch_grant_of_consecutive_readers(self):
+        sim = Simulator()
+        lock = SimLock("l")
+        entered = []
+
+        def writer():
+            yield Acquire(lock, "X")
+            yield Delay(10)
+            yield Release(lock)
+
+        def reader(name):
+            yield Delay(1)
+            yield Acquire(lock, "S")
+            entered.append((name, sim.now))
+            yield Release(lock)
+
+        sim.spawn(writer())
+        sim.spawn(reader("r1"))
+        sim.spawn(reader("r2"))
+        sim.run_to_completion()
+        assert [t for _, t in entered] == [10.0, 10.0]
+
+    def test_release_by_non_holder_rejected(self):
+        sim = Simulator()
+        lock = SimLock("l")
+
+        def bad():
+            yield Release(lock)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run_to_completion()
+
+    def test_bad_mode_rejected(self):
+        sim = Simulator()
+        lock = SimLock("l")
+
+        def bad():
+            yield Acquire(lock, "Z")
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run_to_completion()
+
+    def test_latch_forces_exclusive(self):
+        sim = Simulator()
+        latch = SimLatch("latch")
+        entered = []
+
+        def proc(name):
+            yield Acquire(latch, "S")  # coerced to X
+            entered.append((name, sim.now))
+            yield Delay(5)
+            yield Release(latch)
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run_to_completion()
+        assert [t for _, t in entered] == [0.0, 5.0]
+
+
+class TestSimCache:
+    def test_miss_then_hit(self):
+        cache = SimCache(4)
+        assert cache.access("k") is False
+        assert cache.access("k") is True
+        assert cache.hit_ratio() == 0.5
+
+    def test_lru_eviction(self):
+        cache = SimCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh: order is now [b, a]
+        cache.access("c")  # evicts b: [a, c]
+        assert cache.access("b") is False  # miss reinserts b, evicting a
+        assert cache.access("c") is True
+        assert cache.access("a") is False  # was evicted by b's reinsertion
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SimCache(0)
+
+
+class TestHarness:
+    _fast = dict(duration_us=3_000, warmup_us=500,
+                 config=WorkloadConfig(table_size=1_000))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_benchmark("nope", 0.0, readers=1)
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(BenchmarkError):
+            run_benchmark("mvcc", 0.0, readers=0, writers=0)
+
+    @pytest.mark.parametrize("protocol", ["mvcc", "s2pl", "bocc"])
+    def test_each_protocol_commits(self, protocol):
+        result = run_benchmark(protocol, 0.0, readers=2, **self._fast)
+        assert result.reader_commits > 0
+        assert result.writer_commits > 0
+        assert result.throughput_tps > 0
+
+    def test_mvcc_readers_never_abort(self):
+        result = run_benchmark("mvcc", 2.9, readers=4, **self._fast)
+        assert result.reader_aborts == 0
+
+    def test_bocc_aborts_under_contention(self):
+        result = run_benchmark("bocc", 2.9, readers=4, **self._fast)
+        assert result.reader_aborts > 0
+        assert 0 < result.abort_rate < 1
+
+    def test_s2pl_waits_under_contention(self):
+        result = run_benchmark("s2pl", 2.9, readers=4, **self._fast)
+        assert result.lock_waits > 0
+
+    def test_cache_hit_ratio_rises_with_theta(self):
+        cold = run_benchmark("mvcc", 0.0, readers=2, **self._fast)
+        hot = run_benchmark("mvcc", 2.9, readers=2, **self._fast)
+        assert hot.cache_hit_ratio > cold.cache_hit_ratio
+
+    def test_sweep_returns_one_result_per_theta(self):
+        results = sweep_theta("mvcc", [0.0, 2.0], readers=1, **self._fast)
+        assert [r.theta for r in results] == [0.0, 2.0]
+
+    def test_deterministic_given_seed(self):
+        a = run_benchmark("mvcc", 1.0, readers=2, seed=7, **self._fast)
+        b = run_benchmark("mvcc", 1.0, readers=2, seed=7, **self._fast)
+        assert a.commits == b.commits
+        assert a.events == b.events
+
+
+class TestEnvironment:
+    def test_group_registered(self):
+        env = SimEnvironment(WorkloadConfig(table_size=100))
+        from repro.workload.generator import GROUP_ID
+
+        assert sorted(env.context.group(GROUP_ID).state_ids) == sorted(
+            WorkloadConfig().states
+        )
+
+    def test_populate_loads_tables(self):
+        env = SimEnvironment(WorkloadConfig(table_size=50), populate=True)
+        for table in env.tables.values():
+            assert len(table.keys()) == 50
+
+    def test_key_locks_lazy_and_stable(self):
+        env = SimEnvironment(WorkloadConfig(table_size=10))
+        lock1 = env.key_lock("state_a", 5)
+        lock2 = env.key_lock("state_a", 5)
+        assert lock1 is lock2

@@ -1,0 +1,113 @@
+"""Tests for the skip list (memtable index)."""
+
+import random
+
+from repro.storage.skiplist import SkipList
+
+
+class TestBasics:
+    def test_insert_get(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"b", 1)
+        sl.insert(b"a", 2)
+        assert sl.get(b"a") == 2
+        assert sl.get(b"b") == 1
+        assert sl.get(b"c") is None
+        assert sl.get(b"c", "default") == "default"
+
+    def test_overwrite(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"k", 1)
+        sl.insert(b"k", 2)
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_contains(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"k", None)  # None values are legal
+        assert b"k" in sl
+        assert b"x" not in sl
+
+    def test_delete(self):
+        sl = SkipList(seed=1)
+        sl.insert(b"k", 1)
+        assert sl.delete(b"k")
+        assert not sl.delete(b"k")
+        assert b"k" not in sl
+        assert len(sl) == 0
+
+    def test_len(self):
+        sl = SkipList(seed=1)
+        for i in range(100):
+            sl.insert(i, i)
+        assert len(sl) == 100
+
+
+class TestOrdering:
+    def test_items_sorted(self):
+        sl = SkipList(seed=3)
+        keys = list(range(200))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            sl.insert(k, k * 2)
+        assert [k for k, _ in sl.items()] == sorted(keys)
+
+    def test_range_half_open(self):
+        sl = SkipList(seed=3)
+        for i in range(20):
+            sl.insert(i, i)
+        assert [k for k, _ in sl.range(5, 10)] == [5, 6, 7, 8, 9]
+        assert [k for k, _ in sl.range(5, 10, include_high=True)] == [5, 6, 7, 8, 9, 10]
+
+    def test_range_open_bounds(self):
+        sl = SkipList(seed=3)
+        for i in range(10):
+            sl.insert(i, i)
+        assert [k for k, _ in sl.range(None, 3)] == [0, 1, 2]
+        assert [k for k, _ in sl.range(7, None)] == [7, 8, 9]
+        assert len(list(sl.range())) == 10
+
+    def test_range_between_keys(self):
+        sl = SkipList(seed=3)
+        for i in (0, 10, 20):
+            sl.insert(i, i)
+        assert [k for k, _ in sl.range(5, 15)] == [10]
+
+    def test_floor_ceiling(self):
+        sl = SkipList(seed=3)
+        for i in (10, 20, 30):
+            sl.insert(i, str(i))
+        assert sl.floor(25) == (20, "20")
+        assert sl.floor(20) == (20, "20")
+        assert sl.floor(5) is None
+        assert sl.ceiling(25) == (30, "30")
+        assert sl.ceiling(30) == (30, "30")
+        assert sl.ceiling(35) is None
+
+    def test_first_last(self):
+        sl = SkipList(seed=3)
+        assert sl.first() is None
+        assert sl.last() is None
+        for i in (5, 1, 9):
+            sl.insert(i, i)
+        assert sl.first() == (1, 1)
+        assert sl.last() == (9, 9)
+
+
+class TestScale:
+    def test_ten_thousand_inserts(self):
+        sl = SkipList(seed=5)
+        n = 10_000
+        for i in range(n):
+            sl.insert(i, i)
+        assert len(sl) == n
+        for probe in (0, 1, 4999, 9999):
+            assert sl.get(probe) == probe
+
+    def test_delete_maintains_order(self):
+        sl = SkipList(seed=5)
+        for i in range(100):
+            sl.insert(i, i)
+        for i in range(0, 100, 2):
+            sl.delete(i)
+        assert [k for k, _ in sl.items()] == list(range(1, 100, 2))

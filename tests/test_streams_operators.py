@@ -1,0 +1,148 @@
+"""Tests for stream tuples, punctuations and the stateless operators."""
+
+from repro.streams import (
+    FilterOp,
+    FlatMapOp,
+    KeyByOp,
+    MapOp,
+    MemorySource,
+    Punctuation,
+    PunctuationKind,
+    SinkOp,
+    StreamTuple,
+    TupleOp,
+    UnionOp,
+    bot,
+    commit,
+    eos,
+    make_tuples,
+    rollback,
+    transaction_batches,
+)
+
+
+class TestStreamTuple:
+    def test_with_payload_preserves_metadata(self):
+        tup = StreamTuple({"a": 1}, timestamp=5, key="k", meta={"src": "s1"})
+        new = tup.with_payload({"a": 2})
+        assert new.timestamp == 5
+        assert new.key == "k"
+        assert new.meta == {"src": "s1"}
+        assert new.payload == {"a": 2}
+
+    def test_as_delete(self):
+        tup = StreamTuple("x", key="k")
+        deleted = tup.as_delete()
+        assert deleted.is_delete()
+        assert deleted.op is TupleOp.DELETE
+        assert not tup.is_delete()  # original untouched
+
+    def test_with_key(self):
+        assert StreamTuple("x").with_key(7).key == 7
+
+    def test_make_tuples_assigns_order(self):
+        tuples = make_tuples(["a", "b", "c"], start_ts=10)
+        assert [t.timestamp for t in tuples] == [10, 11, 12]
+
+    def test_make_tuples_key_fn(self):
+        tuples = make_tuples([{"id": 5}], key_fn=lambda p: p["id"])
+        assert tuples[0].key == 5
+
+
+class TestPunctuations:
+    def test_kinds(self):
+        assert bot().kind is PunctuationKind.BOT
+        assert commit().kind is PunctuationKind.COMMIT
+        assert rollback().kind is PunctuationKind.ROLLBACK
+        assert eos().kind is PunctuationKind.EOS
+
+    def test_boundary_classification(self):
+        assert bot().is_boundary()
+        assert commit().is_boundary()
+        assert rollback().is_boundary()
+        assert not eos().is_boundary()
+
+    def test_transaction_batches(self):
+        tuples = make_tuples(list(range(5)))
+        elements = transaction_batches(tuples, batch_size=2)
+        kinds = [
+            e.kind if isinstance(e, Punctuation) else "t" for e in elements
+        ]
+        assert kinds == [
+            PunctuationKind.BOT, "t", "t", PunctuationKind.COMMIT,
+            PunctuationKind.BOT, "t", "t", PunctuationKind.COMMIT,
+            PunctuationKind.BOT, "t", PunctuationKind.COMMIT,
+        ]
+
+    def test_transaction_batches_invalid_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            transaction_batches([], 0)
+
+
+class TestOperators:
+    def test_map(self):
+        source = MemorySource(make_tuples([1, 2, 3]))
+        sink = SinkOp()
+        source.subscribe(MapOp(lambda x: x * 10)).subscribe(sink)
+        source.drain()
+        assert sink.payloads() == [10, 20, 30]
+
+    def test_filter(self):
+        source = MemorySource(make_tuples(list(range(10))))
+        sink = SinkOp()
+        source.subscribe(FilterOp(lambda x: x % 2 == 0)).subscribe(sink)
+        source.drain()
+        assert sink.payloads() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self):
+        source = MemorySource(make_tuples([2, 3]))
+        sink = SinkOp()
+        source.subscribe(FlatMapOp(lambda x: range(x))).subscribe(sink)
+        source.drain()
+        assert sink.payloads() == [0, 1, 0, 1, 2]
+
+    def test_key_by(self):
+        source = MemorySource(make_tuples([{"id": 7}]))
+        sink = SinkOp()
+        source.subscribe(KeyByOp(lambda p: p["id"])).subscribe(sink)
+        source.drain()
+        assert sink.tuples[0].key == 7
+
+    def test_punctuations_forwarded_through_chain(self):
+        source = MemorySource([bot(), *make_tuples([1]), commit()])
+        sink = SinkOp(keep_punctuations=True)
+        source.subscribe(MapOp(lambda x: x)).subscribe(
+            FilterOp(lambda x: True)
+        ).subscribe(sink)
+        source.drain()
+        assert len(sink.punctuations) == 2
+        assert len(sink.tuples) == 1
+
+    def test_union_merges(self):
+        s1 = MemorySource(make_tuples([1, 2]))
+        s2 = MemorySource(make_tuples([3]))
+        union = UnionOp()
+        s1.subscribe(union)
+        s2.subscribe(union)
+        sink = SinkOp()
+        union.subscribe(sink)
+        s1.drain()
+        s2.drain()
+        assert sorted(sink.payloads()) == [1, 2, 3]
+
+    def test_tuple_counters(self):
+        source = MemorySource(make_tuples([1, 2, 3]))
+        op = FilterOp(lambda x: x > 1)
+        sink = SinkOp()
+        source.subscribe(op).subscribe(sink)
+        source.drain()
+        assert op.tuples_in == 3
+        assert op.tuples_out == 2
+
+    def test_sink_clear(self):
+        sink = SinkOp()
+        sink.process(StreamTuple("x"))
+        sink.clear()
+        assert sink.payloads() == []

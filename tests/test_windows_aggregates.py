@@ -1,0 +1,168 @@
+"""Tests for window operators and grouped aggregates."""
+
+import pytest
+
+from repro.streams import (
+    AggregateSpec,
+    GroupedAggregate,
+    MemorySource,
+    SinkOp,
+    SlidingCountWindow,
+    SlidingTimeWindow,
+    StreamTuple,
+    TumblingCountWindow,
+    TupleOp,
+    make_tuples,
+)
+
+
+class TestSlidingCountWindow:
+    def test_emits_arrivals_and_evictions(self):
+        window = SlidingCountWindow(size=2)
+        sink = SinkOp()
+        window.subscribe(sink)
+        for tup in make_tuples(["a", "b", "c"]):
+            window.process(tup)
+        ops = [(t.payload, t.op) for t in sink.tuples]
+        assert ops == [
+            ("a", TupleOp.UPSERT),
+            ("b", TupleOp.UPSERT),
+            ("c", TupleOp.UPSERT),
+            ("a", TupleOp.DELETE),  # evicted when c arrived
+        ]
+        assert [t.payload for t in window.contents()] == ["b", "c"]
+
+    def test_window_never_exceeds_size(self):
+        window = SlidingCountWindow(size=5)
+        for tup in make_tuples(list(range(100))):
+            window.process(tup)
+        assert len(window) == 5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SlidingCountWindow(0)
+
+
+class TestTumblingCountWindow:
+    def test_chunks_evicted_between_windows(self):
+        window = TumblingCountWindow(size=2)
+        sink = SinkOp()
+        window.subscribe(sink)
+        for tup in make_tuples(["a", "b", "c"]):
+            window.process(tup)
+        ops = [(t.payload, t.op) for t in sink.tuples]
+        assert ops == [
+            ("a", TupleOp.UPSERT),
+            ("b", TupleOp.UPSERT),
+            ("a", TupleOp.DELETE),
+            ("b", TupleOp.DELETE),
+            ("c", TupleOp.UPSERT),
+        ]
+        assert window.windows_closed == 1
+
+
+class TestSlidingTimeWindow:
+    def test_evicts_by_timestamp(self):
+        window = SlidingTimeWindow(duration=10)
+        sink = SinkOp()
+        window.subscribe(sink)
+        window.process(StreamTuple("old", timestamp=0))
+        window.process(StreamTuple("mid", timestamp=5))
+        window.process(StreamTuple("new", timestamp=11))  # evicts "old"
+        deletes = [t.payload for t in sink.tuples if t.is_delete()]
+        assert deletes == ["old"]
+        assert [t.payload for t in window.contents()] == ["mid", "new"]
+
+    def test_boundary_is_inclusive_eviction(self):
+        window = SlidingTimeWindow(duration=10)
+        window.process(StreamTuple("a", timestamp=0))
+        window.process(StreamTuple("b", timestamp=10))
+        # horizon = 10 - 10 = 0; ts <= 0 evicts "a"
+        assert [t.payload for t in window.contents()] == ["b"]
+        window.process(StreamTuple("c", timestamp=11))
+        assert [t.payload for t in window.contents()] == ["b", "c"]
+
+
+class TestGroupedAggregate:
+    def _agg(self, fields):
+        agg = GroupedAggregate(
+            key_fn=lambda p: p["g"], spec=AggregateSpec(fields)
+        )
+        sink = SinkOp()
+        agg.subscribe(sink)
+        return agg, sink
+
+    def test_count_sum_avg(self):
+        agg, sink = self._agg(
+            {"n": ("v", "count"), "total": ("v", "sum"), "mean": ("v", "avg")}
+        )
+        for v in (10, 20, 30):
+            agg.process(StreamTuple({"g": "a", "v": v}))
+        last = sink.tuples[-1].payload
+        assert last == {"n": 3, "total": 60.0, "mean": 20.0}
+
+    def test_groups_independent(self):
+        agg, sink = self._agg({"total": ("v", "sum")})
+        agg.process(StreamTuple({"g": "a", "v": 1}))
+        agg.process(StreamTuple({"g": "b", "v": 100}))
+        agg.process(StreamTuple({"g": "a", "v": 2}))
+        assert agg.current("a") == {"total": 3.0}
+        assert agg.current("b") == {"total": 100.0}
+
+    def test_retraction_on_delete(self):
+        agg, sink = self._agg({"total": ("v", "sum"), "n": ("v", "count")})
+        agg.process(StreamTuple({"g": "a", "v": 10}))
+        agg.process(StreamTuple({"g": "a", "v": 20}))
+        agg.process(StreamTuple({"g": "a", "v": 10}, op=TupleOp.DELETE))
+        assert agg.current("a") == {"total": 20.0, "n": 1}
+
+    def test_group_emptied_emits_delete(self):
+        agg, sink = self._agg({"n": ("v", "count")})
+        agg.process(StreamTuple({"g": "a", "v": 1}))
+        agg.process(StreamTuple({"g": "a", "v": 1}, op=TupleOp.DELETE))
+        assert sink.tuples[-1].is_delete()
+        assert agg.current("a") is None
+
+    def test_min_max_exact_retraction(self):
+        agg, sink = self._agg({"lo": ("v", "min"), "hi": ("v", "max")})
+        for v in (5, 1, 9):
+            agg.process(StreamTuple({"g": "a", "v": v}))
+        assert agg.current("a") == {"lo": 1.0, "hi": 9.0}
+        # retract the max: the previous max resurfaces exactly
+        agg.process(StreamTuple({"g": "a", "v": 9}, op=TupleOp.DELETE))
+        assert agg.current("a") == {"lo": 1.0, "hi": 5.0}
+
+    def test_uses_tuple_key_when_present(self):
+        agg, sink = self._agg({"n": ("v", "count")})
+        agg.process(StreamTuple({"g": "ignored", "v": 1}, key="explicit"))
+        assert agg.current("explicit") == {"n": 1}
+
+    def test_attribute_payloads_supported(self):
+        class Reading:
+            def __init__(self, g, v):
+                self.g = g
+                self.v = v
+
+        agg = GroupedAggregate(
+            key_fn=lambda p: p.g, spec=AggregateSpec({"total": ("v", "sum")})
+        )
+        sink = SinkOp()
+        agg.subscribe(sink)
+        agg.process(StreamTuple(Reading("a", 4)))
+        assert agg.current("a") == {"total": 4.0}
+
+    def test_invalid_aggregate_name(self):
+        with pytest.raises(ValueError):
+            AggregateSpec({"bad": ("v", "median")})
+
+    def test_window_plus_aggregate_pipeline(self):
+        """The Figure-1 shape: window -> aggregate keeps a moving aggregate."""
+        window = SlidingCountWindow(size=3)
+        agg = GroupedAggregate(
+            key_fn=lambda p: p["g"], spec=AggregateSpec({"total": ("v", "sum")})
+        )
+        window.subscribe(agg)
+        for v in (1, 2, 3, 4, 5):
+            window.process(StreamTuple({"g": "a", "v": v}))
+        # window holds (3, 4, 5): aggregate must equal their sum
+        assert agg.current("a") == {"total": 12.0}

@@ -1,0 +1,91 @@
+"""Tests for uncommitted write sets and read sets."""
+
+from repro.core.write_set import ReadSet, WriteKind, WriteSet
+
+
+class TestWriteSet:
+    def test_upsert_then_get(self):
+        ws = WriteSet()
+        ws.upsert("k", 1)
+        entry = ws.get("k")
+        assert entry.kind is WriteKind.UPSERT
+        assert entry.value == 1
+
+    def test_last_writer_wins_within_txn(self):
+        ws = WriteSet()
+        ws.upsert("k", 1)
+        ws.upsert("k", 2)
+        assert ws.get("k").value == 2
+        assert len(ws) == 1
+
+    def test_delete_overrides_upsert(self):
+        ws = WriteSet()
+        ws.upsert("k", 1)
+        ws.delete("k")
+        assert ws.get("k").kind is WriteKind.DELETE
+
+    def test_upsert_after_delete(self):
+        ws = WriteSet()
+        ws.delete("k")
+        ws.upsert("k", 3)
+        assert ws.get("k").kind is WriteKind.UPSERT
+
+    def test_unwritten_key_returns_none(self):
+        assert WriteSet().get("missing") is None
+
+    def test_overlap_detection(self):
+        a, b = WriteSet(), WriteSet()
+        a.upsert("x", 1)
+        b.upsert("y", 2)
+        assert not a.overlaps(b)
+        b.upsert("x", 3)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_overlap_with_empty(self):
+        a, b = WriteSet(), WriteSet()
+        a.upsert("x", 1)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_clear_empties(self):
+        ws = WriteSet()
+        ws.upsert("k", 1)
+        ws.clear()
+        assert not ws
+        assert len(ws) == 0
+
+    def test_keys(self):
+        ws = WriteSet()
+        ws.upsert("a", 1)
+        ws.delete("b")
+        assert ws.keys() == {"a", "b"}
+
+    def test_bool(self):
+        ws = WriteSet()
+        assert not ws
+        ws.upsert("k", 1)
+        assert ws
+
+
+class TestReadSet:
+    def test_record_and_len(self):
+        rs = ReadSet()
+        rs.record("a")
+        rs.record("a")
+        rs.record("b")
+        assert len(rs) == 2
+
+    def test_intersects(self):
+        rs = ReadSet()
+        rs.record("a")
+        rs.record("b")
+        assert rs.intersects({"b", "z"})
+        assert not rs.intersects({"x", "y"})
+        assert not rs.intersects(set())
+
+    def test_clear(self):
+        rs = ReadSet()
+        rs.record("a")
+        rs.clear()
+        assert len(rs) == 0
