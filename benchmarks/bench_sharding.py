@@ -1,0 +1,163 @@
+"""Sharding study: throughput scaling and the cross-shard commit cost.
+
+Two sweeps on the discrete-event simulator (virtual time, GIL-free —
+same methodology as the Figure-4 study):
+
+* **shard scaling** — aggregate committed-transaction throughput at
+  1/2/4/8 shards under a low cross-shard ratio; the per-shard commit
+  latch with its synchronous durability I/O is the bottleneck sharding
+  splits, so throughput must scale (asserted: ≥2× at 4 shards);
+* **cross-shard ratio** — throughput at 4 shards as the probability of a
+  two-phase commit rises from 0 to 1; every cross-shard transaction holds
+  two shard pipelines and pays one durability I/O per participant, so the
+  curve must fall monotonically.
+
+A third benchmark drives the *real* ``ShardedTransactionManager`` end to
+end and reports wall-clock numbers (no scaling assertion there: threads
+share the GIL; correctness of the sharded engine is covered by
+``tests/test_sharding*.py``).
+
+Run:  pytest benchmarks/bench_sharding.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ShardedTransactionManager
+from repro.sim import run_sharded_benchmark, sweep_cross_ratio, sweep_shards
+from repro.workload import WorkloadConfig, WorkloadGenerator, apply_script
+
+from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, report_lines
+
+SHARD_COUNTS = [1, 2, 4, 8]
+CROSS_RATIOS = [0.0, 0.1, 0.25, 0.5, 1.0]
+LOW_CROSS_RATIO = 0.05
+CLIENTS = 8
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_shard_scaling(benchmark):
+    """Aggregate throughput over the shard-count sweep (low cross ratio)."""
+    results = benchmark.pedantic(
+        sweep_shards,
+        args=(SHARD_COUNTS, LOW_CROSS_RATIO),
+        kwargs=dict(
+            clients=CLIENTS,
+            duration_us=BENCH_DURATION_US,
+            warmup_us=BENCH_WARMUP_US,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = results[0]
+    report_lines(
+        f"Shard scaling (cross ratio {LOW_CROSS_RATIO}, {CLIENTS} writers)",
+        [
+            f"{r.num_shards} shard(s): {r.throughput_ktps:7.1f} K tps  "
+            f"(x{r.throughput_tps / baseline.throughput_tps:4.2f}, "
+            f"cross {r.cross_shard_commits}, aborts {r.aborts})"
+            for r in results
+        ],
+    )
+    by_shards = {r.num_shards: r for r in results}
+    speedup_4 = by_shards[4].throughput_tps / by_shards[1].throughput_tps
+    assert speedup_4 >= 2.0, f"4-shard speedup only x{speedup_4:.2f}"
+    # more shards never hurt on this workload
+    curve = [by_shards[n].throughput_tps for n in SHARD_COUNTS]
+    assert all(b > a for a, b in zip(curve, curve[1:])), curve
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_cross_shard_ratio_sweep(benchmark):
+    """Two-phase commits are strictly more expensive: throughput falls as
+    the cross-shard probability rises, and the measured cross fraction
+    tracks the configured probability."""
+    results = benchmark.pedantic(
+        sweep_cross_ratio,
+        args=(4, CROSS_RATIOS),
+        kwargs=dict(
+            clients=CLIENTS,
+            duration_us=BENCH_DURATION_US,
+            warmup_us=BENCH_WARMUP_US,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report_lines(
+        "Cross-shard ratio sweep (4 shards)",
+        [
+            f"ratio {r.cross_ratio:4.2f}: {r.throughput_ktps:7.1f} K tps  "
+            f"(measured cross fraction {r.cross_shard_fraction:.2f})"
+            for r in results
+        ],
+    )
+    curve = [r.throughput_tps for r in results]
+    assert all(b < a for a, b in zip(curve, curve[1:])), curve
+    for r in results:
+        assert abs(r.cross_shard_fraction - r.cross_ratio) < 0.1, (
+            r.cross_ratio,
+            r.cross_shard_fraction,
+        )
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_contention_relief_under_hot_keys(benchmark):
+    """θ = 1.2 hot-key contention: sharding still helps because the hot
+    keys spread over residue classes (aligned keys keep the Zipf shape)."""
+
+    def measure():
+        one = run_sharded_benchmark(
+            1, LOW_CROSS_RATIO, clients=CLIENTS, theta=1.2,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        four = run_sharded_benchmark(
+            4, LOW_CROSS_RATIO, clients=CLIENTS, theta=1.2,
+            duration_us=BENCH_DURATION_US, warmup_us=BENCH_WARMUP_US,
+        )
+        return one, four
+
+    one, four = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_lines(
+        "Hot-key contention (theta=1.2)",
+        [
+            f"1 shard : {one.throughput_ktps:7.1f} K tps (aborts {one.aborts})",
+            f"4 shards: {four.throughput_ktps:7.1f} K tps (aborts {four.aborts})",
+        ],
+    )
+    assert four.throughput_tps > one.throughput_tps
+
+
+@pytest.mark.benchmark(group="sharding")
+@pytest.mark.parametrize("protocol", ["mvcc", "s2pl", "bocc"])
+def test_real_engine_sharded(benchmark, protocol):
+    """Wall-clock smoke of the real sharded engine (reported, not asserted:
+    CPython threads cannot exhibit shard parallelism)."""
+    config = WorkloadConfig(table_size=4_096, txn_length=8)
+    smgr = ShardedTransactionManager(num_shards=4, protocol=protocol)
+    for state_id in config.states:
+        smgr.create_table(state_id)
+    smgr.register_group("stream_query", list(config.states))
+    wl = WorkloadGenerator(config)
+
+    def run_batch():
+        for _ in range(25):
+            script = wl.sharded_transaction(4, 0.2)
+
+            def work(txn, script=script):
+                apply_script(smgr, txn, script)
+
+            smgr.run_transaction(work, max_restarts=1_000)
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    stats = smgr.stats()
+    report_lines(
+        f"Real sharded engine ({protocol})",
+        [
+            f"single-shard commits: {stats['single_shard_commits']}",
+            f"cross-shard commits : {stats['cross_shard_commits']}",
+            f"cross-shard aborts  : {stats['cross_shard_aborts']}",
+        ],
+    )
+    assert stats["single_shard_commits"] > 0
+    assert stats["cross_shard_commits"] > 0

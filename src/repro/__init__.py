@@ -37,6 +37,9 @@ Quickstart::
 from .core import (
     GCPolicy,
     IsolationLevel,
+    ShardedSnapshotView,
+    ShardedTransaction,
+    ShardedTransactionManager,
     SnapshotView,
     StateContext,
     StateTable,
@@ -65,6 +68,9 @@ __all__ = [
     "LSMStore",
     "MemoryKVStore",
     "ReproError",
+    "ShardedSnapshotView",
+    "ShardedTransaction",
+    "ShardedTransactionManager",
     "SnapshotView",
     "StateContext",
     "StateTable",

@@ -32,7 +32,14 @@ from .locks import LockManager, LockMode
 from .manager import TransactionManager
 from .mvcc import MVCCProtocol
 from .protocol import ConcurrencyControl, ProtocolStats, make_protocol, protocol_names
+from .protocol import PreparedCommit
 from .s2pl import S2PLProtocol
+from .sharding import (
+    ShardedSnapshotView,
+    ShardedTransaction,
+    ShardedTransactionManager,
+    shard_of_key,
+)
 from .snapshot import SnapshotView
 from .table import StateTable
 from .timestamps import INF_TS, ZERO_TS, AtomicBitmask, TimestampOracle
@@ -69,11 +76,15 @@ __all__ = [
     "MVCCProtocol",
     "PICKLE_CODEC",
     "PickleCodec",
+    "PreparedCommit",
     "ProtocolStats",
     "ReadSet",
     "S2PLProtocol",
     "STR_CODEC",
     "SecondaryIndex",
+    "ShardedSnapshotView",
+    "ShardedTransaction",
+    "ShardedTransactionManager",
     "SnapshotView",
     "StateContext",
     "StateFlag",
@@ -91,4 +102,5 @@ __all__ = [
     "ZERO_TS",
     "make_protocol",
     "protocol_names",
+    "shard_of_key",
 ]

@@ -31,7 +31,7 @@ from typing import Any
 
 from ..errors import ValidationFailure
 from .context import StateContext
-from .protocol import ConcurrencyControl, register_protocol
+from .protocol import ConcurrencyControl, PreparedCommit, register_protocol
 from .transactions import Transaction
 from .write_set import WriteKind
 
@@ -126,36 +126,50 @@ class BOCCProtocol(ConcurrencyControl):
 
     # ----------------------------------------------------------- txn ending
 
-    def commit_transaction(self, txn: Transaction) -> int:
-        written = sorted(sid for sid, ws in txn.write_sets.items() if ws)
-        with self._validation_mutex:
-            self._validate_backward(txn)
-            if not written:
-                self.stats.commits += 1
-                return self.context.oracle.current()
+    def prepare_transaction(self, txn: Transaction) -> PreparedCommit:
+        """Enter the serial validation section and validate backward.
 
-            with ExitStack() as stack:
-                for state_id in written:
-                    stack.enter_context(self.table(state_id).commit_latch)
-                commit_ts = self.context.oracle.next()
-                oldest = self._gc_horizon(written)
-                for state_id in written:
+        The section stays held until ``commit_prepared``/``abort_prepared``
+        releases it — validation and write phase form one critical section,
+        exactly as in the single-site commit.
+        """
+        written = self._written_states(txn)
+        stack = ExitStack()
+        self._validation_mutex.acquire()
+        # Registered first => released last: latches free before the section.
+        stack.callback(self._validation_mutex.release)
+        try:
+            self._validate_backward(txn)
+            for state_id in written:
+                stack.enter_context(self.table(state_id).commit_latch)
+        except BaseException:
+            stack.close()
+            raise
+        return PreparedCommit(written, stack)
+
+    def commit_prepared(
+        self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
+    ) -> None:
+        try:
+            if prepared.written:
+                oldest = self._gc_horizon(prepared.written)
+                for state_id in prepared.written:
                     self.table(state_id).apply_write_set(
                         txn.write_sets[state_id], commit_ts, oldest
                     )
                 self._publish(txn, commit_ts)
-
-            finish_ts = self.context.oracle.next()
-            self._committed.append(
-                _CommitRecord(
-                    commit_ts,
-                    finish_ts,
-                    {sid: txn.write_sets[sid].keys() for sid in written},
+                finish_ts = self.context.oracle.next()
+                self._committed.append(
+                    _CommitRecord(
+                        commit_ts,
+                        finish_ts,
+                        {sid: txn.write_sets[sid].keys() for sid in prepared.written},
+                    )
                 )
-            )
-            self._prune_log()
+                self._prune_log()
+        finally:
+            prepared.resources.close()
         self.stats.commits += 1
-        return commit_ts
 
     def _validate_backward(self, txn: Transaction) -> None:
         """RS(T) ∩ WS(T_i) = ∅ for every T_i that *finished* after T began.

@@ -23,7 +23,7 @@ import threading
 
 from ..errors import ABORT_GROUP, ABORT_USER, TransactionAborted
 from .context import StateContext
-from .protocol import ConcurrencyControl
+from .protocol import ConcurrencyControl, PreparedCommit
 from .transactions import StateFlag, Transaction, TxnStatus
 
 
@@ -102,6 +102,54 @@ class GroupCommitCoordinator:
             return
         self.protocol.abort_transaction(txn)
         txn.mark_aborted(reason)
+        self.context.finish(txn)
+        self.global_aborts += 1
+
+    # -------------------------------------------------- cross-site two-phase
+
+    def prepare_all(self, txn: Transaction) -> PreparedCommit:
+        """Participant-side prepare for a distributed (cross-shard) commit.
+
+        Flags every registered state ``Commit``, moves the transaction to
+        ``COMMITTING`` and runs the protocol's prepare phase.  On success
+        the returned handle pins every local commit resource and the caller
+        owns the outcome: it must call :meth:`commit_prepared` with the
+        globally chosen commit timestamp or :meth:`abort_prepared`.  On
+        validation failure the transaction is finished as aborted here and
+        the error propagates (the distributed coordinator then aborts the
+        remaining participants).
+        """
+        txn.ensure_active()
+        with self._decision_mutex:
+            for state_id in txn.registered_states():
+                txn.flag(state_id, StateFlag.COMMIT)
+            txn.status = TxnStatus.COMMITTING
+        try:
+            return self.protocol.prepare_transaction(txn)
+        except TransactionAborted as exc:
+            with self._decision_mutex:
+                txn.mark_aborted(exc.reason)
+            self.context.finish(txn)
+            self.global_aborts += 1
+            raise
+
+    def commit_prepared(
+        self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
+    ) -> None:
+        """Participant-side phase two: apply at ``commit_ts`` and finish."""
+        self.protocol.commit_prepared(txn, prepared, commit_ts)
+        with self._decision_mutex:
+            txn.mark_committed(commit_ts)
+        self.context.finish(txn)
+        self.global_commits += 1
+
+    def abort_prepared(
+        self, txn: Transaction, prepared: PreparedCommit, reason: str = ABORT_GROUP
+    ) -> None:
+        """Back a prepared participant out (another participant failed)."""
+        self.protocol.abort_prepared(txn, prepared)
+        with self._decision_mutex:
+            txn.mark_aborted(reason)
         self.context.finish(txn)
         self.global_aborts += 1
 

@@ -37,6 +37,7 @@ from .isolation import IsolationLevel
 from .protocol import ConcurrencyControl, make_protocol
 from .snapshot import SnapshotView
 from .table import StateTable
+from .timestamps import TimestampOracle
 from .transactions import Transaction
 from .version_store import DEFAULT_SLOTS
 
@@ -55,9 +56,12 @@ class TransactionManager:
         context: StateContext | None = None,
         gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
         gc_interval: int = 1000,
+        oracle: TimestampOracle | None = None,
         **protocol_kwargs: Any,
     ) -> None:
-        self.context = context or StateContext()
+        if context is not None and oracle is not None:
+            raise ValueError("pass either a context or an oracle, not both")
+        self.context = context or StateContext(oracle=oracle)
         if isinstance(protocol, ConcurrencyControl):
             self.protocol = protocol
         else:
@@ -223,6 +227,12 @@ class TransactionManager:
                 restarts += 1
                 if restarts > max_restarts:
                     raise
+            except BaseException:
+                # Bug in work() (or KeyboardInterrupt): not retryable, but
+                # the transaction must still release its locks/snapshots.
+                if not txn.is_finished():
+                    self.abort(txn)
+                raise
             finally:
                 txn.restarts = restarts
 

@@ -30,7 +30,7 @@ from typing import Any
 
 from ..errors import WriteConflict
 from .context import StateContext
-from .protocol import ConcurrencyControl, register_protocol
+from .protocol import ConcurrencyControl, PreparedCommit, register_protocol
 from .transactions import Transaction
 from .write_set import WriteKind
 
@@ -162,33 +162,29 @@ class MVCCProtocol(ConcurrencyControl):
 
     # ----------------------------------------------------------- txn ending
 
-    def commit_transaction(self, txn: Transaction) -> int:
-        """Atomically commit all buffered writes across all touched states."""
-        written = sorted(sid for sid, ws in txn.write_sets.items() if ws)
-        if not written:
-            # Read-only: nothing to validate or apply; commit at current ts.
-            commit_ts = self.context.oracle.current()
-            self.stats.commits += 1
-            return commit_ts
+    def prepare_transaction(self, txn: Transaction) -> PreparedCommit:
+        """Validate FCW under the commit latches; hold them until phase two.
 
-        with ExitStack() as stack:
+        Read-only transactions prepare trivially (nothing to validate or
+        pin).  After a successful prepare the commit cannot fail locally —
+        the latches fence out competing committers until
+        :meth:`~repro.core.protocol.ConcurrencyControl.commit_prepared`
+        or ``abort_prepared`` releases them.
+        """
+        written = self._written_states(txn)
+        stack = ExitStack()
+        if not written:
+            return PreparedCommit(written, stack)
+        try:
             # Lock every involved table in sorted order (deadlock freedom);
             # this is the paper's "short synchronization ... during commit".
             for state_id in written:
                 stack.enter_context(self.table(state_id).commit_latch)
-
             self._validate_first_committer_wins(txn, written)
-
-            commit_ts = self.context.oracle.next()
-            oldest = self._gc_horizon(written)
-            for state_id in written:
-                self.table(state_id).apply_write_set(
-                    txn.write_sets[state_id], commit_ts, oldest
-                )
-            # Visibility flip: publish LastCTS only after *all* states applied.
-            self._publish(txn, commit_ts)
-        self.stats.commits += 1
-        return commit_ts
+        except BaseException:
+            stack.close()
+            raise
+        return PreparedCommit(written, stack)
 
     def _validate_first_committer_wins(
         self, txn: Transaction, written: list[str]

@@ -14,12 +14,27 @@ subclasses when the protocol decides the transaction must die):
   the coordinating operator, covering validation, version installation,
   base-table persistence and ``LastCTS`` publication;
 * :meth:`abort_transaction` — release every resource; never fails.
+
+The commit step is factored into an explicit two-phase surface so that a
+higher layer (the sharded manager in :mod:`repro.core.sharding`) can run a
+distributed commit across several protocol instances:
+
+* :meth:`prepare_transaction` — validate and pin every resource the commit
+  needs (commit latches, validation sections); after it returns the commit
+  can no longer fail locally;
+* :meth:`commit_prepared` — install versions at an externally chosen commit
+  timestamp, publish ``LastCTS``, release the pinned resources;
+* :meth:`abort_prepared` — release the pinned resources without applying.
+
+:meth:`commit_transaction` is the single-site composition of the two phases
+and keeps its exact pre-refactor semantics.
 """
 
 from __future__ import annotations
 
 import abc
 from collections.abc import Iterator
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -54,6 +69,20 @@ class ProtocolStats:
         }
         data.update(self.extra)
         return data
+
+
+@dataclass
+class PreparedCommit:
+    """Resources pinned between a commit's prepare and finish phases.
+
+    ``resources`` owns whatever the protocol latched during prepare (table
+    commit latches, the BOCC validation section); closing it releases them.
+    ``written`` is the sorted list of states with non-empty write sets —
+    fixed at prepare time so both phases agree on the apply set.
+    """
+
+    written: list[str]
+    resources: ExitStack
 
 
 class ConcurrencyControl(abc.ABC):
@@ -105,15 +134,79 @@ class ConcurrencyControl(abc.ABC):
 
     # ----------------------------------------------------------- txn ending
 
-    @abc.abstractmethod
+    def prepare_transaction(self, txn: Transaction) -> PreparedCommit:
+        """Phase one of a commit: validate and pin all commit resources.
+
+        On success the returned handle holds every latch/section the apply
+        step needs, and the commit can no longer fail locally — the caller
+        *must* follow up with :meth:`commit_prepared` or
+        :meth:`abort_prepared`.  On validation failure the transaction is
+        aborted, no resources stay pinned, and the validation error
+        propagates.
+
+        The default pins the written tables' commit latches (sorted order,
+        deadlock-free) and validates nothing — correct for protocols whose
+        conflicts are resolved before commit (S2PL's locks).  Protocols
+        with a commit-time decision (MVCC's First-Committer-Wins, BOCC's
+        backward validation) override this.
+        """
+        written = self._written_states(txn)
+        stack = ExitStack()
+        try:
+            for state_id in written:
+                stack.enter_context(self.table(state_id).commit_latch)
+        except BaseException:  # pragma: no cover - latches cannot fail today
+            stack.close()
+            raise
+        return PreparedCommit(written, stack)
+
+    def commit_prepared(
+        self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
+    ) -> None:
+        """Phase two: install versions at ``commit_ts``, publish, unpin."""
+        try:
+            if prepared.written:
+                oldest = self._gc_horizon(prepared.written)
+                for state_id in prepared.written:
+                    self.table(state_id).apply_write_set(
+                        txn.write_sets[state_id], commit_ts, oldest
+                    )
+                # Visibility flip: publish LastCTS after *all* states applied.
+                self._publish(txn, commit_ts)
+        finally:
+            prepared.resources.close()
+        self.stats.commits += 1
+
+    def abort_prepared(self, txn: Transaction, prepared: PreparedCommit) -> None:
+        """Back out of a prepared commit: unpin resources, abort the txn."""
+        prepared.resources.close()
+        self.abort_transaction(txn)
+
     def commit_transaction(self, txn: Transaction) -> int:
-        """Commit every buffered change atomically; returns the commit ts."""
+        """Commit every buffered change atomically; returns the commit ts.
+
+        Single-site composition of the two phases: prepare, draw the commit
+        timestamp while the resources are pinned, apply.  Read-only
+        transactions commit at the current clock without advancing it.
+        """
+        prepared = self.prepare_transaction(txn)
+        if prepared.written:
+            commit_ts = self.context.oracle.next()
+        else:
+            commit_ts = self.context.oracle.current()
+        self.commit_prepared(txn, prepared, commit_ts)
+        return commit_ts
 
     @abc.abstractmethod
     def abort_transaction(self, txn: Transaction) -> None:
         """Drop buffered changes and release all protocol resources."""
 
     # --------------------------------------------------------------- common
+
+    @staticmethod
+    def _written_states(txn: Transaction) -> list[str]:
+        """Sorted states with non-empty write sets (the commit's apply set)."""
+        return sorted(sid for sid, ws in txn.write_sets.items() if ws)
 
     def _groups_of_states(self, state_ids: list[str]) -> list[str]:
         """Distinct group ids owning ``state_ids`` (ordered, deduplicated)."""

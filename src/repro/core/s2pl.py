@@ -19,13 +19,12 @@ conflicting writers, not in-place mutation.
 from __future__ import annotations
 
 from collections.abc import Iterator
-from contextlib import ExitStack
 from typing import Any, Hashable
 
 from ..errors import TransactionAborted
 from .context import StateContext
 from .locks import LockManager, LockMode
-from .protocol import ConcurrencyControl, register_protocol
+from .protocol import ConcurrencyControl, PreparedCommit, register_protocol
 from .transactions import Transaction
 from .write_set import WriteKind
 
@@ -130,29 +129,17 @@ class S2PLProtocol(ConcurrencyControl):
 
     # ----------------------------------------------------------- txn ending
 
-    def commit_transaction(self, txn: Transaction) -> int:
-        written = sorted(sid for sid, ws in txn.write_sets.items() if ws)
-        if not written:
-            commit_ts = self.context.oracle.current()
-            self.lock_manager.release_all(txn.txn_id)
-            self.stats.commits += 1
-            return commit_ts
+    # prepare_transaction: the base latch-only prepare is exactly right —
+    # the X locks held since the growing phase already make the apply step
+    # conflict-free, so there is nothing to validate at commit time.
 
-        with ExitStack() as stack:
-            for state_id in written:
-                stack.enter_context(self.table(state_id).commit_latch)
-            commit_ts = self.context.oracle.next()
-            oldest = self._gc_horizon(written)
-            for state_id in written:
-                self.table(state_id).apply_write_set(
-                    txn.write_sets[state_id], commit_ts, oldest
-                )
-            self._publish(txn, commit_ts)
+    def commit_prepared(
+        self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
+    ) -> None:
+        super().commit_prepared(txn, prepared, commit_ts)
         # Strict release: only after the commit is fully applied.
         self.lock_manager.release_all(txn.txn_id)
         txn.locks.clear()
-        self.stats.commits += 1
-        return commit_ts
 
     def abort_transaction(self, txn: Transaction) -> None:
         for write_set in txn.write_sets.values():

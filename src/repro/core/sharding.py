@@ -1,0 +1,506 @@
+"""Sharded transaction manager: hash-partitioned states, cross-shard 2PC.
+
+Scaling step beyond the paper's single-site design: every registered state
+is hash-partitioned by key across ``num_shards`` independent shards.  Each
+shard is a complete single-site stack — its own :class:`StateContext`, its
+own concurrency-control protocol instance, group-commit coordinator and
+garbage collector — so shards never contend on latches, lock tables or
+validation sections.  All shards share one :class:`TimestampOracle`, which
+keeps transaction ids and commit timestamps in a single total order across
+the whole system.
+
+Transaction routing:
+
+* a transaction that only touches keys of **one** shard commits through
+  that shard's existing single-site pipeline, completely untouched (the
+  fast path — zero overhead versus an unsharded manager);
+* a transaction whose read/write set **spans** shards commits through
+  two-phase commit built on the protocols' prepare/commit-prepared surface
+  (:mod:`repro.core.protocol`): every participant shard prepares (validates
+  and pins its commit resources) in ascending shard order, then one commit
+  timestamp is drawn from the shared oracle and applied on every shard.
+  A prepare failure on any participant aborts all of them — nothing is
+  ever applied partially.
+
+Deadlock freedom of the 2PC path: participants always prepare in ascending
+shard order, so two cross-shard commits can never hold-and-wait on each
+other's prepare resources in a cycle.  (For S2PL, *data-path* key locks are
+still acquired in client order on each shard; a lock cycle spanning two
+shards is invisible to the per-shard deadlock detectors and is resolved by
+the lock timeout — prefer MVCC/BOCC for cross-shard-heavy workloads.)
+
+Known relaxation: snapshots are per-shard.  A single-shard reader gets the
+same snapshot isolation as the unsharded manager; a cross-shard reader pins
+one snapshot per shard, which may interleave with a concurrent cross-shard
+commit (analogous to a client reading two partitions of a distributed
+store without a global snapshot service).  Cross-shard *writes* are
+all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from collections.abc import Iterator
+from heapq import merge as _heap_merge
+from typing import Any, Callable
+
+from ..errors import ABORT_GROUP, ABORT_USER, InvalidTransactionState, TransactionAborted
+from ..storage.kvstore import KVStore
+from .codecs import PICKLE_CODEC, Codec
+from .gc import GCPolicy
+from .isolation import IsolationLevel
+from .manager import TransactionManager
+from .protocol import PreparedCommit
+from .table import StateTable
+from .timestamps import TimestampOracle
+from .transactions import Transaction, TxnStatus
+from .version_store import DEFAULT_SLOTS
+
+
+def shard_of_key(key: Any, num_shards: int) -> int:
+    """Stable shard assignment for ``key``.
+
+    Integers map by modulo so workload generators can *target* a shard by
+    choosing a residue class; everything else hashes through CRC-32 of its
+    ``repr`` (stable across processes, unlike builtin ``hash``).
+    """
+    if num_shards <= 1:
+        return 0
+    if isinstance(key, int):
+        # covers bool too: True == 1 must land where 1 lands, because the
+        # per-shard tables (like any dict) treat equal keys as one key.
+        return key % num_shards
+    return zlib.crc32(repr(key).encode()) % num_shards
+
+
+class ShardedTransaction:
+    """Handle for a transaction that may span several shards.
+
+    Child transactions on the individual shards are begun lazily on first
+    touch; their handles live in :attr:`children` keyed by shard index.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "status",
+        "commit_ts",
+        "abort_reason",
+        "children",
+        "declared_states",
+        "isolation",
+        "restarts",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        declared_states: list[str] | None = None,
+        isolation: IsolationLevel = IsolationLevel.SNAPSHOT,
+    ) -> None:
+        self.txn_id = txn_id
+        self.status = TxnStatus.ACTIVE
+        self.commit_ts: int | None = None
+        self.abort_reason: str | None = None
+        #: shard index -> child transaction handle (lazily created).
+        self.children: dict[int, Transaction] = {}
+        self.declared_states = list(declared_states or [])
+        self.isolation = isolation
+        self.restarts = 0
+
+    def shards(self) -> list[int]:
+        """Ascending indices of the shards this transaction touched."""
+        return sorted(self.children)
+
+    def is_cross_shard(self) -> bool:
+        return len(self.children) > 1
+
+    def ensure_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"sharded transaction {self.txn_id} is {self.status.value}, "
+                "not active",
+                txn_id=self.txn_id,
+            )
+
+    def is_finished(self) -> bool:
+        return self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+
+    def mark_committed(self, commit_ts: int) -> None:
+        self.status = TxnStatus.COMMITTED
+        self.commit_ts = commit_ts
+
+    def mark_aborted(self, reason: str) -> None:
+        self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedTransaction(id={self.txn_id}, status={self.status.value}, "
+            f"shards={self.shards()})"
+        )
+
+
+class ShardedSnapshotView:
+    """Read-only view over every shard (per-shard snapshot pinning)."""
+
+    def __init__(self, manager: "ShardedTransactionManager", txn: ShardedTransaction) -> None:
+        self._manager = manager
+        self._txn = txn
+
+    @property
+    def txn(self) -> ShardedTransaction:
+        return self._txn
+
+    def get(self, state_id: str, key: Any) -> Any | None:
+        return self._manager.read(self._txn, state_id, key)
+
+    def multi_get(self, state_ids: list[str], key: Any) -> dict[str, Any | None]:
+        """Read ``key`` from several states; one shard, one snapshot."""
+        return {sid: self.get(sid, key) for sid in state_ids}
+
+    def scan(
+        self, state_id: str, low: Any = None, high: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Key-ordered scan merged across every shard's partition."""
+        return self._manager.scan(self._txn, state_id, low, high)
+
+    def pinned_snapshots(self) -> dict[int, dict[str, int]]:
+        """Shard index -> (group id -> pinned ReadCTS), diagnostics."""
+        return {
+            idx: dict(child.read_cts)
+            for idx, child in self._txn.children.items()
+        }
+
+
+class ShardedTransactionManager:
+    """N independent shard managers behind one transaction facade.
+
+    Mirrors the :class:`TransactionManager` API (``create_table`` /
+    ``begin`` / ``read`` / ``write`` / ``commit`` / ``snapshot`` /
+    ``run_transaction``), routing each key to its home shard and upgrading
+    the commit to two-phase only when a transaction actually spans shards.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        protocol: str = "mvcc",
+        gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
+        gc_interval: int = 1000,
+        **protocol_kwargs: Any,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive: {num_shards}")
+        self.num_shards = num_shards
+        self.protocol_name = protocol
+        #: One oracle shared by every shard: global timestamp total order.
+        self.oracle = TimestampOracle()
+        self.shards: list[TransactionManager] = [
+            TransactionManager(
+                protocol=protocol,
+                oracle=self.oracle,
+                gc_policy=gc_policy,
+                gc_interval=gc_interval,
+                **protocol_kwargs,
+            )
+            for _ in range(num_shards)
+        ]
+        # sharded-commit counters (beyond the per-shard protocol stats)
+        self.single_shard_commits = 0
+        self.cross_shard_commits = 0
+        self.cross_shard_aborts = 0
+        #: Test hook: called as ``hook(shard_index)`` right after that
+        #: participant prepared during a cross-shard commit; raising from it
+        #: simulates a participant failure between prepare and commit.
+        self.prepare_fault: Callable[[int], None] | None = None
+
+    # ------------------------------------------------------------- schema
+
+    def shard_of(self, key: Any) -> int:
+        return shard_of_key(key, self.num_shards)
+
+    def create_table(
+        self,
+        state_id: str,
+        backend_factory: Callable[[], KVStore] | None = None,
+        key_codec: Codec = PICKLE_CODEC,
+        value_codec: Codec = PICKLE_CODEC,
+        version_slots: int = DEFAULT_SLOTS,
+    ) -> list[StateTable]:
+        """Register ``state_id`` on every shard; returns the partitions.
+
+        ``backend_factory`` (not a backend instance) because each shard
+        needs its *own* base-table backend.
+        """
+        return [
+            shard.create_table(
+                state_id,
+                backend=backend_factory() if backend_factory else None,
+                key_codec=key_codec,
+                value_codec=value_codec,
+                version_slots=version_slots,
+                location=f"shard-{idx}",
+            )
+            for idx, shard in enumerate(self.shards)
+        ]
+
+    def register_group(self, group_id: str, state_ids: list[str]) -> None:
+        for shard in self.shards:
+            shard.register_group(group_id, state_ids)
+
+    def bulk_load(self, state_id: str, rows: list[tuple[Any, Any]]) -> None:
+        """Partition ``rows`` by key and bulk-load each shard's table."""
+        parts: dict[int, list[tuple[Any, Any]]] = {}
+        for key, value in rows:
+            parts.setdefault(self.shard_of(key), []).append((key, value))
+        for idx, part in parts.items():
+            self.shards[idx].table(state_id).bulk_load(part)
+
+    def table(self, shard: int, state_id: str) -> StateTable:
+        """The partition of ``state_id`` living on shard ``shard``."""
+        return self.shards[shard].table(state_id)
+
+    # -------------------------------------------------------- transactions
+
+    def begin(
+        self,
+        states: list[str] | None = None,
+        isolation: IsolationLevel | None = None,
+    ) -> ShardedTransaction:
+        """Start a sharded transaction.
+
+        ``states`` are remembered and pre-registered on every child the
+        transaction later opens (states span all shards, so children cannot
+        be pre-created without knowing which keys will be touched).
+        """
+        return ShardedTransaction(
+            self.oracle.next(), states, isolation or IsolationLevel.SNAPSHOT
+        )
+
+    def _child(self, txn: ShardedTransaction, shard: int) -> Transaction:
+        child = txn.children.get(shard)
+        if child is None:
+            child = self.shards[shard].begin(
+                states=txn.declared_states or None, isolation=txn.isolation
+            )
+            # The child begins lazily, possibly long after the logical
+            # transaction: floor its begin timestamp at the sharded begin so
+            # commit-time validation (MVCC First-Committer-Wins for blind
+            # writes, BOCC's backward horizon) covers everything committed
+            # since the *logical* begin — same rule as the unsharded
+            # manager.  All timestamps come from the one shared oracle, so
+            # the two are directly comparable.
+            child.start_ts = min(child.start_ts, txn.txn_id)
+            txn.children[shard] = child
+        return child
+
+    # data path -----------------------------------------------------------
+
+    def read(self, txn: ShardedTransaction, state_id: str, key: Any) -> Any | None:
+        txn.ensure_active()
+        shard = self.shard_of(key)
+        return self.shards[shard].read(self._child(txn, shard), state_id, key)
+
+    def write(self, txn: ShardedTransaction, state_id: str, key: Any, value: Any) -> None:
+        txn.ensure_active()
+        shard = self.shard_of(key)
+        self.shards[shard].write(self._child(txn, shard), state_id, key, value)
+
+    def delete(self, txn: ShardedTransaction, state_id: str, key: Any) -> None:
+        txn.ensure_active()
+        shard = self.shard_of(key)
+        self.shards[shard].delete(self._child(txn, shard), state_id, key)
+
+    def scan(
+        self, txn: ShardedTransaction, state_id: str, low: Any = None, high: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Merged key-ordered scan over every shard's partition."""
+        txn.ensure_active()
+        parts = [
+            self.shards[idx].scan(self._child(txn, idx), state_id, low, high)
+            for idx in range(self.num_shards)
+        ]
+        return _heap_merge(*parts, key=lambda kv: kv[0])
+
+    # txn ending ----------------------------------------------------------
+
+    def commit(self, txn: ShardedTransaction) -> int:
+        """Commit; fast path for ≤1 shard, two-phase across shards."""
+        txn.ensure_active()
+        participants = txn.shards()
+        if not participants:
+            # Never touched data: trivially committed at the current clock.
+            commit_ts = self.oracle.current()
+            txn.mark_committed(commit_ts)
+            return commit_ts
+        if len(participants) == 1:
+            return self._commit_single(txn, participants[0])
+        if not any(
+            any(ws for ws in child.write_sets.values())
+            for child in txn.children.values()
+        ):
+            return self._commit_read_only(txn, participants)
+        return self._commit_cross_shard(txn, participants)
+
+    def _commit_read_only(self, txn: ShardedTransaction, participants: list[int]) -> int:
+        """Multi-shard but read-only: no atomicity needed, commit each child
+        through its own pipeline (BOCC still validates per shard; a failed
+        validation aborts the whole transaction — nothing was applied)."""
+        commit_ts = 0
+        try:
+            for idx in participants:
+                commit_ts = max(commit_ts, self.shards[idx].commit(txn.children[idx]))
+        except TransactionAborted as exc:
+            for idx in participants:
+                child = txn.children[idx]
+                if not child.is_finished():
+                    self.shards[idx].coordinator.abort_transaction(child, exc.reason)
+            txn.mark_aborted(exc.reason)
+            raise
+        txn.mark_committed(commit_ts)
+        return commit_ts
+
+    def _commit_single(self, txn: ShardedTransaction, shard: int) -> int:
+        """Fast path: delegate to the shard's unmodified commit pipeline."""
+        try:
+            commit_ts = self.shards[shard].commit(txn.children[shard])
+        except TransactionAborted as exc:
+            txn.mark_aborted(exc.reason)
+            raise
+        txn.mark_committed(commit_ts)
+        self.single_shard_commits += 1
+        return commit_ts
+
+    def _commit_cross_shard(self, txn: ShardedTransaction, participants: list[int]) -> int:
+        """Two-phase commit across the participant shards.
+
+        Phase one prepares in ascending shard order (global order =>
+        deadlock freedom); phase two applies one shared commit timestamp on
+        every shard.  Any prepare failure aborts every participant — the
+        commit is all-or-nothing.
+        """
+        prepared: list[tuple[int, PreparedCommit]] = []
+        try:
+            for idx in participants:
+                handle = self.shards[idx].coordinator.prepare_all(txn.children[idx])
+                prepared.append((idx, handle))
+                if self.prepare_fault is not None:
+                    self.prepare_fault(idx)
+        except BaseException as exc:
+            self._abort_after_prepare_failure(txn, participants, prepared, exc)
+            raise
+        commit_ts = self.oracle.next()
+        for idx, handle in prepared:
+            shard = self.shards[idx]
+            shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
+            shard.gc.notify_commit(shard.tables())
+        txn.mark_committed(commit_ts)
+        self.cross_shard_commits += 1
+        return commit_ts
+
+    def _abort_after_prepare_failure(
+        self,
+        txn: ShardedTransaction,
+        participants: list[int],
+        prepared: list[tuple[int, PreparedCommit]],
+        cause: BaseException,
+    ) -> None:
+        """Roll every participant back: prepared ones release their pinned
+        resources, unprepared ones abort through their coordinator."""
+        for idx, handle in prepared:
+            child = txn.children[idx]
+            if not child.is_finished():
+                self.shards[idx].coordinator.abort_prepared(child, handle)
+        for idx in participants:
+            child = txn.children[idx]
+            if not child.is_finished():
+                self.shards[idx].coordinator.abort_transaction(child, ABORT_GROUP)
+        reason = cause.reason if isinstance(cause, TransactionAborted) else ABORT_GROUP
+        txn.mark_aborted(reason)
+        self.cross_shard_aborts += 1
+
+    def abort(self, txn: ShardedTransaction, reason: str = ABORT_USER) -> None:
+        if txn.is_finished():
+            return
+        for idx, child in txn.children.items():
+            if not child.is_finished():
+                self.shards[idx].coordinator.abort_transaction(child, reason)
+        txn.mark_aborted(reason)
+
+    # convenience ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self, states: list[str] | None = None) -> Iterator[ShardedTransaction]:
+        """``with smgr.transaction() as txn:`` — commit/abort bracketing."""
+        txn = self.begin(states)
+        try:
+            yield txn
+        except BaseException:
+            if not txn.is_finished():
+                self.abort(txn)
+            raise
+        else:
+            if not txn.is_finished():
+                self.commit(txn)
+
+    @contextmanager
+    def snapshot(self, isolation: IsolationLevel | None = None) -> Iterator[ShardedSnapshotView]:
+        """Read-only view over all shards (auto-committed on exit)."""
+        txn = self.begin(isolation=isolation)
+        try:
+            yield ShardedSnapshotView(self, txn)
+        finally:
+            if not txn.is_finished():
+                self.commit(txn)
+
+    def run_transaction(
+        self,
+        work: Any,
+        states: list[str] | None = None,
+        max_restarts: int = 100,
+    ) -> Any:
+        """Run ``work(txn)`` with automatic restart on conflict aborts."""
+        restarts = 0
+        while True:
+            txn = self.begin(states)
+            try:
+                result = work(txn)
+                if not txn.is_finished():
+                    self.commit(txn)
+                return result
+            except TransactionAborted:
+                if not txn.is_finished():
+                    self.abort(txn)
+                restarts += 1
+                if restarts > max_restarts:
+                    raise
+            except BaseException:
+                # Bug in work() (or KeyboardInterrupt): not retryable, but
+                # the children must still release locks/snapshots.
+                if not txn.is_finished():
+                    self.abort(txn)
+                raise
+            finally:
+                txn.restarts = restarts
+
+    # maintenance ---------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        return sum(shard.collect_garbage() for shard in self.shards)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def stats(self) -> dict[str, int]:
+        """Protocol counters summed over shards + sharded-commit counters."""
+        totals: dict[str, int] = {}
+        for shard in self.shards:
+            for name, value in shard.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        totals["shards"] = self.num_shards
+        totals["single_shard_commits"] = self.single_shard_commits
+        totals["cross_shard_commits"] = self.cross_shard_commits
+        totals["cross_shard_aborts"] = self.cross_shard_aborts
+        return totals

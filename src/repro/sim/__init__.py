@@ -8,8 +8,17 @@ DESIGN.md §3 for the substitution rationale.
 from .clients import CLIENTS, SimEnvironment, SimStats
 from .costmodel import CostModel, SimCache
 from .des import Acquire, Delay, Release, Simulator
-from .harness import SimResult, run_benchmark, sweep_theta
+from .harness import (
+    ShardedSimResult,
+    SimResult,
+    run_benchmark,
+    run_sharded_benchmark,
+    sweep_cross_ratio,
+    sweep_shards,
+    sweep_theta,
+)
 from .resources import SimLatch, SimLock
+from .sharded import ShardedSimEnvironment, ShardedSimStats, sharded_writer
 
 __all__ = [
     "Acquire",
@@ -17,6 +26,9 @@ __all__ = [
     "CostModel",
     "Delay",
     "Release",
+    "ShardedSimEnvironment",
+    "ShardedSimResult",
+    "ShardedSimStats",
     "SimCache",
     "SimEnvironment",
     "SimLatch",
@@ -25,5 +37,9 @@ __all__ = [
     "SimStats",
     "Simulator",
     "run_benchmark",
+    "run_sharded_benchmark",
+    "sharded_writer",
+    "sweep_cross_ratio",
+    "sweep_shards",
     "sweep_theta",
 ]

@@ -16,6 +16,7 @@ from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from .clients import CLIENTS, SimEnvironment, bocc_reader, bocc_writer
 from .costmodel import CostModel
 from .des import Simulator
+from .sharded import ShardedSimEnvironment, sharded_writer
 
 
 @dataclass
@@ -139,3 +140,132 @@ def sweep_theta(
 ) -> list[SimResult]:
     """One protocol's Figure-4 curve: throughput over the θ sweep."""
     return [run_benchmark(protocol, theta, readers, **kwargs) for theta in thetas]
+
+
+# --------------------------------------------------------------------------
+# multi-shard contention scenario
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardedSimResult:
+    """Outcome of one simulated sharded benchmark point."""
+
+    num_shards: int
+    cross_ratio: float
+    theta: float
+    clients: int
+    duration_us: float
+    single_shard_commits: int
+    cross_shard_commits: int
+    aborts: int
+    latch_waits: int
+    events: int
+
+    @property
+    def commits(self) -> int:
+        return self.single_shard_commits + self.cross_shard_commits
+
+    @property
+    def throughput_tps(self) -> float:
+        """Aggregate committed transactions per (virtual) second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.commits / (self.duration_us / 1_000_000.0)
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.throughput_tps / 1000.0
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.aborts
+        if attempts == 0:
+            return 0.0
+        return self.aborts / attempts
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        """Measured share of commits that took the two-phase path."""
+        if self.commits == 0:
+            return 0.0
+        return self.cross_shard_commits / self.commits
+
+
+def run_sharded_benchmark(
+    num_shards: int,
+    cross_ratio: float,
+    clients: int = 8,
+    theta: float = 0.0,
+    duration_us: float = 200_000.0,
+    warmup_us: float = 50_000.0,
+    config: WorkloadConfig | None = None,
+    cost: CostModel | None = None,
+    seed: int = 42,
+) -> ShardedSimResult:
+    """Run one point of the multi-shard contention scenario.
+
+    ``clients`` writer processes drive the sharded commit pipeline
+    (:mod:`repro.sim.sharded`); each transaction stays on one shard with
+    probability ``1 - cross_ratio`` and spans two shards otherwise.  The
+    single-shard/1-client-per-shard scaling limit is the per-shard commit
+    latch with its synchronous durability I/O — exactly the bottleneck the
+    real :class:`~repro.core.sharding.ShardedTransactionManager` splits.
+    """
+    if clients <= 0:
+        raise BenchmarkError("need at least one client")
+
+    base = config or WorkloadConfig()
+    workload = WorkloadConfig(
+        table_size=base.table_size,
+        txn_length=base.txn_length,
+        theta=theta,
+        value_bytes=base.value_bytes,
+        seed=seed,
+        states=base.states,
+    )
+    env = ShardedSimEnvironment(workload, num_shards, cross_ratio, cost)
+    sim = Simulator()
+    deadline = warmup_us + duration_us
+    for i in range(clients):
+        wl = WorkloadGenerator(workload, seed_offset=3000 + i)
+        sim.spawn(sharded_writer(env, sim, wl, deadline))
+
+    sim.run_until(warmup_us)
+    # reset counters after warm-up: measure steady state only
+    env.stats.single_shard_commits = 0
+    env.stats.cross_shard_commits = 0
+    env.stats.aborts = 0
+    env.stats.latch_waits = 0
+    sim.run_to_completion()
+
+    return ShardedSimResult(
+        num_shards=num_shards,
+        cross_ratio=cross_ratio,
+        theta=theta,
+        clients=clients,
+        duration_us=duration_us,
+        single_shard_commits=env.stats.single_shard_commits,
+        cross_shard_commits=env.stats.cross_shard_commits,
+        aborts=env.stats.aborts,
+        latch_waits=env.stats.latch_waits,
+        events=sim.events_processed,
+    )
+
+
+def sweep_shards(
+    shard_counts: list[int],
+    cross_ratio: float,
+    **kwargs: object,
+) -> list[ShardedSimResult]:
+    """Throughput-scaling curve: one point per shard count."""
+    return [run_sharded_benchmark(n, cross_ratio, **kwargs) for n in shard_counts]
+
+
+def sweep_cross_ratio(
+    num_shards: int,
+    cross_ratios: list[float],
+    **kwargs: object,
+) -> list[ShardedSimResult]:
+    """Cross-shard cost curve: one point per cross-shard probability."""
+    return [run_sharded_benchmark(num_shards, r, **kwargs) for r in cross_ratios]

@@ -1,0 +1,157 @@
+"""Sharded commit pipeline in virtual time (the scaling study's testbed).
+
+Models the :class:`~repro.core.sharding.ShardedTransactionManager` commit
+paths on the discrete-event simulator, for the same reason the Figure-4
+study runs there: the GIL hides real parallelism, virtual time does not.
+
+What is modelled, mirroring the real engine:
+
+* one exclusive commit latch per shard (a shard's whole commit pipeline —
+  the per-table latches collapse into one because every transaction of the
+  scenario writes both states);
+* the single-shard fast path: latch the home shard, validate
+  First-Committer-Wins against the shard's *real* version arrays, apply,
+  one synchronous durability I/O, release;
+* the cross-shard two-phase path: latch every participant in ascending
+  shard order, validate each, then pay one durability I/O **per
+  participant** (each shard persists its own prepare/commit decision)
+  before the atomic apply — the classical 2PC write amplification;
+* aborted transactions burn their buffered work and retry with a fresh
+  script, as the real retry loop does.
+
+The data path applies real write sets to real :class:`StateTable`
+partitions, so version-level correctness checks hold inside the sim too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.table import StateTable
+from ..core.timestamps import TimestampOracle
+from ..core.write_set import WriteSet
+from ..storage.kvstore import MemoryKVStore
+from ..workload.generator import WorkloadConfig, WorkloadGenerator
+from .costmodel import CostModel
+from .des import Acquire, Delay, Release, Simulator
+from .resources import SimLatch
+
+
+@dataclass
+class ShardedSimStats:
+    """Counters shared by all clients of one sharded simulation run."""
+
+    single_shard_commits: int = 0
+    cross_shard_commits: int = 0
+    aborts: int = 0
+    writes: int = 0
+    prepares: int = 0
+    latch_waits: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def commits(self) -> int:
+        return self.single_shard_commits + self.cross_shard_commits
+
+
+class ShardedSimEnvironment:
+    """Shared world of one sharded run: per-shard latches and partitions."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        num_shards: int,
+        cross_ratio: float,
+        cost: CostModel | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive: {num_shards}")
+        if not 0.0 <= cross_ratio <= 1.0:
+            raise ValueError(f"cross_ratio must be in [0, 1]: {cross_ratio}")
+        self.config = config
+        self.num_shards = num_shards
+        self.cross_ratio = cross_ratio
+        self.cost = cost or CostModel()
+        self.oracle = TimestampOracle()
+        self.stats = ShardedSimStats()
+        #: shard -> exclusive latch over that shard's commit pipeline.
+        self.commit_latches = [SimLatch(f"shard-{i}:commit") for i in range(num_shards)]
+        #: shard -> state id -> real table partition (version arrays).
+        self.tables: list[dict[str, StateTable]] = [
+            {
+                state_id: StateTable(
+                    f"{state_id}@{shard}", backend=MemoryKVStore()
+                )
+                for state_id in config.states
+            }
+            for shard in range(num_shards)
+        ]
+
+    def shard_of(self, key: int) -> int:
+        return key % self.num_shards if self.num_shards > 1 else 0
+
+
+def sharded_writer(
+    env: ShardedSimEnvironment,
+    sim: Simulator,
+    wl: WorkloadGenerator,
+    deadline: float,
+):
+    """One writer client of the multi-shard contention scenario."""
+    cost = env.cost
+    while sim.now < deadline:
+        script = wl.sharded_transaction(env.num_shards, env.cross_ratio)
+        start_ts = env.oracle.current()
+        yield Delay(cost.begin_us + len(script.ops) * cost.write_buffer_us)
+
+        # bucket the buffered writes by home shard
+        shard_sets: dict[int, dict[str, WriteSet]] = {}
+        for op in script.ops:
+            shard = env.shard_of(op.key)
+            shard_sets.setdefault(shard, {}).setdefault(
+                op.state_id, WriteSet()
+            ).upsert(op.key, op.value)
+            env.stats.writes += 1
+        shards = sorted(shard_sets)
+        cross = len(shards) > 1
+
+        # prepare: latch every participant in ascending order
+        for shard in shards:
+            latch = env.commit_latches[shard]
+            if latch.held() or latch.queue_length():
+                env.stats.latch_waits += 1
+            yield Acquire(latch)
+        env.stats.prepares += len(shards)
+        yield Delay(len(shards) * (cost.latch_us + cost.validate_base_us))
+
+        # First-Committer-Wins against each participant's real versions
+        conflict = any(
+            table.latest_cts(key) > start_ts
+            for shard in shards
+            for state_id, write_set in shard_sets[shard].items()
+            for key in write_set.entries
+            for table in (env.tables[shard][state_id],)
+        )
+        if conflict:
+            for shard in reversed(shards):
+                yield Release(env.commit_latches[shard])
+            env.stats.aborts += 1
+            continue
+
+        # apply + durability: one sync I/O per participant (2PC writes a
+        # prepare/commit record on every shard; the fast path writes one)
+        nkeys = sum(len(ws) for sets in shard_sets.values() for ws in sets.values())
+        yield Delay(cost.commit_base_us + nkeys * cost.apply_per_key_us)
+        yield Delay(len(shards) * cost.commit_sync_io_us)
+        commit_ts = env.oracle.next()
+        for shard in shards:
+            for state_id, write_set in shard_sets[shard].items():
+                env.tables[shard][state_id].apply_write_set(
+                    write_set, commit_ts, start_ts
+                )
+        for shard in reversed(shards):
+            yield Release(env.commit_latches[shard])
+        if cross:
+            env.stats.cross_shard_commits += 1
+        else:
+            env.stats.single_shard_commits += 1

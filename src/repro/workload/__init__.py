@@ -9,6 +9,7 @@ from .generator import (
     TransactionScript,
     WorkloadConfig,
     WorkloadGenerator,
+    align_key_to_shard,
     apply_script,
     initial_rows,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "WorkloadConfig",
     "WorkloadGenerator",
     "ZipfianGenerator",
+    "align_key_to_shard",
     "apply_script",
     "initial_rows",
 ]

@@ -125,6 +125,57 @@ class WorkloadGenerator:
             script.ops.append(Operation("read", state, self._zipf.next()))
         return script
 
+    # ------------------------------------------------------ sharded scripts
+
+    def single_shard_transaction(self, shard: int, num_shards: int) -> TransactionScript:
+        """Writer transaction whose every key lives on ``shard``.
+
+        Same shape as :meth:`writer_transaction` (upserts alternating over
+        both states), with each Zipf-drawn key aligned to the home shard's
+        residue class — the sharded fast-path workload.
+        """
+        state_a, state_b = self.config.states
+        script = TransactionScript()
+        for i in range(self.config.txn_length):
+            state = state_a if i % 2 == 0 else state_b
+            key = align_key_to_shard(
+                self._zipf.next(), shard, num_shards, self.config.table_size
+            )
+            script.ops.append(Operation("write", state, key, self._value()))
+        return script
+
+    def cross_shard_transaction(
+        self, shards: list[int], num_shards: int
+    ) -> TransactionScript:
+        """Writer transaction spreading its keys round-robin over ``shards``.
+
+        Every listed shard receives at least one operation (for the usual
+        ``txn_length >= len(shards)``), forcing the two-phase commit path.
+        """
+        state_a, state_b = self.config.states
+        script = TransactionScript()
+        for i in range(self.config.txn_length):
+            state = state_a if i % 2 == 0 else state_b
+            key = align_key_to_shard(
+                self._zipf.next(), shards[i % len(shards)], num_shards,
+                self.config.table_size,
+            )
+            script.ops.append(Operation("write", state, key, self._value()))
+        return script
+
+    def sharded_transaction(self, num_shards: int, cross_ratio: float) -> TransactionScript:
+        """One writer transaction of the multi-shard contention scenario.
+
+        With probability ``cross_ratio`` the transaction spans two distinct
+        shards (two-phase commit path); otherwise it stays on a uniformly
+        drawn home shard (fast path).
+        """
+        home = self._rng.randrange(num_shards) if num_shards > 1 else 0
+        if num_shards > 1 and self._rng.random() < cross_ratio:
+            other = (home + 1 + self._rng.randrange(num_shards - 1)) % num_shards
+            return self.cross_shard_transaction([home, other], num_shards)
+        return self.single_shard_transaction(home, num_shards)
+
     def mixed_transaction(self, write_fraction: float = 0.2) -> TransactionScript:
         """A read-modify-write mix (used by extension benchmarks)."""
         state_a, state_b = self.config.states
@@ -137,6 +188,22 @@ class WorkloadGenerator:
             else:
                 script.ops.append(Operation("read", state, key))
         return script
+
+
+def align_key_to_shard(key: int, shard: int, num_shards: int, table_size: int) -> int:
+    """Move ``key`` to the nearest key of ``shard``'s residue class.
+
+    Sharded workloads need to *target* shards: the sharded manager routes
+    integer keys by ``key % num_shards``, so replacing a Zipf-drawn key with
+    the closest key of the right residue class preserves the contention
+    profile (hot keys stay hot) while pinning the operation to one shard.
+    """
+    if num_shards <= 1:
+        return key
+    aligned = (key // num_shards) * num_shards + shard
+    if aligned >= table_size:
+        aligned -= num_shards
+    return aligned if aligned >= 0 else shard
 
 
 def apply_script(manager: Any, txn: Any, script: TransactionScript) -> int:

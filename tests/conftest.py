@@ -1,13 +1,17 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Helper *functions* live in :mod:`helpers` (``tests/helpers.py``) and are
+imported explicitly by the modules that need them; this file only defines
+fixtures.  See ``tests/README.md`` for the layout rationale.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import TransactionManager
+from helpers import PROTOCOLS
 
-#: All three concurrency-control protocols under test.
-PROTOCOLS = ["mvcc", "s2pl", "bocc"]
+from repro.core import TransactionManager
 
 
 @pytest.fixture(params=PROTOCOLS)
@@ -34,9 +38,3 @@ def mgr_any(any_protocol) -> TransactionManager:
     manager.create_table("B")
     manager.register_group("g", ["A", "B"])
     return manager
-
-
-def load_initial(manager: TransactionManager, n: int = 10) -> None:
-    """Bulk-load n rows (key i -> i * 10) into both states."""
-    manager.table("A").bulk_load([(i, i * 10) for i in range(n)])
-    manager.table("B").bulk_load([(i, i * 100) for i in range(n)])

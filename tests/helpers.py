@@ -1,0 +1,22 @@
+"""Shared helpers for the test suite, imported explicitly by test modules.
+
+Lives in its own module (not ``conftest.py``) on purpose: test modules
+used to do ``from conftest import load_initial``, which resolves to
+*whichever* ``conftest.py`` pytest imported first under the bare module
+name — ``benchmarks/conftest.py`` when both directories are collected —
+and five modules failed collection.  ``helpers`` exists only under
+``tests/``, so ``from helpers import ...`` cannot be shadowed.
+"""
+
+from __future__ import annotations
+
+from repro.core import TransactionManager
+
+#: All three concurrency-control protocols under test.
+PROTOCOLS = ["mvcc", "s2pl", "bocc"]
+
+
+def load_initial(manager: TransactionManager, n: int = 10) -> None:
+    """Bulk-load n rows (key i -> i * 10 / i * 100) into states A and B."""
+    manager.table("A").bulk_load([(i, i * 10) for i in range(n)])
+    manager.table("B").bulk_load([(i, i * 100) for i in range(n)])

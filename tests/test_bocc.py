@@ -5,7 +5,7 @@ import pytest
 from repro.core import TransactionManager
 from repro.errors import ValidationFailure
 
-from conftest import load_initial
+from helpers import load_initial
 
 
 @pytest.fixture()

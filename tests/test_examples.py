@@ -4,6 +4,7 @@ Each example doubles as an integration test of the public API; failures
 here mean the documented entry points broke.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,14 +12,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 120) -> str:
+    # Examples import `repro` from src/; a bare `pytest` run gets src/ via
+    # the pythonpath ini option, which subprocesses do not inherit.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout
@@ -47,6 +56,14 @@ def test_recovery_demo():
     out = run_example("recovery_demo.py")
     assert "uncommitted write is gone, committed data intact" in out
     assert "post-recovery write: {'stock': 42}" in out
+
+
+@pytest.mark.parametrize("protocol", ["mvcc", "s2pl", "bocc"])
+def test_sharding_demo(protocol):
+    out = run_example("sharding_demo.py", protocol)
+    assert "sum invariant holds" in out
+    assert "all-or-nothing: balances unchanged after the failed 2PC" in out
+    assert "merged scan returned 16 keys in order" in out
 
 
 def test_protocol_comparison_fast():

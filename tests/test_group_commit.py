@@ -6,7 +6,7 @@ from repro.core import TransactionManager
 from repro.core.transactions import StateFlag, TxnStatus
 from repro.errors import TransactionAborted, WriteConflict
 
-from conftest import load_initial
+from helpers import load_initial
 
 
 class TestVoting:

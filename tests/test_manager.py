@@ -5,7 +5,7 @@ import pytest
 from repro.core import GCPolicy, TransactionManager
 from repro.errors import StateError, TransactionAborted, UnknownState
 
-from conftest import load_initial
+from helpers import load_initial
 
 
 class TestSchema:

@@ -8,7 +8,7 @@ from repro.core import TransactionManager
 from repro.core.locks import LockMode
 from repro.errors import DeadlockDetected, LockTimeout
 
-from conftest import load_initial
+from helpers import load_initial
 
 
 @pytest.fixture()
