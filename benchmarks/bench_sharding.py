@@ -28,7 +28,7 @@ from repro.core import ShardedTransactionManager
 from repro.sim import run_sharded_benchmark, sweep_cross_ratio, sweep_shards
 from repro.workload import WorkloadConfig, WorkloadGenerator, apply_script
 
-from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, report_lines
+from conftest import BENCH_DURATION_US, BENCH_WARMUP_US, record_bench, report_lines
 
 SHARD_COUNTS = [1, 2, 4, 8]
 CROSS_RATIOS = [0.0, 0.1, 0.25, 0.5, 1.0]
@@ -59,6 +59,23 @@ def test_shard_scaling(benchmark):
             f"cross {r.cross_shard_commits}, aborts {r.aborts})"
             for r in results
         ],
+    )
+    record_bench(
+        __file__,
+        "shard_scaling",
+        {
+            "cross_ratio": LOW_CROSS_RATIO,
+            "clients": CLIENTS,
+            "points": [
+                {
+                    "shards": r.num_shards,
+                    "ktps": round(r.throughput_ktps, 1),
+                    "speedup": round(r.throughput_tps / baseline.throughput_tps, 2),
+                    "aborts": r.aborts,
+                }
+                for r in results
+            ],
+        },
     )
     by_shards = {r.num_shards: r for r in results}
     speedup_4 = by_shards[4].throughput_tps / by_shards[1].throughput_tps
@@ -91,6 +108,21 @@ def test_cross_shard_ratio_sweep(benchmark):
             f"(measured cross fraction {r.cross_shard_fraction:.2f})"
             for r in results
         ],
+    )
+    record_bench(
+        __file__,
+        "cross_ratio_sweep",
+        {
+            "shards": 4,
+            "points": [
+                {
+                    "cross_ratio": r.cross_ratio,
+                    "ktps": round(r.throughput_ktps, 1),
+                    "measured_cross_fraction": round(r.cross_shard_fraction, 3),
+                }
+                for r in results
+            ],
+        },
     )
     curve = [r.throughput_tps for r in results]
     assert all(b < a for a, b in zip(curve, curve[1:])), curve

@@ -3,15 +3,45 @@
 Benchmarks run the simulated Figure-4 workload at a reduced virtual
 duration (the curves stabilise well below the default); the
 full-resolution sweep is available via ``examples/protocol_comparison.py``.
+
+Machine-readable results: every benchmark module writes a
+``BENCH_<name>.json`` next to this file so the perf trajectory is tracked
+across PRs.  Two sources feed it:
+
+* :func:`record_bench` — domain metrics (throughput, speedups, configs)
+  recorded explicitly by the benchmark bodies;
+* a ``pytest_sessionfinish`` hook that dumps per-test wall-clock timing
+  (mean / p50 / p99) for every pytest-benchmark measurement of the run.
+
+``--smoke`` shrinks parameter grids for the non-blocking CI smoke job.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
 #: Virtual measurement window per benchmark point (microseconds).
 BENCH_DURATION_US = 30_000.0
 BENCH_WARMUP_US = 8_000.0
+
+RESULTS_DIR = Path(__file__).resolve().parent
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink benchmark grids to a fast CI smoke subset",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
 
 
 @pytest.fixture(scope="session")
@@ -25,3 +55,52 @@ def report_lines(title: str, lines: list[str]) -> None:
     print(f"=== {title} ===")
     for line in lines:
         print(line)
+
+
+def _result_path(module_file: str) -> Path:
+    name = Path(module_file).stem.removeprefix("bench_")
+    return RESULTS_DIR / f"BENCH_{name}.json"
+
+
+def record_bench(module_file: str, section: str, payload: dict) -> None:
+    """Merge one section of machine-readable results into the module's
+    ``BENCH_<name>.json``.  Called as ``record_bench(__file__, "...", {...})``;
+    written incrementally so partial runs still leave a file behind.
+    """
+    path = _result_path(module_file)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
+
+
+def _percentile(data: list[float], q: float) -> float:
+    if not data:
+        return 0.0
+    ordered = sorted(data)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump per-test timing stats for every pytest-benchmark measurement."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, dict] = {}
+    for bench in bench_session.benchmarks:
+        module_file = bench.fullname.split("::", 1)[0]
+        data = list(getattr(bench.stats, "data", []) or [])
+        by_module.setdefault(module_file, {})[bench.name] = {
+            "group": bench.group,
+            "rounds": len(data),
+            "mean_s": sum(data) / len(data) if data else 0.0,
+            "p50_s": _percentile(data, 0.50),
+            "p99_s": _percentile(data, 0.99),
+        }
+    for module_file, timings in by_module.items():
+        record_bench(module_file, "timings", timings)

@@ -24,6 +24,16 @@ from .codecs import (
     StrCodec,
 )
 from .context import GroupInfo, StateContext, StateInfo
+from .durability import (
+    DURABILITY_ASYNC,
+    DURABILITY_SYNC,
+    CommitLogRecord,
+    DurabilityTicket,
+    GroupFsyncDaemon,
+    PrepareLogRecord,
+    recovered_commits,
+    replay_commit_wal,
+)
 from .gc import GarbageCollector, GCPolicy, GCReport
 from .group_commit import GroupCommitCoordinator
 from .indexes import IndexSet, SecondaryIndex
@@ -53,14 +63,19 @@ __all__ = [
     "BYTES_CODEC",
     "BytesCodec",
     "Codec",
+    "CommitLogRecord",
     "ConcurrencyControl",
     "DEFAULT_SLOTS",
+    "DURABILITY_ASYNC",
+    "DURABILITY_SYNC",
+    "DurabilityTicket",
     "FLOAT_CODEC",
     "FloatCodec",
     "GCPolicy",
     "GCReport",
     "GarbageCollector",
     "GroupCommitCoordinator",
+    "GroupFsyncDaemon",
     "GroupInfo",
     "INF_TS",
     "INT4_CODEC",
@@ -76,6 +91,7 @@ __all__ = [
     "MVCCProtocol",
     "PICKLE_CODEC",
     "PickleCodec",
+    "PrepareLogRecord",
     "PreparedCommit",
     "ProtocolStats",
     "ReadSet",
@@ -102,5 +118,7 @@ __all__ = [
     "ZERO_TS",
     "make_protocol",
     "protocol_names",
+    "recovered_commits",
+    "replay_commit_wal",
     "shard_of_key",
 ]

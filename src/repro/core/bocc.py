@@ -150,6 +150,11 @@ class BOCCProtocol(ConcurrencyControl):
     def commit_prepared(
         self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
     ) -> None:
+        """Write phase inside the validation section; the durability wait
+        and the ``LastCTS`` publish run after the section is released so
+        concurrent committers can share one fsync.  The commit record must
+        be appended *inside* the section — later validators compare against
+        it — but publishing later only delays visibility, which is safe."""
         try:
             if prepared.written:
                 oldest = self._gc_horizon(prepared.written)
@@ -157,7 +162,6 @@ class BOCCProtocol(ConcurrencyControl):
                     self.table(state_id).apply_write_set(
                         txn.write_sets[state_id], commit_ts, oldest
                     )
-                self._publish(txn, commit_ts)
                 finish_ts = self.context.oracle.next()
                 self._committed.append(
                     _CommitRecord(
@@ -167,8 +171,12 @@ class BOCCProtocol(ConcurrencyControl):
                     )
                 )
                 self._prune_log()
+                self._await_durable(prepared, in_latch=True)
         finally:
             prepared.resources.close()
+        if prepared.written:
+            self._await_durable(prepared, in_latch=False)
+            self._publish(txn, commit_ts)
         self.stats.commits += 1
 
     def _validate_backward(self, txn: Transaction) -> None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import StateError, UnknownState, UnknownTopology
+from .isolation import IsolationLevel
 from .timestamps import AtomicBitmask, TimestampOracle
 from .transactions import Transaction
 
@@ -157,8 +158,6 @@ class StateContext:
         pruning) can slip between them and treat the new timestamp as
         already-inactive.
         """
-        from .isolation import IsolationLevel
-
         slot = self._slots.claim_free_slot()
         with self._lock:
             txn_id = self.oracle.next()
@@ -190,18 +189,29 @@ class StateContext:
         Versions with ``dts <= oldest_active_version()`` are unreachable and
         eligible for garbage collection.  With no active transactions this
         is the current clock value (everything superseded is collectable).
+
+        Runs on every writing commit (the GC horizon), so the scan is
+        allocation-free: both the pinned snapshots and the begin timestamp
+        bound what a transaction may still read (conservative horizon).
+        A reader may pin a new snapshot (``pin_snapshot`` inserts into its
+        own ``read_cts`` without this lock) mid-scan; CPython raises
+        ``RuntimeError`` for the resize, and the scan simply retries — any
+        snapshot pinned concurrently is bounded below by that reader's
+        ``start_ts``, which the scan already covers.
         """
-        with self._lock:
-            actives = list(self._active.values())
-        if not actives:
-            return self.oracle.current()
-        oldest = self.oracle.current()
-        for txn in actives:
-            # Both the pinned snapshots and the begin timestamp bound what
-            # the transaction may still read (conservative horizon).
-            candidate = min(list(txn.read_cts.values()) + [txn.start_ts])
-            oldest = min(oldest, candidate)
-        return oldest
+        while True:
+            oldest = self.oracle.current()
+            try:
+                with self._lock:
+                    for txn in self._active.values():
+                        if txn.start_ts < oldest:
+                            oldest = txn.start_ts
+                        for ts in txn.read_cts.values():
+                            if ts < oldest:
+                                oldest = ts
+                return oldest
+            except RuntimeError:
+                continue
 
     # ------------------------------------------------------------ snapshots
 
@@ -226,8 +236,28 @@ class StateContext:
 
     # ------------------------------------------------------- group LastCTS
 
+    def group_id_of(self, state_id: str) -> str:
+        """Lock-free group lookup for the commit hot path.
+
+        A single dict read is atomic under the GIL and ``register_group``
+        only ever swaps the ``group_id`` attribute, so the worst race is
+        reading the pre-registration group — the same outcome as committing
+        just before the registration.
+        """
+        info = self._states.get(state_id)
+        if info is None:
+            raise UnknownState(f"state {state_id!r} is not registered")
+        return info.group_id
+
     def last_cts(self, group_id: str) -> int:
-        return self.group(group_id).last_cts
+        """Current ``LastCTS`` of a group (lock-free read; publication is a
+        monotonic max under the context lock, and a reader that misses an
+        in-flight publish simply sees the previous prefix — exactly what a
+        snapshot pinned a moment earlier would have seen)."""
+        group = self._groups.get(group_id)
+        if group is None:
+            raise UnknownTopology(f"group {group_id!r} is not registered")
+        return group.last_cts
 
     def publish_group_commit(self, group_id: str, commit_ts: int) -> None:
         """Atomically publish a completed group commit.

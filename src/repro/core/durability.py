@@ -1,0 +1,555 @@
+"""Per-shard commit durability pipeline: batched-fsync group commit.
+
+The paper runs RocksDB with ``sync = true`` "to guarantee failure
+atomicity", so every commit pays a full fsync before it is acknowledged —
+exactly the per-shard throughput ceiling the sharded simulation measures.
+This module decouples the commit critical section (timestamp assignment +
+version install) from the durability wait, in the style of PostgreSQL's
+``commit_delay`` and RocksDB's group WAL write:
+
+* committers encode their transaction's redo image as a commit record and
+  enqueue it on their shard's :class:`GroupFsyncDaemon`;
+* the first waiter becomes the *leader*: it drains the queue, writes the
+  whole batch through :meth:`~repro.storage.wal.WriteAheadLog.append_many`
+  (one buffered write, one fsync) and wakes every follower;
+* in ``sync`` mode ``LastCTS`` is published only after the batch is
+  durable, so no reader snapshot ever exposes a commit a crash could lose.
+
+Ordering invariant.  Commit timestamps are drawn *under the daemon mutex*
+(:meth:`GroupFsyncDaemon.submit_commit`, and
+:func:`reserve_group_commit` for cross-shard 2PC), which makes WAL order
+equal commit-timestamp order per shard.  Batches are contiguous queue
+prefixes, so when a record is durable every commit of that shard with a
+smaller commit timestamp is durable too — publishing
+``LastCTS = commit_ts`` after one's own record can therefore never expose
+an earlier, still-volatile commit of the same shard.
+
+``durability="async"`` acknowledges commits immediately: the enqueue still
+happens (a background flusher drains batches within ``flush_interval``),
+but nobody waits.  Callers track crash-safety through the durable
+watermark (:meth:`GroupFsyncDaemon.durable_watermark`) and can force the
+remainder down with :meth:`GroupFsyncDaemon.flush`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import WALError
+from ..storage.wal import KIND_TXN_COMMIT, KIND_TXN_PREPARE, WriteAheadLog
+from .write_set import WriteKind, WriteSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .timestamps import TimestampOracle
+
+#: Durability modes: ``sync`` acknowledges a commit only once its record's
+#: batch is fsynced; ``async`` acknowledges immediately and lets the
+#: background flusher catch up.
+DURABILITY_SYNC = "sync"
+DURABILITY_ASYNC = "async"
+DURABILITY_MODES = (DURABILITY_SYNC, DURABILITY_ASYNC)
+
+
+# --------------------------------------------------------------------------
+# commit / prepare record encoding
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommitLogRecord:
+    """Decoded redo image of one committed transaction on one shard."""
+
+    txn_id: int
+    commit_ts: int
+    #: state id -> [(key, write-kind value, value-or-None)]
+    writes: dict[str, list[tuple[Any, str, Any]]]
+
+
+@dataclass(frozen=True)
+class PrepareLogRecord:
+    """Decoded prepare vote of a 2PC participant (redo image, no ts yet)."""
+
+    txn_id: int
+    writes: dict[str, list[tuple[Any, str, Any]]]
+
+
+def _encode_writes(write_sets: dict[str, WriteSet]) -> dict[str, list]:
+    return {
+        state_id: [
+            (key, entry.kind.value, entry.value)
+            for key, entry in write_set.entries.items()
+        ]
+        for state_id, write_set in write_sets.items()
+        if write_set
+    }
+
+
+def encode_commit_body(txn_id: int, write_sets: dict[str, WriteSet]) -> bytes:
+    """Serialise the timestamp-independent part of a commit record.
+
+    The commit timestamp is prepended as a fixed 8-byte prefix at enqueue
+    time (:func:`stamp_commit_record`): the expensive pickling then happens
+    *outside* the daemon mutex, and only the 8-byte stamp is produced
+    inside the draw+enqueue critical section.
+    """
+    return pickle.dumps(
+        (txn_id, _encode_writes(write_sets)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def stamp_commit_record(commit_ts: int, body: bytes) -> bytes:
+    """Prefix an encoded commit body with its commit timestamp."""
+    return commit_ts.to_bytes(8, "little") + body
+
+
+def encode_commit_record(
+    txn_id: int, commit_ts: int, write_sets: dict[str, WriteSet]
+) -> bytes:
+    """Serialise a transaction's redo image for the commit WAL."""
+    return stamp_commit_record(commit_ts, encode_commit_body(txn_id, write_sets))
+
+
+def decode_commit_record(payload: bytes) -> CommitLogRecord:
+    commit_ts = int.from_bytes(payload[:8], "little")
+    txn_id, writes = pickle.loads(payload[8:])
+    return CommitLogRecord(txn_id, commit_ts, writes)
+
+
+def encode_prepare_record(txn_id: int, write_sets: dict[str, WriteSet]) -> bytes:
+    return pickle.dumps(
+        (txn_id, _encode_writes(write_sets)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_prepare_record(payload: bytes) -> PrepareLogRecord:
+    txn_id, writes = pickle.loads(payload)
+    return PrepareLogRecord(txn_id, writes)
+
+
+def replay_commit_wal(
+    path: str | os.PathLike[str],
+) -> Iterator[CommitLogRecord | PrepareLogRecord]:
+    """Yield every intact commit/prepare record of a per-shard commit WAL.
+
+    Torn tails end the iteration silently (WAL replay semantics); records
+    of other kinds are skipped so the commit WAL may share a file with
+    checkpoint markers in the future.
+    """
+    for kind, payload in WriteAheadLog.replay(path):
+        if kind == KIND_TXN_COMMIT:
+            yield decode_commit_record(payload)
+        elif kind == KIND_TXN_PREPARE:
+            yield decode_prepare_record(payload)
+
+
+def recovered_commits(path: str | os.PathLike[str]) -> list[CommitLogRecord]:
+    """All durable commit records of one shard WAL, in WAL (= ts) order."""
+    return [r for r in replay_commit_wal(path) if isinstance(r, CommitLogRecord)]
+
+
+def apply_recovered_commit(record: CommitLogRecord) -> dict[str, WriteSet]:
+    """Rebuild per-state :class:`WriteSet` objects from a decoded record
+    (the redo step a storage-backed shard recovery will replay)."""
+    write_sets: dict[str, WriteSet] = {}
+    for state_id, entries in record.writes.items():
+        ws = WriteSet()
+        for key, kind, value in entries:
+            if WriteKind(kind) is WriteKind.DELETE:
+                ws.delete(key)
+            else:
+                ws.upsert(key, value)
+        write_sets[state_id] = ws
+    return write_sets
+
+
+# --------------------------------------------------------------------------
+# the daemon
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DurabilityTicket:
+    """Handle a committer holds between enqueue and the durability barrier."""
+
+    daemon: "GroupFsyncDaemon"
+    seq: int
+    commit_ts: int | None = None
+
+    @property
+    def durable(self) -> bool:
+        return self.daemon.durable_watermark() >= self.seq
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the record's batch is on stable storage."""
+        self.daemon.wait_durable(self.seq, timeout=timeout)
+
+
+class GroupFsyncDaemon:
+    """Leader/follower batched-fsync pipeline over one commit WAL.
+
+    Committers :meth:`submit` an encoded record and (in ``sync`` mode)
+    :meth:`wait_durable` on the returned ticket.  Whoever waits while no
+    leader is active claims leadership: it optionally dwells
+    ``batch_window`` seconds to let more committers pile on (PostgreSQL
+    ``commit_delay``), then writes the drained prefix with a single fsync
+    and wakes every follower.  With ``flusher=True`` a dedicated thread
+    plays permanent leader (InnoDB log-writer style) and committers only
+    ever wait.
+
+    The daemon owns its WAL: :meth:`close` flushes the queue and closes the
+    file (both idempotent).
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        mode: str = DURABILITY_SYNC,
+        max_batch: int = 128,
+        batch_window: float = 0.0,
+        flush_interval: float = 0.002,
+        flusher: bool | None = None,
+        wait_in_latch: bool = False,
+    ) -> None:
+        if mode not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability mode {mode!r}; known: {DURABILITY_MODES}"
+            )
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive: {max_batch}")
+        self.wal = wal
+        self.mode = mode
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.flush_interval = flush_interval
+        #: Reference/ablation knob: ``True`` keeps the durability wait
+        #: *inside* the table commit latches — the paper's ``sync = true``
+        #: design point, where every commit's fsync serialises the whole
+        #: commit critical section.  ``False`` (the async-group-commit
+        #: pipeline) releases the latches first so concurrent committers
+        #: pile up on the daemon and share fsyncs.  Benchmarks compare the
+        #: two to isolate what the decoupling buys.
+        self.wait_in_latch = wait_in_latch
+        #: ``_lock`` guards the queue/counters (short critical sections
+        #: only).  Durability waiters each park on their *own* event in
+        #: ``_waiters`` — batch completion sets those outside the lock, so
+        #: a batch of N wakes N threads without N serialised
+        #: re-acquisitions of the mutex.  The flusher (when present)
+        #: sleeps on ``_work`` until records arrive.
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._waiters: list[tuple[int, threading.Event]] = []
+        self._pending: list[tuple[int, int, bytes]] = []
+        self._leader_active = False
+        self._next_seq = 1
+        self._durable_seq = 0
+        self._failure: BaseException | None = None
+        self._closed = False
+        # stats
+        self.records_enqueued = 0
+        self.batches = 0
+        self.largest_batch = 0
+        # Async mode always needs the background flusher (nobody waits);
+        # sync mode defaults to leader/follower batching but can opt into a
+        # dedicated flusher thread (InnoDB-log-writer style): committers
+        # then never burn time on leader election, the fsync chain runs
+        # back-to-back on one thread, and the next batch forms while the
+        # previous one is in flight.
+        use_flusher = mode == DURABILITY_ASYNC if flusher is None else (
+            flusher or mode == DURABILITY_ASYNC
+        )
+        self._flusher: threading.Thread | None = None
+        if use_flusher:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="group-fsync-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    # ------------------------------------------------------------- enqueue
+
+    @property
+    def is_sync(self) -> bool:
+        return self.mode == DURABILITY_SYNC
+
+    def _submit_locked(self, kind: int, payload: bytes) -> DurabilityTicket:
+        if self._closed:
+            raise WALError(f"submit on closed durability daemon ({self.wal.path})")
+        if self._failure is not None:
+            # Fail fast once the WAL is poisoned: rejecting at enqueue time
+            # (before any versions are applied) keeps later transactions
+            # from installing changes that could never become durable.
+            raise WALError(
+                f"commit WAL {self.wal.path} has failed; daemon is poisoned"
+            ) from self._failure
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending.append((seq, kind, payload))
+        self.records_enqueued += 1
+        if self._flusher is not None:
+            # Only the dedicated flusher sleeps on "work arrived".
+            # Turnstile committers never need this signal — they flush for
+            # themselves — and extra wakeups are pure GIL churn.
+            self._work.notify()
+        return DurabilityTicket(self, seq)
+
+    def submit(self, kind: int, payload: bytes) -> DurabilityTicket:
+        """Enqueue one encoded record; returns the ticket to wait on."""
+        with self._lock:
+            return self._submit_locked(kind, payload)
+
+    def submit_commit(
+        self, oracle: "TimestampOracle", body: bytes
+    ) -> DurabilityTicket:
+        """Atomically draw the commit timestamp and enqueue its record.
+
+        Holding the daemon mutex across draw + enqueue is what makes WAL
+        order equal commit-timestamp order on this shard (see the module
+        docstring) — every commit of the shard must sequence through here
+        (or through :func:`reserve_group_commit`).  ``body`` is the record
+        from :func:`encode_commit_body`, pickled by the caller *outside*
+        this mutex; only the cheap 8-byte timestamp stamp happens inside.
+        """
+        with self._lock:
+            if self._closed:
+                raise WALError(
+                    f"submit on closed durability daemon ({self.wal.path})"
+                )
+            commit_ts = oracle.next()
+            ticket = self._submit_locked(
+                KIND_TXN_COMMIT, stamp_commit_record(commit_ts, body)
+            )
+            ticket.commit_ts = commit_ts
+            return ticket
+
+    # ------------------------------------------------------------- waiting
+
+    def durable_watermark(self) -> int:
+        """Highest sequence number known to be on stable storage."""
+        with self._lock:
+            return self._durable_seq
+
+    def last_enqueued(self) -> int:
+        with self._lock:
+            return self._next_seq - 1
+
+    def wait_durable(self, seq: int, timeout: float | None = None) -> None:
+        """Block until ``seq`` is durable.
+
+        Without a dedicated flusher the caller becomes the batch leader
+        when nobody else is flushing — that thread performs the shared
+        fsync for everyone queued behind it.  Followers park on a private
+        per-wait event that the completing batch sets *outside* the daemon
+        mutex, so a batch of N wakes N threads without N serialised
+        re-acquisitions of the mutex (no thundering herd).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        event: threading.Event | None = None
+        while True:
+            # Lock-free fast path: the watermark is a monotonically
+            # increasing int (its read is GIL-atomic), so observing
+            # ``durable >= seq`` is conclusive without the mutex.  Commits
+            # whose batch flushed while they were still applying write sets
+            # skip the contended lock entirely.
+            if self._durable_seq >= seq and self._failure is None:
+                return
+            with self._lock:
+                if self._durable_seq >= seq:
+                    return
+                if self._failure is not None:
+                    raise WALError(
+                        f"commit WAL {self.wal.path} failed; record {seq} "
+                        "cannot become durable"
+                    ) from self._failure
+                if self._closed:
+                    raise WALError(
+                        f"durability daemon closed before record {seq} was durable"
+                    )
+                lead = (
+                    self._flusher is None
+                    and not self._leader_active
+                    and bool(self._pending)
+                )
+                if not lead and (event is None or event.is_set()):
+                    event = threading.Event()
+                    self._waiters.append((seq, event))
+            if lead:
+                self._lead_one_batch()
+                continue
+            wait_s = 0.05
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"record {seq} not durable within {timeout}s")
+                wait_s = min(wait_s, remaining)
+            event.wait(wait_s)
+
+    def flush(self) -> int:
+        """Force everything enqueued so far to stable storage.
+
+        Returns the durable watermark after the flush (== the last sequence
+        that was enqueued before the call).  Works in both modes; in
+        ``async`` mode this is the API committers use before externalising
+        an acknowledgement that must survive a crash.
+        """
+        target = self.last_enqueued()
+        if target:
+            self.wait_durable(target)
+        return target
+
+    # ------------------------------------------------------------- leading
+
+    def _lead_one_batch(self) -> bool:
+        """Claim leadership, drain one contiguous prefix, fsync, wake all."""
+        with self._lock:
+            if self._leader_active or not self._pending:
+                return False
+            self._leader_active = True
+            batch: list[tuple[int, int, bytes]] = []
+            if self.batch_window <= 0.0:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: len(batch)]
+        if not batch:
+            # Dwell with the lock released so more committers can join this
+            # batch (the commit_delay knob), then drain.
+            time.sleep(self.batch_window)
+            with self._lock:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: len(batch)]
+        error: BaseException | None = None
+        try:
+            self.wal.append_many(
+                ((kind, payload) for _, kind, payload in batch), sync=True
+            )
+        except BaseException as exc:  # pragma: no cover - disk failure path
+            error = exc
+        with self._lock:
+            self._leader_active = False
+            if error is None and batch:
+                self._durable_seq = batch[-1][0]
+                self.batches += 1
+                self.largest_batch = max(self.largest_batch, len(batch))
+            elif error is not None:
+                self._failure = error
+            ready = self._collect_ready_waiters_locked(error)
+        # Wake outside the mutex: each waiter parks on its own event, so
+        # none of them re-contend the daemon lock on the way out.
+        for ev in ready:
+            ev.set()
+        return error is None and bool(batch)
+
+    def _collect_ready_waiters_locked(
+        self, error: BaseException | None
+    ) -> list[threading.Event]:
+        """Pop the waiter events this batch completion should wake."""
+        if not self._waiters:
+            return []
+        if error is not None or self._closed:
+            ready = [ev for _, ev in self._waiters]
+            self._waiters.clear()
+            return ready
+        ready = [ev for s, ev in self._waiters if s <= self._durable_seq]
+        self._waiters = [(s, ev) for s, ev in self._waiters if s > self._durable_seq]
+        if self._flusher is None and self._pending and self._waiters:
+            # Leaderless with work left (a max_batch split): hand the baton
+            # to one parked waiter so it can claim leadership promptly.
+            ready.append(self._waiters[0][1])
+        return ready
+
+    def _flush_loop(self) -> None:
+        """Dedicated flusher: event-driven drain of batches on one thread.
+
+        While one batch's fsync is in flight every committer thread is free
+        to run Python, so the next batch accumulates for free and fsyncs
+        chain back-to-back — the device and the interpreter stay busy at
+        the same time.
+        """
+        while True:
+            with self._work:
+                if self._failure is not None:
+                    return
+                if not self._pending:
+                    if self._closed:
+                        return
+                    self._work.wait(self.flush_interval)
+                    continue
+            self._lead_one_batch()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Flush the queue, stop the flusher, close the WAL.  Idempotent."""
+        with self._lock:
+            already = self._closed
+        if not already:
+            try:
+                self.flush()
+            except WALError:  # pragma: no cover - disk failure path
+                pass
+        with self._lock:
+            self._closed = True
+            ready = [ev for _, ev in self._waiters]
+            self._waiters.clear()
+            self._work.notify_all()
+        for ev in ready:
+            ev.set()
+        if self._flusher is not None and self._flusher.is_alive():
+            self._flusher.join(timeout=2.0)
+        self.wal.close()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "durable_records": self.records_enqueued,
+                "fsync_batches": self.batches,
+                "largest_fsync_batch": self.largest_batch,
+                "durable_watermark": self._durable_seq,
+                "durability_backlog": (self._next_seq - 1) - self._durable_seq,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GroupFsyncDaemon(mode={self.mode}, wal={self.wal.path}, "
+            f"enqueued={self.records_enqueued}, batches={self.batches})"
+        )
+
+
+# --------------------------------------------------------------------------
+# cross-shard commit sequencing
+# --------------------------------------------------------------------------
+
+
+def reserve_group_commit(
+    daemons: dict[int, GroupFsyncDaemon],
+    oracle: "TimestampOracle",
+    bodies: dict[int, bytes],
+) -> tuple[int, dict[int, DurabilityTicket]]:
+    """Draw ONE commit timestamp and enqueue a commit record per shard.
+
+    2PC phase-two sequencing: all participant daemons' mutexes are held (in
+    ascending shard order, the same global order the prepare phase uses, so
+    no deadlock against other reservations) while the shared timestamp is
+    drawn and every shard's record enters its local queue.  That preserves
+    each shard's WAL-order == ts-order invariant even though the timestamp
+    comes from outside the shard.  ``bodies`` maps each participant shard
+    to its :func:`encode_commit_body` payload (pickled outside the locks).
+    """
+    if set(bodies) != set(daemons):
+        raise ValueError("bodies and daemons must cover the same shards")
+    tickets: dict[int, DurabilityTicket] = {}
+    with ExitStack() as stack:
+        for idx in sorted(daemons):
+            stack.enter_context(daemons[idx]._lock)
+        commit_ts = oracle.next()
+        for idx in sorted(daemons):
+            ticket = daemons[idx]._submit_locked(
+                KIND_TXN_COMMIT, stamp_commit_record(commit_ts, bodies[idx])
+            )
+            ticket.commit_ts = commit_ts
+            tickets[idx] = ticket
+    return commit_ts, tickets

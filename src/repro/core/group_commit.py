@@ -15,6 +15,27 @@ This is the paper's lightweight variant of two-phase commit: the per-state
 ``Commit`` flags are the votes, the last voter doubles as coordinator, and
 there is no separate prepare round-trip because all participants share one
 process and one context.
+
+Durability and acknowledgement.  When the protocol carries a commit WAL
+(:mod:`repro.core.durability`), the coordinator's commit paths are gated by
+the batched-fsync pipeline:
+
+* ``durability="sync"`` — a commit is acknowledged (``mark_committed``
+  returns to the caller) only after its commit record's batch is fsynced,
+  and ``LastCTS`` is published only after that same barrier, so readers
+  can never observe a commit a crash would lose.  Concurrent committers
+  share one fsync instead of paying one each.
+* ``durability="async"`` — the enqueue still happens but nobody waits: the
+  commit is acknowledged (and made visible) immediately, and a background
+  flusher makes batches durable within the flush interval.  Callers that
+  need a crash-safety boundary use the daemon's ``flush()`` / durable
+  watermark.
+
+For cross-shard transactions, :meth:`GroupCommitCoordinator.prepare_all`
+additionally logs a participant prepare record that is made durable before
+the "yes" vote returns to the distributed coordinator (classic participant
+logging), so a crash between vote and global commit cannot lose the redo
+image.
 """
 
 from __future__ import annotations
@@ -22,7 +43,9 @@ from __future__ import annotations
 import threading
 
 from ..errors import ABORT_GROUP, ABORT_USER, TransactionAborted
+from ..storage.wal import KIND_TXN_PREPARE
 from .context import StateContext
+from .durability import encode_prepare_record
 from .protocol import ConcurrencyControl, PreparedCommit
 from .transactions import StateFlag, Transaction, TxnStatus
 
@@ -35,6 +58,9 @@ class GroupCommitCoordinator:
         self.protocol = protocol
         #: Guards the flag-inspection + outcome-decision step so exactly one
         #: operator observes "all flags Commit" and becomes coordinator.
+        #: The outcome counters are updated under the same mutex — plain
+        #: ``+=`` is not atomic in CPython and the threaded stress tests
+        #: drive many concurrent committers through here.
         self._decision_mutex = threading.Lock()
         self.global_commits = 0
         self.global_aborts = 0
@@ -73,14 +99,30 @@ class GroupCommitCoordinator:
         except TransactionAborted as exc:
             with self._decision_mutex:
                 txn.mark_aborted(exc.reason)
+                self.global_aborts += 1
             self.context.finish(txn)
-            self.global_aborts += 1
+            raise
+        except BaseException:
+            self._finish_failed_commit(txn)
             raise
         with self._decision_mutex:
             txn.mark_committed(commit_ts)
+            self.global_commits += 1
         self.context.finish(txn)
-        self.global_commits += 1
         return True
+
+    def _finish_failed_commit(self, txn: Transaction) -> None:
+        """Finalise a transaction whose commit died on a non-protocol error
+        (e.g. the durability wait raised ``WALError``).  The commit never
+        became visible — ``LastCTS`` was not published — so the handle is
+        finished as aborted; without this, the transaction would stay in the
+        active table and leak its bounded context slot."""
+        with self._decision_mutex:
+            if txn.is_finished():
+                return
+            txn.mark_aborted(ABORT_GROUP)
+            self.global_aborts += 1
+        self.context.finish(txn)
 
     def abort_state(self, txn: Transaction, state_id: str, reason: str = ABORT_USER) -> None:
         """Vote ``Abort`` for one state — aborts the transaction globally."""
@@ -125,23 +167,56 @@ class GroupCommitCoordinator:
                 txn.flag(state_id, StateFlag.COMMIT)
             txn.status = TxnStatus.COMMITTING
         try:
-            return self.protocol.prepare_transaction(txn)
+            prepared = self.protocol.prepare_transaction(txn)
         except TransactionAborted as exc:
             with self._decision_mutex:
                 txn.mark_aborted(exc.reason)
+                self.global_aborts += 1
             self.context.finish(txn)
-            self.global_aborts += 1
+            raise
+        self._log_prepare(txn, prepared)
+        return prepared
+
+    def _log_prepare(self, txn: Transaction, prepared: PreparedCommit) -> None:
+        """Make the participant's prepare vote durable before it returns.
+
+        A prepared participant has promised the distributed coordinator it
+        can commit; its redo image therefore goes to this shard's commit
+        WAL *before* the yes-vote (``sync`` mode blocks on the batch, async
+        mode enqueues).  A logging failure turns the vote into an abort —
+        the pinned resources are released and the error propagates so the
+        distributed coordinator aborts the remaining participants.
+        """
+        daemon = self.protocol.durability
+        if daemon is None or not prepared.written:
+            return
+        try:
+            ticket = daemon.submit(
+                KIND_TXN_PREPARE, encode_prepare_record(txn.wal_txn_id, txn.write_sets)
+            )
+            if daemon.is_sync:
+                ticket.wait()
+        except BaseException:
+            self.protocol.abort_prepared(txn, prepared)
+            with self._decision_mutex:
+                txn.mark_aborted(ABORT_GROUP)
+                self.global_aborts += 1
+            self.context.finish(txn)
             raise
 
     def commit_prepared(
         self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
     ) -> None:
         """Participant-side phase two: apply at ``commit_ts`` and finish."""
-        self.protocol.commit_prepared(txn, prepared, commit_ts)
+        try:
+            self.protocol.commit_prepared(txn, prepared, commit_ts)
+        except BaseException:
+            self._finish_failed_commit(txn)
+            raise
         with self._decision_mutex:
             txn.mark_committed(commit_ts)
+            self.global_commits += 1
         self.context.finish(txn)
-        self.global_commits += 1
 
     def abort_prepared(
         self, txn: Transaction, prepared: PreparedCommit, reason: str = ABORT_GROUP
@@ -150,8 +225,8 @@ class GroupCommitCoordinator:
         self.protocol.abort_prepared(txn, prepared)
         with self._decision_mutex:
             txn.mark_aborted(reason)
+            self.global_aborts += 1
         self.context.finish(txn)
-        self.global_aborts += 1
 
     # ------------------------------------------------------------ shortcut
 
@@ -170,13 +245,15 @@ class GroupCommitCoordinator:
             try:
                 commit_ts = self.protocol.commit_transaction(txn)
             except TransactionAborted as exc:
-                txn.mark_aborted(exc.reason)
+                with self._decision_mutex:
+                    txn.mark_aborted(exc.reason)
+                    self.global_aborts += 1
                 self.context.finish(txn)
-                self.global_aborts += 1
                 raise
-            txn.mark_committed(commit_ts)
+            with self._decision_mutex:
+                txn.mark_committed(commit_ts)
+                self.global_commits += 1
             self.context.finish(txn)
-            self.global_commits += 1
             return commit_ts
         for state_id in states:
             self.commit_state(txn, state_id)

@@ -14,7 +14,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Hashable
+from typing import Hashable
 
 from ..errors import DeadlockDetected, LockTimeout
 

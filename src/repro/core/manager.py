@@ -29,8 +29,10 @@ from typing import Any
 
 from ..errors import ABORT_USER, TransactionAborted
 from ..storage.kvstore import KVStore
+from ..storage.wal import WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
 from .context import StateContext
+from .durability import DURABILITY_SYNC, GroupFsyncDaemon
 from .gc import GarbageCollector, GCPolicy
 from .group_commit import GroupCommitCoordinator
 from .isolation import IsolationLevel
@@ -57,15 +59,38 @@ class TransactionManager:
         gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
         gc_interval: int = 1000,
         oracle: TimestampOracle | None = None,
+        wal_path: str | None = None,
+        durability: str = DURABILITY_SYNC,
+        durability_daemon: GroupFsyncDaemon | None = None,
+        fsync_max_batch: int = 128,
+        fsync_batch_window: float = 0.0,
         **protocol_kwargs: Any,
     ) -> None:
         if context is not None and oracle is not None:
             raise ValueError("pass either a context or an oracle, not both")
+        if wal_path is not None and durability_daemon is not None:
+            raise ValueError("pass either wal_path or durability_daemon, not both")
         self.context = context or StateContext(oracle=oracle)
         if isinstance(protocol, ConcurrencyControl):
             self.protocol = protocol
         else:
             self.protocol = make_protocol(protocol, self.context, **protocol_kwargs)
+        # Commit durability pipeline: given a WAL path the manager owns a
+        # batched-fsync daemon over it (see repro.core.durability); a shared
+        # daemon instance can be injected instead (the sharded manager does,
+        # one per shard).  Without either, commits stay volatile, as before.
+        if durability_daemon is not None:
+            self.durability = durability_daemon
+        elif wal_path is not None:
+            self.durability = GroupFsyncDaemon(
+                WriteAheadLog(wal_path, sync=False),
+                mode=durability,
+                max_batch=fsync_max_batch,
+                batch_window=fsync_batch_window,
+            )
+        else:
+            self.durability = None
+        self.protocol.durability = self.durability
         self.coordinator = GroupCommitCoordinator(self.context, self.protocol)
         self.gc = GarbageCollector(self.context, gc_policy, gc_interval)
 
@@ -242,7 +267,22 @@ class TransactionManager:
         """Explicit context-wide GC sweep; returns reclaimed version count."""
         return self.gc.sweep(self.tables()).versions_reclaimed
 
+    def flush_durability(self) -> int:
+        """Force every enqueued commit record to stable storage.
+
+        The crash-safety boundary for ``durability="async"``: after this
+        returns, every commit acknowledged so far is recoverable.  Returns
+        the durable watermark (0 without a commit WAL).
+        """
+        return self.durability.flush() if self.durability is not None else 0
+
+    def durable_watermark(self) -> int:
+        """Highest commit-WAL sequence known durable (0 without a WAL)."""
+        return self.durability.durable_watermark() if self.durability else 0
+
     def close(self) -> None:
+        if self.durability is not None:
+            self.durability.close()
         for table in self.tables():
             table.close()
 
@@ -250,4 +290,6 @@ class TransactionManager:
         data = self.protocol.stats.snapshot()
         data["global_commits"] = self.coordinator.global_commits
         data["global_aborts"] = self.coordinator.global_aborts
+        if self.durability is not None:
+            data.update(self.durability.stats())
         return data

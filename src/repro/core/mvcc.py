@@ -65,7 +65,7 @@ class MVCCProtocol(ConcurrencyControl):
                     return None if entry.kind is WriteKind.DELETE else entry.value
             version = table.read_live(key)
             return version.value if version is not None else None
-        group_id = self.context.state(state_id).group_id
+        group_id = self.context.group_id_of(state_id)
         snapshot_ts = self.context.pin_snapshot(txn, group_id)
         version = table.read_version_at(key, snapshot_ts)
         return version.value if version is not None else None
@@ -93,7 +93,7 @@ class MVCCProtocol(ConcurrencyControl):
         txn.ensure_active()
         table = self.table(state_id)
         if txn.isolation.pins_snapshot:
-            group_id = self.context.state(state_id).group_id
+            group_id = self.context.group_id_of(state_id)
             snapshot_ts = self.context.pin_snapshot(txn, group_id)
             base = table.scan_at(snapshot_ts, low, high)
         else:
@@ -195,7 +195,7 @@ class MVCCProtocol(ConcurrencyControl):
         self.stats.validations += 1
         for state_id in written:
             table = self.table(state_id)
-            group_id = self.context.state(state_id).group_id
+            group_id = self.context.group_id_of(state_id)
             snapshot_ts = txn.snapshot_or_start(group_id)
             for key in txn.write_sets[state_id].entries:
                 if table.latest_cts(key) > snapshot_ts:

@@ -40,6 +40,7 @@ from typing import Any, Callable
 
 from ..errors import StateError, UnknownState
 from .context import StateContext
+from .durability import DurabilityTicket, GroupFsyncDaemon, encode_commit_body
 from .table import StateTable
 from .transactions import Transaction
 
@@ -79,10 +80,15 @@ class PreparedCommit:
     commit latches, the BOCC validation section); closing it releases them.
     ``written`` is the sorted list of states with non-empty write sets —
     fixed at prepare time so both phases agree on the apply set.
+    ``ticket`` is the durability handle of the enqueued commit record (set
+    at timestamp-draw time when a commit WAL is attached): the commit path
+    blocks on it *after* releasing the latches and *before* publishing
+    ``LastCTS`` in ``sync`` mode.
     """
 
     written: list[str]
     resources: ExitStack
+    ticket: DurabilityTicket | None = None
 
 
 class ConcurrencyControl(abc.ABC):
@@ -95,6 +101,10 @@ class ConcurrencyControl(abc.ABC):
         self.context = context
         self.tables: dict[str, StateTable] = {}
         self.stats = ProtocolStats()
+        #: Commit durability pipeline (attached by the transaction manager
+        #: when a commit WAL is configured).  ``None`` keeps the volatile
+        #: pre-WAL behaviour: commits are acknowledged unlogged.
+        self.durability: GroupFsyncDaemon | None = None
 
     # ------------------------------------------------------------- plumbing
 
@@ -163,7 +173,28 @@ class ConcurrencyControl(abc.ABC):
     def commit_prepared(
         self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
     ) -> None:
-        """Phase two: install versions at ``commit_ts``, publish, unpin."""
+        """Phase two: install versions at ``commit_ts``, unpin, publish.
+
+        The durability barrier sits between unpin and publish: the wait for
+        the batched fsync runs *outside* the commit latches so concurrent
+        committers pile up on the fsync daemon and share one fsync, and
+        ``LastCTS`` is published only once the commit record is durable
+        (``sync`` mode) — no reader snapshot can expose a commit a crash
+        would lose.  Versions installed before the publish are invisible
+        (readers pin snapshots from ``LastCTS``), so the early unpin does
+        not leak the commit.
+
+        Known tradeoff (redo-only design): versions are installed *before*
+        the durability wait — the same buffer-before-WAL-flush order
+        PostgreSQL uses — so if the WAL fails mid-wait, the installed
+        versions have no undo path and stay in the table while the
+        transaction is finished as aborted.  They remain invisible to
+        snapshot readers (``LastCTS`` never advances over them), the
+        daemon poisons itself so no later commit can sequence, and the
+        engine is expected to be torn down and recovered from the WAL —
+        only the weak non-pinning isolation levels can glimpse such
+        versions in the failure window.
+        """
         try:
             if prepared.written:
                 oldest = self._gc_horizon(prepared.written)
@@ -171,10 +202,14 @@ class ConcurrencyControl(abc.ABC):
                     self.table(state_id).apply_write_set(
                         txn.write_sets[state_id], commit_ts, oldest
                     )
-                # Visibility flip: publish LastCTS after *all* states applied.
-                self._publish(txn, commit_ts)
+                self._await_durable(prepared, in_latch=True)
         finally:
             prepared.resources.close()
+        if prepared.written:
+            self._await_durable(prepared, in_latch=False)
+            # Visibility flip: publish LastCTS after *all* states applied
+            # and the commit record is on stable storage.
+            self._publish(txn, commit_ts)
         self.stats.commits += 1
 
     def abort_prepared(self, txn: Transaction, prepared: PreparedCommit) -> None:
@@ -190,12 +225,50 @@ class ConcurrencyControl(abc.ABC):
         transactions commit at the current clock without advancing it.
         """
         prepared = self.prepare_transaction(txn)
-        if prepared.written:
-            commit_ts = self.context.oracle.next()
-        else:
-            commit_ts = self.context.oracle.current()
+        try:
+            if prepared.written:
+                commit_ts = self._sequence_commit(txn, prepared)
+            else:
+                commit_ts = self.context.oracle.current()
+        except BaseException:
+            # The enqueue can fail (e.g. commit WAL closed mid-flight); the
+            # pinned commit latches must not outlive the failure.
+            self.abort_prepared(txn, prepared)
+            raise
         self.commit_prepared(txn, prepared, commit_ts)
         return commit_ts
+
+    def _sequence_commit(self, txn: Transaction, prepared: PreparedCommit) -> int:
+        """Draw the commit timestamp for a writing commit.
+
+        With a durability pipeline attached, the draw and the commit-record
+        enqueue happen atomically under the daemon mutex (WAL order equals
+        commit-timestamp order per shard — the invariant that makes the
+        post-fsync ``LastCTS`` publish safe); without one it is a plain
+        oracle draw, as before.
+        """
+        if self.durability is None:
+            return self.context.oracle.next()
+        prepared.ticket = self.durability.submit_commit(
+            self.context.oracle, encode_commit_body(txn.wal_txn_id, txn.write_sets)
+        )
+        assert prepared.ticket.commit_ts is not None
+        return prepared.ticket.commit_ts
+
+    def _await_durable(self, prepared: PreparedCommit, in_latch: bool = False) -> None:
+        """Durability barrier: block until the commit record's batch is
+        fsynced (``sync`` mode); a no-op for async mode and unlogged
+        commits.  The barrier runs inside the commit latches only for the
+        reference ``wait_in_latch`` configuration (fsync-per-commit under
+        the latch, the paper's design) — the pipeline default waits after
+        the latches are released."""
+        ticket = prepared.ticket
+        if (
+            ticket is not None
+            and ticket.daemon.is_sync
+            and ticket.daemon.wait_in_latch == in_latch
+        ):
+            ticket.wait()
 
     @abc.abstractmethod
     def abort_transaction(self, txn: Transaction) -> None:
@@ -212,7 +285,7 @@ class ConcurrencyControl(abc.ABC):
         """Distinct group ids owning ``state_ids`` (ordered, deduplicated)."""
         seen: list[str] = []
         for state_id in state_ids:
-            gid = self.context.state(state_id).group_id
+            gid = self.context.group_id_of(state_id)
             if gid not in seen:
                 seen.append(gid)
         return seen

@@ -39,15 +39,24 @@ all-or-nothing.
 
 from __future__ import annotations
 
+import os
 import zlib
 from contextlib import contextmanager
 from collections.abc import Iterator
 from heapq import merge as _heap_merge
+from pathlib import Path
 from typing import Any, Callable
 
 from ..errors import ABORT_GROUP, ABORT_USER, InvalidTransactionState, TransactionAborted
 from ..storage.kvstore import KVStore
+from ..storage.wal import WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
+from .durability import (
+    DURABILITY_SYNC,
+    GroupFsyncDaemon,
+    encode_commit_body,
+    reserve_group_commit,
+)
 from .gc import GCPolicy
 from .isolation import IsolationLevel
 from .manager import TransactionManager
@@ -188,23 +197,43 @@ class ShardedTransactionManager:
         protocol: str = "mvcc",
         gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
         gc_interval: int = 1000,
+        wal_dir: str | os.PathLike[str] | None = None,
+        durability: str = DURABILITY_SYNC,
+        fsync_max_batch: int = 128,
+        fsync_batch_window: float = 0.0,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
         self.num_shards = num_shards
         self.protocol_name = protocol
+        self.durability_mode = durability
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
+        #: Per-shard commit durability pipeline (``wal_dir`` enables it):
+        #: each shard gets its own commit WAL + batched-fsync daemon, so
+        #: shards never contend on each other's durability I/O either.
+        self.daemons: list[GroupFsyncDaemon | None] = [
+            GroupFsyncDaemon(
+                WriteAheadLog(self.commit_wal_path(wal_dir, idx), sync=False),
+                mode=durability,
+                max_batch=fsync_max_batch,
+                batch_window=fsync_batch_window,
+            )
+            if wal_dir is not None
+            else None
+            for idx in range(num_shards)
+        ]
         self.shards: list[TransactionManager] = [
             TransactionManager(
                 protocol=protocol,
                 oracle=self.oracle,
                 gc_policy=gc_policy,
                 gc_interval=gc_interval,
+                durability_daemon=self.daemons[idx],
                 **protocol_kwargs,
             )
-            for _ in range(num_shards)
+            for idx in range(num_shards)
         ]
         # sharded-commit counters (beyond the per-shard protocol stats)
         self.single_shard_commits = 0
@@ -216,6 +245,12 @@ class ShardedTransactionManager:
         self.prepare_fault: Callable[[int], None] | None = None
 
     # ------------------------------------------------------------- schema
+
+    @staticmethod
+    def commit_wal_path(wal_dir: str | os.PathLike[str], shard: int) -> Path:
+        """Canonical location of one shard's commit WAL under ``wal_dir``
+        (recovery tooling replays these per shard)."""
+        return Path(wal_dir) / f"shard-{shard:02d}" / "commit.wal"
 
     def shard_of(self, key: Any) -> int:
         return shard_of_key(key, self.num_shards)
@@ -292,6 +327,9 @@ class ShardedTransactionManager:
             # manager.  All timestamps come from the one shared oracle, so
             # the two are directly comparable.
             child.start_ts = min(child.start_ts, txn.txn_id)
+            # WAL records (commit + 2PC prepare) carry the global sharded
+            # transaction id so per-shard logs correlate during recovery.
+            child.wal_txn_id = txn.txn_id
             txn.children[shard] = child
         return child
 
@@ -376,8 +414,14 @@ class ShardedTransactionManager:
         """Two-phase commit across the participant shards.
 
         Phase one prepares in ascending shard order (global order =>
-        deadlock freedom); phase two applies one shared commit timestamp on
-        every shard.  Any prepare failure aborts every participant — the
+        deadlock freedom); each prepared participant's redo record is made
+        durable on its shard's commit WAL before the vote counts (inside
+        ``prepare_all``).  Phase two draws one shared commit timestamp and
+        — when the durability pipeline is on — enqueues every writing
+        participant's commit record under *all* participant daemon mutexes
+        at once (:func:`repro.core.durability.reserve_group_commit`), so
+        each shard's WAL-order == ts-order invariant survives the external
+        timestamp.  Any prepare failure aborts every participant — the
         commit is all-or-nothing.
         """
         prepared: list[tuple[int, PreparedCommit]] = []
@@ -390,13 +434,58 @@ class ShardedTransactionManager:
         except BaseException as exc:
             self._abort_after_prepare_failure(txn, participants, prepared, exc)
             raise
-        commit_ts = self.oracle.next()
-        for idx, handle in prepared:
-            shard = self.shards[idx]
-            shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
-            shard.gc.notify_commit(shard.tables())
+        try:
+            commit_ts = self._sequence_cross_shard(txn, prepared)
+        except BaseException as exc:
+            # Reservation can fail (a shard's commit WAL closed mid-flight);
+            # every prepared participant must release its pinned resources.
+            self._abort_after_prepare_failure(txn, participants, prepared, exc)
+            raise
+        committed: set[int] = set()
+        try:
+            for idx, handle in prepared:
+                shard = self.shards[idx]
+                shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
+                committed.add(idx)
+                shard.gc.notify_commit(shard.tables())
+        except BaseException:
+            # Durability failure mid phase-two (a shard's WAL died after the
+            # commit point).  Participants that already committed stay
+            # committed — their records passed the commit point and are on
+            # their WALs (classic in-doubt 2PC) — but the remaining
+            # participants must release their pinned latches or healthy
+            # shards wedge forever.  The failed participant's handle was
+            # finished by its coordinator.
+            for idx, handle in prepared:
+                child = txn.children[idx]
+                if idx not in committed and not child.is_finished():
+                    self.shards[idx].coordinator.abort_prepared(child, handle)
+            txn.mark_aborted(ABORT_GROUP)
+            self.cross_shard_aborts += 1
+            raise
         txn.mark_committed(commit_ts)
         self.cross_shard_commits += 1
+        return commit_ts
+
+    def _sequence_cross_shard(
+        self, txn: ShardedTransaction, prepared: list[tuple[int, PreparedCommit]]
+    ) -> int:
+        """The 2PC commit point: one timestamp, one record per writing shard."""
+        writers = [
+            (idx, handle)
+            for idx, handle in prepared
+            if handle.written and self.daemons[idx] is not None
+        ]
+        if not writers:
+            return self.oracle.next()
+        daemons = {idx: self.daemons[idx] for idx, _ in writers}
+        bodies = {
+            idx: encode_commit_body(txn.txn_id, txn.children[idx].write_sets)
+            for idx, _ in writers
+        }
+        commit_ts, tickets = reserve_group_commit(daemons, self.oracle, bodies)
+        for idx, handle in writers:
+            handle.ticket = tickets[idx]
         return commit_ts
 
     def _abort_after_prepare_failure(
@@ -489,9 +578,28 @@ class ShardedTransactionManager:
     def collect_garbage(self) -> int:
         return sum(shard.collect_garbage() for shard in self.shards)
 
+    def flush_durability(self) -> dict[int, int]:
+        """Flush every shard's commit WAL; shard index -> durable watermark."""
+        return {
+            idx: daemon.flush()
+            for idx, daemon in enumerate(self.daemons)
+            if daemon is not None
+        }
+
+    def durable_watermarks(self) -> dict[int, int]:
+        """Per-shard durable watermark (empty without a commit WAL)."""
+        return {
+            idx: daemon.durable_watermark()
+            for idx, daemon in enumerate(self.daemons)
+            if daemon is not None
+        }
+
     def close(self) -> None:
         for shard in self.shards:
             shard.close()
+        for daemon in self.daemons:
+            if daemon is not None:
+                daemon.close()
 
     def stats(self) -> dict[str, int]:
         """Protocol counters summed over shards + sharded-commit counters."""

@@ -67,12 +67,21 @@ class StateTable:
     # -------------------------------------------------------------- lookups
 
     def mvcc_object(self, key: Any, create: bool = False) -> MVCCObject | None:
-        """The version array for ``key``; optionally created when missing."""
-        with self._index_latch:
-            obj = self._index.get(key)
-            if obj is None and create:
-                obj = self._index[key] = MVCCObject(self.version_slots)
-            return obj
+        """The version array for ``key``; optionally created when missing.
+
+        The lookup itself is lock-free — a single ``dict.get`` is atomic
+        under the GIL and objects are only ever *added* to the index (GC
+        prunes versions inside an object, never the mapping) — so the read
+        and validation hot paths skip the latch entirely.  Creation uses
+        double-checked locking under the index latch.
+        """
+        obj = self._index.get(key)
+        if obj is None and create:
+            with self._index_latch:
+                obj = self._index.get(key)
+                if obj is None:
+                    obj = self._index[key] = MVCCObject(self.version_slots)
+        return obj
 
     def read_version_at(self, key: Any, ts: int) -> VersionEntry | None:
         """Snapshot read: the version of ``key`` visible at ``ts``."""

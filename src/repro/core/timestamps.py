@@ -47,9 +47,14 @@ class TimestampOracle:
             return self._value
 
     def current(self) -> int:
-        """Return the most recently issued timestamp without advancing."""
-        with self._lock:
-            return self._value
+        """Return the most recently issued timestamp without advancing.
+
+        Lock-free: reading an ``int`` attribute is atomic under the GIL and
+        the counter is monotonic, so the worst outcome is a value that is a
+        few ticks stale — indistinguishable from calling a moment earlier.
+        (The commit hot path reads this several times per transaction.)
+        """
+        return self._value
 
     def advance_to(self, value: int) -> None:
         """Fast-forward the counter to at least ``value``.

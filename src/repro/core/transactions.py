@@ -57,6 +57,7 @@ class Transaction:
         "_mutex",
         "restarts",
         "isolation",
+        "wal_txn_id",
     )
 
     def __init__(
@@ -88,6 +89,11 @@ class Transaction:
         #: number of times workload drivers restarted this logical work unit
         #: (BOCC/MVCC conflict aborts); informational.
         self.restarts = 0
+        #: Transaction id stamped into commit-WAL records.  Defaults to the
+        #: local id; the sharded manager overrides it on child transactions
+        #: with the *global* sharded transaction id so a cross-shard
+        #: commit's prepare/commit records correlate across shard WALs.
+        self.wal_txn_id = txn_id
 
     # ----------------------------------------------------------- state sets
 

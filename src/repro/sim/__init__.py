@@ -18,7 +18,14 @@ from .harness import (
     sweep_theta,
 )
 from .resources import SimLatch, SimLock
-from .sharded import ShardedSimEnvironment, ShardedSimStats, sharded_writer
+from .sharded import (
+    SIM_DURABILITY_GROUP,
+    SIM_DURABILITY_SYNC,
+    ShardedSimEnvironment,
+    ShardedSimStats,
+    SimGroupFsync,
+    sharded_writer,
+)
 
 __all__ = [
     "Acquire",
@@ -26,6 +33,9 @@ __all__ = [
     "CostModel",
     "Delay",
     "Release",
+    "SIM_DURABILITY_GROUP",
+    "SIM_DURABILITY_SYNC",
+    "SimGroupFsync",
     "ShardedSimEnvironment",
     "ShardedSimResult",
     "ShardedSimStats",

@@ -49,6 +49,13 @@ class CostModel:
     commit_base_us: float = 1.0
     #: one synchronous WAL/base-table flush per writer commit (NVMe-class).
     commit_sync_io_us: float = 30.0
+    #: batched group commit (durability="group"): extra dwell a batch
+    #: leader waits before issuing the shared fsync so more committers can
+    #: join the batch (PostgreSQL commit_delay).  The fsync itself still
+    #: costs ``commit_sync_io_us`` — but one fsync now covers every commit
+    #: in the batch instead of one each, and it is paid *outside* the
+    #: shard's commit latch.
+    group_commit_window_us: float = 0.0
     begin_us: float = 0.2
     # cache
     cache_capacity: int = 4096

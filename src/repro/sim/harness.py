@@ -16,7 +16,7 @@ from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from .clients import CLIENTS, SimEnvironment, bocc_reader, bocc_writer
 from .costmodel import CostModel
 from .des import Simulator
-from .sharded import ShardedSimEnvironment, sharded_writer
+from .sharded import SIM_DURABILITY_SYNC, ShardedSimEnvironment, sharded_writer
 
 
 @dataclass
@@ -161,6 +161,8 @@ class ShardedSimResult:
     aborts: int
     latch_waits: int
     events: int
+    durability: str = SIM_DURABILITY_SYNC
+    fsyncs: int = 0
 
     @property
     def commits(self) -> int:
@@ -191,6 +193,13 @@ class ShardedSimResult:
             return 0.0
         return self.cross_shard_commits / self.commits
 
+    @property
+    def commits_per_fsync(self) -> float:
+        """Batched-fsync amortisation factor (1.0 = one fsync per record)."""
+        if self.fsyncs == 0:
+            return 0.0
+        return self.commits / self.fsyncs
+
 
 def run_sharded_benchmark(
     num_shards: int,
@@ -202,6 +211,7 @@ def run_sharded_benchmark(
     config: WorkloadConfig | None = None,
     cost: CostModel | None = None,
     seed: int = 42,
+    durability: str = SIM_DURABILITY_SYNC,
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -211,6 +221,9 @@ def run_sharded_benchmark(
     single-shard/1-client-per-shard scaling limit is the per-shard commit
     latch with its synchronous durability I/O — exactly the bottleneck the
     real :class:`~repro.core.sharding.ShardedTransactionManager` splits.
+    ``durability="group"`` swaps the per-commit fsync for the per-shard
+    batched-fsync pipeline and lifts that ceiling (the async-group-commit
+    study).
     """
     if clients <= 0:
         raise BenchmarkError("need at least one client")
@@ -224,7 +237,7 @@ def run_sharded_benchmark(
         seed=seed,
         states=base.states,
     )
-    env = ShardedSimEnvironment(workload, num_shards, cross_ratio, cost)
+    env = ShardedSimEnvironment(workload, num_shards, cross_ratio, cost, durability)
     sim = Simulator()
     deadline = warmup_us + duration_us
     for i in range(clients):
@@ -237,6 +250,9 @@ def run_sharded_benchmark(
     env.stats.cross_shard_commits = 0
     env.stats.aborts = 0
     env.stats.latch_waits = 0
+    env.stats.fsyncs = 0
+    for batcher in env.fsync:
+        batcher.reset_counters()
     sim.run_to_completion()
 
     return ShardedSimResult(
@@ -250,6 +266,8 @@ def run_sharded_benchmark(
         aborts=env.stats.aborts,
         latch_waits=env.stats.latch_waits,
         events=sim.events_processed,
+        durability=durability,
+        fsyncs=env.stats.fsyncs + env.total_fsyncs(),
     )
 
 

@@ -17,7 +17,13 @@ What is modelled, mirroring the real engine:
   participant** (each shard persists its own prepare/commit decision)
   before the atomic apply — the classical 2PC write amplification;
 * aborted transactions burn their buffered work and retry with a fresh
-  script, as the real retry loop does.
+  script, as the real retry loop does;
+* ``durability="group"`` mirrors the real engine's batched-fsync pipeline
+  (:mod:`repro.core.durability`): the commit latch is released right after
+  the apply, and the durability wait happens on a per-shard
+  :class:`SimGroupFsync` batcher — every fsync still takes the full device
+  time, but one fsync covers every commit that joined the batch, so the
+  per-shard ceiling becomes ~(batch size × 1/io) instead of 1/io.
 
 The data path applies real write sets to real :class:`StateTable`
 partitions, so version-level correctness checks hold inside the sim too.
@@ -37,6 +43,13 @@ from .des import Acquire, Delay, Release, Simulator
 from .resources import SimLatch
 
 
+#: Durability modes of the sharded scenario: ``sync`` pays one fsync per
+#: commit inside the latch (the paper's RocksDB ``sync=true`` behaviour),
+#: ``group`` batches fsyncs per shard outside the latch.
+SIM_DURABILITY_SYNC = "sync"
+SIM_DURABILITY_GROUP = "group"
+
+
 @dataclass
 class ShardedSimStats:
     """Counters shared by all clients of one sharded simulation run."""
@@ -47,11 +60,52 @@ class ShardedSimStats:
     writes: int = 0
     prepares: int = 0
     latch_waits: int = 0
+    fsyncs: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
     def commits(self) -> int:
         return self.single_shard_commits + self.cross_shard_commits
+
+
+class SimGroupFsync:
+    """Virtual-time model of one shard's batched-fsync daemon.
+
+    :meth:`durable_at` returns the virtual time at which a record handed
+    over at ``now`` is on stable storage: the record joins the already
+    scheduled-but-not-started fsync when there is one (followers ride for
+    free — the leader/follower batching of
+    :class:`repro.core.durability.GroupFsyncDaemon`), otherwise a new fsync
+    is scheduled after the in-flight one completes (plus the optional
+    leader dwell window).  Every fsync costs the full ``io_us`` no matter
+    how many commits it covers — that is the whole amortisation.
+    """
+
+    __slots__ = ("io_us", "window_us", "_start", "_end", "fsyncs", "records")
+
+    def __init__(self, io_us: float, window_us: float = 0.0) -> None:
+        self.io_us = io_us
+        self.window_us = window_us
+        self._start = -1.0  # start time of the latest scheduled fsync
+        self._end = 0.0  # completion time of the latest scheduled fsync
+        self.fsyncs = 0
+        self.records = 0
+
+    def durable_at(self, now: float) -> float:
+        self.records += 1
+        if now <= self._start:
+            # The scheduled fsync has not started yet: this record makes it
+            # into that batch and shares its completion time.
+            return self._end
+        start = max(now + self.window_us, self._end)
+        self._start = start
+        self._end = start + self.io_us
+        self.fsyncs += 1
+        return self._end
+
+    def reset_counters(self) -> None:
+        self.fsyncs = 0
+        self.records = 0
 
 
 class ShardedSimEnvironment:
@@ -63,19 +117,30 @@ class ShardedSimEnvironment:
         num_shards: int,
         cross_ratio: float,
         cost: CostModel | None = None,
+        durability: str = SIM_DURABILITY_SYNC,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
         if not 0.0 <= cross_ratio <= 1.0:
             raise ValueError(f"cross_ratio must be in [0, 1]: {cross_ratio}")
+        if durability not in (SIM_DURABILITY_SYNC, SIM_DURABILITY_GROUP):
+            raise ValueError(
+                f"durability must be 'sync' or 'group': {durability!r}"
+            )
         self.config = config
         self.num_shards = num_shards
         self.cross_ratio = cross_ratio
         self.cost = cost or CostModel()
+        self.durability = durability
         self.oracle = TimestampOracle()
         self.stats = ShardedSimStats()
         #: shard -> exclusive latch over that shard's commit pipeline.
         self.commit_latches = [SimLatch(f"shard-{i}:commit") for i in range(num_shards)]
+        #: shard -> batched-fsync daemon model (group durability only).
+        self.fsync = [
+            SimGroupFsync(self.cost.commit_sync_io_us, self.cost.group_commit_window_us)
+            for _ in range(num_shards)
+        ]
         #: shard -> state id -> real table partition (version arrays).
         self.tables: list[dict[str, StateTable]] = [
             {
@@ -89,6 +154,9 @@ class ShardedSimEnvironment:
 
     def shard_of(self, key: int) -> int:
         return key % self.num_shards if self.num_shards > 1 else 0
+
+    def total_fsyncs(self) -> int:
+        return sum(f.fsyncs for f in self.fsync)
 
 
 def sharded_writer(
@@ -138,19 +206,30 @@ def sharded_writer(
             env.stats.aborts += 1
             continue
 
-        # apply + durability: one sync I/O per participant (2PC writes a
-        # prepare/commit record on every shard; the fast path writes one)
+        # apply, then durability.  sync mode: one fsync per participant paid
+        # *inside* the latch (2PC writes a prepare/commit record per shard;
+        # the fast path writes one).  group mode: the latch is released
+        # right after the apply and the writer joins its shard(s)' batched
+        # fsync — the real engine's GroupFsyncDaemon pipeline.
         nkeys = sum(len(ws) for sets in shard_sets.values() for ws in sets.values())
         yield Delay(cost.commit_base_us + nkeys * cost.apply_per_key_us)
-        yield Delay(len(shards) * cost.commit_sync_io_us)
         commit_ts = env.oracle.next()
         for shard in shards:
             for state_id, write_set in shard_sets[shard].items():
                 env.tables[shard][state_id].apply_write_set(
                     write_set, commit_ts, start_ts
                 )
-        for shard in reversed(shards):
-            yield Release(env.commit_latches[shard])
+        if env.durability == SIM_DURABILITY_GROUP:
+            for shard in reversed(shards):
+                yield Release(env.commit_latches[shard])
+            durable = max(env.fsync[shard].durable_at(sim.now) for shard in shards)
+            if durable > sim.now:
+                yield Delay(durable - sim.now)
+        else:
+            yield Delay(len(shards) * cost.commit_sync_io_us)
+            env.stats.fsyncs += len(shards)
+            for shard in reversed(shards):
+                yield Release(env.commit_latches[shard])
         if cross:
             env.stats.cross_shard_commits += 1
         else:

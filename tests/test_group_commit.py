@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import TransactionManager
 from repro.core.transactions import StateFlag, TxnStatus
 from repro.errors import TransactionAborted, WriteConflict
 

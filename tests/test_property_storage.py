@@ -6,7 +6,6 @@ model (a Python dict) over arbitrary operation sequences.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the recovery layer: context store, checkpoints, restart."""
 
-import pytest
 
 from repro.recovery import CheckpointManager, ContextStore, DurableSystem
 

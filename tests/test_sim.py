@@ -5,15 +5,17 @@ import pytest
 from repro.errors import BenchmarkError, SimulationError
 from repro.sim import (
     Acquire,
-    CostModel,
     Delay,
     Release,
+    ShardedSimEnvironment,
     SimCache,
     SimEnvironment,
+    SimGroupFsync,
     SimLatch,
     SimLock,
     Simulator,
     run_benchmark,
+    run_sharded_benchmark,
     sweep_theta,
 )
 from repro.workload import WorkloadConfig
@@ -305,3 +307,40 @@ class TestEnvironment:
         lock1 = env.key_lock("state_a", 5)
         lock2 = env.key_lock("state_a", 5)
         assert lock1 is lock2
+
+
+class TestShardedDurabilityModes:
+    """Batched-fsync amortisation in the virtual-time sharded scenario."""
+
+    _fast = dict(clients=8, duration_us=15_000.0, warmup_us=4_000.0)
+
+    def test_group_durability_beats_per_commit_fsync(self):
+        sync = run_sharded_benchmark(1, 0.05, **self._fast)
+        group = run_sharded_benchmark(1, 0.05, durability="group", **self._fast)
+        assert group.throughput_tps > sync.throughput_tps
+        # amortisation: strictly fewer fsyncs than committed transactions
+        assert 0 < group.fsyncs < group.commits
+        assert group.commits_per_fsync > 1.0
+        # per-commit mode pays one fsync per participant of every commit
+        assert sync.fsyncs >= sync.commits
+
+    def test_group_durability_scales_with_shards(self):
+        one = run_sharded_benchmark(1, 0.05, durability="group", **self._fast)
+        four = run_sharded_benchmark(4, 0.05, durability="group", **self._fast)
+        assert four.throughput_tps > one.throughput_tps
+
+    def test_unknown_durability_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSimEnvironment(WorkloadConfig(table_size=64), 1, 0.0, durability="bogus")
+
+    def test_sim_group_fsync_batches_joiners(self):
+        batcher = SimGroupFsync(io_us=100.0)
+        # t=0: device idle, fsync A runs [0, 100)
+        assert batcher.durable_at(0.0) == 100.0
+        # t=50: A is in flight, fsync B is scheduled for [100, 200)
+        assert batcher.durable_at(50.0) == 200.0
+        # t=120: B already started, fsync C is scheduled for [200, 300)
+        assert batcher.durable_at(120.0) == 300.0
+        # t=150: C has not started yet — this record joins C's batch
+        assert batcher.durable_at(150.0) == 300.0
+        assert batcher.fsyncs == 3 and batcher.records == 4

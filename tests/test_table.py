@@ -1,6 +1,5 @@
 """Tests for the transactional table wrapper (StateTable)."""
 
-import pytest
 
 from repro.core.codecs import INT4_CODEC, JSON_CODEC
 from repro.core.table import StateTable

@@ -5,7 +5,6 @@ import pytest
 from repro.streams import (
     AggregateSpec,
     GroupedAggregate,
-    MemorySource,
     SinkOp,
     SlidingCountWindow,
     SlidingTimeWindow,
