@@ -1,0 +1,222 @@
+"""Restart recovery cost: WAL tail length × checkpoint interval.
+
+The commit-WAL lifecycle tradeoff, measured on the real engine and
+cross-checked on the simulator:
+
+* **real files** — build a durable 4-shard data directory
+  (``data_dir=`` mode), "crash" it (the manager is abandoned without
+  close/flush, so only fsynced state survives logically), and time
+  ``ShardedTransactionManager.open()``.  Without checkpoints the commit
+  WAL tail grows with the whole run and recovery replays every commit;
+  with ``checkpoint_interval=N`` the replayable tail — and therefore the
+  replay term of the restart — is bounded by ``N`` regardless of how long
+  the run was.  Asserted: every shard's recovered tail obeys the bound.
+* **virtual time** — :func:`repro.sim.run_crash_recovery_scenario` runs
+  the same interval sweep GIL-free and prices both sides of the tradeoff:
+  the recovery estimate (tail replay + version-index bootstrap) *and* the
+  steady-state throughput cost of paying the checkpoint flush inside the
+  commit latch.
+
+Results land in ``BENCH_recovery.json``.
+
+Run:   pytest benchmarks/bench_recovery.py --benchmark-only -s
+Smoke: pytest benchmarks/bench_recovery.py --benchmark-only -s --smoke
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import ShardedTransactionManager
+from repro.core.durability import commit_wal_tail
+from repro.sim import run_crash_recovery_scenario
+
+from conftest import record_bench, report_lines
+
+NUM_SHARDS = 4
+#: 0 = never checkpoint (unbounded tail baseline).
+CHECKPOINT_INTERVALS = [0, 32, 128, 512]
+COMMITS = 1200
+SMOKE_CHECKPOINT_INTERVALS = [0, 32]
+SMOKE_COMMITS = 240
+
+SIM_INTERVALS = [0, 50, 200, 800]
+SMOKE_SIM_INTERVALS = [0, 50]
+
+
+def _build_crashed_dir(tmp_path, tag: str, interval: int, commits: int):
+    """Run a sharded workload and abandon it mid-load (no close, no flush).
+
+    Commit WAL records are fsynced (sync durability), the LSM base tables
+    buffer — exactly the on-disk state an ``os._exit`` leaves behind, which
+    is what recovery has to work from.  The abandoned manager is returned
+    so its file handles stay alive (not GC-flushed) until the process ends.
+    """
+    data_dir = tmp_path / tag
+    smgr = ShardedTransactionManager(
+        num_shards=NUM_SHARDS,
+        protocol="mvcc",
+        data_dir=data_dir,
+        checkpoint_interval=interval,
+    )
+    smgr.create_table("A")
+    smgr.create_table("B")
+    smgr.register_group("g", ["A", "B"])
+    for i in range(commits):
+        txn = smgr.begin()
+        smgr.write(txn, "A", i, {"v": i})
+        if i % 8 == 0:
+            smgr.write(txn, "B", i + 1, {"w": i})  # sometimes cross-shard
+        smgr.commit(txn)
+    return data_dir, smgr
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_recovery_time_vs_tail_length(benchmark, tmp_path, smoke):
+    """Recovery wall time as a function of the checkpoint interval."""
+    intervals = SMOKE_CHECKPOINT_INTERVALS if smoke else CHECKPOINT_INTERVALS
+    commits = SMOKE_COMMITS if smoke else COMMITS
+    leaked = []  # keep abandoned managers' handles alive
+
+    def sweep() -> list[dict]:
+        results = []
+        for interval in intervals:
+            data_dir, abandoned = _build_crashed_dir(
+                tmp_path, f"run-{interval}", interval, commits
+            )
+            leaked.append(abandoned)
+            tails = [
+                len(commit_wal_tail(
+                    ShardedTransactionManager.commit_wal_path(data_dir, s)
+                )[1])
+                for s in range(NUM_SHARDS)
+            ]
+            t0 = time.perf_counter()
+            reopened = ShardedTransactionManager.open(data_dir)
+            open_s = time.perf_counter() - t0
+            report = reopened.last_recovery
+            row_total = sum(report.rows_loaded.values())
+            reopened.close()
+            results.append(
+                {
+                    "checkpoint_interval": interval,
+                    "commits": commits,
+                    "tail_records_total": sum(tails),
+                    "tail_records_max_shard": max(tails),
+                    "commits_replayed": report.commits_replayed,
+                    "rows_bootstrapped": row_total,
+                    "recovery_ms": report.recovery_s * 1e3,
+                    "open_ms": open_s * 1e3,
+                }
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_lines(
+        f"Restart recovery, {NUM_SHARDS} shards, {commits} commits (real files)",
+        [
+            f"interval={r['checkpoint_interval']:4d}: "
+            f"tail {r['tail_records_total']:5d} rec "
+            f"(max/shard {r['tail_records_max_shard']:4d})  "
+            f"replayed {r['commits_replayed']:5d}  "
+            f"recovery {r['recovery_ms']:7.1f} ms  open {r['open_ms']:7.1f} ms"
+            for r in results
+        ],
+    )
+    record_bench(
+        __file__,
+        "real_files",
+        {
+            "config": {
+                "num_shards": NUM_SHARDS,
+                "commits": commits,
+                "checkpoint_intervals": intervals,
+                "smoke": smoke,
+            },
+            "results": results,
+        },
+    )
+
+    by_interval = {r["checkpoint_interval"]: r for r in results}
+    unbounded = by_interval[0]
+    bounded = by_interval[min(i for i in intervals if i > 0)]
+    record_bench(
+        __file__,
+        "headline",
+        {
+            "unbounded_tail_records": unbounded["tail_records_total"],
+            "bounded_tail_records": bounded["tail_records_total"],
+            "bounded_interval": bounded["checkpoint_interval"],
+            "unbounded_recovery_ms": round(unbounded["recovery_ms"], 1),
+            "bounded_recovery_ms": round(bounded["recovery_ms"], 1),
+            "tail_reduction": round(
+                unbounded["tail_records_total"]
+                / max(1, bounded["tail_records_total"]),
+                1,
+            ),
+        },
+    )
+    # The lifecycle guarantee (acceptance criterion): with checkpointing on,
+    # every shard's replayable tail is bounded by the interval (+ one
+    # in-flight commit's records), no matter how long the run was.
+    for r in results:
+        interval = r["checkpoint_interval"]
+        if interval > 0:
+            assert r["tail_records_max_shard"] <= interval + 2, r
+    # and without it, the tail grows with the run (every commit record —
+    # single-shard ones plus one per writing shard of each 2PC)
+    assert unbounded["tail_records_total"] >= commits
+    assert unbounded["commits_replayed"] >= commits
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_recovery_cost_model_virtual_time(benchmark, smoke):
+    """Simulator cross-check: interval sweep prices recovery vs. runtime."""
+    intervals = SMOKE_SIM_INTERVALS if smoke else SIM_INTERVALS
+    duration_us, warmup_us = (12_000.0, 3_000.0) if smoke else (30_000.0, 8_000.0)
+
+    def measure():
+        return run_crash_recovery_scenario(
+            NUM_SHARDS,
+            intervals,
+            cross_ratio=0.1,
+            clients=8,
+            duration_us=duration_us,
+            warmup_us=warmup_us,
+        )
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report_lines(
+        f"Crash/recover scenario ({NUM_SHARDS} shards, virtual time)",
+        [
+            f"interval={interval:4d}: ckpts={r.checkpoints:3d}  "
+            f"max tail={r.max_wal_tail:5d}  "
+            f"est. recovery {r.estimated_recovery_us / 1e3:7.2f} ms  "
+            f"{r.throughput_ktps:6.1f} K tps"
+            for interval, r in zip(intervals, results)
+        ],
+    )
+    record_bench(
+        __file__,
+        "virtual_time",
+        {
+            "config": {"num_shards": NUM_SHARDS, "intervals": intervals},
+            "results": [
+                {
+                    "checkpoint_interval": interval,
+                    "checkpoints": r.checkpoints,
+                    "max_wal_tail": r.max_wal_tail,
+                    "estimated_recovery_us": round(r.estimated_recovery_us, 1),
+                    "throughput_ktps": round(r.throughput_ktps, 1),
+                }
+                for interval, r in zip(intervals, results)
+            ],
+        },
+    )
+    unbounded, bounded = results[0], results[1]
+    assert bounded.checkpoints > 0 and unbounded.checkpoints == 0
+    assert bounded.max_wal_tail <= intervals[1]
+    # bounding the tail must actually shrink the restart estimate
+    assert bounded.estimated_recovery_us < unbounded.estimated_recovery_us

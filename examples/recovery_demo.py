@@ -1,29 +1,109 @@
 #!/usr/bin/env python3
-"""Durability and restart recovery over the LSM-backed tables.
+"""Durability and restart recovery — single-site and sharded.
 
-Simulates the paper's persistence requirement: committed transactions
-survive a crash, uncommitted work vanishes, and the recovered group
-``LastCTS`` restores exactly the pre-crash snapshot boundary.
+Part 1 simulates the paper's persistence requirement on the single-site
+:class:`~repro.recovery.DurableSystem`: committed transactions survive a
+crash, uncommitted work vanishes, and the recovered group ``LastCTS``
+restores exactly the pre-crash snapshot boundary.
 
-The "crash" is real in the only way that matters for the recovery code
-path: the first process's in-memory state (version indexes, open
-transactions, oracle) is discarded without any orderly shutdown of the
-transactional layer, and a second system instance recovers purely from the
-on-disk artifacts (LSM WAL + SSTables + context log).
+Part 2 does it for real on the durable **sharded** manager: a child
+process runs a 4-shard workload over ``data_dir=`` storage (LSM base
+tables + per-shard commit WALs + checkpoints) and hard-kills itself with
+``os._exit`` mid-load — no close, no flush, no atexit.  The parent then
+reopens the directory with ``ShardedTransactionManager.open()``, which
+replays the commit-WAL tails, resolves any in-doubt 2PC prepares
+(presumed-abort) and restores ``LastCTS``, and prints what came back.
 
 Run:  python examples/recovery_demo.py
 """
 
+import os
 import shutil
+import subprocess
+import sys
 import tempfile
 from pathlib import Path
 
+from repro.core import ShardedTransactionManager
 from repro.recovery import DurableSystem
+
+
+_SHARDED_CHILD = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+
+smgr = ShardedTransactionManager(
+    num_shards=4, protocol="mvcc", data_dir=sys.argv[1], checkpoint_interval=60,
+)
+smgr.create_table("inventory")
+smgr.create_table("orders")
+smgr.register_group("shop", ["inventory", "orders"])
+
+for i in range(220):
+    txn = smgr.begin()
+    smgr.write(txn, "inventory", i % 50, {"stock": 100 - i % 7})
+    if i % 5 == 0:
+        smgr.write(txn, "orders", i, {"qty": 1})  # often a second shard: 2PC
+    smgr.commit(txn)
+
+# one uncommitted transaction that must NOT survive:
+doomed = smgr.begin()
+smgr.write(doomed, "inventory", 0, {"stock": -999})
+
+sys.stdout.write(str(max(s.context.last_cts("shop") for s in smgr.shards)))
+sys.stdout.flush()
+os._exit(42)  # hard kill: no close(), no flush, no atexit
+"""
+
+
+def sharded_demo(workdir: Path) -> None:
+    data_dir = workdir / "sharded"
+    print("=== part 2: sharded hard-kill + ShardedTransactionManager.open() ===")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SHARDED_CHILD, str(data_dir)],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+        timeout=120,
+    )
+    assert proc.returncode == 42, proc.stderr
+    pre_crash_cts = int(proc.stdout)
+    print(f"child committed 220 transactions, then os._exit(42); "
+          f"pre-crash LastCTS = {pre_crash_cts}")
+
+    smgr = ShardedTransactionManager.open(data_dir)
+    report = smgr.last_recovery
+    print(f"tail records replayed    : {report.tail_records} "
+          f"({report.commits_replayed} commits) across {len(report.shards)} shards")
+    print(f"in-doubt prepares        : {report.prepares_rolled_forward} rolled "
+          f"forward, {report.prepares_rolled_back} rolled back")
+    print(f"restored LastCTS         : {report.last_cts}")
+    print(f"rows per state           : {report.rows_loaded}")
+    print(f"recovery time            : {report.recovery_s * 1e3:.1f} ms")
+    assert report.last_cts["shop"] >= pre_crash_cts
+
+    with smgr.snapshot() as view:
+        stock0 = view.get("inventory", 0)
+        inventory_rows = sum(1 for _ in view.scan("inventory"))
+        order_rows = sum(1 for _ in view.scan("orders"))
+    print(f"inventory[0]             : {stock0}")
+    print(f"row counts               : inventory={inventory_rows} orders={order_rows}")
+    assert stock0 != {"stock": -999}, "uncommitted write must not survive"
+    assert inventory_rows == 50 and order_rows == 44
+
+    # the recovered manager keeps committing (and checkpointing):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "inventory", 0, {"stock": 42})
+    with smgr.snapshot() as view:
+        print(f"post-recovery write      : {view.get('inventory', 0)}")
+    smgr.close()
+    print("sharded crash recovery ✓\n")
 
 
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="repro_recovery_"))
     print(f"workspace: {workdir}")
+    print("=== part 1: single-site DurableSystem ===")
     try:
         # ---- phase 1: run, commit, then "crash" ---------------------------
         system = DurableSystem(workdir, protocol="mvcc", sync=True)
@@ -80,6 +160,9 @@ def main() -> None:
         with recovered.manager.snapshot() as view:
             print(f"post-recovery write: {view.get('inventory', 0)}")
         recovered.close()
+        print()
+
+        sharded_demo(workdir)
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

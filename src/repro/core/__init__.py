@@ -27,10 +27,12 @@ from .context import GroupInfo, StateContext, StateInfo
 from .durability import (
     DURABILITY_ASYNC,
     DURABILITY_SYNC,
+    CheckpointLogRecord,
     CommitLogRecord,
     DurabilityTicket,
     GroupFsyncDaemon,
     PrepareLogRecord,
+    commit_wal_tail,
     recovered_commits,
     replay_commit_wal,
 )
@@ -62,6 +64,7 @@ __all__ = [
     "BOCCProtocol",
     "BYTES_CODEC",
     "BytesCodec",
+    "CheckpointLogRecord",
     "Codec",
     "CommitLogRecord",
     "ConcurrencyControl",
@@ -116,6 +119,7 @@ __all__ = [
     "WriteKind",
     "WriteSet",
     "ZERO_TS",
+    "commit_wal_tail",
     "make_protocol",
     "protocol_names",
     "recovered_commits",

@@ -43,7 +43,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..errors import WALError
-from ..storage.wal import KIND_TXN_COMMIT, KIND_TXN_PREPARE, WriteAheadLog
+from ..storage.wal import (
+    KIND_CHECKPOINT,
+    KIND_TXN_COMMIT,
+    KIND_TXN_PREPARE,
+    WriteAheadLog,
+)
 from .write_set import WriteKind, WriteSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,6 +83,24 @@ class PrepareLogRecord:
 
     txn_id: int
     writes: dict[str, list[tuple[Any, str, Any]]]
+
+
+@dataclass(frozen=True)
+class CheckpointLogRecord:
+    """Decoded checkpoint marker on a shard's commit WAL.
+
+    Written after the shard's base tables were flushed to durable storage:
+    every commit record *before* the marker is fully reflected in the LSM
+    SSTables, so recovery replays only the records after the last marker.
+    ``last_cts`` snapshots the shard's per-group ``LastCTS`` at the cut —
+    the recovery floor for the group watermarks even when the context store
+    lags (it is written unsynced on the hot path).
+    """
+
+    #: Highest commit timestamp covered by this checkpoint.
+    checkpoint_ts: int
+    #: group id -> LastCTS at the time of the cut.
+    last_cts: dict[str, int]
 
 
 def _encode_writes(write_sets: dict[str, WriteSet]) -> dict[str, list]:
@@ -133,20 +156,33 @@ def decode_prepare_record(payload: bytes) -> PrepareLogRecord:
     return PrepareLogRecord(txn_id, writes)
 
 
+def encode_checkpoint_record(checkpoint_ts: int, last_cts: dict[str, int]) -> bytes:
+    return pickle.dumps(
+        (checkpoint_ts, dict(last_cts)), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_checkpoint_record(payload: bytes) -> CheckpointLogRecord:
+    checkpoint_ts, last_cts = pickle.loads(payload)
+    return CheckpointLogRecord(checkpoint_ts, last_cts)
+
+
 def replay_commit_wal(
     path: str | os.PathLike[str],
-) -> Iterator[CommitLogRecord | PrepareLogRecord]:
-    """Yield every intact commit/prepare record of a per-shard commit WAL.
+) -> Iterator[CommitLogRecord | PrepareLogRecord | CheckpointLogRecord]:
+    """Yield every intact commit/prepare/checkpoint record of a shard WAL.
 
     Torn tails end the iteration silently (WAL replay semantics); records
-    of other kinds are skipped so the commit WAL may share a file with
-    checkpoint markers in the future.
+    of unknown kinds are skipped so the format can grow without breaking
+    old readers.
     """
     for kind, payload in WriteAheadLog.replay(path):
         if kind == KIND_TXN_COMMIT:
             yield decode_commit_record(payload)
         elif kind == KIND_TXN_PREPARE:
             yield decode_prepare_record(payload)
+        elif kind == KIND_CHECKPOINT:
+            yield decode_checkpoint_record(payload)
 
 
 def recovered_commits(path: str | os.PathLike[str]) -> list[CommitLogRecord]:
@@ -154,9 +190,37 @@ def recovered_commits(path: str | os.PathLike[str]) -> list[CommitLogRecord]:
     return [r for r in replay_commit_wal(path) if isinstance(r, CommitLogRecord)]
 
 
-def apply_recovered_commit(record: CommitLogRecord) -> dict[str, WriteSet]:
+def commit_wal_tail(
+    path: str | os.PathLike[str],
+) -> tuple[CheckpointLogRecord | None, list[CommitLogRecord | PrepareLogRecord]]:
+    """The records after the *last* intact checkpoint marker, plus the marker.
+
+    This is recovery's unit of work: everything before the last marker is
+    already reflected in the base tables (the checkpoint protocol flushes
+    the LSM stores before writing the marker), so only the tail needs to be
+    replayed.  A WAL without any marker returns ``(None, all records)`` —
+    replay-from-the-beginning, which is correct because redo application is
+    idempotent.  A *torn* marker at the very end simply does not count as a
+    marker (its bytes fail the CRC), so the tail extends back to the
+    previous cut — again correct, merely more work.
+    """
+    marker: CheckpointLogRecord | None = None
+    tail: list[CommitLogRecord | PrepareLogRecord] = []
+    for record in replay_commit_wal(path):
+        if isinstance(record, CheckpointLogRecord):
+            marker = record
+            tail.clear()
+        else:
+            tail.append(record)
+    return marker, tail
+
+
+def apply_recovered_commit(
+    record: CommitLogRecord | PrepareLogRecord,
+) -> dict[str, WriteSet]:
     """Rebuild per-state :class:`WriteSet` objects from a decoded record
-    (the redo step a storage-backed shard recovery will replay)."""
+    (the redo step sharded recovery replays — also used to roll an
+    in-doubt prepare forward once the coordinator's decision is known)."""
     write_sets: dict[str, WriteSet] = {}
     for state_id, entries in record.writes.items():
         ws = WriteSet()
@@ -255,6 +319,11 @@ class GroupFsyncDaemon:
         self.records_enqueued = 0
         self.batches = 0
         self.largest_batch = 0
+        self.checkpoints = 0
+        #: ``records_enqueued`` at the last checkpoint cut — the delta to
+        #: the live counter is the replayable WAL tail length, which the
+        #: sharded manager's auto-checkpoint trigger watches.
+        self._records_at_checkpoint = 0
         # Async mode always needs the background flusher (nobody waits);
         # sync mode defaults to leader/follower batching but can opt into a
         # dedicated flusher thread (InnoDB-log-writer style): committers
@@ -402,6 +471,66 @@ class GroupFsyncDaemon:
             self.wait_durable(target)
         return target
 
+    # ---------------------------------------------------------- checkpoints
+
+    def records_since_checkpoint(self) -> int:
+        """Commit-WAL tail length in records (what recovery would replay)."""
+        with self._lock:
+            return self.records_enqueued - self._records_at_checkpoint
+
+    def preload_tail(self, records: int) -> None:
+        """Account for an on-disk WAL tail that predates this process.
+
+        Called by restart recovery after parsing the tail: the fresh
+        daemon's counters would otherwise start at zero, under-reporting
+        :meth:`records_since_checkpoint` by the whole replayed tail — the
+        auto-checkpoint trigger would let the file grow past its bound,
+        and :meth:`write_checkpoint` would report ``dropped=0`` for a
+        truncation that in fact dropped the tail.
+        """
+        with self._lock:
+            self._records_at_checkpoint = -records
+
+    def write_checkpoint(self, checkpoint_ts: int, last_cts: dict[str, int]) -> int:
+        """Cut a checkpoint: durable marker, then truncate the prefix.
+
+        Caller contract (see ``ShardedTransactionManager.checkpoint_shard``):
+        the shard must be *quiesced* — every table commit latch held, so no
+        new record can enqueue — and the base tables flushed, so every
+        record currently in the WAL is reflected in durable SSTables.
+
+        Two steps, each individually crash-safe:
+
+        1. the marker is appended to the live WAL and fsynced — a crash
+           after this leaves ``[old records..., marker]``: recovery sees an
+           empty tail after the marker and replays nothing;
+        2. the WAL is atomically rewritten to just ``[marker]``
+           (:meth:`~repro.storage.wal.WriteAheadLog.reset_to`) — the
+           truncation that keeps commit WALs bounded.  A crash before the
+           rename keeps the old (marked) file; after it, the new one.
+
+        Returns the number of records the truncation dropped.
+        """
+        self.flush()
+        with self._lock:
+            if self._closed:
+                raise WALError(
+                    f"checkpoint on closed durability daemon ({self.wal.path})"
+                )
+            if self._pending:  # pragma: no cover - quiesce contract violated
+                raise WALError(
+                    f"checkpoint with {len(self._pending)} records still "
+                    f"pending on {self.wal.path} (shard not quiesced)"
+                )
+            dropped = self.records_enqueued - self._records_at_checkpoint
+            self._records_at_checkpoint = self.records_enqueued
+            self.checkpoints += 1
+        payload = encode_checkpoint_record(checkpoint_ts, last_cts)
+        self.wal.append(KIND_CHECKPOINT, payload)
+        self.wal.sync()
+        self.wal.reset_to([(KIND_CHECKPOINT, payload)])
+        return dropped
+
     # ------------------------------------------------------------- leading
 
     def _lead_one_batch(self) -> bool:
@@ -510,6 +639,9 @@ class GroupFsyncDaemon:
                 "largest_fsync_batch": self.largest_batch,
                 "durable_watermark": self._durable_seq,
                 "durability_backlog": (self._next_seq - 1) - self._durable_seq,
+                "checkpoints": self.checkpoints,
+                "wal_tail_records": self.records_enqueued
+                - self._records_at_checkpoint,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -35,27 +35,49 @@ one snapshot per shard, which may interleave with a concurrent cross-shard
 commit (analogous to a client reading two partitions of a distributed
 store without a global snapshot service).  Cross-shard *writes* are
 all-or-nothing.
+
+Durable mode (``data_dir=``): every shard becomes durable end-to-end.  Each
+shard owns an :class:`~repro.storage.lsm.LSMStore` directory per state
+(the base tables), a commit WAL driven by the batched-fsync daemon, and a
+:class:`~repro.recovery.redo.ContextStore` persisting group ``LastCTS``;
+cross-shard commits additionally log their decision to a global
+coordinator outcome log so recovery can resolve in-doubt prepares
+(presumed-abort).  Commit WALs stay bounded through checkpoints: after
+``checkpoint_interval`` records a shard quiesces briefly (all commit
+latches), flushes its LSM stores, cuts a checkpoint marker and truncates
+the covered prefix.  A crashed process reopens with
+:meth:`ShardedTransactionManager.open`, which replays only the tails
+(:mod:`repro.recovery.sharded`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import zlib
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from collections.abc import Iterator
 from heapq import merge as _heap_merge
 from pathlib import Path
 from typing import Any, Callable
 
-from ..errors import ABORT_GROUP, ABORT_USER, InvalidTransactionState, TransactionAborted
+from ..errors import (
+    ABORT_GROUP,
+    ABORT_USER,
+    InvalidTransactionState,
+    StorageError,
+    TransactionAborted,
+)
 from ..storage.kvstore import KVStore
-from ..storage.wal import WriteAheadLog
+from ..storage.lsm import LSMOptions, LSMStore
+from ..storage.wal import KIND_TXN_COMMIT, WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
 from .durability import (
     DURABILITY_SYNC,
     GroupFsyncDaemon,
     encode_commit_body,
     reserve_group_commit,
+    stamp_commit_record,
 )
 from .gc import GCPolicy
 from .isolation import IsolationLevel
@@ -65,6 +87,7 @@ from .table import StateTable
 from .timestamps import TimestampOracle
 from .transactions import Transaction, TxnStatus
 from .version_store import DEFAULT_SLOTS
+from .write_set import WriteSet
 
 
 def shard_of_key(key: Any, num_shards: int) -> int:
@@ -73,6 +96,13 @@ def shard_of_key(key: Any, num_shards: int) -> int:
     Integers map by modulo so workload generators can *target* a shard by
     choosing a residue class; everything else hashes through CRC-32 of its
     ``repr`` (stable across processes, unlike builtin ``hash``).
+
+    Negative integers are in range by construction: Python's ``%`` with a
+    positive modulus always returns a value in ``[0, num_shards)`` (e.g.
+    ``-1 % 4 == 3``), unlike C-style remainder which can go negative.  Any
+    future routing change (slot maps, consistent hashing for rebalancing)
+    must preserve that full-domain property — ``tests/test_sharding.py``
+    pins it explicitly.
     """
     if num_shards <= 1:
         return 0
@@ -198,29 +228,47 @@ class ShardedTransactionManager:
         gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
         gc_interval: int = 1000,
         wal_dir: str | os.PathLike[str] | None = None,
+        data_dir: str | os.PathLike[str] | None = None,
         durability: str = DURABILITY_SYNC,
         fsync_max_batch: int = 128,
         fsync_batch_window: float = 0.0,
+        checkpoint_interval: int = 4096,
+        lsm_options: LSMOptions | None = None,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
+        if wal_dir is not None and data_dir is not None:
+            raise ValueError("pass either wal_dir (commit WALs only) or "
+                             "data_dir (fully durable shards), not both")
         self.num_shards = num_shards
         self.protocol_name = protocol
         self.durability_mode = durability
+        #: Root of the durable shard layout (``None`` = volatile tables).
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        #: Auto-checkpoint trigger: cut a shard's commit WAL after this many
+        #: records (0 disables; explicit :meth:`checkpoint` always works).
+        self.checkpoint_interval = checkpoint_interval
+        #: LSM tuning for the shard base tables.  Default ``sync=False``:
+        #: the commit WAL is the durable redo authority for the tail, so the
+        #: per-table LSM WAL does not need its own fsync per write — the
+        #: checkpoint protocol flushes memtables to fsynced SSTables before
+        #: any commit-WAL prefix is dropped.
+        self.lsm_options = lsm_options or LSMOptions(sync=False)
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
-        #: Per-shard commit durability pipeline (``wal_dir`` enables it):
-        #: each shard gets its own commit WAL + batched-fsync daemon, so
-        #: shards never contend on each other's durability I/O either.
+        effective_wal_dir = self.data_dir if self.data_dir is not None else wal_dir
+        #: Per-shard commit durability pipeline (``wal_dir``/``data_dir``
+        #: enables it): each shard gets its own commit WAL + batched-fsync
+        #: daemon, so shards never contend on each other's durability I/O.
         self.daemons: list[GroupFsyncDaemon | None] = [
             GroupFsyncDaemon(
-                WriteAheadLog(self.commit_wal_path(wal_dir, idx), sync=False),
+                WriteAheadLog(self.commit_wal_path(effective_wal_dir, idx), sync=False),
                 mode=durability,
                 max_batch=fsync_max_batch,
                 batch_window=fsync_batch_window,
             )
-            if wal_dir is not None
+            if effective_wal_dir is not None
             else None
             for idx in range(num_shards)
         ]
@@ -235,6 +283,43 @@ class ShardedTransactionManager:
             )
             for idx in range(num_shards)
         ]
+        # Durable-mode plumbing: per-shard LastCTS write-through stores, the
+        # global 2PC outcome log, and the persisted schema catalog.
+        # (Imported lazily: repro.recovery depends on repro.core.)
+        self.context_stores: list[Any] = []
+        self.coordinator_log: Any | None = None
+        self._schema: Any | None = None
+        self._ckpt_locks = [threading.Lock() for _ in range(num_shards)]
+        self._last_checkpoint_ts = [0] * num_shards
+        self._closed = False
+        if self.data_dir is not None:
+            from ..recovery.redo import ContextStore
+            from ..recovery.sharded import (
+                CoordinatorLog,
+                ShardedSchema,
+                context_store_path,
+                coordinator_log_path,
+            )
+
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            self.coordinator_log = CoordinatorLog(coordinator_log_path(self.data_dir))
+            for idx, shard in enumerate(self.shards):
+                store = ContextStore(
+                    context_store_path(self.data_dir, idx), sync=False
+                )
+                self.context_stores.append(store)
+                shard.context.attach_persistence(store.record)
+            # Adopt an existing catalog instead of clobbering it: a crash
+            # between this constructor and the caller's create_table /
+            # register_group calls (e.g. inside ``open()``) must not lose
+            # the state/group definitions recovery needs to replay.
+            try:
+                self._schema = ShardedSchema.load(self.data_dir)
+                self._schema.num_shards = num_shards
+                self._schema.protocol = protocol
+            except StorageError:
+                self._schema = ShardedSchema(num_shards, protocol)
+            self._schema.save(self.data_dir)
         # sharded-commit counters (beyond the per-shard protocol stats)
         self.single_shard_commits = 0
         self.cross_shard_commits = 0
@@ -243,6 +328,13 @@ class ShardedTransactionManager:
         #: participant prepared during a cross-shard commit; raising from it
         #: simulates a participant failure between prepare and commit.
         self.prepare_fault: Callable[[int], None] | None = None
+        #: Test hook: called as ``hook(txn_id)`` right after the coordinator
+        #: decision became durable but before any participant applied phase
+        #: two — the in-doubt window recovery must roll *forward*.
+        self.decision_fault: Callable[[int], None] | None = None
+        #: Report of the last :meth:`open`/:meth:`recover` run (``None``
+        #: for a fresh, never-recovered manager).
+        self.last_recovery: Any | None = None
 
     # ------------------------------------------------------------- schema
 
@@ -258,20 +350,32 @@ class ShardedTransactionManager:
     def create_table(
         self,
         state_id: str,
-        backend_factory: Callable[[], KVStore] | None = None,
+        backend_factory: Callable[[int], KVStore] | None = None,
         key_codec: Codec = PICKLE_CODEC,
         value_codec: Codec = PICKLE_CODEC,
         version_slots: int = DEFAULT_SLOTS,
     ) -> list[StateTable]:
         """Register ``state_id`` on every shard; returns the partitions.
 
-        ``backend_factory`` (not a backend instance) because each shard
-        needs its *own* base-table backend.
+        ``backend_factory`` (not a backend instance, called with the shard
+        index) because each shard needs its *own* base-table backend.  In
+        durable mode (``data_dir=``) the default factory routes each
+        partition to its own LSM directory under
+        ``data_dir/shard-NN/tables/<state_id>``; commits write through to
+        it via :meth:`~repro.core.table.StateTable.apply_write_set`.
         """
-        return [
+        if backend_factory is None and self.data_dir is not None:
+            from ..recovery.sharded import table_dir
+
+            data_dir, options = self.data_dir, self.lsm_options
+
+            def backend_factory(idx: int) -> KVStore:
+                return LSMStore(table_dir(data_dir, idx, state_id), options)
+
+        tables = [
             shard.create_table(
                 state_id,
-                backend=backend_factory() if backend_factory else None,
+                backend=backend_factory(idx) if backend_factory else None,
                 key_codec=key_codec,
                 value_codec=value_codec,
                 version_slots=version_slots,
@@ -279,18 +383,45 @@ class ShardedTransactionManager:
             )
             for idx, shard in enumerate(self.shards)
         ]
+        if self._schema is not None:
+            self._schema.states[state_id] = version_slots
+            self._schema.save(self.data_dir)
+        return tables
 
     def register_group(self, group_id: str, state_ids: list[str]) -> None:
         for shard in self.shards:
             shard.register_group(group_id, state_ids)
+        if self._schema is not None:
+            self._schema.groups[group_id] = list(state_ids)
+            self._schema.save(self.data_dir)
 
     def bulk_load(self, state_id: str, rows: list[tuple[Any, Any]]) -> None:
-        """Partition ``rows`` by key and bulk-load each shard's table."""
+        """Partition ``rows`` by key and bulk-load each shard's table.
+
+        In durable mode each partition's rows are also logged to the
+        shard's commit WAL (as a bootstrap commit record, ts 0) and the
+        WALs are flushed, so bulk-loaded data survives a crash that hits
+        before the first checkpoint — the LSM base tables buffer their own
+        WAL (``sync=False``) and cannot be relied on for the tail.
+        """
         parts: dict[int, list[tuple[Any, Any]]] = {}
         for key, value in rows:
             parts.setdefault(self.shard_of(key), []).append((key, value))
         for idx, part in parts.items():
             self.shards[idx].table(state_id).bulk_load(part)
+            daemon = self.daemons[idx]
+            if daemon is not None and self.data_dir is not None:
+                write_set = WriteSet()
+                for key, value in part:
+                    write_set.upsert(key, value)
+                daemon.submit(
+                    KIND_TXN_COMMIT,
+                    stamp_commit_record(
+                        0, encode_commit_body(0, {state_id: write_set})
+                    ),
+                )
+        if self.data_dir is not None:
+            self.flush_durability()
 
     def table(self, shard: int, state_id: str) -> StateTable:
         """The partition of ``state_id`` living on shard ``shard``."""
@@ -408,6 +539,7 @@ class ShardedTransactionManager:
             raise
         txn.mark_committed(commit_ts)
         self.single_shard_commits += 1
+        self._maybe_checkpoint([shard])
         return commit_ts
 
     def _commit_cross_shard(self, txn: ShardedTransaction, participants: list[int]) -> int:
@@ -442,29 +574,55 @@ class ShardedTransactionManager:
             self._abort_after_prepare_failure(txn, participants, prepared, exc)
             raise
         committed: set[int] = set()
+        decision_durable = False
         try:
+            # The durable commit decision (presumed-abort 2PC): once this
+            # record is fsynced, recovery rolls the transaction forward on
+            # every participant even if no participant finished phase two.
+            # The reservation above is already past the point of no return
+            # (commit records are enqueued and may become durable in any
+            # batch), so a decision-log failure falls through to the
+            # in-doubt handling below — recovery also accepts any shard's
+            # durable commit record as decision evidence.
+            writers = [idx for idx, handle in prepared if handle.written]
+            if self.coordinator_log is not None and writers:
+                self.coordinator_log.log_commit(txn.txn_id, commit_ts, writers)
+                decision_durable = True
+                if self.decision_fault is not None:
+                    self.decision_fault(txn.txn_id)
             for idx, handle in prepared:
                 shard = self.shards[idx]
                 shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
                 committed.add(idx)
                 shard.gc.notify_commit(shard.tables())
         except BaseException:
-            # Durability failure mid phase-two (a shard's WAL died after the
-            # commit point).  Participants that already committed stay
-            # committed — their records passed the commit point and are on
-            # their WALs (classic in-doubt 2PC) — but the remaining
-            # participants must release their pinned latches or healthy
-            # shards wedge forever.  The failed participant's handle was
-            # finished by its coordinator.
+            # Failure mid phase-two (a shard's WAL died after the commit
+            # point).  Participants that already committed stay committed;
+            # the remaining ones must release their pinned latches or
+            # healthy shards wedge forever.  The *reported* outcome follows
+            # the durable truth: with the commit decision fsynced the
+            # transaction IS committed — restart recovery rolls the
+            # unapplied participants forward from their prepare records —
+            # so the handle is marked committed and the error propagates
+            # only as "this engine can no longer apply it; recover".
+            # Without a durable decision the outcome is genuinely in-doubt
+            # (an enqueued record may or may not have hit a flushed batch);
+            # the handle reports aborted, and recovery's evidence scan
+            # resolves all participants the same way either way.
             for idx, handle in prepared:
                 child = txn.children[idx]
                 if idx not in committed and not child.is_finished():
                     self.shards[idx].coordinator.abort_prepared(child, handle)
-            txn.mark_aborted(ABORT_GROUP)
-            self.cross_shard_aborts += 1
+            if decision_durable:
+                txn.mark_committed(commit_ts)
+                self.cross_shard_commits += 1
+            else:
+                txn.mark_aborted(ABORT_GROUP)
+                self.cross_shard_aborts += 1
             raise
         txn.mark_committed(commit_ts)
         self.cross_shard_commits += 1
+        self._maybe_checkpoint(participants)
         return commit_ts
 
     def _sequence_cross_shard(
@@ -573,6 +731,133 @@ class ShardedTransactionManager:
             finally:
                 txn.restarts = restarts
 
+    # checkpoints ---------------------------------------------------------
+
+    def _maybe_checkpoint(self, shards: list[int]) -> None:
+        """Auto-checkpoint trigger, evaluated after every commit.
+
+        Cheap when idle (one counter read per touched shard); when a
+        shard's commit-WAL tail reaches ``checkpoint_interval`` records the
+        triggering committer runs the checkpoint inline — it holds no
+        latches anymore, and paying the flush on one committer bounds every
+        shard's WAL without a background thread.  Non-blocking: if another
+        thread is already checkpointing the shard, skip.
+        """
+        if self.data_dir is None or self.checkpoint_interval <= 0:
+            return
+        for idx in shards:
+            daemon = self.daemons[idx]
+            if (
+                daemon is not None
+                and daemon.records_since_checkpoint() >= self.checkpoint_interval
+            ):
+                self.checkpoint_shard(idx, blocking=False)
+
+    def checkpoint_shard(self, idx: int, blocking: bool = True) -> int:
+        """Cut one shard's checkpoint; returns WAL records truncated.
+
+        Protocol (each step leaves a recoverable state, see
+        :meth:`~repro.core.durability.GroupFsyncDaemon.write_checkpoint`):
+
+        1. quiesce the shard — acquire **all** its table commit latches in
+           sorted order (the same order commits use).  Every commit-WAL
+           enqueue happens under the latches of the tables it writes, and
+           a prepared 2PC participant pins them until phase two, so once
+           the latches are held no record can enqueue and no enqueued
+           record is un-applied — and no in-doubt prepare can be caught
+           behind the marker;
+        2. drain the daemon (everything enqueued becomes durable);
+        3. flush every LSM base table — all applied commits land in
+           fsynced SSTables;
+        4. write the checkpoint marker (carrying the shard's group
+           ``LastCTS`` snapshot) and truncate the covered prefix.
+        """
+        daemon = self.daemons[idx]
+        if daemon is None or self.data_dir is None:
+            return 0
+        lock = self._ckpt_locks[idx]
+        if blocking:
+            lock.acquire()
+        elif not lock.acquire(blocking=False):
+            return 0
+        try:
+            shard = self.shards[idx]
+            tables = sorted(shard.tables(), key=lambda t: t.state_id)
+            with ExitStack() as stack:
+                for table in tables:
+                    stack.enter_context(table.commit_latch)
+                daemon.flush()
+                for table in tables:
+                    flush = getattr(table.backend, "flush", None)
+                    if callable(flush):
+                        flush()
+                last_cts = {
+                    gid: shard.context.last_cts(gid)
+                    for gid in shard.context.group_ids()
+                }
+                checkpoint_ts = max(last_cts.values(), default=0)
+                dropped = daemon.write_checkpoint(checkpoint_ts, last_cts)
+                self._last_checkpoint_ts[idx] = checkpoint_ts
+            if self.coordinator_log is not None:
+                self.coordinator_log.compact(min(self._last_checkpoint_ts))
+            return dropped
+        finally:
+            lock.release()
+
+    def checkpoint(self) -> int:
+        """Checkpoint every shard; returns total WAL records truncated."""
+        return sum(
+            self.checkpoint_shard(idx) for idx in range(self.num_shards)
+        )
+
+    # recovery ------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | os.PathLike[str],
+        recover: bool = True,
+        checkpoint_after_recovery: bool = True,
+        **kwargs: Any,
+    ) -> "ShardedTransactionManager":
+        """Reopen a durable sharded manager from its ``data_dir``.
+
+        Reads the persisted schema (shard count, protocol, states,
+        groups), reconstructs the manager with its durable layout, and —
+        unless ``recover=False`` — runs restart recovery: commit-WAL tail
+        replay, in-doubt 2PC resolution, ``LastCTS``/oracle restoration
+        and version-index bootstrap.  The report lands on
+        ``manager.last_recovery``.  ``kwargs`` override constructor
+        parameters (``protocol=``, ``checkpoint_interval=``, ...).
+        """
+        from ..recovery.sharded import ShardedSchema, recover_sharded
+
+        schema = ShardedSchema.load(data_dir)
+        kwargs.setdefault("num_shards", schema.num_shards)
+        kwargs.setdefault("protocol", schema.protocol)
+        manager = cls(data_dir=data_dir, **kwargs)
+        for state_id, version_slots in schema.states.items():
+            manager.create_table(state_id, version_slots=version_slots)
+        for group_id, state_ids in schema.groups.items():
+            manager.register_group(group_id, state_ids)
+        manager.last_recovery = (
+            recover_sharded(manager, checkpoint=checkpoint_after_recovery)
+            if recover
+            else None
+        )
+        return manager
+
+    def recover(self, checkpoint: bool = True):
+        """Run restart recovery on this (freshly reopened) manager.
+
+        Prefer :meth:`open`, which recreates the schema first and then
+        calls this.  Returns a
+        :class:`~repro.recovery.sharded.ShardedRecoveryReport`.
+        """
+        from ..recovery.sharded import recover_sharded
+
+        return recover_sharded(self, checkpoint=checkpoint)
+
     # maintenance ---------------------------------------------------------
 
     def collect_garbage(self) -> int:
@@ -595,11 +880,25 @@ class ShardedTransactionManager:
         }
 
     def close(self) -> None:
+        """Orderly shutdown: final checkpoint, then close every resource.
+
+        The closing checkpoint flushes all base tables and truncates the
+        commit WALs, so a clean restart replays nothing.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.data_dir is not None:
+            self.checkpoint()
         for shard in self.shards:
             shard.close()
         for daemon in self.daemons:
             if daemon is not None:
                 daemon.close()
+        for store in self.context_stores:
+            store.close()
+        if self.coordinator_log is not None:
+            self.coordinator_log.close()
 
     def stats(self) -> dict[str, int]:
         """Protocol counters summed over shards + sharded-commit counters."""
@@ -611,4 +910,6 @@ class ShardedTransactionManager:
         totals["single_shard_commits"] = self.single_shard_commits
         totals["cross_shard_commits"] = self.cross_shard_commits
         totals["cross_shard_aborts"] = self.cross_shard_aborts
+        if self.coordinator_log is not None:
+            totals["coordinator_outcomes"] = len(self.coordinator_log)
         return totals

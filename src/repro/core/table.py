@@ -168,6 +168,28 @@ class StateTable:
         self.backend.write_batch(puts, deletes)
         self.commits_applied += 1
 
+    def redo_write_set(self, write_set: WriteSet) -> int:
+        """Apply a recovered commit's write set to the **base table only**.
+
+        The recovery redo step: commit-WAL tail records are replayed into
+        the backend *before* the version index is bootstrapped with
+        :meth:`load_from_backend`, so versions are never installed out of
+        timestamp order.  Idempotent — re-applying a write set that partly
+        survived (e.g. through the LSM's own buffered WAL) converges on the
+        same bytes.  Returns the number of keys touched.
+        """
+        puts: list[tuple[bytes, bytes]] = []
+        deletes: list[bytes] = []
+        for key, entry in write_set.entries.items():
+            if entry.kind is WriteKind.UPSERT:
+                puts.append(
+                    (self.key_codec.encode(key), self.value_codec.encode(entry.value))
+                )
+            else:
+                deletes.append(self.key_codec.encode(key))
+        self.backend.write_batch(puts, deletes)
+        return len(puts) + len(deletes)
+
     # ------------------------------------------------------------ bootstrap
 
     def bulk_load(self, items: Iterator[tuple[Any, Any]] | list[tuple[Any, Any]]) -> int:

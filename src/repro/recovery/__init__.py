@@ -1,13 +1,77 @@
-"""Recovery: persistent context metadata, checkpoints, restart procedure."""
+"""Recovery: persistent metadata, checkpoints, restart procedures.
+
+Architecture overview — what is durable, who owns it, and how a crashed
+process gets back to its exact committed state:
+
+```
+            single-site (DurableSystem)        sharded (data_dir= mode)
+            ---------------------------        -------------------------------
+  redo      LSM per state (sync=True):         commit WAL per shard (batched
+  authority every commit batch fsynced         fsync; repro.core.durability) +
+            into the base table                LSM per state per shard
+                                               (sync=False, flushed at
+                                               checkpoints)
+  LastCTS   ContextStore (sync=True            ContextStore per shard
+            write-through per publish)         (sync=False hint) + checkpoint
+                                               marker + replayed commit ts
+  2PC       —                                  coordinator.log: durable commit
+                                               decisions, presumed-abort
+  restart   DurableSystem.recover()            ShardedTransactionManager.open()
+                                               -> recover_sharded()
+```
+
+Module map:
+
+* :mod:`~repro.recovery.redo` — :class:`ContextStore`, the durable
+  group -> ``LastCTS`` map the paper requires ("the last committed
+  transaction (LastCTS) per group ... needs to be persistent", §4.1).
+* :mod:`~repro.recovery.checkpoint` — flush-and-snapshot checkpointing
+  for single-site table sets (volatile backends get snapshot files).
+* :mod:`~repro.recovery.recovery` — :class:`DurableSystem`, the
+  single-site durable manager: one LSM directory per state, restart =
+  restore ``LastCTS`` + rebuild version indexes from the base tables.
+* :mod:`~repro.recovery.sharded` — the sharded restart procedure:
+  per-shard commit-WAL tail replay on top of the LSM state, in-doubt 2PC
+  resolution against the global :class:`CoordinatorLog` (presumed-abort),
+  ``LastCTS``/oracle restoration, version-index bootstrap, and the
+  post-recovery checkpoint that truncates the replayed tails.  Also owns
+  the on-disk layout helpers and the persisted :class:`ShardedSchema`.
+
+Recovery invariants (both procedures):
+
+1. every state table's content equals the last durable committed prefix —
+   base tables only ever receive whole committed batches, and redo replay
+   applies whole write sets in commit-timestamp order;
+2. ``LastCTS`` never moves backwards across a restart: it is restored from
+   the max of every durable source (context store, checkpoint marker,
+   replayed records);
+3. the timestamp oracle restarts above every persisted timestamp;
+4. uncommitted work is gone (write sets were volatile; an in-doubt 2PC
+   prepare without a durable commit decision is presumed aborted).
+"""
 
 from .checkpoint import CheckpointInfo, CheckpointManager
 from .recovery import DurableSystem, RecoveryReport
 from .redo import ContextStore
+from .sharded import (
+    CoordinatorLog,
+    CoordinatorOutcome,
+    ShardRecovery,
+    ShardedRecoveryReport,
+    ShardedSchema,
+    recover_sharded,
+)
 
 __all__ = [
     "CheckpointInfo",
     "CheckpointManager",
     "ContextStore",
+    "CoordinatorLog",
+    "CoordinatorOutcome",
     "DurableSystem",
     "RecoveryReport",
+    "ShardRecovery",
+    "ShardedRecoveryReport",
+    "ShardedSchema",
+    "recover_sharded",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from pathlib import Path
 import zlib
 
@@ -24,7 +25,19 @@ _FRAME = struct.Struct("<II")
 
 
 class ContextStore:
-    """Durable group -> LastCTS map with write-through semantics."""
+    """Durable group -> LastCTS map with write-through semantics.
+
+    Thread-safe: ``record`` is called from every committer thread of a
+    shard (the context's persistence hook runs outside the commit latches),
+    so appends, compaction and close serialise on an internal mutex.
+
+    ``sync=False`` keeps the hot path cheap (buffered appends, no fsync per
+    publish).  That is safe whenever a commit WAL provides the durable
+    source of truth for the tail — recovery then takes the max of the
+    persisted value, the checkpoint marker and the replayed commit records
+    (:func:`repro.recovery.sharded.recover_sharded`), so a lost context
+    append can never roll a group's watermark backwards.
+    """
 
     def __init__(
         self,
@@ -38,6 +51,7 @@ class ContextStore:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._values: dict[str, int] = {}
         self._records = 0
+        self._lock = threading.Lock()
         self._load()
         self._file = open(self.path, "ab")
 
@@ -75,28 +89,35 @@ class ContextStore:
 
     def record(self, group_id: str, last_cts: int) -> None:
         """Persist one group-commit publication (the context hook target)."""
-        if self._file.closed:
-            raise WALError(f"record on closed context store {self.path}")
-        payload = self._encode(group_id, last_cts)
-        self._file.write(_FRAME.pack(zlib.crc32(payload), len(payload)))
-        self._file.write(payload)
-        if self.sync:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-        self._values[group_id] = max(self._values.get(group_id, 0), last_cts)
-        self._records += 1
-        if self._records >= self.compact_after_records:
-            self.compact()
+        with self._lock:
+            if self._file.closed:
+                raise WALError(f"record on closed context store {self.path}")
+            payload = self._encode(group_id, last_cts)
+            self._file.write(_FRAME.pack(zlib.crc32(payload), len(payload)))
+            self._file.write(payload)
+            if self.sync:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._values[group_id] = max(self._values.get(group_id, 0), last_cts)
+            self._records += 1
+            if self._records >= self.compact_after_records:
+                self._compact_locked()
 
     def values(self) -> dict[str, int]:
         """The recovered (or current) group -> LastCTS map."""
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def last_cts(self, group_id: str) -> int:
-        return self._values.get(group_id, 0)
+        with self._lock:
+            return self._values.get(group_id, 0)
 
     def compact(self) -> None:
         """Rewrite the log keeping only the newest record per group."""
+        with self._lock:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
         self._file.close()
         tmp = self.path.with_suffix(".compact")
         with open(tmp, "wb") as fh:
@@ -111,10 +132,11 @@ class ContextStore:
         self._file = open(self.path, "ab")
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
 
     def __enter__(self) -> "ContextStore":
         return self

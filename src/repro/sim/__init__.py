@@ -12,6 +12,7 @@ from .harness import (
     ShardedSimResult,
     SimResult,
     run_benchmark,
+    run_crash_recovery_scenario,
     run_sharded_benchmark,
     sweep_cross_ratio,
     sweep_shards,
@@ -47,6 +48,7 @@ __all__ = [
     "SimStats",
     "Simulator",
     "run_benchmark",
+    "run_crash_recovery_scenario",
     "run_sharded_benchmark",
     "sharded_writer",
     "sweep_cross_ratio",

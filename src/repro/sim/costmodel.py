@@ -57,6 +57,15 @@ class CostModel:
     #: shard's commit latch.
     group_commit_window_us: float = 0.0
     begin_us: float = 0.2
+    # checkpoint / recovery (the crash-recover scenario)
+    #: flushing a shard's memtables to SSTables at a checkpoint cut — paid
+    #: inside the shard's commit latch by whichever committer trips the
+    #: interval, exactly like the real auto-checkpoint trigger.
+    checkpoint_flush_io_us: float = 400.0
+    #: decoding + re-applying one commit-WAL tail record during restart.
+    replay_record_us: float = 2.0
+    #: rebuilding one row's version-index entry from the base table.
+    bootstrap_row_us: float = 0.8
     # cache
     cache_capacity: int = 4096
 

@@ -163,6 +163,10 @@ class ShardedSimResult:
     events: int
     durability: str = SIM_DURABILITY_SYNC
     fsyncs: int = 0
+    #: commit-WAL lifecycle accounting (checkpoint_interval > 0 only).
+    checkpoints: int = 0
+    max_wal_tail: int = 0
+    estimated_recovery_us: float = 0.0
 
     @property
     def commits(self) -> int:
@@ -212,6 +216,7 @@ def run_sharded_benchmark(
     cost: CostModel | None = None,
     seed: int = 42,
     durability: str = SIM_DURABILITY_SYNC,
+    checkpoint_interval: int = 0,
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -237,7 +242,9 @@ def run_sharded_benchmark(
         seed=seed,
         states=base.states,
     )
-    env = ShardedSimEnvironment(workload, num_shards, cross_ratio, cost, durability)
+    env = ShardedSimEnvironment(
+        workload, num_shards, cross_ratio, cost, durability, checkpoint_interval
+    )
     sim = Simulator()
     deadline = warmup_us + duration_us
     for i in range(clients):
@@ -268,6 +275,9 @@ def run_sharded_benchmark(
         events=sim.events_processed,
         durability=durability,
         fsyncs=env.stats.fsyncs + env.total_fsyncs(),
+        checkpoints=env.stats.checkpoints,
+        max_wal_tail=max(env.wal_tail),
+        estimated_recovery_us=env.estimated_recovery_us(),
     )
 
 
@@ -287,3 +297,33 @@ def sweep_cross_ratio(
 ) -> list[ShardedSimResult]:
     """Cross-shard cost curve: one point per cross-shard probability."""
     return [run_sharded_benchmark(num_shards, r, **kwargs) for r in cross_ratios]
+
+
+# --------------------------------------------------------------------------
+# crash / recover scenario
+# --------------------------------------------------------------------------
+
+
+def run_crash_recovery_scenario(
+    num_shards: int,
+    checkpoint_intervals: list[int],
+    cross_ratio: float = 0.1,
+    **kwargs: object,
+) -> list[ShardedSimResult]:
+    """Recovery-time accounting across checkpoint intervals.
+
+    Each point runs the sharded workload with a different commit-WAL
+    checkpoint interval, then "crashes" at the end of the measurement
+    window: ``estimated_recovery_us`` prices the restart (tail replay +
+    version-index bootstrap, the :mod:`repro.recovery.sharded` procedure)
+    and ``checkpoints``/``throughput_tps`` price what bounding the tail
+    cost during normal operation.  Interval 0 means "never checkpoint" —
+    the unbounded-WAL baseline whose recovery time grows with the whole
+    run instead of the interval.
+    """
+    return [
+        run_sharded_benchmark(
+            num_shards, cross_ratio, checkpoint_interval=interval, **kwargs
+        )
+        for interval in checkpoint_intervals
+    ]

@@ -61,6 +61,7 @@ class ShardedSimStats:
     prepares: int = 0
     latch_waits: int = 0
     fsyncs: int = 0
+    checkpoints: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -118,6 +119,7 @@ class ShardedSimEnvironment:
         cross_ratio: float,
         cost: CostModel | None = None,
         durability: str = SIM_DURABILITY_SYNC,
+        checkpoint_interval: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
@@ -132,8 +134,14 @@ class ShardedSimEnvironment:
         self.cross_ratio = cross_ratio
         self.cost = cost or CostModel()
         self.durability = durability
-        self.oracle = TimestampOracle()
+        #: Commit-WAL records per shard between checkpoint cuts (0 = never
+        #: checkpoint, the pre-lifecycle behaviour: tails grow unbounded).
+        self.checkpoint_interval = checkpoint_interval
+        #: shard -> commit-WAL tail length (records since last checkpoint);
+        #: what restart recovery would have to replay if the run crashed now.
+        self.wal_tail = [0] * num_shards
         self.stats = ShardedSimStats()
+        self.oracle = TimestampOracle()
         #: shard -> exclusive latch over that shard's commit pipeline.
         self.commit_latches = [SimLatch(f"shard-{i}:commit") for i in range(num_shards)]
         #: shard -> batched-fsync daemon model (group durability only).
@@ -157,6 +165,24 @@ class ShardedSimEnvironment:
 
     def total_fsyncs(self) -> int:
         return sum(f.fsyncs for f in self.fsync)
+
+    def estimated_recovery_us(self) -> float:
+        """Restart time if the run crashed *now* (the recovery cost model).
+
+        Mirrors :func:`repro.recovery.sharded.recover_sharded`: each shard
+        replays its commit-WAL tail (``replay_record_us`` per record) and
+        bootstraps its version indexes from the base tables
+        (``bootstrap_row_us`` per row); shards recover sequentially, as in
+        the real procedure.  This is what checkpointing buys — the tail
+        term is bounded by the checkpoint interval instead of the whole
+        run's commit count.
+        """
+        total = 0.0
+        for shard in range(self.num_shards):
+            rows = sum(len(t.keys()) for t in self.tables[shard].values())
+            total += self.wal_tail[shard] * self.cost.replay_record_us
+            total += rows * self.cost.bootstrap_row_us
+        return total
 
 
 def sharded_writer(
@@ -219,6 +245,23 @@ def sharded_writer(
                 env.tables[shard][state_id].apply_write_set(
                     write_set, commit_ts, start_ts
                 )
+        # Commit-WAL accounting: one commit record per participant, plus a
+        # prepare record per participant on the two-phase path.  A shard
+        # whose tail trips the checkpoint interval pays the LSM flush
+        # *inside* its latch — the same inline auto-checkpoint the real
+        # manager runs — and its tail resets.
+        ckpt_us = 0.0
+        for shard in shards:
+            env.wal_tail[shard] += 2 if cross else 1
+            if (
+                env.checkpoint_interval > 0
+                and env.wal_tail[shard] >= env.checkpoint_interval
+            ):
+                ckpt_us += cost.checkpoint_flush_io_us
+                env.wal_tail[shard] = 0
+                env.stats.checkpoints += 1
+        if ckpt_us > 0.0:
+            yield Delay(ckpt_us)
         if env.durability == SIM_DURABILITY_GROUP:
             for shard in reversed(shards):
                 yield Release(env.commit_latches[shard])

@@ -15,7 +15,9 @@ table, RocksDB, uses):
   LRU cache making hot keys memory-resident.
 
 Crash consistency: the manifest is replaced atomically; the WAL is replayed
-on open and truncated only after a successful flush.
+on open and truncated only after a successful flush; SSTable creation and
+manifest replacement both fsync the directory entry, so freshly flushed
+files (not just their contents) survive a crash.
 """
 
 from __future__ import annotations
@@ -345,6 +347,15 @@ class LSMStore(KVStore):
     def _ensure_open(self) -> None:
         if self._closed:
             raise StorageError(f"LSM store at {self.directory} is closed")
+
+    def __enter__(self) -> "LSMStore":
+        """``with LSMStore(dir) as store:`` — closes (and therefore flushes
+        the memtable to a durable SSTable) on exit, even on error paths."""
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 _MISS = object()

@@ -14,6 +14,7 @@ import os
 from pathlib import Path
 
 from ..errors import CorruptionError
+from .wal import fsync_dir
 
 _MANIFEST_NAME = "MANIFEST.json"
 _TMP_SUFFIX = ".tmp"
@@ -84,6 +85,7 @@ class Manifest:
         with open(tmp, "rb+") as fh:
             os.fsync(fh.fileno())
         tmp.replace(self.path)
+        fsync_dir(self.directory)
 
     def garbage_files(self) -> list[Path]:
         """``.sst`` files present on disk but absent from the manifest."""

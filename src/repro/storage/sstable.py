@@ -24,6 +24,7 @@ from pathlib import Path
 
 from ..errors import CorruptionError
 from .bloom import BloomFilter
+from .wal import fsync_dir
 
 _MAGIC = 0x53535442_31303031  # "SSTB1001"
 _FOOTER = struct.Struct("<QQQQQQ")
@@ -96,6 +97,10 @@ class SSTableWriter:
             )
             fh.flush()
             os.fsync(fh.fileno())
+        # The file's fsync covers its contents only; the *name* needs a
+        # directory-entry fsync or a crash right after the flush can leave
+        # a manifest pointing at a file that does not exist.
+        fsync_dir(self.path.parent)
         return SSTable(self.path)
 
 

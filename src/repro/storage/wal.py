@@ -33,6 +33,20 @@ KIND_CHECKPOINT = 4
 #: whole transaction's redo image, and a 2PC participant's prepare vote.
 KIND_TXN_COMMIT = 5
 KIND_TXN_PREPARE = 6
+#: Global 2PC coordinator outcome (:mod:`repro.recovery.sharded`): the
+#: durable commit decision recovery consults to resolve in-doubt prepares.
+KIND_COORD_COMMIT = 7
+
+
+def fsync_dir(directory: str | os.PathLike[str]) -> None:
+    """Fsync a directory entry so file creations/renames inside it survive
+    a crash (POSIX requires a directory fsync to make the new name durable;
+    the file's own fsync only covers its *contents*)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def encode_kv(key: bytes, value: bytes) -> bytes:
@@ -141,6 +155,40 @@ class WriteAheadLog:
                 os.fsync(self._file.fileno())
             finally:
                 self._file.close()
+
+    def reset_to(self, records: Iterable[tuple[int, bytes]]) -> int:
+        """Atomically replace the log's contents with ``records``.
+
+        The commit-WAL truncation primitive: after a checkpoint covers a
+        prefix, the log is rewritten to hold only the surviving records
+        (typically just the checkpoint marker seeding the new tail).  The
+        replacement file is written fully, fsynced, renamed over the live
+        path and the directory entry is fsynced — a crash at any point
+        leaves either the complete old log or the complete new one.
+
+        The caller must guarantee no concurrent :meth:`append` is in
+        flight wanting to land *before* the reset (the sharded manager's
+        checkpoint quiesces the shard first).  Returns the record count.
+        """
+        tmp = self.path.with_name(self.path.name + ".reset")
+        count = 0
+        with open(tmp, "wb") as fh:
+            for kind, payload in records:
+                fh.write(self._frame(kind, payload))
+                count += 1
+            fh.flush()
+            os.fsync(fh.fileno())
+        with self._lock:
+            if self._closed:
+                tmp.unlink(missing_ok=True)
+                raise WALError(f"reset_to on closed WAL {self.path}")
+            self._file.flush()
+            os.replace(tmp, self.path)
+            fsync_dir(self.path.parent)
+            old = self._file
+            self._file = open(self.path, "ab")
+            old.close()
+        return count
 
     def size_bytes(self) -> int:
         with self._lock:

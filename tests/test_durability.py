@@ -28,10 +28,12 @@ import pytest
 from helpers import PROTOCOLS
 
 from repro.core import (
+    CheckpointLogRecord,
     CommitLogRecord,
     PrepareLogRecord,
     ShardedTransactionManager,
     TransactionManager,
+    commit_wal_tail,
     recovered_commits,
     replay_commit_wal,
 )
@@ -39,6 +41,7 @@ from repro.core.durability import (
     GroupFsyncDaemon,
     apply_recovered_commit,
     decode_commit_record,
+    encode_checkpoint_record,
     encode_commit_record,
 )
 from repro.core.transactions import TxnStatus
@@ -468,6 +471,74 @@ def test_sharded_durability_all_protocols(tmp_path, protocol):
     )
     # 6 single-shard commits + one commit record per writing shard of the 2PC
     assert total == 8
+
+
+# -------------------------------------------------------- checkpoint markers
+
+
+class TestCheckpointMarkers:
+    """Commit-WAL lifecycle: marker cut + prefix truncation on the daemon."""
+
+    def _commit_some(self, mgr: TransactionManager, start: int, n: int) -> None:
+        for i in range(start, start + n):
+            txn = mgr.begin()
+            mgr.write(txn, "A", i, i)
+            mgr.commit(txn)
+
+    def test_write_checkpoint_truncates_prefix_and_seeds_marker(self, tmp_path):
+        mgr = TransactionManager(protocol="mvcc", wal_path=tmp_path / "c.wal")
+        mgr.create_table("A")
+        self._commit_some(mgr, 0, 12)
+        daemon = mgr.durability
+        assert daemon.records_since_checkpoint() == 12
+        dropped = daemon.write_checkpoint(99, {"g": 99})
+        assert dropped == 12
+        assert daemon.records_since_checkpoint() == 0
+        # the truncated log holds exactly the marker
+        records = list(replay_commit_wal(tmp_path / "c.wal"))
+        assert records == [CheckpointLogRecord(99, {"g": 99})]
+        # new commits form the fresh tail after the marker
+        self._commit_some(mgr, 100, 3)
+        mgr.flush_durability()
+        marker, tail = commit_wal_tail(tmp_path / "c.wal")
+        assert marker == CheckpointLogRecord(99, {"g": 99})
+        assert [type(r) for r in tail] == [CommitLogRecord] * 3
+        assert daemon.stats()["checkpoints"] == 1
+        mgr.close()
+
+    def test_commit_wal_tail_without_marker_returns_everything(self, tmp_path):
+        mgr = TransactionManager(protocol="mvcc", wal_path=tmp_path / "c.wal")
+        mgr.create_table("A")
+        self._commit_some(mgr, 0, 5)
+        mgr.close()
+        marker, tail = commit_wal_tail(tmp_path / "c.wal")
+        assert marker is None
+        assert len(tail) == 5
+
+    def test_torn_trailing_marker_is_not_a_cut(self, tmp_path):
+        path = tmp_path / "c.wal"
+        with WriteAheadLog(path, sync=False) as wal:
+            wal.append(KIND_TXN_COMMIT, encode_commit_record(1, 2, {}))
+            wal.append(KIND_TXN_COMMIT, encode_commit_record(3, 4, {}))
+            frame = wal._frame(
+                4, encode_checkpoint_record(10, {})
+            )  # KIND_CHECKPOINT == 4
+            # simulate the crash tearing the marker mid-write
+            wal._file.write(frame[:-2])
+        marker, tail = commit_wal_tail(path)
+        assert marker is None
+        assert [r.txn_id for r in tail] == [1, 3]
+
+    def test_reset_to_is_atomic_and_replayable(self, tmp_path):
+        path = tmp_path / "w.wal"
+        wal = WriteAheadLog(path, sync=False)
+        wal.append_many([(KIND_PUT, bytes([i])) for i in range(10)])
+        kept = [(KIND_PUT, b"survivor")]
+        assert wal.reset_to(kept) == 1
+        # the live handle keeps appending to the *new* file
+        wal.append(KIND_PUT, b"after")
+        wal.close()
+        assert list(WriteAheadLog.replay(path)) == kept + [(KIND_PUT, b"after")]
 
 
 # ------------------------------------------------- failure-path resource safety

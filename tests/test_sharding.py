@@ -50,6 +50,24 @@ class TestRouting:
         spread = {shard_of_key(f"user:{i}", 8) for i in range(100)}
         assert len(spread) > 1
 
+    def test_negative_int_keys_stay_in_range(self):
+        """Python's % with a positive modulus never goes negative (unlike
+        C-style remainder), so negative keys land on a valid shard.  Pinned
+        explicitly so a future routing change (slot maps, consistent
+        hashing for rebalancing) cannot regress the full int domain."""
+        for num_shards in (1, 2, 4, 8):
+            for key in (-1, -2, -7, -8, -(10**9), -(2**63)):
+                assert 0 <= shard_of_key(key, num_shards) < num_shards
+        # residue classes still line up with the mathematical mod:
+        assert shard_of_key(-1, 4) == 3
+        assert shard_of_key(-4, 4) == 0
+        # and routing follows key equality end to end
+        smgr = make_sharded("mvcc")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "acct", -5, "negative")
+        with smgr.snapshot() as view:
+            assert view.get("acct", -5) == "negative"
+
     def test_equal_keys_share_a_shard(self):
         """True == 1 and 1.0 would collide in a dict, so routing must
         follow key equality: a value written under True is readable as 1."""
