@@ -172,12 +172,12 @@ class BOCCProtocol(ConcurrencyControl):
                 )
                 self._prune_log()
                 self._await_durable(prepared, in_latch=True)
+        except BaseException as exc:
+            self._fail_unpublished_commit(txn, prepared, exc)
+            raise
         finally:
             prepared.resources.close()
-        if prepared.written:
-            self._await_durable(prepared, in_latch=False)
-            self._publish(txn, commit_ts)
-        self.stats.commits += 1
+        self._finish_commit_publish(txn, prepared, commit_ts)
 
     def _validate_backward(self, txn: Transaction) -> None:
         """RS(T) ∩ WS(T_i) = ∅ for every T_i that *finished* after T began.

@@ -245,6 +245,10 @@ class DurabilityTicket:
     daemon: "GroupFsyncDaemon"
     seq: int
     commit_ts: int | None = None
+    #: ``True`` while the daemon counts this commit in its
+    #: enqueued-but-not-yet-published set (set for records whose commit
+    #: path will publish ``LastCTS``; see :meth:`settle_publish`).
+    tracks_publish: bool = False
 
     @property
     def durable(self) -> bool:
@@ -253,6 +257,19 @@ class DurabilityTicket:
     def wait(self, timeout: float | None = None) -> None:
         """Block until the record's batch is on stable storage."""
         self.daemon.wait_durable(self.seq, timeout=timeout)
+
+    def settle_publish(self) -> None:
+        """Tell the daemon this record's ``LastCTS`` publish is settled —
+        either published (commit path) or abandoned (abort path).
+
+        Idempotent.  Every ticket handed out by :meth:`submit_commit` /
+        :func:`reserve_group_commit` must eventually settle, or
+        :meth:`GroupFsyncDaemon.wait_publishes_drained` (the checkpoint
+        quiesce) would wait on it until its timeout.
+        """
+        if self.tracks_publish:
+            self.tracks_publish = False
+            self.daemon._publish_settled()
 
 
 class GroupFsyncDaemon:
@@ -313,6 +330,18 @@ class GroupFsyncDaemon:
         self._leader_active = False
         self._next_seq = 1
         self._durable_seq = 0
+        #: Commit records drawn-and-enqueued whose ``LastCTS`` publish has
+        #: not settled yet.  The publish runs *outside* the table commit
+        #: latches, so a checkpoint that only quiesces the latches can race
+        #: it — :meth:`wait_publishes_drained` closes that window.
+        self._unpublished = 0
+        #: Signals the checkpoint quiesce when the unpublished set drains
+        #: (or the pipeline poisons).  Shares the daemon mutex.
+        self._publish_cv = threading.Condition(self._lock)
+        #: How long :meth:`wait_publishes_drained` waits before giving up
+        #: (the publishes it waits for only need the already-completed
+        #: flush plus the context lock, so seconds is generous).
+        self.publish_drain_timeout = 5.0
         self._failure: BaseException | None = None
         self._closed = False
         # stats
@@ -346,16 +375,22 @@ class GroupFsyncDaemon:
     def is_sync(self) -> bool:
         return self.mode == DURABILITY_SYNC
 
-    def _submit_locked(self, kind: int, payload: bytes) -> DurabilityTicket:
+    def _check_submittable_locked(self) -> None:
+        """Reject enqueues on a closed or poisoned pipeline.  Fail fast
+        once the WAL is poisoned: rejecting at enqueue time (before any
+        versions are applied) keeps later transactions from installing
+        changes that could never become durable.  Shared by
+        :meth:`_submit_locked` and :func:`reserve_group_commit`'s
+        all-or-nothing pre-flight, so the two can never drift."""
         if self._closed:
             raise WALError(f"submit on closed durability daemon ({self.wal.path})")
         if self._failure is not None:
-            # Fail fast once the WAL is poisoned: rejecting at enqueue time
-            # (before any versions are applied) keeps later transactions
-            # from installing changes that could never become durable.
             raise WALError(
                 f"commit WAL {self.wal.path} has failed; daemon is poisoned"
             ) from self._failure
+
+    def _submit_locked(self, kind: int, payload: bytes) -> DurabilityTicket:
+        self._check_submittable_locked()
         seq = self._next_seq
         self._next_seq += 1
         self._pending.append((seq, kind, payload))
@@ -394,6 +429,8 @@ class GroupFsyncDaemon:
                 KIND_TXN_COMMIT, stamp_commit_record(commit_ts, body)
             )
             ticket.commit_ts = commit_ts
+            ticket.tracks_publish = True
+            self._unpublished += 1
             return ticket
 
     # ------------------------------------------------------------- waiting
@@ -470,6 +507,78 @@ class GroupFsyncDaemon:
         if target:
             self.wait_durable(target)
         return target
+
+    def _publish_settled(self) -> None:
+        with self._lock:
+            self._unpublished -= 1
+            if self._unpublished <= 0:
+                self._publish_cv.notify_all()
+
+    @property
+    def failed(self) -> bool:
+        """``True`` once the pipeline is poisoned (WAL failure or a commit
+        that could not apply/publish its durable record): submits, waits
+        and checkpoints all fail fast."""
+        with self._lock:
+            return self._failure is not None
+
+    def poison(self, exc: BaseException) -> None:
+        """Mark the pipeline failed: submits, waits, checkpoints and
+        publish drains all fail fast from here on.
+
+        Used by commit paths whose *post-durability* step failed (the
+        ``LastCTS`` publish raised, or the wait died on a closed daemon):
+        the commit record may be durable while remaining invisible, so no
+        later commit may sequence past it and no checkpoint may truncate
+        it — the engine is expected to be torn down and recovered from
+        the WAL.  Keeps the first failure; idempotent.
+        """
+        with self._lock:
+            if self._failure is None:
+                self._failure = exc
+            ready = self._collect_ready_waiters_locked(self._failure)
+            # Publish-drain waiters must also wake: their commits may
+            # never publish now, and the drain fails fast on the poison.
+            self._publish_cv.notify_all()
+        for ev in ready:
+            ev.set()
+
+    def wait_publishes_drained(self, timeout: float | None = None) -> None:
+        """Block until no enqueued commit record still awaits its
+        ``LastCTS`` publish.
+
+        The publish (the visibility flip) runs *after* the table commit
+        latches are released, so a checkpoint that quiesced the latches and
+        flushed the WAL can still observe a ``LastCTS`` snapshot that does
+        not cover a record already durable in the WAL — and would truncate
+        that record under a marker that cannot restore it.  This is the
+        missing quiesce step: with the latches held no new record can
+        enqueue, and the in-flight committers only need the (already
+        completed) flush plus the context lock, so the set drains in
+        bounded time.  Raises :class:`~repro.errors.WALError` when the WAL
+        has failed (those commits may never publish) or on timeout, so the
+        checkpoint aborts instead of cutting an uncovered marker.
+        """
+        if timeout is None:
+            timeout = self.publish_drain_timeout
+        deadline = time.monotonic() + timeout
+        with self._publish_cv:
+            while True:
+                if self._failure is not None:
+                    raise WALError(
+                        f"commit WAL {self.wal.path} failed with commits "
+                        "still waiting to publish"
+                    ) from self._failure
+                if self._unpublished <= 0:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WALError(
+                        f"{self._unpublished} commit(s) on {self.wal.path} "
+                        f"did not publish LastCTS within {timeout}s; "
+                        "checkpoint aborted"
+                    )
+                self._publish_cv.wait(remaining)
 
     # ---------------------------------------------------------- checkpoints
 
@@ -677,11 +786,19 @@ def reserve_group_commit(
     with ExitStack() as stack:
         for idx in sorted(daemons):
             stack.enter_context(daemons[idx]._lock)
+        # Pre-flight every daemon before enqueuing on any: the reservation
+        # must be all-or-nothing — a record enqueued on one shard while
+        # another shard's daemon rejects would become durable decision
+        # evidence for a commit the caller then reports as cleanly aborted.
+        for idx in sorted(daemons):
+            daemons[idx]._check_submittable_locked()
         commit_ts = oracle.next()
         for idx in sorted(daemons):
             ticket = daemons[idx]._submit_locked(
                 KIND_TXN_COMMIT, stamp_commit_record(commit_ts, bodies[idx])
             )
             ticket.commit_ts = commit_ts
+            ticket.tracks_publish = True
+            daemons[idx]._unpublished += 1
             tickets[idx] = ticket
     return commit_ts, tickets

@@ -116,12 +116,14 @@ class GroupCommitCoordinator:
         (e.g. the durability wait raised ``WALError``).  The commit never
         became visible — ``LastCTS`` was not published — so the handle is
         finished as aborted; without this, the transaction would stay in the
-        active table and leak its bounded context slot."""
+        active table and leak its bounded context slot.  A handle the
+        protocol layer already finished (``IN_DOUBT`` when the commit
+        record was enqueued and may be durable) keeps that status — only
+        the context slot is released."""
         with self._decision_mutex:
-            if txn.is_finished():
-                return
-            txn.mark_aborted(ABORT_GROUP)
-            self.global_aborts += 1
+            if not txn.is_finished():
+                txn.mark_aborted(ABORT_GROUP)
+                self.global_aborts += 1
         self.context.finish(txn)
 
     def abort_state(self, txn: Transaction, state_id: str, reason: str = ABORT_USER) -> None:

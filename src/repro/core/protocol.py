@@ -38,7 +38,7 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..errors import StateError, UnknownState
+from ..errors import ABORT_GROUP, StateError, UnknownState
 from .context import StateContext
 from .durability import DurabilityTicket, GroupFsyncDaemon, encode_commit_body
 from .table import StateTable
@@ -105,6 +105,14 @@ class ConcurrencyControl(abc.ABC):
         #: when a commit WAL is configured).  ``None`` keeps the volatile
         #: pre-WAL behaviour: commits are acknowledged unlogged.
         self.durability: GroupFsyncDaemon | None = None
+        #: Admission re-check for writing commits, invoked *after* prepare
+        #: pins the commit latches and *before* the commit record is
+        #: enqueued (attached by the sharded manager to its fence check).
+        #: Raising aborts the prepared transaction cleanly.  Under the
+        #: latches the check is race-free: a fence raised by a conflicting
+        #: transaction's phase-two failure happens before that transaction
+        #: releases the latches this committer was blocked on.
+        self.commit_gate: Callable[[], None] | None = None
 
     # ------------------------------------------------------------- plumbing
 
@@ -203,17 +211,68 @@ class ConcurrencyControl(abc.ABC):
                         txn.write_sets[state_id], commit_ts, oldest
                     )
                 self._await_durable(prepared, in_latch=True)
+        except BaseException as exc:
+            self._fail_unpublished_commit(txn, prepared, exc)
+            raise
         finally:
             prepared.resources.close()
-        if prepared.written:
-            self._await_durable(prepared, in_latch=False)
-            # Visibility flip: publish LastCTS after *all* states applied
-            # and the commit record is on stable storage.
-            self._publish(txn, commit_ts)
+        self._finish_commit_publish(txn, prepared, commit_ts)
+
+    def _fail_unpublished_commit(
+        self, txn: Transaction, prepared: PreparedCommit, exc: BaseException
+    ) -> None:
+        """The enqueued commit record can no longer publish — its apply
+        phase or its ``LastCTS`` publish failed.  The record may already be
+        durable while the in-memory tables or ``LastCTS`` miss it, so the
+        daemon is poisoned (no later commit may sequence past it, no
+        checkpoint may truncate it) and the ticket's publish tracking is
+        settled so the checkpoint quiesce
+        (:meth:`~repro.core.durability.GroupFsyncDaemon.wait_publishes_drained`)
+        is not left waiting on a publish that will never come.  The handle
+        is finished ``IN_DOUBT``, never as a clean abort: recovery may find
+        the record in a flushed batch and roll the transaction forward,
+        contradicting an abort report the application already acted on.
+        """
+        ticket = prepared.ticket
+        if ticket is not None:
+            ticket.daemon.poison(exc)
+            ticket.settle_publish()
+            txn.mark_in_doubt(ABORT_GROUP)
+
+    def _finish_commit_publish(
+        self, txn: Transaction, prepared: PreparedCommit, commit_ts: int
+    ) -> None:
+        """Post-latch tail of phase two shared by the engines: durability
+        barrier, ``LastCTS`` publish, and settling the ticket's publish
+        tracking (checkpoints wait on that count — see
+        :meth:`~repro.core.durability.GroupFsyncDaemon.wait_publishes_drained`).
+
+        A *failed* publish (e.g. the attached context store raised) must
+        not simply settle: the commit record may be durable while
+        ``LastCTS`` never advanced over it, so the daemon is poisoned —
+        checkpoints and later commits fail fast instead of truncating the
+        uncovered record, and the engine is recovered from the WAL.
+        """
+        ticket = prepared.ticket
+        try:
+            if prepared.written:
+                self._await_durable(prepared, in_latch=False)
+                # Visibility flip: publish LastCTS after *all* states
+                # applied and the commit record is on stable storage.
+                self._publish(txn, commit_ts)
+        except BaseException as exc:
+            self._fail_unpublished_commit(txn, prepared, exc)
+            raise
+        if ticket is not None:
+            ticket.settle_publish()
         self.stats.commits += 1
 
     def abort_prepared(self, txn: Transaction, prepared: PreparedCommit) -> None:
         """Back out of a prepared commit: unpin resources, abort the txn."""
+        if prepared.ticket is not None:
+            # The enqueued record will never publish; release the
+            # checkpoint quiesce's publish tracking.
+            prepared.ticket.settle_publish()
         prepared.resources.close()
         self.abort_transaction(txn)
 
@@ -227,12 +286,15 @@ class ConcurrencyControl(abc.ABC):
         prepared = self.prepare_transaction(txn)
         try:
             if prepared.written:
+                if self.commit_gate is not None:
+                    self.commit_gate()
                 commit_ts = self._sequence_commit(txn, prepared)
             else:
                 commit_ts = self.context.oracle.current()
         except BaseException:
-            # The enqueue can fail (e.g. commit WAL closed mid-flight); the
-            # pinned commit latches must not outlive the failure.
+            # The gate can refuse and the enqueue can fail (e.g. commit WAL
+            # closed mid-flight); the pinned commit latches must not
+            # outlive the failure.
             self.abort_prepared(txn, prepared)
             raise
         self.commit_prepared(txn, prepared, commit_ts)

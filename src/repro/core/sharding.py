@@ -52,6 +52,7 @@ the covered prefix.  A crashed process reopens with
 
 from __future__ import annotations
 
+import inspect
 import os
 import threading
 import zlib
@@ -67,6 +68,7 @@ from ..errors import (
     InvalidTransactionState,
     StorageError,
     TransactionAborted,
+    WALError,
 )
 from ..storage.kvstore import KVStore
 from ..storage.lsm import LSMOptions, LSMStore
@@ -74,6 +76,7 @@ from ..storage.wal import KIND_TXN_COMMIT, WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
 from .durability import (
     DURABILITY_SYNC,
+    DurabilityTicket,
     GroupFsyncDaemon,
     encode_commit_body,
     reserve_group_commit,
@@ -111,6 +114,41 @@ def shard_of_key(key: Any, num_shards: int) -> int:
         # per-shard tables (like any dict) treat equal keys as one key.
         return key % num_shards
     return zlib.crc32(repr(key).encode()) % num_shards
+
+
+def _adapt_backend_factory(
+    factory: Callable[[int], KVStore] | Callable[[], KVStore],
+) -> Callable[[int], KVStore]:
+    """Accept both ``backend_factory`` arities.
+
+    The durable-storage refactor changed the factory signature from
+    zero-arg to shard-index; legacy zero-arg factories keep working (the
+    index is simply not passed).  Falls back to the one-arg call for
+    callables whose signature cannot be introspected.
+    """
+    try:
+        params = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return factory
+    # Shard-index style needs a *required* positional slot (or *args); a
+    # factory whose positionals all carry defaults was callable with zero
+    # args before the refactor — passing the index would silently land it
+    # in an unrelated parameter (e.g. ``def f(options=None)``).
+    takes_index = any(
+        p.kind is inspect.Parameter.VAR_POSITIONAL
+        or (
+            p.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+            and p.default is inspect.Parameter.empty
+        )
+        for p in params
+    )
+    if takes_index:
+        return factory
+    return lambda _idx: factory()  # type: ignore[call-arg]
 
 
 class ShardedTransaction:
@@ -163,7 +201,11 @@ class ShardedTransaction:
             )
 
     def is_finished(self) -> bool:
-        return self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+        return self.status in (
+            TxnStatus.COMMITTED,
+            TxnStatus.ABORTED,
+            TxnStatus.IN_DOUBT,
+        )
 
     def mark_committed(self, commit_ts: int) -> None:
         self.status = TxnStatus.COMMITTED
@@ -171,6 +213,13 @@ class ShardedTransaction:
 
     def mark_aborted(self, reason: str) -> None:
         self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    def mark_in_doubt(self, reason: str) -> None:
+        """Terminal: a phase-two failure left the durable outcome
+        unconfirmable either way (see :class:`~repro.core.transactions.
+        TxnStatus`); restart recovery resolves it conclusively."""
+        self.status = TxnStatus.IN_DOUBT
         self.abort_reason = reason
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -224,7 +273,7 @@ class ShardedTransactionManager:
     def __init__(
         self,
         num_shards: int = 4,
-        protocol: str = "mvcc",
+        protocol: str | None = None,
         gc_policy: GCPolicy = GCPolicy.ON_DEMAND,
         gc_interval: int = 1000,
         wal_dir: str | os.PathLike[str] | None = None,
@@ -242,7 +291,6 @@ class ShardedTransactionManager:
             raise ValueError("pass either wal_dir (commit WALs only) or "
                              "data_dir (fully durable shards), not both")
         self.num_shards = num_shards
-        self.protocol_name = protocol
         self.durability_mode = durability
         #: Root of the durable shard layout (``None`` = volatile tables).
         self.data_dir = Path(data_dir) if data_dir is not None else None
@@ -257,6 +305,43 @@ class ShardedTransactionManager:
         self.lsm_options = lsm_options or LSMOptions(sync=False)
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
+        # Adopt-or-create the persisted catalog BEFORE any on-disk side
+        # effect.  Adopting (instead of clobbering) protects the state and
+        # group definitions against a crash between this constructor and
+        # the caller's create_table/register_group calls (e.g. inside
+        # ``open()``); failing fast on a shard-count mismatch protects the
+        # existing shard-NN directories from being reread under a
+        # different key routing, which would orphan committed data.
+        self._schema: Any | None = None
+        if self.data_dir is not None:
+            from ..recovery.sharded import ShardedSchema
+
+            try:
+                adopted = ShardedSchema.load(self.data_dir)
+            except StorageError:
+                self._schema = ShardedSchema(num_shards, protocol or "mvcc")
+            else:
+                if adopted.num_shards != num_shards:
+                    raise StorageError(
+                        f"data_dir {self.data_dir} was created with "
+                        f"num_shards={adopted.num_shards}; reopening it "
+                        f"with num_shards={num_shards} would re-route keys "
+                        "over the existing shard directories — use "
+                        "ShardedTransactionManager.open() to adopt the "
+                        "persisted layout"
+                    )
+                # The protocol is not data-affecting (redo records are
+                # protocol-agnostic), so an *explicit* ``protocol=`` is a
+                # legitimate catalog update; the ``None`` default adopts
+                # the persisted engine instead of silently rewriting it.
+                if protocol is not None:
+                    adopted.protocol = protocol
+                self._schema = adopted
+            protocol = self._schema.protocol
+        #: Engine name resolved against the persisted catalog (``"mvcc"``
+        #: when neither an argument nor a catalog supplies one).
+        protocol = protocol or "mvcc"
+        self.protocol_name = protocol
         effective_wal_dir = self.data_dir if self.data_dir is not None else wal_dir
         #: Per-shard commit durability pipeline (``wal_dir``/``data_dir``
         #: enables it): each shard gets its own commit WAL + batched-fsync
@@ -272,6 +357,11 @@ class ShardedTransactionManager:
             else None
             for idx in range(num_shards)
         ]
+        #: Fencing only makes sense with a commit WAL: only then can the
+        #: in-memory state disagree with a durable truth that restart
+        #: recovery could restore.  A fully volatile manager keeps the old
+        #: abort-reporting behavior instead of bricking itself.
+        self._fencing_enabled = effective_wal_dir is not None
         self.shards: list[TransactionManager] = [
             TransactionManager(
                 protocol=protocol,
@@ -283,20 +373,31 @@ class ShardedTransactionManager:
             )
             for idx in range(num_shards)
         ]
+        if self._fencing_enabled:
+            # Close the fence TOCTOU on the single-shard commit path: a
+            # committer blocked on a commit latch held by a transaction
+            # whose phase two then fails must re-check the fence once it
+            # acquires the latches (the same under-latch re-check
+            # checkpoint_shard does), or it would commit on in-memory
+            # state missing that transaction's durably-decided writes.
+            for shard in self.shards:
+                shard.protocol.commit_gate = self._ensure_not_fenced
         # Durable-mode plumbing: per-shard LastCTS write-through stores, the
         # global 2PC outcome log, and the persisted schema catalog.
         # (Imported lazily: repro.recovery depends on repro.core.)
         self.context_stores: list[Any] = []
         self.coordinator_log: Any | None = None
-        self._schema: Any | None = None
         self._ckpt_locks = [threading.Lock() for _ in range(num_shards)]
         self._last_checkpoint_ts = [0] * num_shards
         self._closed = False
+        #: Set after a failed cross-shard phase two: the in-memory state
+        #: may disagree with the durable truth, so commits and checkpoints
+        #: are refused until close-and-recover (see :meth:`_fence`).
+        self._fence_reason: str | None = None
         if self.data_dir is not None:
             from ..recovery.redo import ContextStore
             from ..recovery.sharded import (
                 CoordinatorLog,
-                ShardedSchema,
                 context_store_path,
                 coordinator_log_path,
             )
@@ -309,21 +410,12 @@ class ShardedTransactionManager:
                 )
                 self.context_stores.append(store)
                 shard.context.attach_persistence(store.record)
-            # Adopt an existing catalog instead of clobbering it: a crash
-            # between this constructor and the caller's create_table /
-            # register_group calls (e.g. inside ``open()``) must not lose
-            # the state/group definitions recovery needs to replay.
-            try:
-                self._schema = ShardedSchema.load(self.data_dir)
-                self._schema.num_shards = num_shards
-                self._schema.protocol = protocol
-            except StorageError:
-                self._schema = ShardedSchema(num_shards, protocol)
             self._schema.save(self.data_dir)
         # sharded-commit counters (beyond the per-shard protocol stats)
         self.single_shard_commits = 0
         self.cross_shard_commits = 0
         self.cross_shard_aborts = 0
+        self.cross_shard_in_doubt = 0
         #: Test hook: called as ``hook(shard_index)`` right after that
         #: participant prepared during a cross-shard commit; raising from it
         #: simulates a participant failure between prepare and commit.
@@ -347,10 +439,44 @@ class ShardedTransactionManager:
     def shard_of(self, key: Any) -> int:
         return shard_of_key(key, self.num_shards)
 
+    # -------------------------------------------------------------- fencing
+
+    @property
+    def fenced(self) -> bool:
+        """``True`` after a failed cross-shard phase two: some participants
+        may miss a durably-decided transaction in memory, so the manager
+        refuses commits, bulk loads and checkpoints (a checkpoint would
+        flush base tables *missing* those writes and truncate the WAL
+        records recovery needs).  Reads still work; :meth:`close` skips the
+        final checkpoint; reopen via :meth:`open` to recover."""
+        return self._fence_reason is not None
+
+    def _fence(self, reason: str) -> None:
+        if self._fencing_enabled and self._fence_reason is None:
+            self._fence_reason = reason
+
+    def _ensure_not_fenced(self) -> None:
+        if self._fence_reason is not None:
+            recover = (
+                "recover via ShardedTransactionManager.open()"
+                if self.data_dir is not None
+                # wal_dir-only mode has no persisted schema for open():
+                # the commit WALs themselves are the recovery source.
+                else "replay the commit WALs into a fresh manager "
+                "(repro.core.durability.recovered_commits / "
+                "apply_recovered_commit)"
+            )
+            raise StorageError(
+                "sharded manager is fenced after a failed cross-shard "
+                f"phase two ({self._fence_reason}); the in-memory state "
+                f"may miss a durably committed transaction — close() and "
+                f"{recover}"
+            )
+
     def create_table(
         self,
         state_id: str,
-        backend_factory: Callable[[int], KVStore] | None = None,
+        backend_factory: Callable[[int], KVStore] | Callable[[], KVStore] | None = None,
         key_codec: Codec = PICKLE_CODEC,
         value_codec: Codec = PICKLE_CODEC,
         version_slots: int = DEFAULT_SLOTS,
@@ -358,9 +484,10 @@ class ShardedTransactionManager:
         """Register ``state_id`` on every shard; returns the partitions.
 
         ``backend_factory`` (not a backend instance, called with the shard
-        index) because each shard needs its *own* base-table backend.  In
-        durable mode (``data_dir=``) the default factory routes each
-        partition to its own LSM directory under
+        index) because each shard needs its *own* base-table backend.
+        Legacy zero-arg factories are still accepted (called without the
+        index).  In durable mode (``data_dir=``) the default factory
+        routes each partition to its own LSM directory under
         ``data_dir/shard-NN/tables/<state_id>``; commits write through to
         it via :meth:`~repro.core.table.StateTable.apply_write_set`.
         """
@@ -371,6 +498,9 @@ class ShardedTransactionManager:
 
             def backend_factory(idx: int) -> KVStore:
                 return LSMStore(table_dir(data_dir, idx, state_id), options)
+
+        elif backend_factory is not None:
+            backend_factory = _adapt_backend_factory(backend_factory)
 
         tables = [
             shard.create_table(
@@ -404,6 +534,7 @@ class ShardedTransactionManager:
         before the first checkpoint — the LSM base tables buffer their own
         WAL (``sync=False``) and cannot be relied on for the tail.
         """
+        self._ensure_not_fenced()
         parts: dict[int, list[tuple[Any, Any]]] = {}
         for key, value in rows:
             parts.setdefault(self.shard_of(key), []).append((key, value))
@@ -497,6 +628,19 @@ class ShardedTransactionManager:
     def commit(self, txn: ShardedTransaction) -> int:
         """Commit; fast path for ≤1 shard, two-phase across shards."""
         txn.ensure_active()
+        has_writes = any(
+            any(ws for ws in child.write_sets.values())
+            for child in txn.children.values()
+        )
+        if self.fenced and has_writes:
+            # A writing commit may not build on in-memory state that
+            # disagrees with the durable truth.  Abort the children BEFORE
+            # raising: transaction()/snapshot() commit on exit, so a bare
+            # raise would leak their pinned snapshots and locks.  Read-only
+            # commits fall through — they only release snapshots, which
+            # stays safe (and keeps reads working) on a fenced manager.
+            self.abort(txn, ABORT_GROUP)
+            self._ensure_not_fenced()
         participants = txn.shards()
         if not participants:
             # Never touched data: trivially committed at the current clock.
@@ -505,10 +649,7 @@ class ShardedTransactionManager:
             return commit_ts
         if len(participants) == 1:
             return self._commit_single(txn, participants[0])
-        if not any(
-            any(ws for ws in child.write_sets.values())
-            for child in txn.children.values()
-        ):
+        if not has_writes:
             return self._commit_read_only(txn, participants)
         return self._commit_cross_shard(txn, participants)
 
@@ -536,6 +677,21 @@ class ShardedTransactionManager:
             commit_ts = self.shards[shard].commit(txn.children[shard])
         except TransactionAborted as exc:
             txn.mark_aborted(exc.reason)
+            raise
+        except BaseException:
+            # Fence refusal by the commit gate, a WAL failure, or an
+            # apply-phase error: the shard pipeline finished the child
+            # (abort_prepared / failed-commit handling); mirror its
+            # terminal state onto the facade handle so it does not linger
+            # unfinished.  IN_DOUBT stays IN_DOUBT — the enqueued commit
+            # record may be durable and recovery may roll it forward, so
+            # a clean abort report would be a lie the restart could
+            # contradict.
+            child = txn.children[shard]
+            if child.status is TxnStatus.ABORTED:
+                txn.mark_aborted(ABORT_GROUP)
+            elif child.status is TxnStatus.IN_DOUBT:
+                txn.mark_in_doubt(ABORT_GROUP)
             raise
         txn.mark_committed(commit_ts)
         self.single_shard_commits += 1
@@ -566,6 +722,16 @@ class ShardedTransactionManager:
         except BaseException as exc:
             self._abort_after_prepare_failure(txn, participants, prepared, exc)
             raise
+        if self.fenced:
+            # Re-check under the now-held latches (mirrors the protocol's
+            # commit_gate on the single-shard path): the fence may have
+            # gone up while this committer blocked on a latch the failing
+            # transaction held, and its shards' in-memory state would then
+            # miss a durably-decided transaction's writes.
+            self._abort_after_prepare_failure(
+                txn, participants, prepared, StorageError("fenced")
+            )
+            self._ensure_not_fenced()
         try:
             commit_ts = self._sequence_cross_shard(txn, prepared)
         except BaseException as exc:
@@ -595,27 +761,45 @@ class ShardedTransactionManager:
                 shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
                 committed.add(idx)
                 shard.gc.notify_commit(shard.tables())
-        except BaseException:
+        except BaseException as exc:
             # Failure mid phase-two (a shard's WAL died after the commit
             # point).  Participants that already committed stay committed;
             # the remaining ones must release their pinned latches or
-            # healthy shards wedge forever.  The *reported* outcome follows
-            # the durable truth: with the commit decision fsynced the
-            # transaction IS committed — restart recovery rolls the
-            # unapplied participants forward from their prepare records —
-            # so the handle is marked committed and the error propagates
-            # only as "this engine can no longer apply it; recover".
-            # Without a durable decision the outcome is genuinely in-doubt
-            # (an enqueued record may or may not have hit a flushed batch);
-            # the handle reports aborted, and recovery's evidence scan
-            # resolves all participants the same way either way.
+            # healthy shards wedge forever.  The in-memory state now
+            # disagrees with the durable truth, so the whole manager is
+            # fenced: no further commit may build on it, and no checkpoint
+            # may flush base tables missing these writes and truncate the
+            # WAL records recovery needs (see :attr:`fenced`).  The fence
+            # goes up BEFORE the prepared participants' latches are
+            # released: a checkpointer blocked on one of those latches
+            # re-checks the fence once it acquires them, so it can never
+            # slip into the window between release and fence.
+            self._fence(
+                f"phase two of transaction {txn.txn_id} failed: {exc!r}"
+            )
             for idx, handle in prepared:
                 child = txn.children[idx]
                 if idx not in committed and not child.is_finished():
                     self.shards[idx].coordinator.abort_prepared(child, handle)
-            if decision_durable:
+            # The *reported* outcome follows the durable truth: with the
+            # commit decision fsynced — or a commit record confirmed
+            # durable on any participant, which recovery accepts as
+            # decision evidence — the transaction IS committed; restart
+            # recovery rolls the unapplied participants forward, so the
+            # handle is marked committed and the error propagates only as
+            # "this engine can no longer apply it; recover".  When no
+            # durable evidence can be confirmed but records were enqueued,
+            # the outcome is genuinely unknowable here (a batch may have
+            # reached the disk before the WAL died): the handle reports
+            # IN_DOUBT, never a false abort that recovery could later
+            # contradict.  Only the fully-volatile path keeps the plain
+            # abort report.
+            if decision_durable or self._commit_evidence_durable(prepared):
                 txn.mark_committed(commit_ts)
                 self.cross_shard_commits += 1
+            elif any(handle.ticket is not None for _, handle in prepared):
+                txn.mark_in_doubt(ABORT_GROUP)
+                self.cross_shard_in_doubt += 1
             else:
                 txn.mark_aborted(ABORT_GROUP)
                 self.cross_shard_aborts += 1
@@ -624,6 +808,55 @@ class ShardedTransactionManager:
         self.cross_shard_commits += 1
         self._maybe_checkpoint(participants)
         return commit_ts
+
+    def _commit_evidence_durable(
+        self, prepared: list[tuple[int, PreparedCommit]]
+    ) -> bool:
+        """After a phase-two failure without a durable coordinator
+        decision: force-and-check the participants' enqueued commit
+        records.  Recovery accepts any shard's durable commit record as
+        decision evidence and rolls the transaction forward everywhere, so
+        one confirmed record settles the outcome as committed.  Returns
+        ``False`` when no record's durability could be confirmed (the
+        transaction is then genuinely in doubt)."""
+        tickets = [h.ticket for _, h in prepared if h.ticket is not None]
+        if not tickets:
+            return False
+        # The waits run on helper threads: waiting directly can self-elect
+        # this thread as the batch leader, whose fsync has no timeout — a
+        # wedged WAL (fsync blocking, not erroring) would hang the
+        # coordinator inside the failure handler.  All probes start first
+        # and join against ONE shared deadline, so the handler's worst
+        # case is a single timeout, not N stacked ones; the daemonic
+        # helpers at worst stay parked in the wedged syscall until
+        # process teardown.
+        timeout = max(t.daemon.publish_drain_timeout for t in tickets)
+        outcome = threading.Event()
+        confirmed: list[bool] = []
+        pending = [len(tickets)]
+        lock = threading.Lock()
+
+        def probe(t: DurabilityTicket) -> None:
+            durable = False
+            try:
+                t.wait(timeout=timeout)
+                durable = True
+            except Exception:
+                pass  # this shard's WAL died or timed out
+            with lock:
+                if durable:
+                    confirmed.append(True)
+                pending[0] -= 1
+                # Settle as soon as one probe confirms OR every probe has
+                # answered negatively — the full timeout is paid only for
+                # a genuinely wedged fsync, not for fast WALError failures.
+                if durable or pending[0] == 0:
+                    outcome.set()
+
+        for ticket in tickets:
+            threading.Thread(target=probe, args=(ticket,), daemon=True).start()
+        outcome.wait(timeout)
+        return bool(confirmed)
 
     def _sequence_cross_shard(
         self, txn: ShardedTransaction, prepared: list[tuple[int, PreparedCommit]]
@@ -743,7 +976,7 @@ class ShardedTransactionManager:
         shard's WAL without a background thread.  Non-blocking: if another
         thread is already checkpointing the shard, skip.
         """
-        if self.data_dir is None or self.checkpoint_interval <= 0:
+        if self.data_dir is None or self.checkpoint_interval <= 0 or self.fenced:
             return
         for idx in shards:
             daemon = self.daemons[idx]
@@ -766,7 +999,14 @@ class ShardedTransactionManager:
            the latches are held no record can enqueue and no enqueued
            record is un-applied — and no in-doubt prepare can be caught
            behind the marker;
-        2. drain the daemon (everything enqueued becomes durable);
+        2. drain the daemon (everything enqueued becomes durable) and wait
+           out in-flight ``LastCTS`` publishes — committers release the
+           latches *before* their durability barrier and publish, so
+           without this wait the marker's ``last_cts`` snapshot could miss
+           a commit whose record step 4 then truncates (after a crash that
+           loses the unsynced context store, recovery would restore
+           ``LastCTS`` below an acknowledged commit and the oracle could
+           reissue its timestamp);
         3. flush every LSM base table — all applied commits land in
            fsynced SSTables;
         4. write the checkpoint marker (carrying the shard's group
@@ -775,6 +1015,14 @@ class ShardedTransactionManager:
         daemon = self.daemons[idx]
         if daemon is None or self.data_dir is None:
             return 0
+        if not blocking and (self.fenced or daemon.failed):
+            # Best-effort auto-checkpoint riding a committer that already
+            # committed and published (possibly a pure read): skip, like
+            # on lock contention, rather than raising out of a successful
+            # commit — an explicit blocking checkpoint still surfaces the
+            # fence/poison.
+            return 0
+        self._ensure_not_fenced()
         lock = self._ckpt_locks[idx]
         if blocking:
             lock.acquire()
@@ -786,7 +1034,15 @@ class ShardedTransactionManager:
             with ExitStack() as stack:
                 for table in tables:
                     stack.enter_context(table.commit_latch)
+                # Re-check under the latches: a phase-two failure may have
+                # fenced the manager while this thread blocked on a
+                # prepared participant's latch — the tables it released
+                # may be missing a durably-decided transaction's writes.
+                if self.fenced and not blocking:
+                    return 0
+                self._ensure_not_fenced()
                 daemon.flush()
+                daemon.wait_publishes_drained()
                 for table in tables:
                     flush = getattr(table.backend, "flush", None)
                     if callable(flush):
@@ -801,6 +1057,13 @@ class ShardedTransactionManager:
             if self.coordinator_log is not None:
                 self.coordinator_log.compact(min(self._last_checkpoint_ts))
             return dropped
+        except WALError:
+            if not blocking:
+                # The pipeline failed (poison, drain timeout) under a
+                # best-effort cut: the WAL tail simply stays for a later
+                # explicit checkpoint or restart recovery.
+                return 0
+            raise
         finally:
             lock.release()
 
@@ -883,12 +1146,17 @@ class ShardedTransactionManager:
         """Orderly shutdown: final checkpoint, then close every resource.
 
         The closing checkpoint flushes all base tables and truncates the
-        commit WALs, so a clean restart replays nothing.  Idempotent.
+        commit WALs, so a clean restart replays nothing.  A fenced manager
+        — or one with a poisoned durability pipeline — skips it: its
+        in-memory state is not trustworthy, so the WALs are left intact
+        for restart recovery (and the checkpoint would only raise mid-
+        shutdown, leaking every other resource).  Idempotent.
         """
         if self._closed:
             return
         self._closed = True
-        if self.data_dir is not None:
+        poisoned = any(d is not None and d.failed for d in self.daemons)
+        if self.data_dir is not None and not self.fenced and not poisoned:
             self.checkpoint()
         for shard in self.shards:
             shard.close()
@@ -910,6 +1178,7 @@ class ShardedTransactionManager:
         totals["single_shard_commits"] = self.single_shard_commits
         totals["cross_shard_commits"] = self.cross_shard_commits
         totals["cross_shard_aborts"] = self.cross_shard_aborts
+        totals["cross_shard_in_doubt"] = self.cross_shard_in_doubt
         if self.coordinator_log is not None:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
         return totals

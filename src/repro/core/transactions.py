@@ -29,6 +29,12 @@ class TxnStatus(Enum):
     COMMITTING = "committing"
     COMMITTED = "committed"
     ABORTED = "aborted"
+    #: Terminal state of a cross-shard commit whose durable outcome could
+    #: not be confirmed either way after a phase-two failure: enqueued
+    #: commit records may surface as durable decision evidence after a
+    #: crash (committed) or may be lost (aborted).  Restart recovery
+    #: resolves it conclusively.
+    IN_DOUBT = "in-doubt"
 
 
 class StateFlag(Enum):
@@ -149,7 +155,11 @@ class Transaction:
             )
 
     def is_finished(self) -> bool:
-        return self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+        return self.status in (
+            TxnStatus.COMMITTED,
+            TxnStatus.ABORTED,
+            TxnStatus.IN_DOUBT,
+        )
 
     def mark_committed(self, commit_ts: int) -> None:
         self.status = TxnStatus.COMMITTED
@@ -157,6 +167,14 @@ class Transaction:
 
     def mark_aborted(self, reason: str) -> None:
         self.status = TxnStatus.ABORTED
+        self.abort_reason = reason
+
+    def mark_in_doubt(self, reason: str) -> None:
+        """Terminal: the commit's durable outcome could not be confirmed
+        either way — its record was enqueued and may already sit in a
+        flushed batch, so recovery may roll it forward.  Never reported as
+        a clean abort; restart recovery resolves it conclusively."""
+        self.status = TxnStatus.IN_DOUBT
         self.abort_reason = reason
 
     # ------------------------------------------------------------ snapshots

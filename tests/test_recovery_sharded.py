@@ -24,12 +24,15 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
 import pytest
 
 from repro.core import ShardedTransactionManager, commit_wal_tail
-from repro.core.durability import encode_checkpoint_record
+from repro.core.durability import CommitLogRecord, encode_checkpoint_record
+from repro.core.transactions import TxnStatus
+from repro.errors import StorageError, WALError
 from repro.recovery.sharded import CoordinatorLog, ShardedSchema
 from repro.storage.lsm import LSMOptions, LSMStore
 from repro.storage.wal import KIND_CHECKPOINT, WriteAheadLog
@@ -395,6 +398,375 @@ class TestReopenHardening:
         report = reopened.last_recovery
         assert report.truncated_records == report.tail_records > 0
         reopened.close()
+
+
+# ------------------------------------------- checkpoint vs in-flight publish
+
+
+class TestCheckpointPublishRace:
+    def test_checkpoint_waits_for_inflight_lastcts_publish(self, tmp_path):
+        """A committer releases its table latches *before* the durability
+        barrier and the LastCTS publish.  A checkpoint sneaking into that
+        window used to flush the record durable, snapshot a stale last_cts
+        and truncate the record — after a crash (the unsynced context
+        store lost) recovery would restore LastCTS below an acknowledged
+        commit.  The checkpoint must refuse to cut instead."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "base")  # shard 0
+
+        shard0 = smgr.shards[0]
+        entered, gate = threading.Event(), threading.Event()
+        real_publish = shard0.context.publish_group_commit
+
+        def stalled_publish(group_id, commit_ts):
+            entered.set()
+            assert gate.wait(10)
+            real_publish(group_id, commit_ts)
+
+        shard0.context.publish_group_commit = stalled_publish
+        smgr.daemons[0].publish_drain_timeout = 0.2
+        done: dict = {}
+
+        def committer():
+            txn = smgr.begin()
+            smgr.write(txn, "A", 2, "in-flight")  # shard 0
+            done["ts"] = smgr.commit(txn)
+
+        worker = threading.Thread(target=committer)
+        worker.start()
+        try:
+            assert entered.wait(10)
+            # record durable (the committer flushed its own batch), publish
+            # stalled: cutting now would truncate an uncovered record
+            with pytest.raises(WALError):
+                smgr.checkpoint_shard(0)
+            _, tail = commit_wal_tail(smgr.commit_wal_path(tmp_path, 0))
+            assert any(isinstance(r, CommitLogRecord) for r in tail)
+        finally:
+            gate.set()
+            worker.join(10)
+        shard0.context.publish_group_commit = real_publish
+        # once the publish lands the checkpoint covers it
+        assert smgr.checkpoint_shard(0) >= 1
+        marker, tail = commit_wal_tail(smgr.commit_wal_path(tmp_path, 0))
+        assert marker is not None and marker.checkpoint_ts >= done["ts"]
+        assert not tail
+        smgr.close()
+
+
+# --------------------------------------------------- phase-two failure modes
+
+
+def _cross_shard_txn(smgr):
+    txn = smgr.begin()
+    smgr.write(txn, "A", 10, "cross")  # shard 0
+    smgr.write(txn, "A", 11, "cross")  # shard 1
+    return txn
+
+
+class TestPhaseTwoFailure:
+    def test_failure_after_durable_decision_fences_manager(self, tmp_path):
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "base0")
+            smgr.write(txn, "A", 1, "base1")
+        txn = _cross_shard_txn(smgr)
+        smgr.decision_fault = lambda txn_id: (_ for _ in ()).throw(
+            RuntimeError("phase-two died")
+        )
+        with pytest.raises(RuntimeError):
+            smgr.commit(txn)
+        # the decision was durable: the handle reports the durable truth
+        assert txn.status is TxnStatus.COMMITTED
+        assert smgr.fenced
+        # no commit may build on the now-diverged in-memory state ...
+        txn2 = smgr.begin()
+        smgr.write(txn2, "A", 20, "post-fence")
+        with pytest.raises(StorageError, match="fenced"):
+            smgr.commit(txn2)
+        smgr.abort(txn2)
+        # ... and no checkpoint may flush tables missing the commit's
+        # writes and truncate the WAL records recovery needs
+        with pytest.raises(StorageError, match="fenced"):
+            smgr.checkpoint_shard(0)
+        with pytest.raises(StorageError, match="fenced"):
+            smgr.bulk_load("A", [(30, "x")])
+        smgr.close()  # skips the closing checkpoint, keeps the WAL tails
+
+        reopened = ShardedTransactionManager.open(tmp_path)
+        state = scan_all(reopened, "A")
+        assert state[10] == state[11] == "cross"
+        assert 20 not in state and 30 not in state
+        assert not reopened.fenced
+        reopened.close()
+
+    def test_decision_log_failure_with_durable_records_reports_committed(
+        self, tmp_path
+    ):
+        """Commit records are enqueued at reserve time, before log_commit.
+        When the decision log dies but a record is confirmed durable,
+        recovery will roll the transaction forward (any shard's commit
+        record is decision evidence) — so the handle must not claim
+        aborted."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        txn = _cross_shard_txn(smgr)
+
+        def broken_log_commit(txn_id, commit_ts, shards):
+            raise RuntimeError("decision log gone")
+
+        smgr.coordinator_log.log_commit = broken_log_commit
+        with pytest.raises(RuntimeError):
+            smgr.commit(txn)
+        assert txn.status is TxnStatus.COMMITTED
+        assert smgr.fenced
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        state = scan_all(reopened, "A")
+        assert state[10] == state[11] == "cross"
+        reopened.close()
+
+    def test_unconfirmable_outcome_is_reported_in_doubt(self, tmp_path):
+        """When the decision point fails AND no commit record's durability
+        can be confirmed (every WAL died), the outcome is unknowable in
+        this process: the handle must say in-doubt, not aborted — a
+        restart may legitimately resurrect the transaction as committed."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        txn = _cross_shard_txn(smgr)
+
+        def total_outage(txn_id, commit_ts, shards):
+            for daemon in smgr.daemons:
+                with daemon._lock:
+                    daemon._failure = OSError("disk gone")
+            raise RuntimeError("decision log gone")
+
+        smgr.coordinator_log.log_commit = total_outage
+        with pytest.raises(RuntimeError):
+            smgr.commit(txn)
+        assert txn.status is TxnStatus.IN_DOUBT
+        assert txn.is_finished()
+        assert smgr.fenced
+        assert smgr.stats()["cross_shard_in_doubt"] == 1
+        smgr.close()
+
+    def test_fenced_manager_keeps_reads_working_without_leaking(self, tmp_path):
+        """A refused commit must abort the children before raising —
+        transaction()/snapshot() commit on exit, so a bare raise would
+        leak their pinned snapshots and locks — and read-only commits
+        (which only release snapshots) must still succeed, or the
+        documented 'reads still work' guarantee is false."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "base0")
+            smgr.write(txn, "A", 1, "base1")
+        txn = _cross_shard_txn(smgr)
+        smgr.decision_fault = lambda txn_id: (_ for _ in ()).throw(
+            RuntimeError("phase-two died")
+        )
+        with pytest.raises(RuntimeError):
+            smgr.commit(txn)
+        assert smgr.fenced
+        # read-only snapshot commits cleanly on exit
+        with smgr.snapshot() as view:
+            assert view.get("A", 0) == "base0"
+        # a writing transaction() raises, but its children are finished —
+        # nothing stays pinned
+        with pytest.raises(StorageError, match="fenced"):
+            with smgr.transaction() as t:
+                smgr.write(t, "A", 21, "post-fence")
+        assert t.status is TxnStatus.ABORTED
+        for shard in smgr.shards:
+            assert shard.context.active_count() == 0
+        # the best-effort auto-checkpoint path skips instead of raising out
+        # of a commit that already succeeded; explicit checkpoints raise
+        assert smgr.checkpoint_shard(0, blocking=False) == 0
+        with pytest.raises(StorageError, match="fenced"):
+            smgr.checkpoint_shard(0)
+        smgr.close()
+
+    def test_fence_raised_during_prepare_refuses_commit_under_latches(
+        self, tmp_path
+    ):
+        """TOCTOU closure on the commit path: a committer that passed the
+        commit() entry check before the fence went up must re-check once
+        it holds the commit latches — committing on in-memory state that
+        misses a durably-decided transaction's writes could acknowledge a
+        lost update that recovery then replays."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        txn = _cross_shard_txn(smgr)
+        # simulate a concurrent phase-two failure landing mid-prepare
+        smgr.prepare_fault = lambda idx: smgr._fence("concurrent phase-two failure")
+        with pytest.raises(StorageError, match="fenced"):
+            smgr.commit(txn)
+        assert txn.status is TxnStatus.ABORTED
+        for shard in smgr.shards:
+            assert shard.context.active_count() == 0
+        # the single-shard pipeline refuses through the protocol's commit
+        # gate even when the facade's entry check is bypassed
+        mgr0 = smgr.shards[0]
+        child = mgr0.begin()
+        mgr0.write(child, "A", 0, "direct")
+        with pytest.raises(StorageError, match="fenced"):
+            mgr0.commit(child)
+        assert child.status is TxnStatus.ABORTED
+        assert mgr0.context.active_count() == 0
+        smgr.close()
+
+    def test_volatile_manager_does_not_fence(self):
+        """Without a commit WAL there is no durable truth the in-memory
+        state could disagree with (and no recovery path a fence could
+        direct to): a phase-two failure keeps the old abort report and
+        the manager stays usable."""
+        smgr = ShardedTransactionManager(num_shards=2)
+        smgr.create_table("A")
+        txn = _cross_shard_txn(smgr)
+        orig = smgr.shards[1].coordinator.commit_prepared
+        smgr.shards[1].coordinator.commit_prepared = (
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("phase-two bug"))
+        )
+        with pytest.raises(RuntimeError):
+            smgr.commit(txn)
+        assert txn.status is TxnStatus.ABORTED
+        assert not smgr.fenced
+        smgr.shards[1].coordinator.commit_prepared = orig
+        with smgr.transaction() as t:
+            smgr.write(t, "A", 10, "still-usable")
+        assert t.status is TxnStatus.COMMITTED
+
+
+# ------------------------------------------------- apply-phase failure modes
+
+
+class TestApplyFailurePoisonsDaemon:
+    def test_apply_failure_settles_publish_tracking_and_poisons(self, tmp_path):
+        """A commit whose record is already enqueued but whose apply phase
+        dies must settle its publish tracking (or every later checkpoint
+        quiesce stalls to its drain timeout) and poison the daemon — the
+        record may be durable while the tables and LastCTS miss it, so
+        checkpoints and later commits must fail fast instead of
+        truncating or sequencing past it."""
+        smgr = ShardedTransactionManager(
+            num_shards=1, data_dir=tmp_path, checkpoint_interval=0
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "base")
+        table = smgr.shards[0].table("A")
+
+        def broken_apply(*args, **kwargs):
+            raise OSError("disk full mid-apply")
+
+        table.apply_write_set = broken_apply
+        txn = smgr.begin()
+        smgr.write(txn, "A", 1, "lost")
+        with pytest.raises(OSError):
+            smgr.commit(txn)
+        # the record was already enqueued and may sit in a flushed batch:
+        # the handle must say in-doubt, not a clean abort that recovery
+        # (which may roll the record forward) could contradict
+        assert txn.status is TxnStatus.IN_DOUBT
+        assert txn.is_finished()
+        daemon = smgr.daemons[0]
+        # settled: nothing dangles in the checkpoint quiesce's counter
+        assert daemon._unpublished == 0
+        # the best-effort auto-checkpoint path skips on the poisoned
+        # daemon instead of raising out of a commit that succeeded ...
+        assert smgr.checkpoint_shard(0, blocking=False) == 0
+        # ... while poisoned explicit checkpoints and commits fail fast,
+        # keeping the WAL tail intact
+        with pytest.raises(WALError):
+            smgr.checkpoint_shard(0)
+        txn2 = smgr.begin()
+        smgr.write(txn2, "A", 2, "refused")
+        with pytest.raises(WALError):
+            smgr.commit(txn2)
+        # refused at enqueue (nothing reached the WAL): a clean abort
+        assert txn2.status is TxnStatus.ABORTED
+        # close() must not raise mid-shutdown: it skips the final
+        # checkpoint (leaving the WAL tail as the durable truth) and
+        # recovery resolves the torn commit from the WAL evidence
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        state = scan_all(reopened, "A")
+        assert state[0] == "base"
+        # the enqueued record either never became durable (no key) or is
+        # rolled forward whole — never a torn half-applied state
+        assert state.get(1) in (None, "lost")
+        assert 2 not in state
+        reopened.close()
+
+
+# ------------------------------------------------------ schema adoption
+
+
+class TestSchemaMismatchRejected:
+    def test_mismatched_num_shards_does_not_clobber_catalog(self, tmp_path):
+        smgr = ShardedTransactionManager(num_shards=2, data_dir=tmp_path)
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 1, "v")
+        smgr.close()
+        with pytest.raises(StorageError, match="num_shards=2"):
+            ShardedTransactionManager(num_shards=3, data_dir=tmp_path)
+        with pytest.raises(StorageError, match="num_shards=2"):
+            ShardedTransactionManager.open(tmp_path, num_shards=5)
+        # the persisted catalog survived the rejected constructions
+        assert ShardedSchema.load(tmp_path).num_shards == 2
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.num_shards == 2
+        assert scan_all(reopened, "A") == {1: "v"}
+        reopened.close()
+
+    def test_protocol_override_is_allowed(self, tmp_path):
+        """The protocol is not data-affecting (redo records are protocol-
+        agnostic): an explicit override on reopen is a catalog update."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, protocol="mvcc", data_dir=tmp_path
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 1, "v")
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path, protocol="s2pl")
+        assert reopened.protocol_name == "s2pl"
+        assert ShardedSchema.load(tmp_path).protocol == "s2pl"
+        assert scan_all(reopened, "A") == {1: "v"}
+        reopened.close()
+
+    def test_reopen_without_protocol_adopts_persisted_engine(self, tmp_path):
+        """Only an *explicit* protocol= rewrites the catalog; the default
+        adopts the persisted engine instead of silently flipping it back
+        to mvcc on a direct constructor reopen."""
+        smgr = ShardedTransactionManager(
+            num_shards=2, protocol="s2pl", data_dir=tmp_path
+        )
+        smgr.create_table("A")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 1, "v")
+        smgr.close()
+        reopened = ShardedTransactionManager(num_shards=2, data_dir=tmp_path)
+        assert reopened.protocol_name == "s2pl"
+        assert ShardedSchema.load(tmp_path).protocol == "s2pl"
+        reopened.close()
+        assert ShardedTransactionManager().protocol_name == "mvcc"
 
 
 # ------------------------------------------------- coordinator log lifecycle

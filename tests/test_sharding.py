@@ -22,6 +22,7 @@ from repro.errors import (
     TransactionAborted,
     WriteConflict,
 )
+from repro.storage.kvstore import MemoryKVStore
 
 
 def make_sharded(protocol: str, num_shards: int = 4, rows: int = 16):
@@ -67,6 +68,33 @@ class TestRouting:
             smgr.write(txn, "acct", -5, "negative")
         with smgr.snapshot() as view:
             assert view.get("acct", -5) == "negative"
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: MemoryKVStore(),
+            lambda idx: MemoryKVStore(),
+            # optional positional == legacy zero-arg intent: the shard
+            # index must NOT land in an unrelated default parameter
+            lambda options=None: (
+                MemoryKVStore() if options is None else pytest.fail(str(options))
+            ),
+        ],
+        ids=["zero-arg-legacy", "shard-index", "optional-arg-legacy"],
+    )
+    def test_create_table_accepts_both_backend_factory_arities(self, factory):
+        """The durable-storage refactor changed backend_factory from
+        zero-arg to shard-index; legacy zero-arg factories must keep
+        working instead of dying with TypeError at table creation."""
+        smgr = ShardedTransactionManager(num_shards=2)
+        tables = smgr.create_table("A", backend_factory=factory)
+        assert len(tables) == 2
+        assert tables[0].backend is not tables[1].backend
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "even")
+            smgr.write(txn, "A", 1, "odd")
+        with smgr.snapshot() as view:
+            assert view.get("A", 0) == "even" and view.get("A", 1) == "odd"
 
     def test_equal_keys_share_a_shard(self):
         """True == 1 and 1.0 would collide in a dict, so routing must
