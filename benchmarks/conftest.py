@@ -13,7 +13,9 @@ across PRs.  Two sources feed it:
 * a ``pytest_sessionfinish`` hook that dumps per-test wall-clock timing
   (mean / p50 / p99) for every pytest-benchmark measurement of the run.
 
-``--smoke`` shrinks parameter grids for the non-blocking CI smoke job.
+``--smoke`` shrinks parameter grids for the non-blocking CI smoke job;
+smoke runs write their results to ``BENCH_<name>.smoke.json`` so they can
+never clobber a committed full-run ``BENCH_<name>.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +31,12 @@ BENCH_WARMUP_US = 8_000.0
 
 RESULTS_DIR = Path(__file__).resolve().parent
 
+#: Set by ``pytest_configure``: a --smoke session redirects every
+#: ``record_bench`` write (including the timing dump) to the sidecar
+#: ``BENCH_<name>.smoke.json`` — smoke grids are not comparable to the
+#: committed full-run numbers and must never overwrite them.
+_SMOKE_SESSION = False
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -37,6 +45,11 @@ def pytest_addoption(parser):
         default=False,
         help="shrink benchmark grids to a fast CI smoke subset",
     )
+
+
+def pytest_configure(config):
+    global _SMOKE_SESSION
+    _SMOKE_SESSION = bool(config.getoption("--smoke", default=False))
 
 
 @pytest.fixture(scope="session")
@@ -59,13 +72,16 @@ def report_lines(title: str, lines: list[str]) -> None:
 
 def _result_path(module_file: str) -> Path:
     name = Path(module_file).stem.removeprefix("bench_")
-    return RESULTS_DIR / f"BENCH_{name}.json"
+    suffix = ".smoke.json" if _SMOKE_SESSION else ".json"
+    return RESULTS_DIR / f"BENCH_{name}{suffix}"
 
 
 def record_bench(module_file: str, section: str, payload: dict) -> None:
     """Merge one section of machine-readable results into the module's
     ``BENCH_<name>.json``.  Called as ``record_bench(__file__, "...", {...})``;
-    written incrementally so partial runs still leave a file behind.
+    written incrementally so partial runs still leave a file behind.  A
+    ``--smoke`` session writes to ``BENCH_<name>.smoke.json`` instead —
+    the committed full-run results are never clobbered by a CI smoke run.
     """
     path = _result_path(module_file)
     data: dict = {}
@@ -86,6 +102,23 @@ def _percentile(data: list[float], q: float) -> float:
     return ordered[idx]
 
 
+def latency_stats(samples: list[float], scale: float = 1.0) -> dict:
+    """Tail-visible summary of a latency sample set: count, mean and the
+    p50/p95/p99 percentiles (scaled, e.g. ``scale=1e3`` for s -> ms).
+
+    The shared shape for every ``BENCH_<name>.json`` latency payload:
+    means alone hide exactly the tail spikes this trajectory tracks, so
+    benchmark sections record these percentiles rather than bare averages.
+    """
+    return {
+        "count": len(samples),
+        "mean": (sum(samples) / len(samples)) * scale if samples else 0.0,
+        "p50": _percentile(samples, 0.50) * scale,
+        "p95": _percentile(samples, 0.95) * scale,
+        "p99": _percentile(samples, 0.99) * scale,
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Dump per-test timing stats for every pytest-benchmark measurement."""
     bench_session = getattr(session.config, "_benchmarksession", None)
@@ -100,6 +133,7 @@ def pytest_sessionfinish(session, exitstatus):
             "rounds": len(data),
             "mean_s": sum(data) / len(data) if data else 0.0,
             "p50_s": _percentile(data, 0.50),
+            "p95_s": _percentile(data, 0.95),
             "p99_s": _percentile(data, 0.99),
         }
     for module_file, timings in by_module.items():

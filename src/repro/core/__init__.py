@@ -47,6 +47,7 @@ from .protocol import ConcurrencyControl, ProtocolStats, make_protocol, protocol
 from .protocol import PreparedCommit
 from .s2pl import S2PLProtocol
 from .sharding import (
+    CheckpointDaemon,
     ShardedSnapshotView,
     ShardedTransaction,
     ShardedTransactionManager,
@@ -64,6 +65,7 @@ __all__ = [
     "BOCCProtocol",
     "BYTES_CODEC",
     "BytesCodec",
+    "CheckpointDaemon",
     "CheckpointLogRecord",
     "Codec",
     "CommitLogRecord",

@@ -38,7 +38,7 @@ import pickle
 import threading
 import time
 from collections.abc import Iterator
-from contextlib import ExitStack
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -269,7 +269,7 @@ class DurabilityTicket:
         """
         if self.tracks_publish:
             self.tracks_publish = False
-            self.daemon._publish_settled()
+            self.daemon._publish_settled(self.seq)
 
 
 class GroupFsyncDaemon:
@@ -330,11 +330,14 @@ class GroupFsyncDaemon:
         self._leader_active = False
         self._next_seq = 1
         self._durable_seq = 0
-        #: Commit records drawn-and-enqueued whose ``LastCTS`` publish has
-        #: not settled yet.  The publish runs *outside* the table commit
-        #: latches, so a checkpoint that only quiesces the latches can race
-        #: it — :meth:`wait_publishes_drained` closes that window.
-        self._unpublished = 0
+        #: Sequence numbers of commit records drawn-and-enqueued whose
+        #: ``LastCTS`` publish has not settled yet.  The publish runs
+        #: *outside* the table commit latches, so a checkpoint that only
+        #: quiesces the latches can race it —
+        #: :meth:`wait_publishes_drained` closes that window (seq-aware:
+        #: a fuzzy cut only needs the publishes of the records it
+        #: truncates, not of the tail it keeps).
+        self._unpublished: set[int] = set()
         #: Signals the checkpoint quiesce when the unpublished set drains
         #: (or the pipeline poisons).  Shares the daemon mutex.
         self._publish_cv = threading.Condition(self._lock)
@@ -430,7 +433,7 @@ class GroupFsyncDaemon:
             )
             ticket.commit_ts = commit_ts
             ticket.tracks_publish = True
-            self._unpublished += 1
+            self._unpublished.add(ticket.seq)
             return ticket
 
     # ------------------------------------------------------------- waiting
@@ -495,24 +498,26 @@ class GroupFsyncDaemon:
                 wait_s = min(wait_s, remaining)
             event.wait(wait_s)
 
-    def flush(self) -> int:
+    def flush(self, timeout: float | None = None) -> int:
         """Force everything enqueued so far to stable storage.
 
         Returns the durable watermark after the flush (== the last sequence
         that was enqueued before the call).  Works in both modes; in
         ``async`` mode this is the API committers use before externalising
-        an acknowledgement that must survive a crash.
+        an acknowledgement that must survive a crash.  ``timeout`` bounds
+        the wait (:class:`TimeoutError` on expiry) — the background
+        checkpoint daemon flushes with a deadline so a wedged device
+        cannot park it inside a cut forever.
         """
         target = self.last_enqueued()
         if target:
-            self.wait_durable(target)
+            self.wait_durable(target, timeout=timeout)
         return target
 
-    def _publish_settled(self) -> None:
+    def _publish_settled(self, seq: int) -> None:
         with self._lock:
-            self._unpublished -= 1
-            if self._unpublished <= 0:
-                self._publish_cv.notify_all()
+            self._unpublished.discard(seq)
+            self._publish_cv.notify_all()
 
     @property
     def failed(self) -> bool:
@@ -543,7 +548,9 @@ class GroupFsyncDaemon:
         for ev in ready:
             ev.set()
 
-    def wait_publishes_drained(self, timeout: float | None = None) -> None:
+    def wait_publishes_drained(
+        self, timeout: float | None = None, up_to: int | None = None
+    ) -> None:
         """Block until no enqueued commit record still awaits its
         ``LastCTS`` publish.
 
@@ -555,9 +562,17 @@ class GroupFsyncDaemon:
         missing quiesce step: with the latches held no new record can
         enqueue, and the in-flight committers only need the (already
         completed) flush plus the context lock, so the set drains in
-        bounded time.  Raises :class:`~repro.errors.WALError` when the WAL
-        has failed (those commits may never publish) or on timeout, so the
-        checkpoint aborts instead of cutting an uncovered marker.
+        bounded time.
+
+        ``up_to`` waits only for records with ``seq <= up_to`` — the fuzzy
+        cut needs the publishes of the prefix it *truncates*; the kept
+        tail's commits may still be waiting on their durability barrier
+        (the cut itself is what makes them durable), so waiting on them
+        here would deadlock against the latches this caller holds.
+
+        Raises :class:`~repro.errors.WALError` when the WAL has failed
+        (those commits may never publish) or on timeout, so the checkpoint
+        aborts instead of cutting an uncovered marker.
         """
         if timeout is None:
             timeout = self.publish_drain_timeout
@@ -569,12 +584,17 @@ class GroupFsyncDaemon:
                         f"commit WAL {self.wal.path} failed with commits "
                         "still waiting to publish"
                     ) from self._failure
-                if self._unpublished <= 0:
+                waiting = (
+                    len(self._unpublished)
+                    if up_to is None
+                    else sum(1 for seq in self._unpublished if seq <= up_to)
+                )
+                if waiting == 0:
                     return
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise WALError(
-                        f"{self._unpublished} commit(s) on {self.wal.path} "
+                        f"{waiting} commit(s) on {self.wal.path} "
                         f"did not publish LastCTS within {timeout}s; "
                         "checkpoint aborted"
                     )
@@ -586,6 +606,53 @@ class GroupFsyncDaemon:
         """Commit-WAL tail length in records (what recovery would replay)."""
         with self._lock:
             return self.records_enqueued - self._records_at_checkpoint
+
+    @contextmanager
+    def paused(self, timeout: float | None = None) -> Iterator[None]:
+        """Hold the daemon mutex with no batch leader in flight.
+
+        Inside the block no record can enqueue and no ``append_many`` is
+        running, so the caller may atomically rewrite the WAL file
+        (``reset_to``) without racing an append — the precondition
+        ``reset_to`` documents.  Raises :class:`~repro.errors.WALError`
+        if an in-flight batch does not finish within ``timeout``.
+        """
+        if timeout is None:
+            timeout = self.publish_drain_timeout
+        with self._lock:
+            deadline = time.monotonic() + timeout
+            while self._leader_active:
+                if time.monotonic() >= deadline:
+                    raise WALError(
+                        f"in-flight fsync batch on {self.wal.path} did "
+                        "not finish in time"
+                    )
+                self._work.wait(0.01)
+            yield
+
+    def covered_watermark(self) -> int:
+        """Highest seq a checkpoint pre-flush may claim to cover: every
+        record at or below it has *settled its publish*, which happens
+        strictly after the record's write-sets were applied to the base
+        tables.
+
+        ``last_enqueued()`` would over-cover: commits enqueue their record
+        (under the table latches) *before* applying, so an in-flight
+        commit's seq can be enqueued while its writes are still absent
+        from the memtable a concurrent pre-flush seals — a marker covering
+        that seq would truncate redo for data that exists nowhere durable.
+        The settled prefix cannot: settle ⇒ published ⇒ applied before the
+        pre-flush reads the memtable.  Records that never track a publish
+        (prepare votes, bulk loads) are safe at any watermark — prepare
+        redo is only needed while its transaction is unresolved, which
+        pins the latches a cut must take, and bulk loads write through to
+        the backend *before* enqueueing.
+        """
+        with self._lock:
+            last = self._next_seq - 1
+            if not self._unpublished:
+                return last
+            return min(min(self._unpublished) - 1, last)
 
     def preload_tail(self, records: int) -> None:
         """Account for an on-disk WAL tail that predates this process.
@@ -640,6 +707,114 @@ class GroupFsyncDaemon:
         self.wal.reset_to([(KIND_CHECKPOINT, payload)])
         return dropped
 
+    def write_checkpoint_fuzzy(
+        self, checkpoint_ts: int, last_cts: dict[str, int], covered_seq: int
+    ) -> int:
+        """Cut a checkpoint whose marker covers only records ``<=
+        covered_seq`` — the background daemon's latch-light variant.
+
+        The daemon pre-flushes the base tables *before* quiescing, so by
+        latch time every record up to the pre-flush watermark
+        (``covered_seq``) is reflected in durable SSTables, while a small
+        delta enqueued during the pre-flush is not.  The classic cut would
+        have to flush that delta inside the latches (a whole extra SSTable
+        + its fsyncs, since flush cost is fsync-count-bound, not
+        byte-bound); this cut instead *keeps* the delta records in the
+        WAL: the file is atomically rewritten to ``[marker, delta
+        records...]``, so recovery replays exactly the uncovered suffix
+        (idempotent redo).  The quiesced window then pays a single
+        ``reset_to`` — no flush, no marker pre-append.
+
+        Skipping the classic pre-append of the marker to the old file is
+        what makes this safe: a marker appended *after* records it does
+        not cover would, on a crash before the truncation, make replay
+        skip those records.  Here a crash before the rename keeps the old
+        file (the previous marker's longer tail replays — more work, same
+        state); after it, the new file.  ``last_cts``/``checkpoint_ts``
+        may cover the kept delta (they are snapshotted under the latches):
+        recovery still converges because the delta stays replayable — the
+        marker's watermark is a floor the replayed tail reaches, never a
+        claim about records that were dropped.
+
+        The cut *absorbs* still-pending records instead of flushing them
+        first: the atomic file rewrite writes them (fsynced) into the new
+        tail, so one ``reset_to`` is the quiesced window's only I/O — the
+        absorbed records become durable as a side effect and their waiting
+        committers are woken, batched into the checkpoint's own fsync.
+
+        Caller contract is otherwise ``write_checkpoint``'s: shard
+        quiesced (no enqueue possible — the table latches are held) and
+        every record ``<= covered_seq`` flushed to the base tables.
+        Returns the number of records the truncation dropped.
+        """
+        with self._lock:
+            if self._closed:
+                raise WALError(
+                    f"checkpoint on closed durability daemon ({self.wal.path})"
+                )
+            if self._failure is not None:
+                raise WALError(
+                    f"commit WAL {self.wal.path} has failed; daemon is poisoned"
+                ) from self._failure
+            # Wait out an in-flight batch leader: it drained records from
+            # the queue and may not have written them to the file yet —
+            # the frame read below must see every non-pending record.
+            # (New leaders cannot start while we hold the daemon mutex.)
+            deadline = time.monotonic() + self.publish_drain_timeout
+            while self._leader_active:
+                if time.monotonic() >= deadline:
+                    raise WALError(
+                        f"fuzzy checkpoint on {self.wal.path}: in-flight "
+                        "fsync batch did not finish in time"
+                    )
+                self._work.wait(0.01)
+                if self._failure is not None:
+                    raise WALError(
+                        f"commit WAL {self.wal.path} has failed; daemon "
+                        "is poisoned"
+                    ) from self._failure
+            total = self._next_seq - 1
+            delta = max(0, total - covered_seq)
+            tail = self.records_enqueued - self._records_at_checkpoint
+            kept_pending = [
+                (kind, frame)
+                for seq, kind, frame in self._pending
+                if seq > covered_seq
+            ]
+            keep_from_file = delta - len(kept_pending)
+            frames = [
+                (kind, frame)
+                for kind, frame in WriteAheadLog.replay(self.wal.path)
+                if kind != KIND_CHECKPOINT
+            ]
+            if keep_from_file < 0 or keep_from_file > len(frames):
+                # pragma: no cover - accounting corrupted
+                raise WALError(
+                    f"fuzzy checkpoint on {self.wal.path}: {keep_from_file} "
+                    f"uncovered file records expected, {len(frames)} intact "
+                    "frames found"
+                )
+            payload = encode_checkpoint_record(checkpoint_ts, last_cts)
+            keep = (
+                frames[len(frames) - keep_from_file :] if keep_from_file else []
+            )
+            self.wal.reset_to([(KIND_CHECKPOINT, payload)] + keep + kept_pending)
+            # The rewrite fsynced the new file: every submitted record is
+            # now durable — the absorbed ones (pending ≤ covered_seq are
+            # equally settled: their writes sit in the flushed SSTables
+            # the marker covers).  Wake their committers.
+            if self._pending:
+                self.batches += 1
+                self.largest_batch = max(self.largest_batch, len(self._pending))
+            self._pending.clear()
+            self._durable_seq = total
+            self._records_at_checkpoint = self.records_enqueued - delta
+            self.checkpoints += 1
+            ready = self._collect_ready_waiters_locked(None)
+        for ev in ready:
+            ev.set()
+        return tail - delta
+
     # ------------------------------------------------------------- leading
 
     def _lead_one_batch(self) -> bool:
@@ -675,6 +850,10 @@ class GroupFsyncDaemon:
             elif error is not None:
                 self._failure = error
             ready = self._collect_ready_waiters_locked(error)
+            # A fuzzy cut may be parked waiting for this in-flight batch
+            # to finish before it rewrites the file (see
+            # :meth:`write_checkpoint_fuzzy`).
+            self._work.notify_all()
         # Wake outside the mutex: each waiter parks on its own event, so
         # none of them re-contend the daemon lock on the way out.
         for ev in ready:
@@ -799,6 +978,6 @@ def reserve_group_commit(
             )
             ticket.commit_ts = commit_ts
             ticket.tracks_publish = True
-            daemons[idx]._unpublished += 1
+            daemons[idx]._unpublished.add(ticket.seq)
             tickets[idx] = ticket
     return commit_ts, tickets

@@ -151,7 +151,9 @@ class GroupCommitCoordinator:
 
     # -------------------------------------------------- cross-site two-phase
 
-    def prepare_all(self, txn: Transaction) -> PreparedCommit:
+    def prepare_all(
+        self, txn: Transaction, wait_vote: bool = True
+    ) -> PreparedCommit:
         """Participant-side prepare for a distributed (cross-shard) commit.
 
         Flags every registered state ``Commit``, moves the transaction to
@@ -162,6 +164,16 @@ class GroupCommitCoordinator:
         validation failure the transaction is finished as aborted here and
         the error propagates (the distributed coordinator then aborts the
         remaining participants).
+
+        ``wait_vote=False`` enqueues the durable prepare record but skips
+        its fsync barrier, handing the ticket to the caller on
+        ``prepared.prepare_ticket``: a coordinator preparing N
+        participants waits all the votes in one shared barrier *after*
+        the last prepare (each shard's record rides its batch alongside
+        the other shards', which fsync concurrently) instead of paying N
+        serial barriers.  The recovery invariant is unchanged — every
+        vote must be durable before the commit point — the caller just
+        owes the wait before drawing the commit timestamp.
         """
         txn.ensure_active()
         with self._decision_mutex:
@@ -176,18 +188,22 @@ class GroupCommitCoordinator:
                 self.global_aborts += 1
             self.context.finish(txn)
             raise
-        self._log_prepare(txn, prepared)
+        self._log_prepare(txn, prepared, wait_vote)
         return prepared
 
-    def _log_prepare(self, txn: Transaction, prepared: PreparedCommit) -> None:
+    def _log_prepare(
+        self, txn: Transaction, prepared: PreparedCommit, wait_vote: bool
+    ) -> None:
         """Make the participant's prepare vote durable before it returns.
 
         A prepared participant has promised the distributed coordinator it
         can commit; its redo image therefore goes to this shard's commit
         WAL *before* the yes-vote (``sync`` mode blocks on the batch, async
-        mode enqueues).  A logging failure turns the vote into an abort —
-        the pinned resources are released and the error propagates so the
-        distributed coordinator aborts the remaining participants.
+        mode enqueues; ``wait_vote=False`` defers the block to the caller
+        via ``prepared.prepare_ticket``).  A logging failure turns the
+        vote into an abort — the pinned resources are released and the
+        error propagates so the distributed coordinator aborts the
+        remaining participants.
         """
         daemon = self.protocol.durability
         if daemon is None or not prepared.written:
@@ -197,7 +213,10 @@ class GroupCommitCoordinator:
                 KIND_TXN_PREPARE, encode_prepare_record(txn.wal_txn_id, txn.write_sets)
             )
             if daemon.is_sync:
-                ticket.wait()
+                if wait_vote:
+                    ticket.wait()
+                else:
+                    prepared.prepare_ticket = ticket
         except BaseException:
             self.protocol.abort_prepared(txn, prepared)
             with self._decision_mutex:

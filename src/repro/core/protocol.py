@@ -84,11 +84,19 @@ class PreparedCommit:
     at timestamp-draw time when a commit WAL is attached): the commit path
     blocks on it *after* releasing the latches and *before* publishing
     ``LastCTS`` in ``sync`` mode.
+    ``prepare_ticket`` is the durability handle of a 2PC participant's
+    prepare record when the vote wait was deferred
+    (``prepare_all(wait_vote=False)``): the distributed coordinator waits
+    all participants' votes in one shared barrier instead of paying one
+    serial fsync barrier per shard — the votes must all be durable before
+    the commit point (the decision/commit records), not before the next
+    participant's prepare.
     """
 
     written: list[str]
     resources: ExitStack
     ticket: DurabilityTicket | None = None
+    prepare_ticket: DurabilityTicket | None = None
 
 
 class ConcurrencyControl(abc.ABC):

@@ -41,12 +41,17 @@ shard owns an :class:`~repro.storage.lsm.LSMStore` directory per state
 (the base tables), a commit WAL driven by the batched-fsync daemon, and a
 :class:`~repro.recovery.redo.ContextStore` persisting group ``LastCTS``;
 cross-shard commits additionally log their decision to a global
-coordinator outcome log so recovery can resolve in-doubt prepares
-(presumed-abort).  Commit WALs stay bounded through checkpoints: after
-``checkpoint_interval`` records a shard quiesces briefly (all commit
-latches), flushes its LSM stores, cuts a checkpoint marker and truncates
-the covered prefix.  A crashed process reopens with
-:meth:`ShardedTransactionManager.open`, which replays only the tails
+coordinator outcome log (batched: concurrent 2PC coordinators share one
+decision fsync) so recovery can resolve in-doubt prepares
+(presumed-abort).  Commit WALs stay bounded through checkpoints: before
+a shard's tail outgrows ``checkpoint_interval`` records the shard is
+pre-flushed without latches, quiesced briefly (all commit latches),
+its LSM stores flushed, a checkpoint marker cut and the covered prefix
+truncated — by the background :class:`CheckpointDaemon` in the default
+``checkpoint_mode="background"`` (committers only signal it), or by the
+committer that trips the interval in ``"inline"`` mode.  A crashed
+process reopens with :meth:`ShardedTransactionManager.open`, which
+replays only the tails, shards in parallel
 (:mod:`repro.recovery.sharded`).
 """
 
@@ -55,7 +60,9 @@ from __future__ import annotations
 import inspect
 import os
 import threading
+import time
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
 from collections.abc import Iterator
 from heapq import merge as _heap_merge
@@ -261,6 +268,226 @@ class ShardedSnapshotView:
         }
 
 
+#: Upper bound on the worker pools used for all-shards maintenance
+#: (manual/final checkpoints): enough to overlap the per-shard fsyncs,
+#: small enough not to swamp the interpreter with GIL-bound threads.
+_SHARD_POOL_LIMIT = 8
+
+
+class CheckpointDaemon:
+    """Background checkpoint thread of one sharded manager.
+
+    In ``background`` checkpoint mode committers never run
+    ``checkpoint_shard`` themselves: when a shard's commit-WAL tail crosses
+    the trigger they :meth:`request` a cut (one set insert under a mutex)
+    and return — the LSM flush, marker and truncation all happen on this
+    thread, off the commit path's tail latency.  Requests coalesce: a
+    trigger storm on one shard collapses into a single cut.  Fence and
+    poison are honored by the cut itself (``checkpoint_shard(idx,
+    blocking=False)`` skips on both), so the daemon can never flush base
+    tables on a manager whose in-memory state is not trustworthy.
+
+    The on-disk WAL bound survives the move off the commit path through
+    :meth:`throttle`: a committer about to push a shard's tail past
+    ``checkpoint_interval`` parks until the daemon's cut brings it back
+    under.  The wait is bounded — on a wedged pipeline the committer is
+    released after ``throttle_timeout`` and the device failure surfaces on
+    the commit's own durability path instead.
+
+    Cuts of *different* shards are independent (each quiesces only its own
+    tables and truncates its own WAL), so the daemon runs a small worker
+    pool: when several shards trip together — the common case under a
+    uniform load — their marker/SSTable fsyncs overlap on the device
+    instead of forming one long serial stall that commits behind the last
+    shard's latches would feel.
+
+    Lifecycle: :meth:`close` drains the pending set (outstanding requests
+    are still cut), then joins with a bounded timeout so a wedged WAL (an
+    ``fsync`` that never returns) cannot hang shutdown — the daemonic
+    workers are abandoned in the syscall instead.  :meth:`wait_idle` lets
+    tests (and the final checkpoint) synchronise with the queue.
+    """
+
+    def __init__(
+        self, manager: "ShardedTransactionManager", workers: int | None = None
+    ) -> None:
+        self._manager = manager
+        self._cond = threading.Condition()
+        self._pending: set[int] = set()
+        #: Shard indices currently being cut (at most one worker each).
+        self._active: set[int] = set()
+        self._closed = False
+        #: Backpressured committers give up after this long (seconds): the
+        #: WAL bound is best-effort once the pipeline is wedged.
+        self.throttle_timeout = 30.0
+        #: How long :meth:`close` waits before abandoning the workers.
+        self.join_timeout = 10.0
+        # stats
+        self.triggers = 0
+        self.cuts = 0
+        self.records_truncated = 0
+        #: Cuts that raised out of ``checkpoint_shard`` (anything beyond
+        #: the WALError/TimeoutError the non-blocking path absorbs — e.g.
+        #: an OSError from the LSM pre-flush).  Kept visible instead of
+        #: swallowed: diagnosable via :meth:`stats`, and committers
+        #: parked in :meth:`throttle` are released when the cut they are
+        #: waiting for fails, rather than stalling out their timeout.
+        self.failed_cuts = 0
+        self.last_cut_error: BaseException | None = None
+        #: Per-shard failure epochs: throttled committers give up only
+        #: when a cut of *their* shard fails, not any shard's.
+        self._shard_cut_failures: dict[int, int] = {}
+        if workers is None:
+            # Half the shards (rounded up): enough to overlap coinciding
+            # cuts' fsyncs, while never holding every shard's latches at
+            # once — commits on the uncut half keep flowing.
+            workers = min((manager.num_shards + 1) // 2, _SHARD_POOL_LIMIT)
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"checkpoint-daemon-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def request(self, idx: int) -> None:
+        """Ask for a cut of shard ``idx``; coalesced, never blocks."""
+        with self._cond:
+            if self._closed:
+                return
+            self.triggers += 1
+            if idx not in self._pending:
+                self._pending.add(idx)
+                self._cond.notify_all()
+
+    def throttle(self, idx: int, limit: int) -> None:
+        """Park the caller while shard ``idx``'s tail is at/over ``limit``.
+
+        The backpressure that keeps ``tail <= checkpoint_interval + one
+        in-flight commit`` deterministic even though the cut runs on this
+        daemon's thread.  Returns immediately on a fenced manager or a
+        failed pipeline — the commit surfaces those failures itself — and
+        after ``throttle_timeout`` on a cut that never completes.
+        """
+        daemon = self._manager.daemons[idx]
+        if daemon is None:
+            return
+        deadline = time.monotonic() + self.throttle_timeout
+        with self._cond:
+            failures_seen = self._shard_cut_failures.get(idx, 0)
+            while not self._closed:
+                if self._manager.fenced or daemon.failed:
+                    return
+                if daemon.records_since_checkpoint() < limit:
+                    return
+                if self._shard_cut_failures.get(idx, 0) != failures_seen:
+                    # The cut this commit was waiting on died (device
+                    # error outside the WAL path): the bound is
+                    # best-effort on a failing store — proceed and let
+                    # the commit surface its own durability error.
+                    # (Per-shard epoch: a failure on an unrelated shard
+                    # does not void this shard's bound.)
+                    return
+                if idx not in self._pending and idx not in self._active:
+                    self.triggers += 1
+                    self._pending.add(idx)
+                    self._cond.notify_all()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._cond.wait(min(remaining, 0.05))
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until nothing is pending and no cut is in flight.
+
+        Test/shutdown synchronisation point; returns ``False`` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._pending or self._active:
+                wait_s = 0.1
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait_s = min(wait_s, remaining)
+                self._cond.wait(wait_s)
+        return True
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending:  # closed and drained
+                    self._cond.notify_all()
+                    return
+                # Workers never double up on one shard: the cut's
+                # non-blocking lock would make the second a no-op anyway.
+                idx = min(self._pending)
+                self._pending.discard(idx)
+                self._active.add(idx)
+            try:
+                shard_daemon = self._manager.daemons[idx]
+                # A coalesced storm can leave requests behind for a shard
+                # an earlier cut already emptied — skip the no-op cut
+                # (which would still pay the marker rewrite I/O).
+                dropped = 0
+                if (
+                    shard_daemon is not None
+                    and shard_daemon.records_since_checkpoint() > 0
+                ):
+                    dropped = self._manager.checkpoint_shard(
+                        idx, blocking=False, fuzzy=True
+                    )
+                if dropped:
+                    with self._cond:
+                        self.cuts += 1
+                        self.records_truncated += dropped
+            except Exception as exc:
+                # Beyond the WALError/TimeoutError the non-blocking cut
+                # absorbs (e.g. OSError from the LSM pre-flush).  Record
+                # it — stats() surfaces the count, throttle() releases
+                # the committers parked on this cut — and keep serving:
+                # a transient device error must not kill the daemon.
+                with self._cond:
+                    self.failed_cuts += 1
+                    self._shard_cut_failures[idx] = (
+                        self._shard_cut_failures.get(idx, 0) + 1
+                    )
+                    self.last_cut_error = exc
+            with self._cond:
+                self._active.discard(idx)
+                self._cond.notify_all()
+
+    def close(self) -> bool:
+        """Drain outstanding requests, then join (bounded).
+
+        Returns ``True`` when every worker exited within ``join_timeout``
+        — ``False`` means a cut is wedged (an fsync that never returns)
+        and its daemonic worker was abandoned rather than hanging
+        shutdown; the caller must then skip work that needs the
+        checkpoint locks.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        deadline = time.monotonic() + self.join_timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return not any(thread.is_alive() for thread in self._threads)
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "checkpoint_triggers": self.triggers,
+                "background_checkpoints": self.cuts,
+                "checkpoint_records_truncated": self.records_truncated,
+                "checkpoint_cut_failures": self.failed_cuts,
+            }
+
+
 class ShardedTransactionManager:
     """N independent shard managers behind one transaction facade.
 
@@ -282,6 +509,9 @@ class ShardedTransactionManager:
         fsync_max_batch: int = 128,
         fsync_batch_window: float = 0.0,
         checkpoint_interval: int = 4096,
+        checkpoint_mode: str = "background",
+        checkpoint_flush_timeout: float | None = 30.0,
+        coordinator_batching: bool = True,
         lsm_options: LSMOptions | None = None,
         **protocol_kwargs: Any,
     ) -> None:
@@ -290,13 +520,36 @@ class ShardedTransactionManager:
         if wal_dir is not None and data_dir is not None:
             raise ValueError("pass either wal_dir (commit WALs only) or "
                              "data_dir (fully durable shards), not both")
+        if checkpoint_mode not in ("background", "inline"):
+            raise ValueError(
+                f"checkpoint_mode must be 'background' or 'inline': "
+                f"{checkpoint_mode!r}"
+            )
         self.num_shards = num_shards
         self.durability_mode = durability
         #: Root of the durable shard layout (``None`` = volatile tables).
         self.data_dir = Path(data_dir) if data_dir is not None else None
-        #: Auto-checkpoint trigger: cut a shard's commit WAL after this many
-        #: records (0 disables; explicit :meth:`checkpoint` always works).
+        #: Auto-checkpoint bound: a shard's commit WAL is cut before its
+        #: tail outgrows this many records (0 disables; explicit
+        #: :meth:`checkpoint` always works).
         self.checkpoint_interval = checkpoint_interval
+        #: ``"background"`` (default) hands auto-checkpoints to the
+        #: :class:`CheckpointDaemon` — committers only signal; ``"inline"``
+        #: keeps the pre-daemon behaviour (the committer that trips the
+        #: interval pays the whole flush), the benchmark reference point.
+        self.checkpoint_mode = checkpoint_mode
+        #: Deadline for the WAL drain inside a checkpoint cut: a wedged
+        #: device fails the cut (``WALError``/``TimeoutError``) instead of
+        #: parking the checkpointing thread in it forever.
+        self.checkpoint_flush_timeout = checkpoint_flush_timeout
+        #: Background-mode soft trigger: a cut is *requested* once a tail
+        #: is within 1/8 interval (≥2 records) of the bound, so it
+        #: normally completes before the hard bound engages commit
+        #: backpressure without cutting much more often than inline mode
+        #: would (fuzzy cuts leave a small residual tail behind).
+        self._soft_trigger = max(
+            1, checkpoint_interval - max(2, checkpoint_interval // 8)
+        )
         #: LSM tuning for the shard base tables.  Default ``sync=False``:
         #: the commit WAL is the durable redo authority for the tail, so the
         #: per-table LSM WAL does not need its own fsync per write — the
@@ -389,6 +642,14 @@ class ShardedTransactionManager:
         self.coordinator_log: Any | None = None
         self._ckpt_locks = [threading.Lock() for _ in range(num_shards)]
         self._last_checkpoint_ts = [0] * num_shards
+        #: Per-shard flag: has this *process* issued a background trigger
+        #: for the shard yet?  The first trigger per shard uses a
+        #: staggered threshold (see :meth:`_maybe_checkpoint`); counting
+        #: the shard daemon's checkpoints instead would disarm the
+        #: stagger on every reopened manager, whose recovery checkpoint
+        #: resets all tails at the same instant — exactly the in-phase
+        #: fleet the offset exists to break up.
+        self._auto_cut_seeded = [False] * num_shards
         self._closed = False
         #: Set after a failed cross-shard phase two: the in-memory state
         #: may disagree with the durable truth, so commits and checkpoints
@@ -403,7 +664,17 @@ class ShardedTransactionManager:
             )
 
             self.data_dir.mkdir(parents=True, exist_ok=True)
-            self.coordinator_log = CoordinatorLog(coordinator_log_path(self.data_dir))
+            # Cross-shard 2PC decisions batch their fsync exactly like the
+            # shard commit WALs do: concurrent coordinators share one
+            # decision flush instead of serialising on a private fsync
+            # under the log's lock (coordinator_batching=False keeps the
+            # fsync-per-decision reference behaviour for benchmarks).
+            self.coordinator_log = CoordinatorLog(
+                coordinator_log_path(self.data_dir),
+                batched=coordinator_batching,
+                max_batch=fsync_max_batch,
+                batch_window=fsync_batch_window,
+            )
             for idx, shard in enumerate(self.shards):
                 store = ContextStore(
                     context_store_path(self.data_dir, idx), sync=False
@@ -411,15 +682,32 @@ class ShardedTransactionManager:
                 self.context_stores.append(store)
                 shard.context.attach_persistence(store.record)
             self._schema.save(self.data_dir)
+        #: Background checkpoint thread (durable auto-checkpointing mode
+        #: only): commits signal it instead of flushing inline.
+        self.checkpoint_daemon: CheckpointDaemon | None = None
+        if (
+            self.data_dir is not None
+            and checkpoint_interval > 0
+            and checkpoint_mode == "background"
+        ):
+            self.checkpoint_daemon = CheckpointDaemon(self)
         # sharded-commit counters (beyond the per-shard protocol stats)
         self.single_shard_commits = 0
         self.cross_shard_commits = 0
         self.cross_shard_aborts = 0
         self.cross_shard_in_doubt = 0
-        #: Test hook: called as ``hook(shard_index)`` right after that
-        #: participant prepared during a cross-shard commit; raising from it
-        #: simulates a participant failure between prepare and commit.
+        #: Test hook: called as ``hook(shard_index)`` for each participant
+        #: of a cross-shard commit once every participant has prepared and
+        #: all prepare votes are durable; raising from it simulates a
+        #: participant failure between prepare and commit.
         self.prepare_fault: Callable[[int], None] | None = None
+        #: Test hook: called as ``hook(shard_index)`` right after that
+        #: participant's prepare *enqueued* (before the shared vote
+        #: barrier) — the injection point for partial-prepare crash
+        #: images, where only a strict subset of participants holds a
+        #: durable vote (crash the process here, flushing the shards
+        #: whose votes should count).
+        self.vote_fault: Callable[[int], None] | None = None
         #: Test hook: called as ``hook(txn_id)`` right after the coordinator
         #: decision became durable but before any participant applied phase
         #: two — the in-doubt window recovery must roll *forward*.
@@ -641,6 +929,16 @@ class ShardedTransactionManager:
             # stays safe (and keeps reads working) on a fenced manager.
             self.abort(txn, ABORT_GROUP)
             self._ensure_not_fenced()
+        if has_writes and self.checkpoint_daemon is not None:
+            # Hard WAL bound under background checkpointing: a commit that
+            # would push a shard's tail past the interval parks (outside
+            # any latch — the daemon needs those to cut) until the
+            # in-flight cut lands.  With the soft trigger at 3/4 of the
+            # interval this is normally a no-op counter read per shard.
+            for idx in txn.shards():
+                child = txn.children[idx]
+                if any(ws for ws in child.write_sets.values()):
+                    self.checkpoint_daemon.throttle(idx, self.checkpoint_interval)
         participants = txn.shards()
         if not participants:
             # Never touched data: trivially committed at the current clock.
@@ -702,9 +1000,13 @@ class ShardedTransactionManager:
         """Two-phase commit across the participant shards.
 
         Phase one prepares in ascending shard order (global order =>
-        deadlock freedom); each prepared participant's redo record is made
-        durable on its shard's commit WAL before the vote counts (inside
-        ``prepare_all``).  Phase two draws one shared commit timestamp and
+        deadlock freedom); each prepared participant's redo record is
+        enqueued on its shard's commit WAL during ``prepare_all`` and all
+        the vote fsyncs are awaited in **one** shared barrier after the
+        last prepare (``wait_vote=False``): the shards' prepare batches
+        flush concurrently instead of one serial durability barrier per
+        participant, and every vote is still durable before the commit
+        point below.  Phase two draws one shared commit timestamp and
         — when the durability pipeline is on — enqueues every writing
         participant's commit record under *all* participant daemon mutexes
         at once (:func:`repro.core.durability.reserve_group_commit`), so
@@ -715,9 +1017,24 @@ class ShardedTransactionManager:
         prepared: list[tuple[int, PreparedCommit]] = []
         try:
             for idx in participants:
-                handle = self.shards[idx].coordinator.prepare_all(txn.children[idx])
+                handle = self.shards[idx].coordinator.prepare_all(
+                    txn.children[idx], wait_vote=False
+                )
                 prepared.append((idx, handle))
-                if self.prepare_fault is not None:
+                if self.vote_fault is not None:
+                    self.vote_fault(idx)
+            # The shared vote barrier: every participant's prepare record
+            # must be durable before the commit point (the timestamp draw
+            # enqueues commit records that double as decision evidence).
+            # A failed vote fsync aborts all participants, exactly like a
+            # prepare failure — nothing has committed yet.
+            for _idx, handle in prepared:
+                if handle.prepare_ticket is not None:
+                    handle.prepare_ticket.wait()
+            if self.prepare_fault is not None:
+                # Fires once every vote is durable — the point the classic
+                # per-participant wait used to reach after each prepare.
+                for idx in participants:
                     self.prepare_fault(idx)
         except BaseException as exc:
             self._abort_after_prepare_failure(txn, participants, prepared, exc)
@@ -969,29 +1286,71 @@ class ShardedTransactionManager:
     def _maybe_checkpoint(self, shards: list[int]) -> None:
         """Auto-checkpoint trigger, evaluated after every commit.
 
-        Cheap when idle (one counter read per touched shard); when a
-        shard's commit-WAL tail reaches ``checkpoint_interval`` records the
-        triggering committer runs the checkpoint inline — it holds no
-        latches anymore, and paying the flush on one committer bounds every
-        shard's WAL without a background thread.  Non-blocking: if another
-        thread is already checkpointing the shard, skip.
+        Cheap when idle (one counter read per touched shard).  In
+        ``background`` mode (the default) a shard whose tail crosses the
+        soft trigger is handed to the :class:`CheckpointDaemon` — the
+        committer only signals; the flush, marker and truncation run off
+        the commit path.  In ``inline`` mode the triggering committer runs
+        the checkpoint itself once the tail reaches the interval (the
+        pre-daemon behaviour, kept as the benchmark reference point).
+        Non-blocking either way: if another thread is already
+        checkpointing the shard, skip.
         """
         if self.data_dir is None or self.checkpoint_interval <= 0 or self.fenced:
             return
         for idx in shards:
             daemon = self.daemons[idx]
-            if (
-                daemon is not None
-                and daemon.records_since_checkpoint() >= self.checkpoint_interval
-            ):
+            if daemon is None:
+                continue
+            tail = daemon.records_since_checkpoint()
+            if self.checkpoint_daemon is not None:
+                # De-phase the fleet: under a uniform load every shard's
+                # tail crosses the trigger within a few records of the
+                # others, so the cuts would all land together — one wide
+                # stall window instead of num_shards narrow ones.  The
+                # *first* trigger of each shard is pulled forward by a
+                # large per-shard offset (initial phase separation), and
+                # every later trigger by a small permanent one: slightly
+                # different periods keep the phases drifting apart
+                # instead of re-clumping.
+                if self._auto_cut_seeded[idx]:
+                    skew = (idx * self.checkpoint_interval) // (
+                        8 * self.num_shards
+                    )
+                else:
+                    skew = (idx * self.checkpoint_interval) // (
+                        2 * self.num_shards
+                    )
+                threshold = max(1, self._soft_trigger - skew)
+                if tail >= threshold:
+                    self._auto_cut_seeded[idx] = True
+                    self.checkpoint_daemon.request(idx)
+            elif tail >= self.checkpoint_interval:
                 self.checkpoint_shard(idx, blocking=False)
 
-    def checkpoint_shard(self, idx: int, blocking: bool = True) -> int:
+    def checkpoint_shard(
+        self, idx: int, blocking: bool = True, fuzzy: bool = False
+    ) -> int:
         """Cut one shard's checkpoint; returns WAL records truncated.
+
+        ``fuzzy=True`` (the background daemon's mode) keeps the records
+        enqueued *during* the pre-flush in the WAL instead of flushing
+        them under the latches: the quiesced window then pays one atomic
+        ``reset_to`` and nothing else — see
+        :meth:`~repro.core.durability.GroupFsyncDaemon.
+        write_checkpoint_fuzzy`.  The classic cut (manual checkpoints,
+        inline mode, the final close checkpoint) flushes everything and
+        leaves a clean ``[marker]`` file behind.
 
         Protocol (each step leaves a recoverable state, see
         :meth:`~repro.core.durability.GroupFsyncDaemon.write_checkpoint`):
 
+        0. pre-flush every LSM base table *without* the latches: the bulk
+           of the memtable data reaches fsynced SSTables while commits
+           keep flowing, so the quiesced window below pays only the small
+           delta written since — the latch-hold time (what concurrent
+           committers actually feel) shrinks from the whole flush to a
+           near-empty one plus the marker I/O;
         1. quiesce the shard — acquire **all** its table commit latches in
            sorted order (the same order commits use).  Every commit-WAL
            enqueue happens under the latches of the tables it writes, and
@@ -1031,6 +1390,28 @@ class ShardedTransactionManager:
         try:
             shard = self.shards[idx]
             tables = sorted(shard.tables(), key=lambda t: t.state_id)
+            backend_flushes = [
+                flush
+                for table in tables
+                for flush in (getattr(table.backend, "flush", None),)
+                if callable(flush)
+            ]
+            # Step 0: pre-flush outside the latches (see the docstring).
+            # The watermark drawn *before* the flush is what the fuzzy cut
+            # may cover.  NOT ``last_enqueued()``: commits enqueue before
+            # they apply, so an in-flight commit's record can be enqueued
+            # while its writes are still missing from the memtable this
+            # pre-flush seals.  The settled-publish prefix is the safe
+            # cover — settle happens strictly after the apply (see
+            # :meth:`GroupFsyncDaemon.covered_watermark`).
+            covered_seq = daemon.covered_watermark()
+            for flush in backend_flushes:
+                flush()
+            # Pre-drain the commit WAL too: the in-latch drain below then
+            # usually finds nothing pending, so the quiesced window skips
+            # the batch fsync a checkpointing thread would otherwise lead
+            # while holding every latch.
+            daemon.flush(timeout=self.checkpoint_flush_timeout)
             with ExitStack() as stack:
                 for table in tables:
                     stack.enter_context(table.commit_latch)
@@ -1041,37 +1422,64 @@ class ShardedTransactionManager:
                 if self.fenced and not blocking:
                     return 0
                 self._ensure_not_fenced()
-                daemon.flush()
-                daemon.wait_publishes_drained()
-                for table in tables:
-                    flush = getattr(table.backend, "flush", None)
-                    if callable(flush):
+                if fuzzy:
+                    # Only the publishes of the records the cut will
+                    # *truncate* must land before the snapshot below; the
+                    # kept tail's committers may still be parked on their
+                    # durability barrier — the cut itself wakes them.
+                    daemon.wait_publishes_drained(up_to=covered_seq)
+                else:
+                    daemon.flush(timeout=self.checkpoint_flush_timeout)
+                    daemon.wait_publishes_drained()
+                    # Classic cut: the delta enqueued since the pre-flush
+                    # must reach the SSTables before the marker covers it.
+                    for flush in backend_flushes:
                         flush()
                 last_cts = {
                     gid: shard.context.last_cts(gid)
                     for gid in shard.context.group_ids()
                 }
                 checkpoint_ts = max(last_cts.values(), default=0)
-                dropped = daemon.write_checkpoint(checkpoint_ts, last_cts)
+                if fuzzy:
+                    dropped = daemon.write_checkpoint_fuzzy(
+                        checkpoint_ts, last_cts, covered_seq
+                    )
+                else:
+                    dropped = daemon.write_checkpoint(checkpoint_ts, last_cts)
                 self._last_checkpoint_ts[idx] = checkpoint_ts
             if self.coordinator_log is not None:
                 self.coordinator_log.compact(min(self._last_checkpoint_ts))
             return dropped
-        except WALError:
+        except (WALError, TimeoutError):
             if not blocking:
-                # The pipeline failed (poison, drain timeout) under a
-                # best-effort cut: the WAL tail simply stays for a later
-                # explicit checkpoint or restart recovery.
+                # The pipeline failed (poison, drain timeout, wedged
+                # device) under a best-effort cut: the WAL tail simply
+                # stays for a later explicit checkpoint or restart
+                # recovery.
                 return 0
             raise
         finally:
             lock.release()
 
-    def checkpoint(self) -> int:
-        """Checkpoint every shard; returns total WAL records truncated."""
-        return sum(
-            self.checkpoint_shard(idx) for idx in range(self.num_shards)
-        )
+    def checkpoint(self, parallel: bool = True) -> int:
+        """Checkpoint every shard; returns total WAL records truncated.
+
+        The shards' cuts are independent — each quiesces only its own
+        tables and truncates its own WAL — so the manual all-shards path
+        runs them in a bounded thread pool: the per-shard SSTable and
+        marker fsyncs overlap on the device instead of paying N serial
+        flushes.  ``parallel=False`` keeps the sequential reference
+        behaviour (benchmarks compare the two).
+        """
+        if not parallel or self.num_shards == 1:
+            return sum(
+                self.checkpoint_shard(idx) for idx in range(self.num_shards)
+            )
+        with ThreadPoolExecutor(
+            max_workers=min(self.num_shards, _SHARD_POOL_LIMIT),
+            thread_name_prefix="shard-ckpt",
+        ) as pool:
+            return sum(pool.map(self.checkpoint_shard, range(self.num_shards)))
 
     # recovery ------------------------------------------------------------
 
@@ -1081,6 +1489,7 @@ class ShardedTransactionManager:
         data_dir: str | os.PathLike[str],
         recover: bool = True,
         checkpoint_after_recovery: bool = True,
+        recovery_workers: int | None = None,
         **kwargs: Any,
     ) -> "ShardedTransactionManager":
         """Reopen a durable sharded manager from its ``data_dir``.
@@ -1089,9 +1498,12 @@ class ShardedTransactionManager:
         groups), reconstructs the manager with its durable layout, and —
         unless ``recover=False`` — runs restart recovery: commit-WAL tail
         replay, in-doubt 2PC resolution, ``LastCTS``/oracle restoration
-        and version-index bootstrap.  The report lands on
-        ``manager.last_recovery``.  ``kwargs`` override constructor
-        parameters (``protocol=``, ``checkpoint_interval=``, ...).
+        and version-index bootstrap.  Shards recover in parallel by
+        default (they are self-contained directories);
+        ``recovery_workers=1`` forces the sequential reference procedure.
+        The report lands on ``manager.last_recovery``.  ``kwargs``
+        override constructor parameters (``protocol=``,
+        ``checkpoint_interval=``, ...).
         """
         from ..recovery.sharded import ShardedSchema, recover_sharded
 
@@ -1104,13 +1516,17 @@ class ShardedTransactionManager:
         for group_id, state_ids in schema.groups.items():
             manager.register_group(group_id, state_ids)
         manager.last_recovery = (
-            recover_sharded(manager, checkpoint=checkpoint_after_recovery)
+            recover_sharded(
+                manager,
+                checkpoint=checkpoint_after_recovery,
+                max_workers=recovery_workers,
+            )
             if recover
             else None
         )
         return manager
 
-    def recover(self, checkpoint: bool = True):
+    def recover(self, checkpoint: bool = True, max_workers: int | None = None):
         """Run restart recovery on this (freshly reopened) manager.
 
         Prefer :meth:`open`, which recreates the schema first and then
@@ -1119,7 +1535,7 @@ class ShardedTransactionManager:
         """
         from ..recovery.sharded import recover_sharded
 
-        return recover_sharded(self, checkpoint=checkpoint)
+        return recover_sharded(self, checkpoint=checkpoint, max_workers=max_workers)
 
     # maintenance ---------------------------------------------------------
 
@@ -1155,9 +1571,30 @@ class ShardedTransactionManager:
         if self._closed:
             return
         self._closed = True
+        drained = True
+        if self.checkpoint_daemon is not None:
+            # Drain outstanding background cuts first so the final
+            # checkpoint never races one.  The join is bounded: a wedged
+            # cut (fsync that never returns) is abandoned — and the final
+            # checkpoint is then skipped too, because the wedged thread
+            # still holds that shard's checkpoint lock and latches.
+            drained = self.checkpoint_daemon.close()
         poisoned = any(d is not None and d.failed for d in self.daemons)
-        if self.data_dir is not None and not self.fenced and not poisoned:
-            self.checkpoint()
+        if (
+            self.data_dir is not None
+            and drained
+            and not self.fenced
+            and not poisoned
+        ):
+            try:
+                self.checkpoint()
+            except Exception:
+                # A failing or wedged device mid-shutdown (flush timeout,
+                # WAL error, fence raced up): the WAL tails simply stay
+                # for restart recovery — raising here with ``_closed``
+                # already set would leak every shard resource below and
+                # make a retry a silent no-op.
+                pass
         for shard in self.shards:
             shard.close()
         for daemon in self.daemons:
@@ -1181,4 +1618,6 @@ class ShardedTransactionManager:
         totals["cross_shard_in_doubt"] = self.cross_shard_in_doubt
         if self.coordinator_log is not None:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
+        if self.checkpoint_daemon is not None:
+            totals.update(self.checkpoint_daemon.stats())
         return totals

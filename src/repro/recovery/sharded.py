@@ -43,6 +43,7 @@ import os
 import pickle
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -51,6 +52,7 @@ from ..errors import StorageError, WALError
 from ..storage.wal import KIND_COORD_COMMIT, WriteAheadLog, fsync_dir
 from ..core.durability import (
     CommitLogRecord,
+    GroupFsyncDaemon,
     PrepareLogRecord,
     apply_recovered_commit,
     commit_wal_tail,
@@ -166,15 +168,36 @@ class CoordinatorLog:
     image); a prepare with **no** decision anywhere rolls back.  Abort
     decisions are never logged — that is the presumed-abort optimisation.
 
+    ``batched=True`` (the default) routes decision records through a
+    :class:`~repro.core.durability.GroupFsyncDaemon` on the log file:
+    :meth:`log_commit` becomes enqueue-then-wait, so N concurrent
+    cross-shard coordinators share **one** decision fsync
+    (``append_many``) instead of serialising N private fsyncs under this
+    log's lock — the classic 2PC coordinator-log bottleneck, amortised
+    the same way the per-shard commit WALs already are.  The durability
+    contract is unchanged: :meth:`log_commit` returns only once the
+    decision is on stable storage, so phase two still starts strictly
+    after the decision is durable and recovery's presumed-abort reading
+    holds.  ``batched=False`` keeps the fsync-per-decision reference
+    behaviour (benchmarks compare the two).
+
     Decisions for transactions whose commit records every shard has since
     checkpointed are garbage; :meth:`compact` drops every outcome at or
     below the fleet-wide minimum checkpoint timestamp.
     """
 
-    def __init__(self, path: str | os.PathLike[str], sync: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        sync: bool = True,
+        batched: bool = True,
+        max_batch: int = 128,
+        batch_window: float = 0.0,
+    ) -> None:
         self.path = Path(path)
         self._outcomes = self.read_outcomes(self.path)
-        self._wal = WriteAheadLog(self.path, sync=sync)
+        batched = batched and sync
+        self._wal = WriteAheadLog(self.path, sync=sync and not batched)
         if self.path.stat().st_size > 0:
             # Rewrite to exactly the intact outcomes before appending: a
             # crash-torn tail frame would otherwise sit *before* every new
@@ -183,6 +206,15 @@ class CoordinatorLog:
             self._wal.reset_to(
                 (KIND_COORD_COMMIT, self._encode(o)) for o in self._outcomes.values()
             )
+        #: Leader/follower batcher over the log (no dedicated thread): the
+        #: first waiting coordinator drains the queue and fsyncs for all.
+        self._daemon = (
+            GroupFsyncDaemon(
+                self._wal, max_batch=max_batch, batch_window=batch_window
+            )
+            if batched
+            else None
+        )
         self._lock = threading.Lock()
 
     @staticmethod
@@ -204,17 +236,34 @@ class CoordinatorLog:
         return outcomes
 
     def log_commit(self, txn_id: int, commit_ts: int, shards: list[int]) -> None:
-        """Make one commit decision durable (fsynced before returning)."""
+        """Make one commit decision durable (fsynced before returning).
+
+        Batched mode enqueues the record and waits on its ticket — the
+        wait runs *outside* this log's lock, so concurrent coordinators
+        pile onto the batcher and one ``append_many`` fsync covers all of
+        them.  The in-memory outcome is recorded at enqueue time (not
+        after the fsync): :meth:`compact` rewrites the file from the
+        in-memory map, and a decision that is enqueued-but-not-yet-synced
+        must survive that rewrite — over-including an outcome whose fsync
+        then fails is harmless, because a failed decision fsync fences the
+        whole manager before any later checkpoint (and therefore compact)
+        can run.
+        """
         payload = pickle.dumps(
             (txn_id, commit_ts, tuple(shards)), protocol=pickle.HIGHEST_PROTOCOL
         )
+        outcome = CoordinatorOutcome(txn_id, commit_ts, tuple(shards))
+        if self._daemon is not None:
+            with self._lock:
+                ticket = self._daemon.submit(KIND_COORD_COMMIT, payload)
+                self._outcomes[txn_id] = outcome
+            ticket.wait()
+            return
         with self._lock:
             if self._wal.closed:
                 raise WALError(f"log_commit on closed coordinator log {self.path}")
             self._wal.append(KIND_COORD_COMMIT, payload)
-            self._outcomes[txn_id] = CoordinatorOutcome(
-                txn_id, commit_ts, tuple(shards)
-            )
+            self._outcomes[txn_id] = outcome
 
     def outcomes(self) -> dict[int, CoordinatorOutcome]:
         with self._lock:
@@ -246,13 +295,27 @@ class CoordinatorLog:
             }
             dropped = len(self._outcomes) - len(survivors)
             if dropped:
-                self._wal.reset_to(
-                    (KIND_COORD_COMMIT, self._encode(o)) for o in survivors.values()
-                )
+                records = [
+                    (KIND_COORD_COMMIT, self._encode(o))
+                    for o in survivors.values()
+                ]
+                if self._daemon is not None:
+                    # Quiesce the batcher around the rewrite: a batch
+                    # leader mid-``append_many`` would otherwise race
+                    # ``reset_to``'s no-concurrent-append precondition
+                    # (and re-append already-rewritten frames after it).
+                    with self._daemon.paused():
+                        self._wal.reset_to(records)
+                else:
+                    self._wal.reset_to(records)
                 self._outcomes = survivors
             return dropped
 
     def close(self) -> None:
+        if self._daemon is not None:
+            # Flushes the last decision batch, then closes the WAL.
+            self._daemon.close()
+            return
         with self._lock:
             self._wal.close()
 
@@ -327,8 +390,108 @@ class ShardedRecoveryReport:
         return merged
 
 
+def _resolve_workers(num_shards: int, max_workers: int | None) -> int:
+    """Bounded pool size for the per-shard recovery fan-out.
+
+    ``None`` auto-sizes to ``min(shards, cores, 8)``; ``0``/``1`` force
+    the sequential reference procedure (benchmarks compare the two).
+    """
+    if max_workers is None:
+        max_workers = min(os.cpu_count() or 4, 8)
+    return max(1, min(num_shards, max_workers))
+
+
+def _recover_shard(
+    manager: "ShardedTransactionManager",
+    idx: int,
+    marker,
+    records: list[CommitLogRecord | PrepareLogRecord],
+    decisions: dict[int, int],
+) -> tuple[ShardRecovery, int]:
+    """Pass 2 for one shard: redo the tail, resolve in-doubt prepares,
+    restore ``LastCTS``, bootstrap the version indexes.
+
+    Touches only shard-local state (the shard manager, its tables and
+    context, its context store and commit-WAL daemon) plus the read-only
+    ``decisions`` map, so shards can run concurrently.  Returns the
+    per-shard report and the highest timestamp seen — merged
+    deterministically by the caller (max is order-free).
+    """
+    shard = manager.shards[idx]
+    info = ShardRecovery(shard=idx, tail_records=len(records))
+    group_cts: dict[str, int] = dict(marker.last_cts) if marker else {}
+    max_seen = 0
+    if marker is not None:
+        info.checkpoint_ts = marker.checkpoint_ts
+        max_seen = marker.checkpoint_ts
+
+    committed_here = {
+        r.txn_id for r in records if isinstance(r, CommitLogRecord)
+    }
+
+    def redo(writes_record, commit_ts: int) -> int:
+        keys = 0
+        for state_id, write_set in apply_recovered_commit(writes_record).items():
+            keys += shard.table(state_id).redo_write_set(write_set)
+            gid = shard.context.group_id_of(state_id)
+            group_cts[gid] = max(group_cts.get(gid, 0), commit_ts)
+        return keys
+
+    prepares: list[PrepareLogRecord] = []
+    for record in records:
+        max_seen = max(max_seen, record.txn_id)
+        if isinstance(record, CommitLogRecord):
+            info.keys_redone += redo(record, record.commit_ts)
+            info.commits_replayed += 1
+            max_seen = max(max_seen, record.commit_ts)
+        else:
+            prepares.append(record)
+
+    # In-doubt resolution.  Safe to run after the commit redo pass: a
+    # prepared transaction pins its tables' commit latches until phase
+    # two, so no later commit to the same table can sit behind an
+    # unresolved prepare in this WAL.
+    for prepare in prepares:
+        if prepare.txn_id in committed_here:
+            continue  # its own commit record already replayed it
+        decided_ts = decisions.get(prepare.txn_id)
+        if decided_ts is None:
+            info.prepares_rolled_back += 1  # presumed abort
+            continue
+        info.keys_redone += redo(prepare, decided_ts)
+        info.prepares_rolled_forward += 1
+        max_seen = max(max_seen, decided_ts)
+
+    # LastCTS: never below any durable evidence — persisted context
+    # appends (possibly unsynced), the checkpoint marker's snapshot,
+    # and the timestamps just replayed.
+    persisted = manager.context_stores[idx].values() if manager.context_stores else {}
+    merged: dict[str, int] = {}
+    for group_id in shard.context.group_ids():
+        merged[group_id] = max(
+            persisted.get(group_id, 0), group_cts.get(group_id, 0)
+        )
+    shard.context.restore_last_cts(merged)
+    info.last_cts = merged
+
+    for table in shard.tables():
+        group = shard.context.group_of(table.state_id)
+        info.rows_loaded[table.state_id] = table.load_from_backend(
+            bootstrap_cts=group.last_cts
+        )
+    daemon = manager.daemons[idx]
+    if daemon is not None:
+        # Seed the tail accounting so the auto-checkpoint bound and the
+        # truncation report cover the pre-crash records, not just the
+        # ones this process will enqueue.
+        daemon.preload_tail(len(records))
+    return info, max_seen
+
+
 def recover_sharded(
-    manager: "ShardedTransactionManager", checkpoint: bool = True
+    manager: "ShardedTransactionManager",
+    checkpoint: bool = True,
+    max_workers: int | None = None,
 ) -> ShardedRecoveryReport:
     """Replay every shard's commit-WAL tail into its base tables.
 
@@ -337,19 +500,39 @@ def recover_sharded(
     :meth:`~repro.core.sharding.ShardedTransactionManager.open` does both
     from the persisted schema and then calls this.  See the module
     docstring for the step-by-step contract.
+
+    Shards are self-contained directories that never touch each other's
+    state, so both passes fan out over a bounded thread pool
+    (``max_workers=None`` auto-sizes, ``1`` forces the sequential
+    reference).  The per-shard work is dominated by file reads, LSM
+    writes and fsyncs — syscalls that release the GIL — so the fan-out
+    wins real wall-clock even in CPython.  Everything order-sensitive
+    (the oracle fast-forward, the report's shard list, the global
+    decision map) is merged deterministically after the joins: the
+    recovered state is byte-identical to the sequential procedure's.
     """
     if manager.data_dir is None:
         raise StorageError("recover_sharded needs a manager with data_dir set")
     t0 = time.perf_counter()
     report = ShardedRecoveryReport()
+    shard_ids = range(manager.num_shards)
+    workers = _resolve_workers(manager.num_shards, max_workers)
+
+    def parse_tail(idx: int):
+        return commit_wal_tail(manager.commit_wal_path(manager.data_dir, idx))
 
     # Pass 1 — parse every shard's tail and gather global commit evidence:
     # the coordinator log's decisions plus every durable commit record (a
     # commit record on any participant proves the decision was commit).
-    tails = {
-        idx: commit_wal_tail(manager.commit_wal_path(manager.data_dir, idx))
-        for idx in range(manager.num_shards)
-    }
+    # The decision map needs *every* tail before any shard can resolve its
+    # prepares, so this pass is a barrier before pass 2.
+    if workers > 1:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-recovery"
+        ) as pool:
+            tails = dict(zip(shard_ids, pool.map(parse_tail, shard_ids)))
+    else:
+        tails = {idx: parse_tail(idx) for idx in shard_ids}
     decisions: dict[int, int] = {}
     if manager.coordinator_log is not None:
         for txn_id, outcome in manager.coordinator_log.outcomes().items():
@@ -360,79 +543,21 @@ def recover_sharded(
             if isinstance(record, CommitLogRecord):
                 decisions.setdefault(record.txn_id, record.commit_ts)
 
-    # Pass 2 — per shard: redo the tail, resolve in-doubt prepares,
-    # restore LastCTS, bootstrap the version indexes.
-    max_seen = 0
-    for idx in range(manager.num_shards):
-        shard = manager.shards[idx]
+    # Pass 2 — per shard, in parallel: redo tails, resolve in-doubt
+    # prepares, restore LastCTS, bootstrap version indexes.
+    def run_shard(idx: int) -> tuple[ShardRecovery, int]:
         marker, records = tails[idx]
-        info = ShardRecovery(shard=idx, tail_records=len(records))
-        group_cts: dict[str, int] = dict(marker.last_cts) if marker else {}
-        if marker is not None:
-            info.checkpoint_ts = marker.checkpoint_ts
-            max_seen = max(max_seen, marker.checkpoint_ts)
+        return _recover_shard(manager, idx, marker, records, decisions)
 
-        committed_here = {
-            r.txn_id for r in records if isinstance(r, CommitLogRecord)
-        }
-
-        def redo(writes_record, commit_ts: int) -> int:
-            keys = 0
-            for state_id, write_set in apply_recovered_commit(writes_record).items():
-                keys += shard.table(state_id).redo_write_set(write_set)
-                gid = shard.context.group_id_of(state_id)
-                group_cts[gid] = max(group_cts.get(gid, 0), commit_ts)
-            return keys
-
-        prepares: list[PrepareLogRecord] = []
-        for record in records:
-            max_seen = max(max_seen, record.txn_id)
-            if isinstance(record, CommitLogRecord):
-                info.keys_redone += redo(record, record.commit_ts)
-                info.commits_replayed += 1
-                max_seen = max(max_seen, record.commit_ts)
-            else:
-                prepares.append(record)
-
-        # In-doubt resolution.  Safe to run after the commit redo pass: a
-        # prepared transaction pins its tables' commit latches until phase
-        # two, so no later commit to the same table can sit behind an
-        # unresolved prepare in this WAL.
-        for prepare in prepares:
-            if prepare.txn_id in committed_here:
-                continue  # its own commit record already replayed it
-            decided_ts = decisions.get(prepare.txn_id)
-            if decided_ts is None:
-                info.prepares_rolled_back += 1  # presumed abort
-                continue
-            info.keys_redone += redo(prepare, decided_ts)
-            info.prepares_rolled_forward += 1
-            max_seen = max(max_seen, decided_ts)
-
-        # LastCTS: never below any durable evidence — persisted context
-        # appends (possibly unsynced), the checkpoint marker's snapshot,
-        # and the timestamps just replayed.
-        persisted = manager.context_stores[idx].values() if manager.context_stores else {}
-        merged: dict[str, int] = {}
-        for group_id in shard.context.group_ids():
-            merged[group_id] = max(
-                persisted.get(group_id, 0), group_cts.get(group_id, 0)
-            )
-        shard.context.restore_last_cts(merged)
-        info.last_cts = merged
-
-        for table in shard.tables():
-            group = shard.context.group_of(table.state_id)
-            info.rows_loaded[table.state_id] = table.load_from_backend(
-                bootstrap_cts=group.last_cts
-            )
-        daemon = manager.daemons[idx]
-        if daemon is not None:
-            # Seed the tail accounting so the auto-checkpoint bound and the
-            # truncation report cover the pre-crash records, not just the
-            # ones this process will enqueue.
-            daemon.preload_tail(len(records))
-        report.shards.append(info)
+    if workers > 1:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-recovery"
+        ) as pool:
+            outcomes = list(pool.map(run_shard, shard_ids))
+    else:
+        outcomes = [run_shard(idx) for idx in shard_ids]
+    report.shards = [info for info, _ in outcomes]
+    max_seen = max((seen for _, seen in outcomes), default=0)
 
     manager.oracle.advance_to(max_seen)
     report.oracle_restarted_at = manager.oracle.current()
@@ -440,13 +565,13 @@ def recover_sharded(
     if checkpoint:
         # Truncate the replayed tails (and the now-covered coordinator
         # decisions) so a second crash replays only post-recovery work.
-        report.truncated_records = manager.checkpoint()
+        report.truncated_records = manager.checkpoint(parallel=workers > 1)
     else:
         # Even without a checkpoint the WAL files must be made appendable:
         # a crash-torn tail frame would sit before every new append and
         # hide it from replay (replay stops at the first bad frame), so
         # each WAL is rewritten to exactly its intact records.
-        for idx in range(manager.num_shards):
+        for idx in shard_ids:
             daemon = manager.daemons[idx]
             if daemon is None:
                 continue

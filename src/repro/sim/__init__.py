@@ -20,6 +20,8 @@ from .harness import (
 )
 from .resources import SimLatch, SimLock
 from .sharded import (
+    SIM_CHECKPOINT_BACKGROUND,
+    SIM_CHECKPOINT_INLINE,
     SIM_DURABILITY_GROUP,
     SIM_DURABILITY_SYNC,
     ShardedSimEnvironment,
@@ -34,6 +36,8 @@ __all__ = [
     "CostModel",
     "Delay",
     "Release",
+    "SIM_CHECKPOINT_BACKGROUND",
+    "SIM_CHECKPOINT_INLINE",
     "SIM_DURABILITY_GROUP",
     "SIM_DURABILITY_SYNC",
     "SimGroupFsync",

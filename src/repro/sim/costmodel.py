@@ -60,12 +60,31 @@ class CostModel:
     # checkpoint / recovery (the crash-recover scenario)
     #: flushing a shard's memtables to SSTables at a checkpoint cut — paid
     #: inside the shard's commit latch by whichever committer trips the
-    #: interval, exactly like the real auto-checkpoint trigger.
+    #: interval in ``checkpoint_mode="inline"``, exactly like the real
+    #: inline auto-checkpoint trigger.
     checkpoint_flush_io_us: float = 400.0
+    #: the *latched* remainder of a background checkpoint: the daemon
+    #: pre-flushes the memtables off the commit path, so the quiesced
+    #: window pays only the delta flush + marker + truncation I/O.  This
+    #: is what commits feel in ``checkpoint_mode="background"`` —
+    #: the background thread absorbs ``checkpoint_flush_io_us`` on a
+    #: spare core, overlapped with the foreground commit stream.
+    checkpoint_marker_io_us: float = 60.0
+    #: one durable 2PC decision record on the global coordinator log —
+    #: paid by every cross-shard commit between prepare and phase two.
+    #: ``coordinator_durability="sync"`` charges it per commit under the
+    #: coordinator-log lock; ``"group"`` batches concurrent decisions into
+    #: one shared fsync (the CoordinatorLog batched mode).
+    coordinator_log_io_us: float = 30.0
     #: decoding + re-applying one commit-WAL tail record during restart.
     replay_record_us: float = 2.0
     #: rebuilding one row's version-index entry from the base table.
     bootstrap_row_us: float = 0.8
+    #: restart-recovery fan-out: shards replay in a bounded worker pool
+    #: (``recover_sharded``'s thread pool); 1 models the sequential
+    #: reference procedure.  The estimate is the makespan of the
+    #: per-shard costs over this many workers.
+    recovery_parallelism: int = 1
     # cache
     cache_capacity: int = 4096
 

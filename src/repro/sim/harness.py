@@ -167,6 +167,10 @@ class ShardedSimResult:
     checkpoints: int = 0
     max_wal_tail: int = 0
     estimated_recovery_us: float = 0.0
+    #: who paid the checkpoint flush ("inline" committer vs "background").
+    checkpoint_mode: str = "inline"
+    #: durable 2PC decision fsyncs (coordinator_durability modelled only).
+    coordinator_fsyncs: int = 0
 
     @property
     def commits(self) -> int:
@@ -217,6 +221,8 @@ def run_sharded_benchmark(
     seed: int = 42,
     durability: str = SIM_DURABILITY_SYNC,
     checkpoint_interval: int = 0,
+    checkpoint_mode: str = "inline",
+    coordinator_durability: str | None = None,
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -243,7 +249,14 @@ def run_sharded_benchmark(
         states=base.states,
     )
     env = ShardedSimEnvironment(
-        workload, num_shards, cross_ratio, cost, durability, checkpoint_interval
+        workload,
+        num_shards,
+        cross_ratio,
+        cost,
+        durability,
+        checkpoint_interval,
+        checkpoint_mode=checkpoint_mode,
+        coordinator_durability=coordinator_durability,
     )
     sim = Simulator()
     deadline = warmup_us + duration_us
@@ -260,6 +273,7 @@ def run_sharded_benchmark(
     env.stats.fsyncs = 0
     for batcher in env.fsync:
         batcher.reset_counters()
+    env.coord_fsync.reset_counters()
     sim.run_to_completion()
 
     return ShardedSimResult(
@@ -278,6 +292,8 @@ def run_sharded_benchmark(
         checkpoints=env.stats.checkpoints,
         max_wal_tail=max(env.wal_tail),
         estimated_recovery_us=env.estimated_recovery_us(),
+        checkpoint_mode=checkpoint_mode,
+        coordinator_fsyncs=env.coord_fsync.fsyncs,
     )
 
 

@@ -49,6 +49,13 @@ from .resources import SimLatch
 SIM_DURABILITY_SYNC = "sync"
 SIM_DURABILITY_GROUP = "group"
 
+#: Checkpoint execution modes, mirroring the real manager: ``inline`` —
+#: the committer that trips the interval pays the whole LSM flush inside
+#: its latch; ``background`` — a checkpoint daemon pre-flushes off the
+#: commit path and the latched window pays only the marker/delta I/O.
+SIM_CHECKPOINT_INLINE = "inline"
+SIM_CHECKPOINT_BACKGROUND = "background"
+
 
 @dataclass
 class ShardedSimStats:
@@ -104,6 +111,17 @@ class SimGroupFsync:
         self.fsyncs += 1
         return self._end
 
+    def private_at(self, now: float) -> float:
+        """Unbatched reference: one whole fsync per record on the same
+        serial device (records queue behind each other, nobody shares) —
+        the fsync-per-decision coordinator log / fsync-per-commit WAL."""
+        self.records += 1
+        start = max(now, self._end)
+        self._start = start
+        self._end = start + self.io_us
+        self.fsyncs += 1
+        return self._end
+
     def reset_counters(self) -> None:
         self.fsyncs = 0
         self.records = 0
@@ -120,6 +138,8 @@ class ShardedSimEnvironment:
         cost: CostModel | None = None,
         durability: str = SIM_DURABILITY_SYNC,
         checkpoint_interval: int = 0,
+        checkpoint_mode: str = SIM_CHECKPOINT_INLINE,
+        coordinator_durability: str | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
@@ -129,6 +149,20 @@ class ShardedSimEnvironment:
             raise ValueError(
                 f"durability must be 'sync' or 'group': {durability!r}"
             )
+        if checkpoint_mode not in (SIM_CHECKPOINT_INLINE, SIM_CHECKPOINT_BACKGROUND):
+            raise ValueError(
+                f"checkpoint_mode must be 'inline' or 'background': "
+                f"{checkpoint_mode!r}"
+            )
+        if coordinator_durability not in (
+            None,
+            SIM_DURABILITY_SYNC,
+            SIM_DURABILITY_GROUP,
+        ):
+            raise ValueError(
+                "coordinator_durability must be None, 'sync' or 'group': "
+                f"{coordinator_durability!r}"
+            )
         self.config = config
         self.num_shards = num_shards
         self.cross_ratio = cross_ratio
@@ -137,6 +171,19 @@ class ShardedSimEnvironment:
         #: Commit-WAL records per shard between checkpoint cuts (0 = never
         #: checkpoint, the pre-lifecycle behaviour: tails grow unbounded).
         self.checkpoint_interval = checkpoint_interval
+        #: Who pays the checkpoint flush: the tripping committer
+        #: (``inline``) or a background daemon, leaving only the latched
+        #: marker/delta I/O on the commit path (``background``).
+        self.checkpoint_mode = checkpoint_mode
+        #: 2PC decision durability on the global coordinator log:
+        #: ``None`` leaves it unmodelled (pre-PR-4 behaviour), ``sync``
+        #: charges one private fsync per cross-shard commit, ``group``
+        #: batches concurrent decisions into one shared fsync.
+        self.coordinator_durability = coordinator_durability
+        #: Shared decision-fsync batcher (``coordinator_durability="group"``).
+        self.coord_fsync = SimGroupFsync(
+            self.cost.coordinator_log_io_us, self.cost.group_commit_window_us
+        )
         #: shard -> commit-WAL tail length (records since last checkpoint);
         #: what restart recovery would have to replay if the run crashed now.
         self.wal_tail = [0] * num_shards
@@ -172,17 +219,25 @@ class ShardedSimEnvironment:
         Mirrors :func:`repro.recovery.sharded.recover_sharded`: each shard
         replays its commit-WAL tail (``replay_record_us`` per record) and
         bootstraps its version indexes from the base tables
-        (``bootstrap_row_us`` per row); shards recover sequentially, as in
-        the real procedure.  This is what checkpointing buys — the tail
-        term is bounded by the checkpoint interval instead of the whole
-        run's commit count.
+        (``bootstrap_row_us`` per row).  Shards are independent and
+        recover in a bounded worker pool (``CostModel.recovery_parallelism``;
+        1 = the sequential reference): the estimate is the pool's makespan
+        — the slowest single shard, or the total divided by the workers,
+        whichever binds.  This is what checkpointing buys — the tail term
+        is bounded by the checkpoint interval instead of the whole run's
+        commit count — and what the parallel-recovery fan-out divides.
         """
-        total = 0.0
+        per_shard = []
         for shard in range(self.num_shards):
             rows = sum(len(t.keys()) for t in self.tables[shard].values())
-            total += self.wal_tail[shard] * self.cost.replay_record_us
-            total += rows * self.cost.bootstrap_row_us
-        return total
+            per_shard.append(
+                self.wal_tail[shard] * self.cost.replay_record_us
+                + rows * self.cost.bootstrap_row_us
+            )
+        if not per_shard:
+            return 0.0
+        workers = max(1, min(self.cost.recovery_parallelism, self.num_shards))
+        return max(max(per_shard), sum(per_shard) / workers)
 
 
 def sharded_writer(
@@ -245,11 +300,27 @@ def sharded_writer(
                 env.tables[shard][state_id].apply_write_set(
                     write_set, commit_ts, start_ts
                 )
+        # Durable 2PC decision (when modelled): between the apply and the
+        # release, exactly where the real coordinator makes its decision
+        # durable before phase two completes.  ``sync`` charges a private
+        # fsync per commit; ``group`` joins the shared decision batcher —
+        # one fsync covers every concurrent cross-shard coordinator.
+        if cross and env.coordinator_durability is not None:
+            if env.coordinator_durability == SIM_DURABILITY_GROUP:
+                durable = env.coord_fsync.durable_at(sim.now)
+            else:
+                # Private fsync per decision, serialised on the one log —
+                # the classic 2PC coordinator bottleneck.
+                durable = env.coord_fsync.private_at(sim.now)
+            if durable > sim.now:
+                yield Delay(durable - sim.now)
         # Commit-WAL accounting: one commit record per participant, plus a
         # prepare record per participant on the two-phase path.  A shard
-        # whose tail trips the checkpoint interval pays the LSM flush
-        # *inside* its latch — the same inline auto-checkpoint the real
-        # manager runs — and its tail resets.
+        # whose tail trips the checkpoint interval checkpoints: ``inline``
+        # mode pays the whole LSM flush *inside* the latch (the tripping
+        # committer's tail-latency spike); ``background`` mode pays only
+        # the short latched marker/delta window — the daemon absorbed the
+        # flush off the commit path.
         ckpt_us = 0.0
         for shard in shards:
             env.wal_tail[shard] += 2 if cross else 1
@@ -257,7 +328,10 @@ def sharded_writer(
                 env.checkpoint_interval > 0
                 and env.wal_tail[shard] >= env.checkpoint_interval
             ):
-                ckpt_us += cost.checkpoint_flush_io_us
+                if env.checkpoint_mode == SIM_CHECKPOINT_BACKGROUND:
+                    ckpt_us += cost.checkpoint_marker_io_us
+                else:
+                    ckpt_us += cost.checkpoint_flush_io_us
                 env.wal_tail[shard] = 0
                 env.stats.checkpoints += 1
         if ckpt_us > 0.0:

@@ -14,10 +14,13 @@ table, RocksDB, uses):
   bloom filters short-circuiting tables that cannot contain the key, and an
   LRU cache making hot keys memory-resident.
 
-Crash consistency: the manifest is replaced atomically; the WAL is replayed
-on open and truncated only after a successful flush; SSTable creation and
-manifest replacement both fsync the directory entry, so freshly flushed
-files (not just their contents) survive a crash.
+Crash consistency: the manifest is replaced atomically; a flush seals the
+live WAL into a ``wal.log.imm-N`` sidecar (kept until its SSTable is
+installed, replayed oldest-first before the live WAL on open) so the
+expensive SSTable build can run outside the store lock without a crash
+window; SSTable creation and manifest replacement both fsync the
+directory entry, so freshly flushed files (not just their contents)
+survive a crash.
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ from .kvstore import KVStore
 from .manifest import Manifest
 from .memtable import TOMBSTONE, MemTable, Tombstone
 from .sstable import SSTable, SSTableWriter
-from .wal import KIND_DELETE, KIND_PUT, WriteAheadLog, decode_kv, encode_kv
+from .wal import KIND_DELETE, KIND_PUT, WriteAheadLog, decode_kv, encode_kv, fsync_dir
 
 _WAL_NAME = "wal.log"
 
@@ -80,6 +83,9 @@ class LSMStore(KVStore):
         self.options = options or LSMOptions()
         self.stats = LSMStats()
         self._lock = threading.RLock()
+        #: Serialises flushers (and close) so at most one memtable seal is
+        #: in flight; always acquired *before* ``_lock``.
+        self._flush_lock = threading.RLock()
         self._closed = False
 
         self._manifest = Manifest(self.directory)
@@ -90,8 +96,19 @@ class LSMStore(KVStore):
         self._manifest.collect_garbage()
 
         self._memtable = MemTable()
+        #: Sealed memtable of an in-flight flush: still consulted by reads
+        #: (between the live memtable and the SSTables) until its SSTable
+        #: is installed.
+        self._immutable: MemTable | None = None
         self._cache = LRUCache(self.options.cache_capacity)
 
+        # Crash leftovers first (a flush sealed these WALs but died before
+        # installing the SSTable), oldest first, then the live WAL — the
+        # same newest-wins order the writers produced.
+        self._imm_counter = 0
+        for counter, path in self._scan_imm_wals():
+            self._replay_wal(path)
+            self._imm_counter = max(self._imm_counter, counter)
         wal_path = self.directory / _WAL_NAME
         self._replay_wal(wal_path)
         self._wal = WriteAheadLog(wal_path, sync=self.options.sync)
@@ -116,7 +133,9 @@ class LSMStore(KVStore):
             self._memtable.put(key, value)
             self._cache.put(key, value)
             self.stats.puts += 1
-            self._maybe_flush()
+        # Outside the store lock: flush acquires _flush_lock before _lock,
+        # and triggering it while holding _lock would invert that order.
+        self._maybe_flush()
 
     def delete(self, key: bytes) -> None:
         self._ensure_open()
@@ -125,7 +144,7 @@ class LSMStore(KVStore):
             self._memtable.delete(key)
             self._cache.invalidate(key)
             self.stats.deletes += 1
-            self._maybe_flush()
+        self._maybe_flush()
 
     def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
         """Apply a batch atomically w.r.t. crash recovery.
@@ -156,7 +175,7 @@ class LSMStore(KVStore):
                 self._memtable.delete(key)
                 self._cache.invalidate(key)
                 self.stats.deletes += 1
-            self._maybe_flush()
+        self._maybe_flush()
 
     # ---------------------------------------------------------------- reads
 
@@ -172,6 +191,12 @@ class LSMStore(KVStore):
                 if value is not None:
                     self._cache.put(key, value)
                 return value
+            if self._immutable is not None:
+                value, found = self._immutable.get(key)
+                if found:
+                    if value is not None:
+                        self._cache.put(key, value)
+                    return value
             for level in sorted(self._tables):
                 # newest table first within a level
                 for table in reversed(self._tables[level]):
@@ -195,6 +220,9 @@ class LSMStore(KVStore):
             sources: list[list[tuple[bytes, bytes | Tombstone | None]]] = [
                 list(self._memtable.range(low, high))
             ]
+            if self._immutable is not None:
+                # Newer than every SSTable, older than the live memtable.
+                sources.append(list(self._immutable.range(low, high)))
             for level in sorted(self._tables):
                 for table in reversed(self._tables[level]):
                     sources.append(list(table.range(low, high)))
@@ -222,34 +250,111 @@ class LSMStore(KVStore):
         if self._memtable.approximate_bytes() >= self.options.memtable_bytes:
             self.flush()
 
+    def _imm_wal_path(self, counter: int) -> Path:
+        return self.directory / f"{_WAL_NAME}.imm-{counter:08d}"
+
+    def _scan_imm_wals(self) -> list[tuple[int, Path]]:
+        """Sealed-WAL files left on disk, oldest first (crash leftovers)."""
+        found: list[tuple[int, Path]] = []
+        for path in self.directory.glob(f"{_WAL_NAME}.imm-*"):
+            try:
+                counter = int(path.name.rsplit("-", 1)[1])
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+            found.append((counter, path))
+        return sorted(found)
+
     def flush(self) -> None:
-        """Persist the memtable as a new L0 SSTable and truncate the WAL."""
-        with self._lock:
-            entries = self._memtable.items()
-            if not entries:
-                return
-            name = f"{self._manifest.allocate_file_number():08d}.sst"
-            writer = SSTableWriter(
-                self._manifest.table_path(name),
-                index_interval=self.options.index_interval,
-                bits_per_key=self.options.bloom_bits_per_key,
-            )
-            table = writer.write(
-                (key, None if value is TOMBSTONE else value)
-                for key, value in entries
-            )
-            self._tables.setdefault(0, []).append(table)
-            self._manifest.register(0, name)
-            self._manifest.save()
-            self.stats.flushes += 1
+        """Persist the memtable as a new L0 SSTable and truncate the WAL.
 
-            self._memtable = MemTable()
-            self._wal.close()
-            WriteAheadLog.truncate(self.directory / _WAL_NAME)
-            self._wal = WriteAheadLog(self.directory / _WAL_NAME, sync=self.options.sync)
+        The store lock is held only for the two pivots, not for the
+        SSTable build — the expensive part (file write, bloom filters,
+        fsyncs) runs with writers already appending to a fresh memtable,
+        so a background checkpoint's flush does not stall the store's
+        put/get path for its whole duration:
 
-            if self.options.auto_compact:
-                self._compact_if_needed()
+        1. **seal** (under the lock): the live memtable becomes the
+           immutable one (still consulted by reads), its WAL is atomically
+           renamed to a sealed sidecar (``wal.log.imm-N``) and a fresh
+           WAL/memtable take over;
+        2. **build** (lock released): the sealed entries are written to a
+           new L0 SSTable and fsynced;
+        3. **install** (under the lock): the table is registered in the
+           manifest, the immutable memtable is dropped, and every sealed
+           WAL up to this seal is deleted — their contents are now in
+           durable SSTables.
+
+        Crash safety: recovery replays sealed WALs (oldest first) and then
+        the live WAL, so a crash in any window converges — before the
+        install the sealed file still holds the data; after it the replay
+        merely rewrites the same values the SSTable already holds
+        (idempotent).  ``_flush_lock`` serialises flushers (and ``close``),
+        so at most one seal is in flight.
+        """
+        with self._flush_lock:
+            with self._lock:
+                entries = self._memtable.items()
+                if not entries:
+                    return
+                # Seal: writers immediately continue into the fresh
+                # memtable; readers see the sealed one via _immutable.
+                self._immutable = self._memtable
+                self._memtable = MemTable()
+                self._imm_counter += 1
+                seal_counter = self._imm_counter
+                imm_path = self._imm_wal_path(seal_counter)
+                self._wal.close()
+                os.replace(self.directory / _WAL_NAME, imm_path)
+                fsync_dir(self.directory)
+                self._wal = WriteAheadLog(
+                    self.directory / _WAL_NAME, sync=self.options.sync
+                )
+                name = f"{self._manifest.allocate_file_number():08d}.sst"
+            try:
+                writer = SSTableWriter(
+                    self._manifest.table_path(name),
+                    index_interval=self.options.index_interval,
+                    bits_per_key=self.options.bloom_bits_per_key,
+                )
+                table = writer.write(
+                    (key, None if value is TOMBSTONE else value)
+                    for key, value in entries
+                )
+            except BaseException:
+                # The build failed (e.g. transient ENOSPC): fold the sealed
+                # entries back *under* the live memtable — keys written
+                # since the seal are newer and must win — and drop the
+                # orphan .sst.  The sealed WAL sidecar stays on disk (its
+                # records are in no SSTable yet); the next successful
+                # flush re-covers everything and deletes it, and a crash
+                # replays it.  Without this restore the next seal would
+                # overwrite ``_immutable`` and delete the sidecar,
+                # silently losing acknowledged writes.
+                with self._lock:
+                    for key, value in entries:
+                        _, found = self._memtable.get(key)
+                        if not found:
+                            if value is TOMBSTONE:
+                                self._memtable.delete(key)
+                            else:
+                                self._memtable.put(key, value)
+                    self._immutable = None
+                self._manifest.table_path(name).unlink(missing_ok=True)
+                raise
+            with self._lock:
+                self._tables.setdefault(0, []).append(table)
+                self._manifest.register(0, name)
+                self._manifest.save()
+                self.stats.flushes += 1
+                self._immutable = None
+                if self.options.auto_compact:
+                    self._compact_if_needed()
+            for counter, path in self._scan_imm_wals():
+                # Everything sealed up to this flush is covered by the new
+                # SSTable (the sealed memtable contained all replayed
+                # leftovers plus this seal's records).
+                if counter <= seal_counter:
+                    path.unlink(missing_ok=True)
 
     # ----------------------------------------------------------- compaction
 
@@ -337,12 +442,16 @@ class LSMStore(KVStore):
         return self._cache.hit_ratio()
 
     def close(self) -> None:
-        with self._lock:
+        # _flush_lock first (the flush below re-enters it): taking _lock
+        # around the whole sequence would invert flush's lock order
+        # against a concurrent flusher.
+        with self._flush_lock:
             if self._closed:
                 return
             self.flush()
-            self._wal.close()
-            self._closed = True
+            with self._lock:
+                self._wal.close()
+                self._closed = True
 
     def _ensure_open(self) -> None:
         if self._closed:

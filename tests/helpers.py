@@ -10,13 +10,40 @@ and five modules failed collection.  ``helpers`` exists only under
 
 from __future__ import annotations
 
-from repro.core import TransactionManager
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core import ShardedTransactionManager, TransactionManager
 
 #: All three concurrency-control protocols under test.
 PROTOCOLS = ["mvcc", "s2pl", "bocc"]
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
 
 
 def load_initial(manager: TransactionManager, n: int = 10) -> None:
     """Bulk-load n rows (key i -> i * 10 / i * 100) into states A and B."""
     manager.table("A").bulk_load([(i, i * 10) for i in range(n)])
     manager.table("B").bulk_load([(i, i * 100) for i in range(n)])
+
+
+def run_crash_child(script: str, data_dir, *args: str) -> subprocess.CompletedProcess:
+    """Run an inline crash-test script (``os._exit`` expected) as a real
+    subprocess against ``data_dir``; shared by the durable-storage crash
+    suites."""
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    return subprocess.run(
+        [sys.executable, "-c", script, str(data_dir), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def scan_all(smgr: ShardedTransactionManager, state_id: str) -> dict:
+    """Full contents of ``state_id`` across every shard, via a snapshot."""
+    with smgr.snapshot() as view:
+        return dict(view.scan(state_id))

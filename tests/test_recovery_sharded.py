@@ -21,11 +21,7 @@ The durable sharded storage contract (``data_dir=`` mode +
 
 from __future__ import annotations
 
-import os
-import subprocess
-import sys
 import threading
-from pathlib import Path
 
 import pytest
 
@@ -37,23 +33,7 @@ from repro.recovery.sharded import CoordinatorLog, ShardedSchema
 from repro.storage.lsm import LSMOptions, LSMStore
 from repro.storage.wal import KIND_CHECKPOINT, WriteAheadLog
 
-SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
-
-
-def run_crash_child(script: str, data_dir, *args: str) -> subprocess.CompletedProcess:
-    env = dict(os.environ, PYTHONPATH=SRC_DIR)
-    return subprocess.run(
-        [sys.executable, "-c", script, str(data_dir), *args],
-        capture_output=True,
-        text=True,
-        env=env,
-        timeout=120,
-    )
-
-
-def scan_all(smgr: ShardedTransactionManager, state_id: str) -> dict:
-    with smgr.snapshot() as view:
-        return dict(view.scan(state_id))
+from helpers import run_crash_child, scan_all  # shared crash-test plumbing
 
 
 # ------------------------------------------------------------- clean restart
@@ -685,8 +665,8 @@ class TestApplyFailurePoisonsDaemon:
         assert txn.status is TxnStatus.IN_DOUBT
         assert txn.is_finished()
         daemon = smgr.daemons[0]
-        # settled: nothing dangles in the checkpoint quiesce's counter
-        assert daemon._unpublished == 0
+        # settled: nothing dangles in the checkpoint quiesce's tracker
+        assert not daemon._unpublished
         # the best-effort auto-checkpoint path skips on the poisoned
         # daemon instead of raising out of a commit that succeeded ...
         assert smgr.checkpoint_shard(0, blocking=False) == 0
@@ -834,3 +814,166 @@ class TestLSMCrashSurface:
         store.flush()
         store.close()
         assert any(str(tmp_path / "db") in d for d in synced_dirs)
+
+
+# ----------------------------------------------- coordinator-log batching
+
+
+class TestCoordinatorBatching:
+    def test_concurrent_batched_decisions_all_durable(self, tmp_path):
+        """N threads log decisions through the batched path; every one is
+        durable (readable by a fresh replay) and shared fsyncs happened."""
+        log = CoordinatorLog(tmp_path / "coordinator.log", batched=True)
+        threads = [
+            threading.Thread(
+                target=lambda base: [
+                    log.log_commit(base + i, base + i, [0, 1]) for i in range(25)
+                ],
+                args=(w * 1000,),
+            )
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 200
+        log.close()
+        recovered = CoordinatorLog.read_outcomes(tmp_path / "coordinator.log")
+        assert len(recovered) == 200
+        assert recovered[1005].commit_ts == 1005
+        assert recovered[1005].shards == (0, 1)
+
+    def test_log_commit_returns_only_after_durable(self, tmp_path):
+        """The durable-decision-before-phase-two invariant: the record is
+        replayable from disk the moment log_commit returns."""
+        log = CoordinatorLog(tmp_path / "coordinator.log", batched=True)
+        log.log_commit(7, 99, [2, 3])
+        on_disk = CoordinatorLog.read_outcomes(tmp_path / "coordinator.log")
+        assert on_disk[7].commit_ts == 99
+        log.close()
+
+    def test_compact_preserves_batched_decisions_above_floor(self, tmp_path):
+        log = CoordinatorLog(tmp_path / "coordinator.log", batched=True)
+        for txn_id, cts in ((1, 10), (2, 20), (3, 30)):
+            log.log_commit(txn_id, cts, [0])
+        assert log.compact(20) == 2
+        log.close()
+        recovered = CoordinatorLog.read_outcomes(tmp_path / "coordinator.log")
+        assert set(recovered) == {3}
+
+    @pytest.mark.parametrize("batched", [True, False], ids=["batched", "plain"])
+    def test_cross_shard_commits_recover_either_mode(self, tmp_path, batched):
+        """End to end: 2PC decisions survive close/reopen in both modes."""
+        smgr = ShardedTransactionManager(
+            num_shards=2,
+            data_dir=tmp_path,
+            checkpoint_interval=0,
+            coordinator_batching=batched,
+        )
+        smgr.create_table("A")
+        for i in range(6):
+            with smgr.transaction() as txn:
+                smgr.write(txn, "A", 2 * i, "x")      # shard 0
+                smgr.write(txn, "A", 2 * i + 1, "y")  # shard 1
+        assert smgr.stats()["cross_shard_commits"] == 6
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        state = scan_all(reopened, "A")
+        assert state == {2 * i: "x" for i in range(6)} | {
+            2 * i + 1: "y" for i in range(6)
+        }
+        reopened.close()
+
+
+# ------------------------------------------------------- parallel recovery
+
+
+class TestParallelRecovery:
+    def test_parallel_and_sequential_recover_identical_state(self, tmp_path):
+        """Same crashed bytes in, same state out, whatever the fan-out."""
+        import shutil
+
+        proc = run_crash_child(_MID_LOAD_SCRIPT, tmp_path / "src", "0", "80")
+        assert proc.returncode == 42, proc.stderr
+        shutil.copytree(tmp_path / "src", tmp_path / "seq")
+        shutil.copytree(tmp_path / "src", tmp_path / "par")
+
+        sequential = ShardedTransactionManager.open(
+            tmp_path / "seq", recovery_workers=1
+        )
+        parallel = ShardedTransactionManager.open(
+            tmp_path / "par", recovery_workers=8
+        )
+        try:
+            assert scan_all(parallel, "A") == scan_all(sequential, "A")
+            assert scan_all(parallel, "B") == scan_all(sequential, "B")
+            seq_report, par_report = (
+                sequential.last_recovery,
+                parallel.last_recovery,
+            )
+            assert par_report.commits_replayed == seq_report.commits_replayed
+            assert par_report.last_cts == seq_report.last_cts
+            assert (
+                par_report.oracle_restarted_at == seq_report.oracle_restarted_at
+            )
+            assert [s.tail_records for s in par_report.shards] == [
+                s.tail_records for s in seq_report.shards
+            ]
+        finally:
+            sequential.close()
+            parallel.close()
+
+    def test_parallel_recovery_resolves_in_doubt_prepares(self, tmp_path):
+        """The presumed-abort reading is fan-out independent."""
+        proc = run_crash_child(_IN_DOUBT_SCRIPT, tmp_path, "no-decision")
+        assert proc.returncode == 42, proc.stderr
+        reopened = ShardedTransactionManager.open(tmp_path, recovery_workers=4)
+        report = reopened.last_recovery
+        assert report.prepares_rolled_back == 2
+        state = scan_all(reopened, "A")
+        assert 10 not in state and 11 not in state
+        reopened.close()
+
+
+_PARTIAL_PREPARE_SCRIPT = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+
+smgr = ShardedTransactionManager(num_shards=2, protocol="mvcc", data_dir=sys.argv[1])
+smgr.create_table("A")
+for k in range(4):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", k, f"base{k}")
+
+txn = smgr.begin()
+smgr.write(txn, "A", 10, "cross")  # shard 0
+smgr.write(txn, "A", 11, "cross")  # shard 1
+
+def vote_fault(idx):
+    if idx == 0:
+        # crash with a durable vote on shard 0 ONLY: shard 1 never
+        # prepared — the partial-prepare crash image
+        smgr.daemons[0].flush()
+        os._exit(42)
+
+smgr.vote_fault = vote_fault
+smgr.commit(txn)
+os._exit(9)  # must not get here
+"""
+
+
+class TestPartialPrepare:
+    def test_partial_prepare_rolls_back(self, tmp_path):
+        """A crash between participants' votes (durable prepare on a
+        strict subset) must resolve presumed-abort on recovery."""
+        proc = run_crash_child(_PARTIAL_PREPARE_SCRIPT, tmp_path)
+        assert proc.returncode == 42, proc.stderr
+        reopened = ShardedTransactionManager.open(tmp_path)
+        report = reopened.last_recovery
+        assert report.prepares_rolled_back == 1  # shard 0's lone vote
+        assert report.prepares_rolled_forward == 0
+        state = scan_all(reopened, "A")
+        assert 10 not in state and 11 not in state
+        assert state == {k: f"base{k}" for k in range(4)}
+        reopened.close()

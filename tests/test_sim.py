@@ -344,3 +344,65 @@ class TestShardedDurabilityModes:
         # t=150: C has not started yet — this record joins C's batch
         assert batcher.durable_at(150.0) == 300.0
         assert batcher.fsyncs == 3 and batcher.records == 4
+
+
+class TestShardedOffloadKnobs:
+    """PR-4 cost-model knobs: background checkpoints + coordinator fsync."""
+
+    _fast = dict(clients=8, duration_us=15_000.0, warmup_us=4_000.0)
+
+    def test_background_checkpoints_beat_inline(self):
+        inline = run_sharded_benchmark(
+            2, 0.05, checkpoint_interval=40, **self._fast
+        )
+        background = run_sharded_benchmark(
+            2, 0.05, checkpoint_interval=40,
+            checkpoint_mode="background", **self._fast
+        )
+        # same lifecycle guarantee, cheaper commit path: the daemon pays
+        # the flush, the latched window only the marker I/O
+        assert background.checkpoints > 0
+        assert background.max_wal_tail <= 40
+        assert background.throughput_tps > inline.throughput_tps
+        assert background.checkpoint_mode == "background"
+
+    def test_coordinator_batching_beats_private_fsync(self):
+        sync = run_sharded_benchmark(
+            4, 0.6, coordinator_durability="sync", **self._fast
+        )
+        group = run_sharded_benchmark(
+            4, 0.6, coordinator_durability="group", **self._fast
+        )
+        # one decision fsync per cross-shard commit (±1 straddling the
+        # warmup counter reset) vs shared batches
+        assert sync.coordinator_fsyncs >= sync.cross_shard_commits - 1
+        assert 0 < group.coordinator_fsyncs < group.cross_shard_commits
+        assert group.throughput_tps > sync.throughput_tps
+
+    def test_unmodelled_coordinator_keeps_old_numbers(self):
+        off = run_sharded_benchmark(2, 0.3, **self._fast)
+        assert off.coordinator_fsyncs == 0
+
+    def test_parallel_recovery_estimate_divides_by_workers(self):
+        from repro.sim import CostModel
+
+        seq = run_sharded_benchmark(
+            4, 0.05, cost=CostModel(recovery_parallelism=1), **self._fast
+        )
+        par = run_sharded_benchmark(
+            4, 0.05, cost=CostModel(recovery_parallelism=4), **self._fast
+        )
+        assert par.estimated_recovery_us < seq.estimated_recovery_us
+        # bounded below by the slowest single shard: never a free lunch
+        assert par.estimated_recovery_us > 0
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSimEnvironment(
+                WorkloadConfig(table_size=64), 1, 0.0, checkpoint_mode="nope"
+            )
+        with pytest.raises(ValueError):
+            ShardedSimEnvironment(
+                WorkloadConfig(table_size=64), 1, 0.0,
+                coordinator_durability="nope",
+            )
