@@ -53,6 +53,7 @@ from .sharding import (
     ShardedTransactionManager,
     shard_of_key,
 )
+from .slots import NUM_SLOTS, SlotFlip, SlotMap, integral_key, slot_of_key
 from .snapshot import SnapshotView
 from .table import StateTable
 from .timestamps import INF_TS, ZERO_TS, AtomicBitmask, TimestampOracle

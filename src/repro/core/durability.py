@@ -654,6 +654,33 @@ class GroupFsyncDaemon:
                 return last
             return min(min(self._unpublished) - 1, last)
 
+    def export_tail(
+        self,
+    ) -> tuple[CheckpointLogRecord | None, list[CommitLogRecord | PrepareLogRecord]]:
+        """Decoded records after the last checkpoint marker — the
+        migration catch-up unit.
+
+        A shard split copies the base tables off a checkpoint image and
+        then replays exactly this suffix onto the target: the marker
+        proves everything before it is in the image's SSTables, and the
+        tail is every commit since.  Caller contract: the shard is
+        quiesced (all commit latches held — no enqueue possible) and
+        :meth:`flush` has completed, so the file holds every submitted
+        record; enforced by rejecting a call with records still pending
+        or a batch in flight.
+        """
+        with self._lock:
+            if self._failure is not None:
+                raise WALError(
+                    f"export_tail on failed commit WAL {self.wal.path}"
+                ) from self._failure
+            if self._pending or self._leader_active:
+                raise WALError(
+                    f"export_tail on {self.wal.path} with records still "
+                    "in flight (shard not quiesced/flushed)"
+                )
+            return commit_wal_tail(self.wal.path)
+
     def preload_tail(self, records: int) -> None:
         """Account for an on-disk WAL tail that predates this process.
 

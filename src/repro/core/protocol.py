@@ -115,12 +115,14 @@ class ConcurrencyControl(abc.ABC):
         self.durability: GroupFsyncDaemon | None = None
         #: Admission re-check for writing commits, invoked *after* prepare
         #: pins the commit latches and *before* the commit record is
-        #: enqueued (attached by the sharded manager to its fence check).
+        #: enqueued (attached by the sharded manager to its fence and
+        #: slot-routing checks; receives the committing transaction).
         #: Raising aborts the prepared transaction cleanly.  Under the
         #: latches the check is race-free: a fence raised by a conflicting
-        #: transaction's phase-two failure happens before that transaction
-        #: releases the latches this committer was blocked on.
-        self.commit_gate: Callable[[], None] | None = None
+        #: transaction's phase-two failure — or a slot-map flip, which
+        #: holds every source-shard latch — happens before the conflicting
+        #: party releases the latches this committer was blocked on.
+        self.commit_gate: Callable[[Transaction], None] | None = None
 
     # ------------------------------------------------------------- plumbing
 
@@ -295,7 +297,7 @@ class ConcurrencyControl(abc.ABC):
         try:
             if prepared.written:
                 if self.commit_gate is not None:
-                    self.commit_gate()
+                    self.commit_gate(txn)
                 commit_ts = self._sequence_commit(txn, prepared)
             else:
                 commit_ts = self.context.oracle.current()

@@ -1,7 +1,13 @@
-"""Sharded transaction manager: hash-partitioned states, cross-shard 2PC.
+"""Sharded transaction manager: slot-routed states, cross-shard 2PC,
+online shard split/merge.
 
 Scaling step beyond the paper's single-site design: every registered state
-is hash-partitioned by key across ``num_shards`` independent shards.  Each
+is hash-partitioned by key across ``num_shards`` independent shards —
+through the slot-map indirection of :mod:`repro.core.slots` (keys hash to
+a fixed slot space, slots map to shards), so shards can split and merge
+*online* (:meth:`ShardedTransactionManager.split_shard` /
+:meth:`~ShardedTransactionManager.merge_shard`) without re-routing the
+rest of the key space.  Each
 shard is a complete single-site stack — its own :class:`StateContext`, its
 own concurrency-control protocol instance, group-commit coordinator and
 garbage collector — so shards never contend on latches, lock tables or
@@ -61,7 +67,6 @@ import inspect
 import os
 import threading
 import time
-import zlib
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
 from collections.abc import Iterator
@@ -71,6 +76,7 @@ from typing import Any, Callable
 
 from ..errors import (
     ABORT_GROUP,
+    ABORT_REBALANCE,
     ABORT_USER,
     InvalidTransactionState,
     StorageError,
@@ -83,8 +89,10 @@ from ..storage.wal import KIND_TXN_COMMIT, WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
 from .durability import (
     DURABILITY_SYNC,
+    CommitLogRecord,
     DurabilityTicket,
     GroupFsyncDaemon,
+    apply_recovered_commit,
     encode_commit_body,
     reserve_group_commit,
     stamp_commit_record,
@@ -93,34 +101,39 @@ from .gc import GCPolicy
 from .isolation import IsolationLevel
 from .manager import TransactionManager
 from .protocol import PreparedCommit
+from .slots import SlotFlip, SlotMap, slot_of_key
 from .table import StateTable
 from .timestamps import TimestampOracle
 from .transactions import Transaction, TxnStatus
 from .version_store import DEFAULT_SLOTS
-from .write_set import WriteSet
+from .write_set import WriteKind, WriteSet
 
 
 def shard_of_key(key: Any, num_shards: int) -> int:
-    """Stable shard assignment for ``key``.
+    """Stable shard assignment for ``key`` under the *uniform* slot map.
 
-    Integers map by modulo so workload generators can *target* a shard by
-    choosing a residue class; everything else hashes through CRC-32 of its
-    ``repr`` (stable across processes, unlike builtin ``hash``).
+    Routing is slot-based (:mod:`repro.core.slots`): the key hashes to one
+    of :data:`~repro.core.slots.NUM_SLOTS` permanent slots, and the slot
+    maps to a shard.  This function composes :func:`slot_of_key` with the
+    round-robin default assignment (slot ``s`` -> shard ``s % N``), which
+    for every shard count dividing the slot space — all powers of two up
+    to 256, every configuration the benchmarks use — equals the historical
+    ``key % num_shards`` integer routing, so workload generators can still
+    *target* a shard by choosing a residue class.  A manager whose slots
+    have migrated routes through its own live :class:`SlotMap` instead.
+
+    Any numeric key with an integral value routes by that integer —
+    ``2``, ``2.0`` and ``True``/``1`` always co-locate, because the
+    per-shard tables (like any dict) treat equal keys as one key.
 
     Negative integers are in range by construction: Python's ``%`` with a
     positive modulus always returns a value in ``[0, num_shards)`` (e.g.
-    ``-1 % 4 == 3``), unlike C-style remainder which can go negative.  Any
-    future routing change (slot maps, consistent hashing for rebalancing)
-    must preserve that full-domain property — ``tests/test_sharding.py``
-    pins it explicitly.
+    ``-1 % 4 == 3``), unlike C-style remainder which can go negative —
+    ``tests/test_sharding.py`` pins the full-domain property explicitly.
     """
     if num_shards <= 1:
         return 0
-    if isinstance(key, int):
-        # covers bool too: True == 1 must land where 1 lands, because the
-        # per-shard tables (like any dict) treat equal keys as one key.
-        return key % num_shards
-    return zlib.crc32(repr(key).encode()) % num_shards
+    return slot_of_key(key) % num_shards
 
 
 def _adapt_backend_factory(
@@ -316,6 +329,11 @@ class CheckpointDaemon:
         self._pending: set[int] = set()
         #: Shard indices currently being cut (at most one worker each).
         self._active: set[int] = set()
+        #: Arbitrary maintenance closures (:meth:`drive`): shard-migration
+        #: copy phases run here so the daemon's pool — not the caller's
+        #: thread — pays the image cut and the bulk copy I/O.
+        self._jobs: list[tuple[Callable[[], Any], "threading.Event", list]] = []
+        self._jobs_active = 0
         self._closed = False
         #: Backpressured committers give up after this long (seconds): the
         #: WAL bound is best-effort once the pipeline is wedged.
@@ -379,6 +397,14 @@ class CheckpointDaemon:
             while not self._closed:
                 if self._manager.fenced or daemon.failed:
                     return
+                if idx in self._manager._migrating:
+                    # Checkpoints of this shard are suspended for a slot
+                    # migration, so no cut can bring the tail back under
+                    # the bound — parking here would stall every writer on
+                    # the source for the whole copy phase.  The WAL bound
+                    # is relaxed to `interval + migration length` until
+                    # the flip's own cut truncates it.
+                    return
                 if daemon.records_since_checkpoint() < limit:
                     return
                 if self._shard_cut_failures.get(idx, 0) != failures_seen:
@@ -398,6 +424,33 @@ class CheckpointDaemon:
                     return
                 self._cond.wait(min(remaining, 0.05))
 
+    def drive(self, fn: Callable[[], Any], timeout: float | None = None) -> Any:
+        """Run ``fn`` on the daemon's worker pool and wait for its result.
+
+        The shard-migration copy phase uses this: the image cut and bulk
+        copy execute on a checkpoint worker (the thread that already owns
+        off-critical-path flush I/O), while the caller merely waits.
+        Falls back to running ``fn`` inline when the daemon is closed.
+        Exceptions propagate to the caller; ``TimeoutError`` on expiry.
+        """
+        done = threading.Event()
+        outcome: list = []  # [("ok", value) | ("err", exc)]
+        with self._cond:
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                self._jobs.append((fn, done, outcome))
+                self._cond.notify_all()
+        if closed:
+            return fn()
+        if not done.wait(timeout):
+            raise TimeoutError("checkpoint daemon did not finish the job in time")
+        status, value = outcome[0]
+        if status == "err":
+            raise value
+        return value
+
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until nothing is pending and no cut is in flight.
 
@@ -405,7 +458,7 @@ class CheckpointDaemon:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
-            while self._pending or self._active:
+            while self._pending or self._active or self._jobs or self._jobs_active:
                 wait_s = 0.1
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -418,16 +471,34 @@ class CheckpointDaemon:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._pending and not self._closed:
+                while not self._pending and not self._jobs and not self._closed:
                     self._cond.wait()
-                if not self._pending:  # closed and drained
+                if self._jobs:
+                    fn, done, outcome = self._jobs.pop(0)
+                    self._jobs_active += 1
+                    job = (fn, done, outcome)
+                else:
+                    job = None
+                if job is None and not self._pending:  # closed and drained
                     self._cond.notify_all()
                     return
-                # Workers never double up on one shard: the cut's
-                # non-blocking lock would make the second a no-op anyway.
-                idx = min(self._pending)
-                self._pending.discard(idx)
-                self._active.add(idx)
+                if job is None:
+                    # Workers never double up on one shard: the cut's
+                    # non-blocking lock would make the second a no-op anyway.
+                    idx = min(self._pending)
+                    self._pending.discard(idx)
+                    self._active.add(idx)
+            if job is not None:
+                fn, done, outcome = job
+                try:
+                    outcome.append(("ok", fn()))
+                except BaseException as exc:  # propagate to the driver
+                    outcome.append(("err", exc))
+                done.set()
+                with self._cond:
+                    self._jobs_active -= 1
+                    self._cond.notify_all()
+                continue
             try:
                 shard_daemon = self._manager.daemons[idx]
                 # A coalesced storm can leave requests behind for a shard
@@ -529,6 +600,17 @@ class ShardedTransactionManager:
         self.durability_mode = durability
         #: Root of the durable shard layout (``None`` = volatile tables).
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        # Shard-construction parameters, kept so an online split can stamp
+        # out a new shard identical to the originals (see :meth:`_add_shard`).
+        self._gc_policy = gc_policy
+        self._gc_interval = gc_interval
+        self._fsync_max_batch = fsync_max_batch
+        self._fsync_batch_window = fsync_batch_window
+        self._protocol_kwargs = dict(protocol_kwargs)
+        #: state id -> adapted backend factory (``None`` = default), so a
+        #: split can create the new shard's partitions the same way
+        #: :meth:`create_table` created the originals.
+        self._backend_factories: dict[str, Callable[[int], KVStore] | None] = {}
         #: Auto-checkpoint bound: a shard's commit WAL is cut before its
         #: tail outgrows this many records (0 disables; explicit
         #: :meth:`checkpoint` always works).
@@ -591,6 +673,54 @@ class ShardedTransactionManager:
                     adopted.protocol = protocol
                 self._schema = adopted
             protocol = self._schema.protocol
+        #: Live slot -> shard routing table.  Adopted from the persisted
+        #: schema when one exists (validated against the shard count and
+        #: the on-disk layout *before* any side effect, like the
+        #: ``num_shards`` check above); the uniform default otherwise.
+        if self._schema is not None and self._schema.slot_map is not None:
+            slots = self._schema.slot_map
+            bad = [s for s in slots if not 0 <= int(s) < num_shards]
+            if bad:
+                raise StorageError(
+                    f"slot map in {self.data_dir} routes to shard(s) "
+                    f"{sorted(set(bad))} outside the {num_shards}-shard "
+                    "layout; the catalog is inconsistent with the shard "
+                    "directories — refusing to re-route keys over them"
+                )
+            self.slot_map = SlotMap(
+                [int(s) for s in slots], self._schema.slot_epoch
+            )
+        else:
+            self.slot_map = SlotMap.uniform(num_shards)
+        #: Durably ``True`` before the first migration's copy phase can
+        #: touch disk: recovery's slot-ownership sweep evicts misrouted
+        #: keys only on managers that have migrated — on a pre-slot-map
+        #: legacy dir they are historical placement and get re-homed.
+        self.migrations_started = bool(
+            self._schema is not None and self._schema.migrations_started
+        )
+        #: Slot epoch of the last *durably saved* schema.  Coordinator-log
+        #: compaction may only retire flip records at or below this — the
+        #: in-memory ``_schema.slot_epoch`` briefly runs ahead during a
+        #: migration's schema rewrite, and compacting against it could
+        #: drop a flip the on-disk schema does not cover yet.
+        self._durable_slot_epoch = self.slot_map.epoch
+        if self.data_dir is not None and self.data_dir.exists():
+            # A shard directory beyond the catalog's shard count holds
+            # data no slot can route to (e.g. a hand-edited schema): fail
+            # before any WAL/daemon side effect instead of orphaning it.
+            for entry in self.data_dir.glob("shard-*"):
+                try:
+                    shard_no = int(entry.name.split("-", 1)[1])
+                except ValueError:
+                    continue
+                if entry.is_dir() and shard_no >= num_shards:
+                    raise StorageError(
+                        f"{entry} exists but the catalog only covers "
+                        f"{num_shards} shard(s); the slot map cannot route "
+                        "to it — the directory layout is inconsistent with "
+                        "the schema"
+                    )
         #: Engine name resolved against the persisted catalog (``"mvcc"``
         #: when neither an argument nor a catalog supplies one).
         protocol = protocol or "mvcc"
@@ -626,15 +756,19 @@ class ShardedTransactionManager:
             )
             for idx in range(num_shards)
         ]
-        if self._fencing_enabled:
-            # Close the fence TOCTOU on the single-shard commit path: a
-            # committer blocked on a commit latch held by a transaction
-            # whose phase two then fails must re-check the fence once it
-            # acquires the latches (the same under-latch re-check
-            # checkpoint_shard does), or it would commit on in-memory
-            # state missing that transaction's durably-decided writes.
-            for shard in self.shards:
-                shard.protocol.commit_gate = self._ensure_not_fenced
+        # Close two TOCTOUs on the single-shard commit path with one
+        # under-latch gate: (a) fence — a committer blocked on a commit
+        # latch held by a transaction whose phase two then fails must
+        # re-check the fence once it acquires the latches (the same
+        # under-latch re-check checkpoint_shard does), or it would commit
+        # on in-memory state missing that transaction's durably-decided
+        # writes; (b) routing — a slot-map flip holds every source-shard
+        # latch while it bumps the epoch, so a committer whose buffered
+        # keys just moved re-checks its routing under the latches and
+        # aborts instead of applying writes to a shard that no longer
+        # owns them.
+        for idx, shard in enumerate(self.shards):
+            shard.protocol.commit_gate = self._make_commit_gate(idx)
         # Durable-mode plumbing: per-shard LastCTS write-through stores, the
         # global 2PC outcome log, and the persisted schema catalog.
         # (Imported lazily: repro.recovery depends on repro.core.)
@@ -655,6 +789,12 @@ class ShardedTransactionManager:
         #: may disagree with the durable truth, so commits and checkpoints
         #: are refused until close-and-recover (see :meth:`_fence`).
         self._fence_reason: str | None = None
+        #: Shards with a slot migration in flight: auto/manual checkpoints
+        #: of these shards skip (the migration owns the marker — a foreign
+        #: cut would truncate the catch-up suffix the flip still needs).
+        self._migrating: set[int] = set()
+        #: Serialises migrations (one split/merge at a time).
+        self._migration_lock = threading.Lock()
         if self.data_dir is not None:
             from ..recovery.redo import ContextStore
             from ..recovery.sharded import (
@@ -681,7 +821,27 @@ class ShardedTransactionManager:
                 )
                 self.context_stores.append(store)
                 shard.context.attach_persistence(store.record)
+            # Roll the slot map forward over flip records newer than the
+            # persisted schema: a crash between the durable flip and the
+            # schema rewrite must still resolve post-flip (until the flip
+            # record is durable, the source shard is presumed owner).
+            for flip in self.coordinator_log.slot_flips():
+                if flip.epoch <= self.slot_map.epoch:
+                    continue
+                bad = [
+                    s for s in flip.moves.values() if not 0 <= s < num_shards
+                ]
+                if bad:
+                    raise StorageError(
+                        f"slot flip epoch {flip.epoch} in the coordinator "
+                        f"log routes to shard(s) {sorted(set(bad))} outside "
+                        f"the {num_shards}-shard layout"
+                    )
+                self.slot_map = self.slot_map.apply(flip)
+            self._schema.slot_map = list(self.slot_map.slots)
+            self._schema.slot_epoch = self.slot_map.epoch
             self._schema.save(self.data_dir)
+            self._durable_slot_epoch = self.slot_map.epoch
         #: Background checkpoint thread (durable auto-checkpointing mode
         #: only): commits signal it instead of flushing inline.
         self.checkpoint_daemon: CheckpointDaemon | None = None
@@ -696,6 +856,17 @@ class ShardedTransactionManager:
         self.cross_shard_commits = 0
         self.cross_shard_aborts = 0
         self.cross_shard_in_doubt = 0
+        # slot-migration counters
+        self.slot_migrations = 0
+        self.slots_moved = 0
+        self.keys_migrated = 0
+        self.rebalance_aborts = 0
+        #: Test hook: called as ``hook(phase)`` at the migration's durable
+        #: phase boundaries — ``"copy"`` (image copied, catch-up not yet
+        #: run), ``"catchup"`` (suffix replayed + target checkpointed, flip
+        #: record not yet durable) and ``"flip"`` (flip record durable,
+        #: schema not yet rewritten).  Crash tests ``os._exit`` here.
+        self.migration_fault: Callable[[str], None] | None = None
         #: Test hook: called as ``hook(shard_index)`` for each participant
         #: of a cross-shard commit once every participant has prepared and
         #: all prepare votes are durable; raising from it simulates a
@@ -725,7 +896,10 @@ class ShardedTransactionManager:
         return Path(wal_dir) / f"shard-{shard:02d}" / "commit.wal"
 
     def shard_of(self, key: Any) -> int:
-        return shard_of_key(key, self.num_shards)
+        """Current home shard of ``key`` (one slot lookup; the map
+        reference is swapped atomically by migrations, so this is safe to
+        call lock-free from any thread)."""
+        return self.slot_map.shard_of(key)
 
     # -------------------------------------------------------------- fencing
 
@@ -761,6 +935,44 @@ class ShardedTransactionManager:
                 f"{recover}"
             )
 
+    def _make_commit_gate(self, idx: int) -> Callable[[Transaction], None]:
+        """Per-shard under-latch admission check: fence + slot routing."""
+
+        def gate(child: Transaction) -> None:
+            self._ensure_not_fenced()
+            self._ensure_child_routing(child, idx)
+
+        return gate
+
+    def _ensure_child_routing(self, child: Transaction, idx: int) -> None:
+        """Abort a writer whose buffered keys a slot flip has re-homed.
+
+        One epoch compare on the unmigrated fast path.  After a flip, any
+        write key of this child that no longer routes to shard ``idx``
+        would be applied to a partition that no reader will ever consult
+        again — a silently lost update — so the commit aborts retryably
+        (:data:`~repro.errors.ABORT_REBALANCE`) and the retry re-buffers
+        against the new owner.  Race-free under the commit latches: the
+        flip bumps the epoch while holding every source-shard latch.
+        """
+        if child.route_epoch is None or child.route_epoch == self.slot_map.epoch:
+            return
+        for write_set in child.write_sets.values():
+            for key in write_set.entries:
+                if self.slot_map.shard_of(key) != idx:
+                    self.rebalance_aborts += 1
+                    raise TransactionAborted(
+                        f"slot of key {key!r} migrated off shard {idx} "
+                        "while transaction "
+                        f"{child.wal_txn_id} had it buffered; restart "
+                        "against the new owner",
+                        txn_id=child.wal_txn_id,
+                        reason=ABORT_REBALANCE,
+                    )
+        # Every buffered key still lives here: adopt the current epoch so
+        # the scan is not repeated on the next gate pass.
+        child.route_epoch = self.slot_map.epoch
+
     def create_table(
         self,
         state_id: str,
@@ -790,6 +1002,9 @@ class ShardedTransactionManager:
         elif backend_factory is not None:
             backend_factory = _adapt_backend_factory(backend_factory)
 
+        # Remembered so an online split can stamp out the new shard's
+        # partition the same way (the factories above accept any index).
+        self._backend_factories[state_id] = backend_factory
         tables = [
             shard.create_table(
                 state_id,
@@ -863,7 +1078,12 @@ class ShardedTransactionManager:
             self.oracle.next(), states, isolation or IsolationLevel.SNAPSHOT
         )
 
-    def _child(self, txn: ShardedTransaction, shard: int) -> Transaction:
+    def _child(
+        self,
+        txn: ShardedTransaction,
+        shard: int,
+        route_epoch: int | None = None,
+    ) -> Transaction:
         child = txn.children.get(shard)
         if child is None:
             child = self.shards[shard].begin(
@@ -880,6 +1100,18 @@ class ShardedTransactionManager:
             # WAL records (commit + 2PC prepare) carry the global sharded
             # transaction id so per-shard logs correlate during recovery.
             child.wal_txn_id = txn.txn_id
+            # Routing provenance: the commit gate re-checks, under the
+            # latches, that a slot flip has not re-homed this child's
+            # buffered keys since it was opened (cheap: one epoch compare
+            # unless a migration actually happened).  Callers pass the
+            # epoch of the map that made the routing decision — reading
+            # the live epoch here instead would open a TOCTOU: a flip
+            # landing between the caller's shard_of() and this stamp
+            # would brand a misrouted child with the *new* epoch, letting
+            # the gate's fast path wave its writes through.
+            child.route_epoch = (
+                self.slot_map.epoch if route_epoch is None else route_epoch
+            )
             txn.children[shard] = child
         return child
 
@@ -887,29 +1119,63 @@ class ShardedTransactionManager:
 
     def read(self, txn: ShardedTransaction, state_id: str, key: Any) -> Any | None:
         txn.ensure_active()
-        shard = self.shard_of(key)
-        return self.shards[shard].read(self._child(txn, shard), state_id, key)
+        smap = self.slot_map
+        shard = smap.shard_of(key)
+        return self.shards[shard].read(
+            self._child(txn, shard, smap.epoch), state_id, key
+        )
 
     def write(self, txn: ShardedTransaction, state_id: str, key: Any, value: Any) -> None:
         txn.ensure_active()
-        shard = self.shard_of(key)
-        self.shards[shard].write(self._child(txn, shard), state_id, key, value)
+        smap = self.slot_map
+        shard = smap.shard_of(key)
+        self.shards[shard].write(
+            self._child(txn, shard, smap.epoch), state_id, key, value
+        )
 
     def delete(self, txn: ShardedTransaction, state_id: str, key: Any) -> None:
         txn.ensure_active()
-        shard = self.shard_of(key)
-        self.shards[shard].delete(self._child(txn, shard), state_id, key)
+        smap = self.slot_map
+        shard = smap.shard_of(key)
+        self.shards[shard].delete(
+            self._child(txn, shard, smap.epoch), state_id, key
+        )
 
     def scan(
         self, txn: ShardedTransaction, state_id: str, low: Any = None, high: Any = None
     ) -> Iterator[tuple[Any, Any]]:
-        """Merged key-ordered scan over every shard's partition."""
+        """Merged key-ordered scan over every shard's partition.
+
+        Each shard's stream is filtered to the keys its slots own under
+        the map snapshotted *with* the parts list.  The filter is what
+        keeps a moved key from appearing twice: a migration leaves the
+        source's in-memory copy in place for latch-free in-flight readers
+        (and a crash window can leave a durable stale copy), while the
+        target holds the live one.  Snapshotting matters twice over —
+        consulting the live map per key would make a scan straddling a
+        concurrent flip *drop* the moved keys (their new owner's stream
+        is not among the snapshotted parts), and skipping the filter on a
+        not-yet-migrated manager would double-yield if its first
+        migration's install window overlaps a lazily-consumed scan.  The
+        per-row cost is one modulo+index for integer keys (every
+        benchmark workload); only non-numeric keys pay a CRC.
+        """
         txn.ensure_active()
+        smap = self.slot_map
         parts = [
-            self.shards[idx].scan(self._child(txn, idx), state_id, low, high)
+            self.shards[idx].scan(
+                self._child(txn, idx, smap.epoch), state_id, low, high
+            )
             for idx in range(self.num_shards)
         ]
-        return _heap_merge(*parts, key=lambda kv: kv[0])
+
+        def owned(part: Iterator[tuple[Any, Any]], idx: int) -> Iterator[tuple[Any, Any]]:
+            for key, value in part:
+                if smap.shard_of(key) == idx:
+                    yield key, value
+
+        filtered = [owned(part, idx) for idx, part in enumerate(parts)]
+        return _heap_merge(*filtered, key=lambda kv: kv[0])
 
     # txn ending ----------------------------------------------------------
 
@@ -1049,6 +1315,17 @@ class ShardedTransactionManager:
                 txn, participants, prepared, StorageError("fenced")
             )
             self._ensure_not_fenced()
+        try:
+            # Routing re-check under the now-held latches (the cross-shard
+            # twin of the per-shard commit gate): a slot flip that landed
+            # while this committer blocked on a participant latch may have
+            # re-homed keys it buffered — applying them now would write to
+            # partitions routing no longer consults.
+            for idx, _handle in prepared:
+                self._ensure_child_routing(txn.children[idx], idx)
+        except TransactionAborted as exc:
+            self._abort_after_prepare_failure(txn, participants, prepared, exc)
+            raise
         try:
             commit_ts = self._sequence_cross_shard(txn, prepared)
         except BaseException as exc:
@@ -1329,7 +1606,11 @@ class ShardedTransactionManager:
                 self.checkpoint_shard(idx, blocking=False)
 
     def checkpoint_shard(
-        self, idx: int, blocking: bool = True, fuzzy: bool = False
+        self,
+        idx: int,
+        blocking: bool = True,
+        fuzzy: bool = False,
+        during_migration: bool = False,
     ) -> int:
         """Cut one shard's checkpoint; returns WAL records truncated.
 
@@ -1374,6 +1655,13 @@ class ShardedTransactionManager:
         daemon = self.daemons[idx]
         if daemon is None or self.data_dir is None:
             return 0
+        if idx in self._migrating and not during_migration:
+            # A slot migration owns this shard's marker: a foreign cut
+            # would truncate the commit-WAL suffix the flip still has to
+            # replay onto the target.  Skipped (0 dropped) rather than
+            # blocked — the migration cuts its own checkpoints and leaves
+            # the WAL bounded again once the flip lands.
+            return 0
         if not blocking and (self.fenced or daemon.failed):
             # Best-effort auto-checkpoint riding a committer that already
             # committed and published (possibly a pure read): skip, like
@@ -1388,6 +1676,13 @@ class ShardedTransactionManager:
         elif not lock.acquire(blocking=False):
             return 0
         try:
+            if idx in self._migrating and not during_migration:
+                # Re-check under the checkpoint lock: a cut that passed
+                # the pre-lock check and was descheduled could otherwise
+                # race a migration's start (which only drains cuts that
+                # *hold* the lock) and truncate the commit-WAL suffix the
+                # flip still has to replay onto the target.
+                return 0
             shard = self.shards[idx]
             tables = sorted(shard.tables(), key=lambda t: t.state_id)
             backend_flushes = [
@@ -1448,7 +1743,27 @@ class ShardedTransactionManager:
                     dropped = daemon.write_checkpoint(checkpoint_ts, last_cts)
                 self._last_checkpoint_ts[idx] = checkpoint_ts
             if self.coordinator_log is not None:
-                self.coordinator_log.compact(min(self._last_checkpoint_ts))
+                # Decision watermark over the shards that can still hold
+                # an in-doubt prepare: a slot-less husk (post-merge) gets
+                # no routed keys, so no prepare can land there — but its
+                # checkpoint timestamp is frozen forever, and including it
+                # in the min would pin compaction at the merge point and
+                # let the coordinator log grow without bound.
+                smap = self.slot_map
+                active = [
+                    ts
+                    for shard_idx, ts in enumerate(self._last_checkpoint_ts)
+                    if smap.slots_of(shard_idx)
+                ]
+                # Flips the persisted schema already reflects are garbage
+                # too — ``_durable_slot_epoch`` advances only after the
+                # schema rewrite's rename lands, never ahead of it.
+                self.coordinator_log.compact(
+                    min(active, default=0),
+                    min_slot_epoch=self._durable_slot_epoch
+                    if self._schema is not None
+                    else None,
+                )
             return dropped
         except (WALError, TimeoutError):
             if not blocking:
@@ -1480,6 +1795,422 @@ class ShardedTransactionManager:
             thread_name_prefix="shard-ckpt",
         ) as pool:
             return sum(pool.map(self.checkpoint_shard, range(self.num_shards)))
+
+    # online rebalancing ---------------------------------------------------
+
+    def _fault_point(self, phase: str) -> None:
+        if self.migration_fault is not None:
+            self.migration_fault(phase)
+
+    def split_shard(
+        self, source: int, moving: list[int] | None = None
+    ) -> int:
+        """Online split: grow the fleet by one shard and migrate slots to it.
+
+        Creates shard ``num_shards`` (directories, commit WAL, context
+        store, one partition per registered state) and migrates ``moving``
+        — by default every *second* slot the source owns, so splitting
+        every shard of a uniform ``N``-shard map yields exactly the
+        uniform ``2N``-shard map — while commits keep flowing.  Returns
+        the new shard's index.
+
+        The migration is the three-phase protocol of
+        :meth:`_migrate_slots_locked`; a crash at any point recovers to
+        either the pre-split or the post-split map, never a mix (the flip
+        record in the coordinator log is the commit point).
+        """
+        with self._migration_lock:
+            self._check_migratable()
+            if not 0 <= source < self.num_shards:
+                raise ValueError(f"no shard {source} in a {self.num_shards}-shard manager")
+            owned = self.slot_map.slots_of(source)
+            if moving is None:
+                moving = owned[1::2]
+            else:
+                foreign = sorted(set(moving) - set(owned))
+                if foreign:
+                    raise ValueError(
+                        f"slots {foreign} are not owned by shard {source}"
+                    )
+            if not moving:
+                raise ValueError(
+                    f"shard {source} owns no slots to split off "
+                    f"({len(owned)} owned)"
+                )
+            target = self._add_shard()
+            self._migrate_slots_locked(list(moving), source, target)
+            return target
+
+    def merge_shard(self, source: int, target: int) -> int:
+        """Online merge: migrate every slot of ``source`` onto ``target``.
+
+        The inverse of a split; uses the same three-phase migration.  The
+        emptied source shard stays in the layout as a slot-less husk (its
+        directories remain valid, it simply receives no traffic) — shard
+        indices are never renumbered, so persisted WALs and the schema
+        stay consistent.  Returns the number of slots moved.
+        """
+        with self._migration_lock:
+            self._check_migratable()
+            for idx in (source, target):
+                if not 0 <= idx < self.num_shards:
+                    raise ValueError(
+                        f"no shard {idx} in a {self.num_shards}-shard manager"
+                    )
+            if source == target:
+                raise ValueError("merge source and target must differ")
+            moving = self.slot_map.slots_of(source)
+            if not moving:
+                return 0
+            self._migrate_slots_locked(moving, source, target)
+            return len(moving)
+
+    def _check_migratable(self) -> None:
+        self._ensure_not_fenced()
+        if self._closed:
+            raise StorageError("cannot migrate slots on a closed manager")
+        if self.data_dir is None and any(d is not None for d in self.daemons):
+            raise StorageError(
+                "slot migration needs data_dir= (durable flip via the "
+                "coordinator log) or a fully volatile manager; a "
+                "wal_dir-only manager has no catalog to persist the new "
+                "routing, so its WALs would replay under the wrong map"
+            )
+
+    def _add_shard(self) -> int:
+        """Stamp out one more shard identical to the existing ones.
+
+        Durable mode persists the grown shard count *first*: once the
+        catalog says ``N+1``, a crash anywhere later leaves at worst an
+        empty extra shard (no slots route to it), which reopens cleanly —
+        whereas a ``shard-NN`` directory beyond the cataloged count is
+        rejected as inconsistent.
+        """
+        idx = self.num_shards
+        daemon: GroupFsyncDaemon | None = None
+        if self.data_dir is not None:
+            from ..recovery.redo import ContextStore
+            from ..recovery.sharded import context_store_path, shard_dir
+
+            self._schema.num_shards = idx + 1
+            self._schema.save(self.data_dir)
+            shard_dir(self.data_dir, idx).mkdir(parents=True, exist_ok=True)
+            daemon = GroupFsyncDaemon(
+                WriteAheadLog(self.commit_wal_path(self.data_dir, idx), sync=False),
+                mode=self.durability_mode,
+                max_batch=self._fsync_max_batch,
+                batch_window=self._fsync_batch_window,
+            )
+        shard = TransactionManager(
+            protocol=self.protocol_name,
+            oracle=self.oracle,
+            gc_policy=self._gc_policy,
+            gc_interval=self._gc_interval,
+            durability_daemon=daemon,
+            **self._protocol_kwargs,
+        )
+        shard.protocol.commit_gate = self._make_commit_gate(idx)
+        template = self.shards[0]
+        for state_id in template.context.state_ids():
+            src_table = template.table(state_id)
+            factory = self._backend_factories.get(state_id)
+            shard.create_table(
+                state_id,
+                backend=factory(idx) if factory is not None else None,
+                key_codec=src_table.key_codec,
+                value_codec=src_table.value_codec,
+                version_slots=src_table.version_slots,
+                location=f"shard-{idx}",
+            )
+        for group_id in template.context.group_ids():
+            if group_id in shard.context.group_ids():
+                # per-state singleton groups auto-register with the table
+                continue
+            shard.register_group(
+                group_id, list(template.context.group(group_id).state_ids)
+            )
+        if self.data_dir is not None:
+            store = ContextStore(
+                context_store_path(self.data_dir, idx), sync=False
+            )
+            self.context_stores.append(store)
+            shard.context.attach_persistence(store.record)
+        self.shards.append(shard)
+        self.daemons.append(daemon)
+        self._ckpt_locks.append(threading.Lock())
+        self._last_checkpoint_ts.append(0)
+        self._auto_cut_seeded.append(False)
+        # Publish the grown count last: no list index is handed out for
+        # the new shard until every per-shard structure exists.
+        self.num_shards = idx + 1
+        return idx
+
+    def _migrate_slots_locked(
+        self, moving: list[int], source: int, target: int
+    ) -> None:
+        """Move ``moving`` slots from ``source`` to ``target``, online.
+
+        Three phases (caller holds ``_migration_lock``):
+
+        1. **copy** — off the commit path.  Durable mode cuts a checkpoint
+           image of the source (LSM stores flushed, marker cut, WAL
+           truncated to the marker) and bulk-copies the moving slots' rows
+           from the source base tables into the target's, driven on the
+           :class:`CheckpointDaemon`'s worker pool when one exists.
+           Commits keep flowing on the source; everything they write after
+           the marker lands in the commit-WAL suffix, and source
+           checkpoints are suspended (``_migrating``) so that suffix
+           cannot be truncated from under the migration.
+        2. **catch-up + freeze** — the source (and target) are quiesced
+           via their table commit latches, the source's batched-fsync
+           daemon is drained, and the WAL suffix since the marker — PR 4's
+           "delta since marker" unit, via
+           :meth:`~repro.core.durability.GroupFsyncDaemon.export_tail` —
+           is replayed onto the target (idempotent redo, filtered to the
+           moving slots).  Each moved key's live version is installed on
+           the target with its *original* commit timestamp, the target's
+           group ``LastCTS`` floors are raised to the source's, and a
+           target checkpoint makes the whole image durable before the
+           flip.
+        3. **flip** — one :class:`~repro.core.slots.SlotFlip` record is
+           fsynced to the coordinator log (the commit point: recovery
+           presumes the source owns the slots until this record is
+           durable), the in-memory map is swapped (one atomic reference
+           store), the schema is rewritten, the source drops the moved
+           keys from its *base tables* (the version arrays stay frozen
+           for latch-free in-flight readers until the next reopen) and
+           cuts a final checkpoint that truncates its now fully-covered
+           WAL.
+
+        In-flight transactions: writers that buffered a moved key on the
+        source drain while the latches are awaited or are aborted
+        retryably by the under-latch routing gate
+        (:data:`~repro.errors.ABORT_REBALANCE`) and restart against the
+        new owner.  Readers keep their per-shard snapshot semantics with
+        one relaxation — exactly restart recovery's bootstrap relaxation:
+        the handover carries each moved key's *newest* committed version
+        (at its original commit timestamp), so a snapshot pinned across
+        the flip observes a moved key at that newest version when its
+        read timestamp covers it, and as absent when it only covered an
+        older (not carried) version.  Fresh snapshots are unaffected.
+        """
+        durable = self.data_dir is not None
+        moving_set = frozenset(moving)
+        num_slots = self.slot_map.num_slots
+        src_mgr = self.shards[source]
+        tgt_mgr = self.shards[target]
+        # Durably mark the dir as migration-touched BEFORE the copy phase
+        # can write a byte: from here on, recovery treats misrouted keys
+        # as migration leftovers (evict), never as legacy placement
+        # (re-home) — a half-copied row must not be "re-homed" over a
+        # delete that committed after the copy scanned it.
+        if not self.migrations_started and self._schema is not None:
+            self._schema.migrations_started = True
+            self._schema.save(self.data_dir)
+        self.migrations_started = True
+        self._migrating.add(source)
+        self._migrating.add(target)
+        try:
+            # Drain in-flight background cuts of both shards: a cut holds
+            # the per-shard checkpoint lock while waiting on latches this
+            # migration is about to take — waiting here (lock order:
+            # checkpoint lock before latches, same as the cuts) instead of
+            # inside the freeze avoids the inversion.
+            for idx in (source, target):
+                with self._ckpt_locks[idx]:
+                    pass
+
+            def copy_phase() -> int:
+                if durable:
+                    # The fuzzy-image cut: everything committed so far
+                    # reaches fsynced SSTables and the marker, so the scan
+                    # below reads a complete image and the WAL suffix is
+                    # exactly the delta the freeze will replay.
+                    self.checkpoint_shard(
+                        source, blocking=True, during_migration=True
+                    )
+                copied = 0
+                for state_id in src_mgr.context.state_ids():
+                    src = src_mgr.table(state_id)
+                    dst = tgt_mgr.table(state_id)
+                    batch: list[tuple[bytes, bytes]] = []
+                    for kbytes, vbytes in src.backend.scan():
+                        key = src.key_codec.decode(kbytes)
+                        if slot_of_key(key, num_slots) not in moving_set:
+                            continue
+                        batch.append((kbytes, vbytes))
+                        if len(batch) >= 512:
+                            dst.backend.write_batch(batch, [])
+                            copied += len(batch)
+                            batch = []
+                    if batch:
+                        dst.backend.write_batch(batch, [])
+                        copied += len(batch)
+                return copied
+
+            if durable:
+                # The CheckpointDaemon drives the copy (it already owns
+                # off-critical-path flush I/O); inline mode runs it here.
+                if self.checkpoint_daemon is not None:
+                    self.checkpoint_daemon.drive(copy_phase)
+                else:
+                    copy_phase()
+            self._fault_point("copy")
+
+            moved_keys = 0
+            with ExitStack() as stack:
+                # Quiesce both shards in ascending shard order — the same
+                # global order commits and 2PC prepares use, so no
+                # hold-and-wait cycle; within a shard, state-id order (the
+                # checkpoint order).  Prepared 2PC participants pin these
+                # latches until phase two, so no in-doubt transaction can
+                # straddle the flip.
+                for shard_idx in sorted((source, target)):
+                    for table in sorted(
+                        self.shards[shard_idx].tables(),
+                        key=lambda t: t.state_id,
+                    ):
+                        stack.enter_context(table.commit_latch)
+                self._ensure_not_fenced()
+                src_daemon = self.daemons[source]
+                if durable and src_daemon is not None:
+                    # Catch-up: drain the pipeline, then replay the
+                    # commit-WAL suffix since the copy-phase marker onto
+                    # the target (idempotent backend-level redo).  Only
+                    # commit records apply: a prepare whose transaction
+                    # committed has its own commit record here, and an
+                    # aborted prepare must not apply at all.
+                    src_daemon.flush(timeout=self.checkpoint_flush_timeout)
+                    src_daemon.wait_publishes_drained()
+                    _marker, records = src_daemon.export_tail()
+                    for record in records:
+                        if not isinstance(record, CommitLogRecord):
+                            continue
+                        for state_id, ws in apply_recovered_commit(record).items():
+                            filtered = WriteSet()
+                            for key, entry in ws.entries.items():
+                                if slot_of_key(key, num_slots) not in moving_set:
+                                    continue
+                                if entry.kind is WriteKind.DELETE:
+                                    filtered.delete(key)
+                                else:
+                                    filtered.upsert(key, entry.value)
+                            if filtered:
+                                tgt_mgr.table(state_id).redo_write_set(filtered)
+                # Version-index handover: install each moved key's live
+                # version on the target at its original commit timestamp,
+                # so snapshot reads at or after that timestamp keep
+                # resolving correctly under the new routing.
+                moved_encoded: dict[str, list[bytes]] = {}
+                for state_id in src_mgr.context.state_ids():
+                    src = src_mgr.table(state_id)
+                    dst = tgt_mgr.table(state_id)
+                    volatile_batch: list[tuple[bytes, bytes]] = []
+                    purge = moved_encoded.setdefault(state_id, [])
+                    for key in src.keys():
+                        if slot_of_key(key, num_slots) not in moving_set:
+                            continue
+                        # One scan feeds both the handover and the purge
+                        # below — the latched window pays O(source keys)
+                        # once, not twice.
+                        purge.append(src.key_codec.encode(key))
+                        live = src.read_live(key)
+                        if live is None:
+                            continue
+                        dst.mvcc_object(key, create=True).install(
+                            live.value, live.cts, live.cts
+                        )
+                        moved_keys += 1
+                        if not durable:
+                            volatile_batch.append(
+                                (
+                                    dst.key_codec.encode(key),
+                                    dst.value_codec.encode(live.value),
+                                )
+                            )
+                    if volatile_batch:
+                        dst.backend.write_batch(volatile_batch, [])
+                # The target's visibility floors must cover the adopted
+                # timestamps before any reader pins a snapshot there.
+                merged = {
+                    gid: max(
+                        tgt_mgr.context.last_cts(gid),
+                        src_mgr.context.last_cts(gid),
+                    )
+                    for gid in src_mgr.context.group_ids()
+                }
+                tgt_mgr.context.restore_last_cts(merged)
+                if durable:
+                    # Migrated rows + marker durable on the target BEFORE
+                    # the flip can commit: a durable flip must never point
+                    # at data only buffered in memory.
+                    self.checkpoint_shard(
+                        target, blocking=True, during_migration=True
+                    )
+                self._fault_point("catchup")
+                flip = SlotFlip(
+                    self.slot_map.epoch + 1,
+                    {slot: target for slot in moving},
+                )
+                if self.coordinator_log is not None:
+                    try:
+                        self.coordinator_log.log_slot_flip(flip)
+                    except BaseException as exc:
+                        # The flip's durability is now uncertain: the
+                        # record may or may not be on disk.  Commits must
+                        # stop either way — if it IS durable, a reopen
+                        # resolves post-flip and would evict any further
+                        # source-side commits to the moved slots as stale
+                        # copies.  Fencing (like a failed phase two)
+                        # makes the reopen the next step, and the reopen
+                        # lands on a consistent state whichever way the
+                        # record fell: pre-split (source complete, target
+                        # copies purged) or post-split (the target was
+                        # checkpointed before the flip was attempted).
+                        self._fence(
+                            f"slot-map flip epoch {flip.epoch} failed to "
+                            f"become durable: {exc!r}"
+                        )
+                        raise
+                    self._fault_point("flip")
+                # The in-memory commit point: one atomic reference swap.
+                # Committers blocked on the held latches re-check their
+                # routing against this map in the commit gate.
+                self.slot_map = self.slot_map.apply(flip)
+                if self._schema is not None:
+                    self._schema.slot_map = list(self.slot_map.slots)
+                    self._schema.slot_epoch = self.slot_map.epoch
+                    self._schema.save(self.data_dir)
+                    self._durable_slot_epoch = self.slot_map.epoch
+                # Purge the moved keys from the source *backend* only: the
+                # durable base tables must stop carrying rows recovery
+                # would re-bootstrap (it would purge them again on every
+                # reopen).  The in-memory version arrays stay — readers
+                # take no latches, so one that routed to the source just
+                # before the flip may still be about to read; its versions
+                # are frozen (the commit gate refuses any further writer)
+                # and the epoch-gated scan filter keeps the stale copies
+                # out of merged scans.  The memory is reclaimed on the
+                # next reopen (recovery bootstraps from the purged
+                # backend).
+                for state_id, deletes in moved_encoded.items():
+                    if deletes:
+                        src_mgr.table(state_id).backend.write_batch([], deletes)
+                if durable:
+                    # Final source cut: every surviving WAL record is
+                    # either in the source's SSTables (kept keys) or
+                    # migrated and checkpointed on the target (moved
+                    # keys), so the suffix truncates and the purge
+                    # becomes durable.
+                    self.checkpoint_shard(
+                        source, blocking=True, during_migration=True
+                    )
+            self.slot_migrations += 1
+            self.slots_moved += len(moving)
+            self.keys_migrated += moved_keys
+        finally:
+            self._migrating.discard(source)
+            self._migrating.discard(target)
 
     # recovery ------------------------------------------------------------
 
@@ -1616,6 +2347,11 @@ class ShardedTransactionManager:
         totals["cross_shard_commits"] = self.cross_shard_commits
         totals["cross_shard_aborts"] = self.cross_shard_aborts
         totals["cross_shard_in_doubt"] = self.cross_shard_in_doubt
+        totals["slot_epoch"] = self.slot_map.epoch
+        totals["slot_migrations"] = self.slot_migrations
+        totals["slots_moved"] = self.slots_moved
+        totals["keys_migrated"] = self.keys_migrated
+        totals["rebalance_aborts"] = self.rebalance_aborts
         if self.coordinator_log is not None:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
         if self.checkpoint_daemon is not None:

@@ -232,6 +232,26 @@ class StateTable:
                 count += 1
         return count
 
+    def evict_keys(self, keys: list[Any]) -> int:
+        """Drop keys this partition no longer owns (slot-migration purge).
+
+        Removes the version arrays *and* the backend rows in one batch —
+        not a transactional delete: no tombstone version is installed and
+        no commit record is written, because ownership of the keys (and
+        their authoritative history) has moved to another shard's
+        partition.  Caller must hold :attr:`commit_latch` or otherwise
+        guarantee no commit is in flight.  Returns the number of keys that
+        actually existed here.
+        """
+        deletes: list[bytes] = []
+        with self._index_latch:
+            for key in keys:
+                if self._index.pop(key, None) is not None:
+                    deletes.append(self.key_codec.encode(key))
+        if deletes:
+            self.backend.write_batch([], deletes)
+        return len(deletes)
+
     # -------------------------------------------------------------- indexes
 
     def create_index(

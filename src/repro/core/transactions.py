@@ -64,6 +64,7 @@ class Transaction:
         "restarts",
         "isolation",
         "wal_txn_id",
+        "route_epoch",
     )
 
     def __init__(
@@ -100,6 +101,12 @@ class Transaction:
         #: with the *global* sharded transaction id so a cross-shard
         #: commit's prepare/commit records correlate across shard WALs.
         self.wal_txn_id = txn_id
+        #: Sharded-routing provenance (``None`` on unsharded managers): the
+        #: slot-map epoch current when this child was opened.  The commit
+        #: gate compares it against the live map and aborts writers whose
+        #: buffered keys a slot flip has since re-homed (see
+        #: :data:`repro.errors.ABORT_REBALANCE`).
+        self.route_epoch: int | None = None
 
     # ----------------------------------------------------------- state sets
 

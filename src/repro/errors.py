@@ -45,6 +45,9 @@ ABORT_VALIDATION = "validation-failure"
 ABORT_USER = "user-requested"
 ABORT_GROUP = "group-abort"
 ABORT_LOCK_TIMEOUT = "lock-timeout"
+#: A slot-map flip moved a key this transaction buffered on its old home
+#: shard; the work must restart against the new owner (retryable).
+ABORT_REBALANCE = "slot-rebalance"
 
 
 class WriteConflict(TransactionAborted):

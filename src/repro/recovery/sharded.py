@@ -49,7 +49,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import StorageError, WALError
-from ..storage.wal import KIND_COORD_COMMIT, WriteAheadLog, fsync_dir
+from ..storage.wal import (
+    KIND_COORD_COMMIT,
+    KIND_SLOT_FLIP,
+    WriteAheadLog,
+    fsync_dir,
+)
+from ..core.slots import SlotFlip
 from ..core.durability import (
     CommitLogRecord,
     GroupFsyncDaemon,
@@ -110,6 +116,23 @@ class ShardedSchema:
     states: dict[str, int] = field(default_factory=dict)
     #: group id -> member state ids (insertion order preserved).
     groups: dict[str, list[str]] = field(default_factory=dict)
+    #: slot -> shard routing table (``None`` = pre-slot-map catalog; the
+    #: manager synthesises the uniform default, which reproduces the
+    #: historical modulo routing).
+    slot_map: list[int] | None = None
+    #: Epoch of the persisted slot map.  Flip records in the coordinator
+    #: log with a *newer* epoch are applied on top during open — the
+    #: schema rewrite runs after the flip record is durable, so it may lag
+    #: by exactly the crash window between the two.
+    slot_epoch: int = 0
+    #: Durably ``True`` from the moment the first migration's copy phase
+    #: may have written anything (set and fsynced *before* it).  Recovery
+    #: uses it to tell migration leftovers (evict: the authoritative copy
+    #: is with the slot owner) from legacy pre-slot-map placement (re-home:
+    #: deleting would destroy committed data).  A legacy data dir can never
+    #: carry this flag, and a dir that ever started a migration always
+    #: does — even when a crash left ``slot_epoch`` at 0.
+    migrations_started: bool = False
 
     def save(self, data_dir: str | os.PathLike[str]) -> None:
         """Atomically persist (tmp + fsync + rename + directory fsync)."""
@@ -119,6 +142,9 @@ class ShardedSchema:
             "protocol": self.protocol,
             "states": self.states,
             "groups": self.groups,
+            "slot_map": self.slot_map,
+            "slot_epoch": self.slot_epoch,
+            "migrations_started": self.migrations_started,
         }
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -137,11 +163,15 @@ class ShardedSchema:
                 "ShardedTransactionManager(data_dir=...)?"
             )
         payload = json.loads(path.read_text())
+        slot_map = payload.get("slot_map")
         return ShardedSchema(
             num_shards=int(payload["num_shards"]),
             protocol=str(payload["protocol"]),
             states={str(s): int(v) for s, v in payload["states"].items()},
             groups={str(g): [str(s) for s in ids] for g, ids in payload["groups"].items()},
+            slot_map=None if slot_map is None else [int(s) for s in slot_map],
+            slot_epoch=int(payload.get("slot_epoch", 0)),
+            migrations_started=bool(payload.get("migrations_started", False)),
         )
 
 
@@ -195,17 +225,17 @@ class CoordinatorLog:
         batch_window: float = 0.0,
     ) -> None:
         self.path = Path(path)
-        self._outcomes = self.read_outcomes(self.path)
+        self._outcomes, self._flips = self._read_log(self.path)
         batched = batched and sync
         self._wal = WriteAheadLog(self.path, sync=sync and not batched)
         if self.path.stat().st_size > 0:
-            # Rewrite to exactly the intact outcomes before appending: a
+            # Rewrite to exactly the intact records before appending: a
             # crash-torn tail frame would otherwise sit *before* every new
             # append and hide it from replay forever (replay stops at the
-            # first bad frame).  Doubles as compaction of duplicate records.
-            self._wal.reset_to(
-                (KIND_COORD_COMMIT, self._encode(o)) for o in self._outcomes.values()
-            )
+            # first bad frame).  Doubles as compaction of duplicate
+            # records.  Slot flips are rewritten too (epoch order) — they
+            # stay the routing authority until the schema catches up.
+            self._wal.reset_to(self._all_records_locked())
         #: Leader/follower batcher over the log (no dedicated thread): the
         #: first waiting coordinator drains the queue and fsyncs for all.
         self._daemon = (
@@ -225,15 +255,47 @@ class CoordinatorLog:
         )
 
     @staticmethod
+    def _encode_flip(flip: SlotFlip) -> bytes:
+        return pickle.dumps(
+            (flip.epoch, sorted(flip.moves.items())),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @staticmethod
     def read_outcomes(path: str | os.PathLike[str]) -> dict[int, CoordinatorOutcome]:
         """Replay the intact prefix into a txn-id -> outcome map."""
+        return CoordinatorLog._read_log(path)[0]
+
+    @staticmethod
+    def _read_log(
+        path: str | os.PathLike[str],
+    ) -> tuple[dict[int, CoordinatorOutcome], dict[int, SlotFlip]]:
+        """Replay the intact prefix: commit decisions + slot flips."""
         outcomes: dict[int, CoordinatorOutcome] = {}
+        flips: dict[int, SlotFlip] = {}
         for kind, payload in WriteAheadLog.replay(path):
-            if kind != KIND_COORD_COMMIT:
-                continue
-            txn_id, commit_ts, shards = pickle.loads(payload)
-            outcomes[txn_id] = CoordinatorOutcome(txn_id, commit_ts, tuple(shards))
-        return outcomes
+            if kind == KIND_COORD_COMMIT:
+                txn_id, commit_ts, shards = pickle.loads(payload)
+                outcomes[txn_id] = CoordinatorOutcome(
+                    txn_id, commit_ts, tuple(shards)
+                )
+            elif kind == KIND_SLOT_FLIP:
+                epoch, moves = pickle.loads(payload)
+                flips[epoch] = SlotFlip(epoch, dict(moves))
+        return outcomes, flips
+
+    def _all_records_locked(self) -> list[tuple[int, bytes]]:
+        """Every live record for a file rewrite (flips in epoch order
+        first — replay order is irrelevant for correctness, but keeping a
+        stable layout makes the rewrites deterministic)."""
+        records: list[tuple[int, bytes]] = [
+            (KIND_SLOT_FLIP, self._encode_flip(self._flips[epoch]))
+            for epoch in sorted(self._flips)
+        ]
+        records.extend(
+            (KIND_COORD_COMMIT, self._encode(o)) for o in self._outcomes.values()
+        )
+        return records
 
     def log_commit(self, txn_id: int, commit_ts: int, shards: list[int]) -> None:
         """Make one commit decision durable (fsynced before returning).
@@ -265,6 +327,47 @@ class CoordinatorLog:
             self._wal.append(KIND_COORD_COMMIT, payload)
             self._outcomes[txn_id] = outcome
 
+    def log_slot_flip(self, flip: SlotFlip) -> None:
+        """Make one slot-map flip durable (fsynced before returning).
+
+        The commit point of an online shard migration: recovery presumes
+        the *source* shard owns the migrating slots until this record is
+        on stable storage, and routes by the flipped map from then on —
+        even if the crash hit before ``schema.json`` was rewritten.
+        Batched mode shares the decision fsync with concurrent 2PC
+        coordinators, exactly like :meth:`log_commit`.
+        """
+        payload = self._encode_flip(flip)
+        if self._daemon is not None:
+            with self._lock:
+                ticket = self._daemon.submit(KIND_SLOT_FLIP, payload)
+                self._flips[flip.epoch] = flip
+            try:
+                ticket.wait()
+            except BaseException:
+                # The fsync failed: the flip may or may not be on disk,
+                # but it must NOT survive in memory — a later compact()
+                # rewrite works from ``_flips`` and would durably persist
+                # a flip the migration reported as failed (the caller
+                # also fences the manager, because the on-disk state is
+                # now genuinely uncertain).
+                with self._lock:
+                    self._flips.pop(flip.epoch, None)
+                raise
+            return
+        with self._lock:
+            if self._wal.closed:
+                raise WALError(
+                    f"log_slot_flip on closed coordinator log {self.path}"
+                )
+            self._wal.append(KIND_SLOT_FLIP, payload)
+            self._flips[flip.epoch] = flip
+
+    def slot_flips(self) -> list[SlotFlip]:
+        """Durable slot-map flips, ascending epoch order."""
+        with self._lock:
+            return [self._flips[epoch] for epoch in sorted(self._flips)]
+
     def outcomes(self) -> dict[int, CoordinatorOutcome]:
         with self._lock:
             return dict(self._outcomes)
@@ -277,15 +380,19 @@ class CoordinatorLog:
         with self._lock:
             return len(self._outcomes)
 
-    def compact(self, min_checkpoint_ts: int) -> int:
+    def compact(
+        self, min_checkpoint_ts: int, min_slot_epoch: int | None = None
+    ) -> int:
         """Drop outcomes fully covered by every shard's checkpoint.
 
         An outcome with ``commit_ts <= min_checkpoint_ts`` can leave no
         in-doubt prepare behind: prepares resolve before a shard's
         checkpoint marker can be written (the checkpointer needs the commit
         latches a prepared transaction pins), so both the prepare and the
-        commit record sit in truncated prefixes.  Returns how many
-        decisions were dropped.
+        commit record sit in truncated prefixes.  Slot flips with
+        ``epoch <= min_slot_epoch`` (the epoch the persisted schema
+        already reflects) are likewise garbage; newer flips always
+        survive the rewrite.  Returns how many decisions were dropped.
         """
         with self._lock:
             survivors = {
@@ -294,11 +401,16 @@ class CoordinatorLog:
                 if outcome.commit_ts > min_checkpoint_ts
             }
             dropped = len(self._outcomes) - len(survivors)
+            surviving_flips = {
+                epoch: flip
+                for epoch, flip in self._flips.items()
+                if min_slot_epoch is None or epoch > min_slot_epoch
+            }
+            dropped += len(self._flips) - len(surviving_flips)
             if dropped:
-                records = [
-                    (KIND_COORD_COMMIT, self._encode(o))
-                    for o in survivors.values()
-                ]
+                self._outcomes = survivors
+                self._flips = surviving_flips
+                records = self._all_records_locked()
                 if self._daemon is not None:
                     # Quiesce the batcher around the rewrite: a batch
                     # leader mid-``append_many`` would otherwise race
@@ -308,7 +420,6 @@ class CoordinatorLog:
                         self._wal.reset_to(records)
                 else:
                     self._wal.reset_to(records)
-                self._outcomes = survivors
             return dropped
 
     def close(self) -> None:
@@ -334,6 +445,11 @@ class ShardRecovery:
     keys_redone: int = 0
     prepares_rolled_forward: int = 0
     prepares_rolled_back: int = 0
+    #: Keys evicted after bootstrap because the slot map routes them to a
+    #: different shard — stale copies left by a crash inside a slot
+    #: migration (between the durable flip and the source's purge
+    #: checkpoint); without the purge they would shadow-survive forever.
+    stale_keys_purged: int = 0
     #: tail length in records (commit + prepare) that replay processed.
     tail_records: int = 0
     #: checkpoint marker timestamp the tail replay started from (0 = none).
@@ -354,6 +470,9 @@ class ShardedRecoveryReport:
     recovery_s: float = 0.0
     #: WAL records dropped by the post-recovery checkpoint (0 if disabled).
     truncated_records: int = 0
+    #: Legacy-routed rows moved to their slot-map home (epoch-0 reopens of
+    #: pre-slot-map data dirs only; never overwrites an existing row).
+    keys_rehomed: int = 0
 
     @property
     def commits_replayed(self) -> int:
@@ -370,6 +489,10 @@ class ShardedRecoveryReport:
     @property
     def prepares_rolled_back(self) -> int:
         return sum(s.prepares_rolled_back for s in self.shards)
+
+    @property
+    def stale_keys_purged(self) -> int:
+        return sum(s.stale_keys_purged for s in self.shards)
 
     @property
     def rows_loaded(self) -> dict[str, int]:
@@ -407,15 +530,16 @@ def _recover_shard(
     marker,
     records: list[CommitLogRecord | PrepareLogRecord],
     decisions: dict[int, int],
-) -> tuple[ShardRecovery, int]:
+) -> tuple[ShardRecovery, int, list[tuple[str, object, object]]]:
     """Pass 2 for one shard: redo the tail, resolve in-doubt prepares,
     restore ``LastCTS``, bootstrap the version indexes.
 
     Touches only shard-local state (the shard manager, its tables and
     context, its context store and commit-WAL daemon) plus the read-only
     ``decisions`` map, so shards can run concurrently.  Returns the
-    per-shard report and the highest timestamp seen — merged
-    deterministically by the caller (max is order-free).
+    per-shard report, the highest timestamp seen (merged
+    deterministically by the caller — max is order-free) and any
+    legacy-routed rows for the sequential re-homing pass.
     """
     shard = manager.shards[idx]
     info = ShardRecovery(shard=idx, tail_records=len(records))
@@ -474,18 +598,50 @@ def _recover_shard(
     shard.context.restore_last_cts(merged)
     info.last_cts = merged
 
+    misplaced: list[tuple[str, object, object]] = []
     for table in shard.tables():
         group = shard.context.group_of(table.state_id)
         info.rows_loaded[table.state_id] = table.load_from_backend(
             bootstrap_cts=group.last_cts
         )
+        # Slot-ownership sweep.  Once any migration has durably started
+        # (``migrations_started``, fsynced before the first copy phase
+        # could write a byte), a key this shard's slots do not own can
+        # only be a migration leftover — a crash between the durable flip
+        # and the source's purge checkpoint (stale copy; the flip is
+        # durable only *after* the owner's checkpoint, so the
+        # authoritative copy provably exists there), or a crash before
+        # the flip (half-copied target rows) — and is evicted.  Without
+        # the flag, no migration ever ran, so a misrouted key is a row
+        # placed by a *historical* routing scheme (pre-slot-map modulo
+        # over a non-power-of-two shard count, or crc-routed integral
+        # floats): deleting it would destroy committed data — instead it
+        # is handed to the sequential re-homing pass after the joins.
+        stale = [
+            key
+            for key in table.keys()
+            if manager.slot_map.shard_of(key) != idx
+        ]
+        if stale:
+            if not manager.migrations_started:
+                # Legacy rows are NOT evicted here: pass 3 must install
+                # them durably at their owner first — deleting the only
+                # copy before the re-home lands would destroy committed
+                # data if the process dies in between.
+                for key in stale:
+                    live = table.read_live(key)
+                    if live is not None:
+                        misplaced.append((table.state_id, key, live.value))
+            else:
+                info.stale_keys_purged += table.evict_keys(stale)
+                info.rows_loaded[table.state_id] -= len(stale)
     daemon = manager.daemons[idx]
     if daemon is not None:
         # Seed the tail accounting so the auto-checkpoint bound and the
         # truncation report cover the pre-crash records, not just the
         # ones this process will enqueue.
         daemon.preload_tail(len(records))
-    return info, max_seen
+    return info, max_seen, misplaced
 
 
 def recover_sharded(
@@ -545,7 +701,7 @@ def recover_sharded(
 
     # Pass 2 — per shard, in parallel: redo tails, resolve in-doubt
     # prepares, restore LastCTS, bootstrap version indexes.
-    def run_shard(idx: int) -> tuple[ShardRecovery, int]:
+    def run_shard(idx: int) -> tuple[ShardRecovery, int, list]:
         marker, records = tails[idx]
         return _recover_shard(manager, idx, marker, records, decisions)
 
@@ -556,8 +712,59 @@ def recover_sharded(
             outcomes = list(pool.map(run_shard, shard_ids))
     else:
         outcomes = [run_shard(idx) for idx in shard_ids]
-    report.shards = [info for info, _ in outcomes]
-    max_seen = max((seen for _, seen in outcomes), default=0)
+    report.shards = [info for info, _, _ in outcomes]
+    max_seen = max((seen for _, seen, _ in outcomes), default=0)
+
+    # Pass 3 — sequential re-homing of legacy-routed rows (pre-migration
+    # data dirs only; pass 2 never produces these once a migration has
+    # durably started).  Each row moves to the shard its slot owns —
+    # *only* when the key is absent there, so a fork left by the
+    # historical int/float aliasing bug (two equal keys with divergent
+    # histories on two shards) keeps the copy routing already reaches and
+    # never gets overwritten.  Crash-safe order: install at the owner,
+    # *flush the owner's backend durable*, and only then evict the legacy
+    # holder's copy — at no point does the row exist nowhere, and a rerun
+    # after any crash converges (owner-has-key rows just skip the
+    # install).  Sequential on purpose: it writes across shards, which
+    # the per-shard pool must not.
+    rehome_groups: dict[tuple[int, str], list] = {}
+    for info, _seen, misplaced in outcomes:
+        for state_id, key, value in misplaced:
+            rehome_groups.setdefault((info.shard, state_id), []).append(
+                (key, value)
+            )
+    if rehome_groups:
+        touched: set[tuple[int, str]] = set()
+        for (_holder, state_id), rows in rehome_groups.items():
+            for key, value in rows:
+                owner = manager.slot_map.shard_of(key)
+                table = manager.shards[owner].table(state_id)
+                if table.read_live(key) is not None:
+                    continue
+                ts = manager.shards[owner].context.group_of(state_id).last_cts
+                table.mvcc_object(key, create=True).install(value, ts, ts)
+                table.backend.write_batch(
+                    [
+                        (
+                            table.key_codec.encode(key),
+                            table.value_codec.encode(value),
+                        )
+                    ],
+                    [],
+                )
+                touched.add((owner, state_id))
+                report.keys_rehomed += 1
+        for owner, state_id in touched:
+            flush = getattr(
+                manager.shards[owner].table(state_id).backend, "flush", None
+            )
+            if callable(flush):
+                flush()
+        for (holder, state_id), rows in rehome_groups.items():
+            table = manager.shards[holder].table(state_id)
+            purged = table.evict_keys([key for key, _ in rows])
+            report.shards[holder].stale_keys_purged += purged
+            report.shards[holder].rows_loaded[state_id] -= purged
 
     manager.oracle.advance_to(max_seen)
     report.oracle_restarted_at = manager.oracle.current()

@@ -9,10 +9,12 @@ from .clients import CLIENTS, SimEnvironment, SimStats
 from .costmodel import CostModel, SimCache
 from .des import Acquire, Delay, Release, Simulator
 from .harness import (
+    LiveSplitResult,
     ShardedSimResult,
     SimResult,
     run_benchmark,
     run_crash_recovery_scenario,
+    run_live_split_scenario,
     run_sharded_benchmark,
     sweep_cross_ratio,
     sweep_shards,
@@ -27,6 +29,7 @@ from .sharded import (
     ShardedSimEnvironment,
     ShardedSimStats,
     SimGroupFsync,
+    sharded_split,
     sharded_writer,
 )
 
@@ -35,6 +38,7 @@ __all__ = [
     "CLIENTS",
     "CostModel",
     "Delay",
+    "LiveSplitResult",
     "Release",
     "SIM_CHECKPOINT_BACKGROUND",
     "SIM_CHECKPOINT_INLINE",
@@ -53,7 +57,9 @@ __all__ = [
     "Simulator",
     "run_benchmark",
     "run_crash_recovery_scenario",
+    "run_live_split_scenario",
     "run_sharded_benchmark",
+    "sharded_split",
     "sharded_writer",
     "sweep_cross_ratio",
     "sweep_shards",

@@ -78,6 +78,25 @@ class CostModel:
     coordinator_log_io_us: float = 30.0
     #: decoding + re-applying one commit-WAL tail record during restart.
     replay_record_us: float = 2.0
+    # online rebalancing (the live-split scenario)
+    #: copying one migrated row into the target shard's base table during
+    #: a slot migration's background copy phase — paid off the commit path
+    #: (the CheckpointDaemon's worker in the real engine), so it overlaps
+    #: the foreground commit stream instead of stalling it.
+    migration_copy_row_us: float = 0.8
+    #: per-moved-row work the freeze pays *under the latch*: the
+    #: version-index handover installs each moved key's live version on
+    #: the target (and feeds the purge) — in-memory work, but O(moved
+    #: rows) and latched, so the real pause grows with shard size and the
+    #: model must too.
+    migration_handover_row_us: float = 0.2
+    #: the fixed *latched* remainder of a migration's freeze window beyond
+    #: the per-record suffix replay (``replay_record_us`` each) and the
+    #: per-row handover: the target flush + checkpoint marker and the
+    #: durable slot-map flip fsync.  The freeze — not the copy — is what
+    #: concurrent commits on the source shard actually feel during an
+    #: online split.
+    migration_freeze_io_us: float = 120.0
     #: rebuilding one row's version-index entry from the base table.
     bootstrap_row_us: float = 0.8
     #: restart-recovery fan-out: shards replay in a bounded worker pool

@@ -16,7 +16,12 @@ from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from .clients import CLIENTS, SimEnvironment, bocc_reader, bocc_writer
 from .costmodel import CostModel
 from .des import Simulator
-from .sharded import SIM_DURABILITY_SYNC, ShardedSimEnvironment, sharded_writer
+from .sharded import (
+    SIM_DURABILITY_SYNC,
+    ShardedSimEnvironment,
+    sharded_split,
+    sharded_writer,
+)
 
 
 @dataclass
@@ -343,3 +348,157 @@ def run_crash_recovery_scenario(
         )
         for interval in checkpoint_intervals
     ]
+
+
+# --------------------------------------------------------------------------
+# live-split (online rebalancing) scenario
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LiveSplitResult:
+    """Outcome of one live-split scenario run (virtual time).
+
+    ``pre_tps``/``post_tps`` are steady-state throughputs measured over
+    equal windows before the first and after the last migration; the
+    commits lost to the freeze windows themselves show up in
+    ``max_migration_pause_us`` (the longest latched stall any single
+    migration imposed), not in either window.
+    """
+
+    initial_shards: int
+    final_shards: int
+    cross_ratio: float
+    clients: int
+    duration_us: float
+    pre_commits: int
+    post_commits: int
+    migrations: int
+    rows_migrated: int
+    max_migration_pause_us: float
+    aborts: int
+
+    @property
+    def pre_tps(self) -> float:
+        return self.pre_commits / (self.duration_us / 1_000_000.0)
+
+    @property
+    def post_tps(self) -> float:
+        return self.post_commits / (self.duration_us / 1_000_000.0)
+
+    @property
+    def speedup(self) -> float:
+        return self.post_tps / self.pre_tps if self.pre_commits else 0.0
+
+
+def run_live_split_scenario(
+    initial_shards: int = 4,
+    final_shards: int = 8,
+    cross_ratio: float = 0.05,
+    clients: int = 8,
+    theta: float = 0.0,
+    duration_us: float = 200_000.0,
+    warmup_us: float = 50_000.0,
+    settle_us: float = 20_000.0,
+    config: WorkloadConfig | None = None,
+    cost: CostModel | None = None,
+    seed: int = 42,
+    durability: str = SIM_DURABILITY_SYNC,
+) -> LiveSplitResult:
+    """Measure throughput before and after an *online* shard doubling.
+
+    The scenario runs ``clients`` writers continuously while every
+    original shard splits into a reserved twin
+    (:func:`~repro.sim.sharded.sharded_split`, staggered so the freeze
+    windows do not align), exactly the real engine's
+    ``split_shard``-per-shard doubling: once all migrations land, the
+    slot map equals the uniform ``final_shards`` map.  Steady-state
+    throughput is measured over two equal windows — after warm-up on the
+    initial layout, and after the migrations plus a settle period on the
+    final layout — so the result isolates what the split *buys* (more
+    commit pipelines) from what it *costs* (the latched freeze windows,
+    reported separately).
+    """
+    if final_shards != 2 * initial_shards:
+        raise BenchmarkError(
+            "the live-split scenario doubles the fleet: final_shards must "
+            f"be 2 * initial_shards ({initial_shards} -> {final_shards})"
+        )
+    if clients <= 0:
+        raise BenchmarkError("need at least one client")
+    base = config or WorkloadConfig()
+    workload = WorkloadConfig(
+        table_size=base.table_size,
+        txn_length=base.txn_length,
+        theta=theta,
+        value_bytes=base.value_bytes,
+        seed=seed,
+        states=base.states,
+    )
+    env = ShardedSimEnvironment(
+        workload,
+        initial_shards,
+        cross_ratio,
+        cost,
+        durability,
+        reserve_shards=final_shards,
+    )
+    sim = Simulator()
+    # Writers run through warm-up, the pre window, the migrations (bounded
+    # below), the settle period and the post window.
+    copy_allowance_us = (
+        2.0 * workload.table_size * env.cost.migration_copy_row_us
+        + initial_shards * env.cost.migration_freeze_io_us
+        + 10_000.0
+    )
+    deadline = warmup_us + 2 * duration_us + copy_allowance_us + settle_us
+    for i in range(clients):
+        wl = WorkloadGenerator(workload, seed_offset=3000 + i)
+        sim.spawn(sharded_writer(env, sim, wl, deadline))
+
+    sim.run_until(warmup_us)
+    env.stats.single_shard_commits = 0
+    env.stats.cross_shard_commits = 0
+    env.stats.aborts = 0
+    sim.run_until(warmup_us + duration_us)
+    pre_commits = env.stats.commits
+
+    # Stagger the splits so at most one freeze window is open at a time.
+    stagger_us = 2.0 * env.cost.migration_freeze_io_us + 500.0
+    for i, source in enumerate(range(initial_shards)):
+        sim.spawn(
+            sharded_split(
+                env, sim, source, initial_shards + i, start_delay_us=i * stagger_us
+            )
+        )
+    migration_deadline = sim.now + copy_allowance_us
+    while env.stats.migrations < initial_shards and sim.now < migration_deadline:
+        sim.run_until(min(sim.now + 1_000.0, migration_deadline))
+    if env.stats.migrations < initial_shards:
+        raise BenchmarkError(
+            f"only {env.stats.migrations}/{initial_shards} migrations "
+            "finished within the allowance"
+        )
+    sim.run_until(sim.now + settle_us)
+
+    env.stats.single_shard_commits = 0
+    env.stats.cross_shard_commits = 0
+    aborts_pre = env.stats.aborts
+    post_start = sim.now
+    sim.run_until(post_start + duration_us)
+    post_commits = env.stats.commits
+    sim.run_to_completion()
+
+    return LiveSplitResult(
+        initial_shards=initial_shards,
+        final_shards=final_shards,
+        cross_ratio=cross_ratio,
+        clients=clients,
+        duration_us=duration_us,
+        pre_commits=pre_commits,
+        post_commits=post_commits,
+        migrations=env.stats.migrations,
+        rows_migrated=env.stats.rows_migrated,
+        max_migration_pause_us=env.stats.max_migration_pause_us,
+        aborts=aborts_pre,
+    )

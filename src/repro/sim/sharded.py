@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.slots import NUM_SLOTS
 from ..core.table import StateTable
 from ..core.timestamps import TimestampOracle
 from ..core.write_set import WriteSet
@@ -69,6 +70,12 @@ class ShardedSimStats:
     latch_waits: int = 0
     fsyncs: int = 0
     checkpoints: int = 0
+    #: completed online slot migrations (live-split scenario).
+    migrations: int = 0
+    #: rows physically moved between partitions by migrations.
+    rows_migrated: int = 0
+    #: longest single freeze window (latched) any migration imposed.
+    max_migration_pause_us: float = 0.0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -140,9 +147,17 @@ class ShardedSimEnvironment:
         checkpoint_interval: int = 0,
         checkpoint_mode: str = SIM_CHECKPOINT_INLINE,
         coordinator_durability: str | None = None,
+        reserve_shards: int | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
+        if reserve_shards is None:
+            reserve_shards = num_shards
+        if reserve_shards < num_shards:
+            raise ValueError(
+                f"reserve_shards ({reserve_shards}) must cover num_shards "
+                f"({num_shards})"
+            )
         if not 0.0 <= cross_ratio <= 1.0:
             raise ValueError(f"cross_ratio must be in [0, 1]: {cross_ratio}")
         if durability not in (SIM_DURABILITY_SYNC, SIM_DURABILITY_GROUP):
@@ -184,17 +199,27 @@ class ShardedSimEnvironment:
         self.coord_fsync = SimGroupFsync(
             self.cost.coordinator_log_io_us, self.cost.group_commit_window_us
         )
+        #: Slots reserved for online splits: per-shard structures exist up
+        #: to this count, but routing only targets the first
+        #: ``num_shards`` until a migration flips slots over.
+        self.reserve_shards = reserve_shards
+        #: Live slot -> shard routing table, mirroring the real engine's
+        #: :class:`~repro.core.slots.SlotMap` (uniform default — identical
+        #: to ``key % num_shards`` for power-of-two shard counts).
+        self.slot_map = [s % num_shards for s in range(NUM_SLOTS)]
         #: shard -> commit-WAL tail length (records since last checkpoint);
         #: what restart recovery would have to replay if the run crashed now.
-        self.wal_tail = [0] * num_shards
+        self.wal_tail = [0] * reserve_shards
         self.stats = ShardedSimStats()
         self.oracle = TimestampOracle()
         #: shard -> exclusive latch over that shard's commit pipeline.
-        self.commit_latches = [SimLatch(f"shard-{i}:commit") for i in range(num_shards)]
+        self.commit_latches = [
+            SimLatch(f"shard-{i}:commit") for i in range(reserve_shards)
+        ]
         #: shard -> batched-fsync daemon model (group durability only).
         self.fsync = [
             SimGroupFsync(self.cost.commit_sync_io_us, self.cost.group_commit_window_us)
-            for _ in range(num_shards)
+            for _ in range(reserve_shards)
         ]
         #: shard -> state id -> real table partition (version arrays).
         self.tables: list[dict[str, StateTable]] = [
@@ -204,11 +229,11 @@ class ShardedSimEnvironment:
                 )
                 for state_id in config.states
             }
-            for shard in range(num_shards)
+            for shard in range(reserve_shards)
         ]
 
     def shard_of(self, key: int) -> int:
-        return key % self.num_shards if self.num_shards > 1 else 0
+        return self.slot_map[key % NUM_SLOTS] if self.num_shards > 1 else 0
 
     def total_fsyncs(self) -> int:
         return sum(f.fsyncs for f in self.fsync)
@@ -351,3 +376,94 @@ def sharded_writer(
             env.stats.cross_shard_commits += 1
         else:
             env.stats.single_shard_commits += 1
+
+
+def sharded_split(
+    env: ShardedSimEnvironment,
+    sim: Simulator,
+    source: int,
+    target: int,
+    start_delay_us: float = 0.0,
+):
+    """Online-split controller process: migrate half of ``source``'s slots.
+
+    Mirrors the real engine's three-phase migration
+    (:meth:`repro.core.sharding.ShardedTransactionManager.split_shard`):
+
+    * **copy** — the moving slots' rows are copied into the reserved
+      target partition *off the commit path* (a plain ``Delay`` without
+      the source latch: the CheckpointDaemon worker pays it while
+      committers keep flowing);
+    * **freeze** — the source commit latch is held while the commit-WAL
+      suffix since the copy image replays onto the target and the durable
+      flip lands (``wal_tail`` records at ``replay_record_us`` each, plus
+      ``migration_freeze_io_us``) — the only window commits actually
+      feel;
+    * **flip** — the slot map is updated, the moved rows change
+      partition, and the grown shard count becomes routable.
+
+    Moving every *second* slot the source owns turns a uniform ``N``-shard
+    map into the uniform ``2N`` map once every original shard has split —
+    exactly like the real engine's default.
+    """
+    cost = env.cost
+    if start_delay_us > 0.0:
+        yield Delay(start_delay_us)
+    owned = [s for s, owner in enumerate(env.slot_map) if owner == source]
+    moving = frozenset(owned[1::2])
+    if not moving:
+        return
+
+    # Copy phase (no latch): price the bulk copy of the moving rows.
+    rows = sum(
+        1
+        for table in env.tables[source].values()
+        for key in table.keys()
+        if key % NUM_SLOTS in moving
+    )
+    yield Delay(max(rows, 1) * cost.migration_copy_row_us)
+
+    # Freeze: quiesce the source pipeline, replay the suffix, flip.
+    latch = env.commit_latches[source]
+    if latch.held() or latch.queue_length():
+        env.stats.latch_waits += 1
+    yield Acquire(latch)
+    moving_rows = sum(
+        1
+        for table in env.tables[source].values()
+        for key in table.keys()
+        if key % NUM_SLOTS in moving
+    )
+    pause_us = (
+        env.wal_tail[source] * cost.replay_record_us
+        + moving_rows * cost.migration_handover_row_us
+        + cost.migration_freeze_io_us
+    )
+    yield Delay(pause_us)
+    moved = 0
+    for state_id, src_table in env.tables[source].items():
+        dst_table = env.tables[target][state_id]
+        moving_keys = [k for k in src_table.keys() if k % NUM_SLOTS in moving]
+        for key in moving_keys:
+            live = src_table.read_live(key)
+            if live is not None:
+                dst_table.mvcc_object(key, create=True).install(
+                    live.value, live.cts, live.cts
+                )
+                moved += 1
+        src_table.evict_keys(moving_keys)
+    env.slot_map = [
+        target if slot in moving else owner
+        for slot, owner in enumerate(env.slot_map)
+    ]
+    env.num_shards = max(env.num_shards, target + 1)
+    # The migration's own cuts truncate both WAL tails.
+    env.wal_tail[source] = 0
+    env.wal_tail[target] = 0
+    env.stats.checkpoints += 2
+    env.stats.migrations += 1
+    env.stats.rows_migrated += moved
+    env.stats.max_migration_pause_us = max(
+        env.stats.max_migration_pause_us, pause_us
+    )
+    yield Release(latch)

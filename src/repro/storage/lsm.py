@@ -86,6 +86,11 @@ class LSMStore(KVStore):
         #: Serialises flushers (and close) so at most one memtable seal is
         #: in flight; always acquired *before* ``_lock``.
         self._flush_lock = threading.RLock()
+        #: Serialises compactors so at most one level merge is in flight;
+        #: always acquired *before* ``_lock`` (same rank as
+        #: ``_flush_lock``).  The merge itself runs outside ``_lock`` —
+        #: see :meth:`compact_level`.
+        self._compact_lock = threading.RLock()
         self._closed = False
 
         self._manifest = Manifest(self.directory)
@@ -347,8 +352,11 @@ class LSMStore(KVStore):
                 self._manifest.save()
                 self.stats.flushes += 1
                 self._immutable = None
-                if self.options.auto_compact:
-                    self._compact_if_needed()
+            if self.options.auto_compact:
+                # Outside the store lock: the compaction merge would
+                # otherwise run under it (RLock re-entry) and stall every
+                # concurrent reader/writer for the whole level merge.
+                self._compact_if_needed()
             for counter, path in self._scan_imm_wals():
                 # Everything sealed up to this flush is covered by the new
                 # SSTable (the sealed memtable contained all replayed
@@ -360,45 +368,87 @@ class LSMStore(KVStore):
 
     def _compact_if_needed(self) -> None:
         for level in range(self.options.max_levels):
-            if len(self._tables.get(level, [])) >= self.options.fanout:
+            with self._lock:
+                crowded = len(self._tables.get(level, [])) >= self.options.fanout
+            if crowded:
                 self.compact_level(level)
 
     def compact_level(self, level: int) -> None:
-        """Size-tiered merge of every table at ``level`` into ``level + 1``."""
-        with self._lock:
-            inputs = self._tables.get(level, [])
-            if not inputs:
-                return
-            target = min(level + 1, self.options.max_levels - 1)
-            is_bottom = target == self.options.max_levels - 1 and not any(
-                self._tables.get(lvl) for lvl in range(target + 1, self.options.max_levels)
-            )
+        """Size-tiered merge of every table at ``level`` into ``level + 1``.
+
+        The store lock is held only for the two pivots — the same shape as
+        :meth:`flush` — so a level merge no longer stalls the put/get path
+        of a hot shard for its whole duration:
+
+        1. **snapshot** (under the lock): the level's current tables
+           become the merge inputs and the output file number is drawn;
+        2. **merge + build** (lock released): the k-way merge and the new
+           SSTable's write/fsyncs run against the *immutable* input tables
+           while readers and writers proceed — new L0 tables flushed
+           meanwhile are simply not part of this merge;
+        3. **install** (under the lock): inputs are swapped for the merged
+           table in the level lists and the manifest, and the input files
+           are unlinked.
+
+        ``_compact_lock`` serialises compactors (acquired before the store
+        lock, like ``_flush_lock``), so level shapes and the bottom-level
+        tombstone decision cannot shift under an in-flight merge — only a
+        flush can add tables, and only at level 0, where the snapshot
+        already excludes them.  Crash safety is unchanged: the merged
+        table is fsynced before the manifest swap, and an orphan from a
+        crash mid-build is collected on the next open.
+        """
+        with self._compact_lock:
+            with self._lock:
+                inputs = list(self._tables.get(level, []))
+                if not inputs:
+                    return
+                target = min(level + 1, self.options.max_levels - 1)
+                is_bottom = target == self.options.max_levels - 1 and not any(
+                    self._tables.get(lvl)
+                    for lvl in range(target + 1, self.options.max_levels)
+                )
+                name = f"{self._manifest.allocate_file_number():08d}.sst"
+
+            # Build outside the store lock: inputs are immutable SSTables.
             merged = self._merge_tables(inputs, drop_tombstones=is_bottom)
             removed = [t.path.name for t in inputs]
-
             added: list[tuple[int, str]] = []
             new_table: SSTable | None = None
             if merged:
-                name = f"{self._manifest.allocate_file_number():08d}.sst"
                 writer = SSTableWriter(
                     self._manifest.table_path(name),
                     index_interval=self.options.index_interval,
                     bits_per_key=self.options.bloom_bits_per_key,
                 )
-                new_table = writer.write(iter(merged))
+                try:
+                    new_table = writer.write(iter(merged))
+                except BaseException:
+                    # Failed build (e.g. transient ENOSPC): the inputs are
+                    # untouched and still installed — drop the orphan.
+                    self._manifest.table_path(name).unlink(missing_ok=True)
+                    raise
                 added.append((target, name))
 
             removed_set = set(removed)
-            self._tables[level] = [
-                t for t in self._tables.get(level, []) if t.path.name not in removed_set
-            ]
-            if new_table is not None:
-                self._tables.setdefault(target, []).append(new_table)
-            self._manifest.replace(removed, added)
-            self._manifest.save()
-            for name in removed:
-                self._manifest.table_path(name).unlink(missing_ok=True)
-            self.stats.compactions += 1
+            with self._lock:
+                if self._closed:
+                    # The store closed while the merge was building: the
+                    # manifest must not change post-close; drop the output.
+                    self._manifest.table_path(name).unlink(missing_ok=True)
+                    return
+                self._tables[level] = [
+                    t
+                    for t in self._tables.get(level, [])
+                    if t.path.name not in removed_set
+                ]
+                if new_table is not None:
+                    self._tables.setdefault(target, []).append(new_table)
+                self._manifest.replace(removed, added)
+                self._manifest.save()
+                for rname in removed:
+                    self._manifest.table_path(rname).unlink(missing_ok=True)
+                self.stats.compactions += 1
 
     @staticmethod
     def _merge_tables(

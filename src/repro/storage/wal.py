@@ -36,6 +36,10 @@ KIND_TXN_PREPARE = 6
 #: Global 2PC coordinator outcome (:mod:`repro.recovery.sharded`): the
 #: durable commit decision recovery consults to resolve in-doubt prepares.
 KIND_COORD_COMMIT = 7
+#: Durable slot-map flip (:mod:`repro.core.slots`): the commit point of an
+#: online shard migration, logged to the coordinator log — until it is
+#: durable, recovery presumes the *source* shard still owns the slots.
+KIND_SLOT_FLIP = 8
 
 
 def fsync_dir(directory: str | os.PathLike[str]) -> None:

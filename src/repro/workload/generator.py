@@ -193,10 +193,13 @@ class WorkloadGenerator:
 def align_key_to_shard(key: int, shard: int, num_shards: int, table_size: int) -> int:
     """Move ``key`` to the nearest key of ``shard``'s residue class.
 
-    Sharded workloads need to *target* shards: the sharded manager routes
-    integer keys by ``key % num_shards``, so replacing a Zipf-drawn key with
-    the closest key of the right residue class preserves the contention
-    profile (hot keys stay hot) while pinning the operation to one shard.
+    Sharded workloads need to *target* shards: under the uniform slot map
+    the sharded manager routes integer keys exactly like ``key %
+    num_shards`` for every power-of-two shard count (the slot space is a
+    multiple — see :mod:`repro.core.slots`), so replacing a Zipf-drawn key
+    with the closest key of the right residue class preserves the
+    contention profile (hot keys stay hot) while pinning the operation to
+    one shard.
     """
     if num_shards <= 1:
         return key

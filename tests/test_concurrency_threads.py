@@ -161,10 +161,16 @@ class TestReadersVersusWriter:
         mgr.create_table("A")
         mgr.table("A").bulk_load([(k, 0) for k in range(16)])
         stop = threading.Event()
+        #: the writer waits for this so at least one reader pass overlaps
+        #: its commits — without it a fast writer can finish all 60
+        #: batches before the reader threads are even scheduled, and the
+        #: reads > 0 assertion flakes on a zero.
+        readers_running = threading.Event()
         aborts = [0]
         reads = [0]
 
         def writer():
+            readers_running.wait(5.0)
             for batch in range(60):
                 with mgr.transaction() as txn:
                     for k in range(16):
@@ -178,6 +184,7 @@ class TestReadersVersusWriter:
                         for k in range(16):
                             view.get("A", k)
                             reads[0] += 1
+                    readers_running.set()
                 except TransactionAborted:
                     aborts[0] += 1
 

@@ -114,3 +114,100 @@ def test_concurrent_batches_atomic(tmp_path):
         b = store.get(f"pair-b-{i:03d}".encode())
         assert a == b
     store.close()
+
+
+def test_reads_and_writes_proceed_while_compaction_merge_runs(tmp_path):
+    """The level merge runs outside the store lock: a slow compaction must
+    not stall concurrent gets/puts for its duration (the sealed-pivot
+    narrowing of ``compact_level``, mirroring ``flush``)."""
+    import time
+
+    store = LSMStore(
+        tmp_path, LSMOptions(sync=False, memtable_bytes=1024, auto_compact=False)
+    )
+    for i in range(400):
+        store.put(f"k-{i:05d}".encode(), str(i).encode())
+    store.flush()
+    for i in range(400, 800):
+        store.put(f"k-{i:05d}".encode(), str(i).encode())
+    store.flush()
+    assert store.level_shape().get(0, 0) >= 2
+
+    in_merge = threading.Event()
+    release_merge = threading.Event()
+    original = LSMStore._merge_tables
+
+    def slow_merge(tables, drop_tombstones):
+        in_merge.set()
+        assert release_merge.wait(5.0)
+        return original(tables, drop_tombstones)
+
+    store._merge_tables = slow_merge
+    compactor = threading.Thread(target=store.compact_level, args=(0,))
+    compactor.start()
+    try:
+        assert in_merge.wait(5.0)
+        # while the merge is parked, the hot path must stay open
+        t0 = time.monotonic()
+        store.put(b"hot-put", b"1")
+        assert store.get(b"k-00007") == b"7"
+        assert store.get(b"hot-put") == b"1"
+        elapsed = time.monotonic() - t0
+        assert elapsed < 1.0, f"hot path blocked {elapsed:.2f}s behind the merge"
+    finally:
+        release_merge.set()
+        compactor.join(10.0)
+    assert not compactor.is_alive()
+    # the merge installed: inputs swapped for one table at the next level
+    assert store.level_shape().get(0, 0) == 0
+    assert store.get(b"k-00007") == b"7" and store.get(b"hot-put") == b"1"
+    store.close()
+
+
+def test_flush_during_compaction_keeps_new_l0_tables(tmp_path):
+    """Tables flushed to L0 while a level-0 merge is building must survive
+    the install swap (the merge only removes its snapshotted inputs)."""
+    store = LSMStore(
+        tmp_path, LSMOptions(sync=False, memtable_bytes=1 << 20, auto_compact=False)
+    )
+    for i in range(200):
+        store.put(f"a-{i:04d}".encode(), b"old")
+    store.flush()
+    for i in range(200):
+        store.put(f"b-{i:04d}".encode(), b"old")
+    store.flush()
+
+    in_merge = threading.Event()
+    release_merge = threading.Event()
+    original = LSMStore._merge_tables
+
+    def slow_merge(tables, drop_tombstones):
+        in_merge.set()
+        assert release_merge.wait(5.0)
+        return original(tables, drop_tombstones)
+
+    store._merge_tables = slow_merge
+    compactor = threading.Thread(target=store.compact_level, args=(0,))
+    compactor.start()
+    try:
+        assert in_merge.wait(5.0)
+        # a concurrent flush lands a NEW L0 table mid-merge
+        for i in range(50):
+            store.put(f"c-{i:04d}".encode(), b"new")
+        store.flush()
+    finally:
+        release_merge.set()
+        compactor.join(10.0)
+    assert not compactor.is_alive()
+    shape = store.level_shape()
+    assert shape.get(0, 0) == 1, shape  # the mid-merge flush survived
+    for i in range(0, 200, 13):
+        assert store.get(f"a-{i:04d}".encode()) == b"old"
+    for i in range(0, 50, 7):
+        assert store.get(f"c-{i:04d}".encode()) == b"new"
+    store.close()
+    # and the swap is crash-consistent: a reopen sees the same data
+    reopened = LSMStore(tmp_path, LSMOptions(sync=False))
+    assert reopened.get(b"a-0000") == b"old"
+    assert reopened.get(b"c-0007") == b"new"
+    reopened.close()

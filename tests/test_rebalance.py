@@ -1,0 +1,411 @@
+"""Online shard split/merge: durable round trips and the crash matrix.
+
+The migration contract under test (``split_shard`` / ``merge_shard`` on a
+``data_dir=`` manager):
+
+* a completed split survives close/reopen — the slot map, the migrated
+  rows and the per-group watermarks all come back, and the moved keys'
+  stale source copies never resurface;
+* a ``kill -9`` at **every** durable phase boundary recovers to exactly
+  the pre-split or the post-split state, never a mix.  The flip record in
+  the coordinator log is the commit point:
+
+  ========================  =============================================
+  crash point               recovered state
+  ========================  =============================================
+  ``copy``     (image       pre-split — target holds half-copied rows,
+  copied, no flip)          recovery purges everything its slots don't own
+  ``catchup``  (suffix      pre-split — target data is durable but
+  replayed + target         unreachable (no slot routes to it) and purged
+  checkpointed, no flip)
+  ``flip``     (flip record pre-split
+  *torn*)
+  ``flip``     (flip record post-split — schema.json still has the old
+  durable, schema stale)    map; recovery rolls it forward from the log
+  ========================  =============================================
+
+* validation: a slot map inconsistent with the shard count / on-disk
+  shard directories is rejected with ``StorageError`` before any on-disk
+  side effect (the PR 3 ``num_shards``-mismatch discipline).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import NUM_SLOTS, ShardedTransactionManager
+from repro.errors import StorageError
+from repro.recovery.sharded import (
+    ShardedSchema,
+    coordinator_log_path,
+    schema_path,
+    shard_dir,
+)
+
+from helpers import run_crash_child, scan_all
+
+
+ROWS = 120
+
+
+def make_durable(tmp_path, num_shards: int = 4, **kwargs):
+    smgr = ShardedTransactionManager(
+        num_shards=num_shards, protocol="mvcc", data_dir=tmp_path, **kwargs
+    )
+    smgr.create_table("A")
+    smgr.register_group("g", ["A"])
+    for i in range(ROWS):
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", i, i * 11)
+    return smgr
+
+
+EXPECTED = {i: i * 11 for i in range(ROWS)}
+
+
+# ------------------------------------------------------- durable round trip
+
+
+class TestDurableSplit:
+    def test_split_then_reopen_keeps_routing_and_state(self, tmp_path):
+        smgr = make_durable(tmp_path)
+        target = smgr.split_shard(0)
+        assert target == 4
+        # post-split traffic commits against the new owner
+        for i in range(ROWS, ROWS + 24):
+            with smgr.transaction() as txn:
+                smgr.write(txn, "A", i, i * 11)
+        expected = {i: i * 11 for i in range(ROWS + 24)}
+        assert scan_all(smgr, "A") == expected
+        smgr.close()
+
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.num_shards == 5
+        assert reopened.slot_map.epoch == 1
+        assert reopened.slot_map.slots_of(4) == list(range(4, NUM_SLOTS, 8))
+        assert scan_all(reopened, "A") == expected
+        # moved keys live on the target partition and ONLY there
+        for key, _ in reopened.table(4, "A").scan_live():
+            assert reopened.shard_of(key) == 4
+        source_keys = {k for k, _ in reopened.table(0, "A").scan_live()}
+        target_keys = {k for k, _ in reopened.table(4, "A").scan_live()}
+        assert target_keys and not (source_keys & target_keys)
+        reopened.close()
+
+    def test_merge_then_reopen(self, tmp_path):
+        smgr = make_durable(tmp_path)
+        target = smgr.split_shard(2)
+        assert smgr.merge_shard(target, 2) == 32
+        assert scan_all(smgr, "A") == EXPECTED
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.slots_of(target) == []
+        assert scan_all(reopened, "A") == EXPECTED
+        assert list(reopened.table(target, "A").scan_live()) == []
+        reopened.close()
+
+    def test_split_keeps_commit_wals_bounded(self, tmp_path):
+        """The migration's own cuts leave both shards' tails truncated."""
+        smgr = make_durable(tmp_path, checkpoint_interval=64)
+        smgr.split_shard(1)
+        for idx in (1, smgr.num_shards - 1):
+            assert smgr.daemons[idx].records_since_checkpoint() == 0
+        smgr.close()
+
+    def test_repeated_splits_reach_uniform_double(self, tmp_path):
+        smgr = make_durable(tmp_path)
+        for source in range(4):
+            smgr.split_shard(source)
+        assert list(smgr.slot_map.slots) == [s % 8 for s in range(NUM_SLOTS)]
+        assert scan_all(smgr, "A") == EXPECTED
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.num_shards == 8
+        assert scan_all(reopened, "A") == EXPECTED
+        reopened.close()
+
+
+# ------------------------------------------------------------- crash matrix
+
+
+_SPLIT_CRASH_SCRIPT = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+
+smgr = ShardedTransactionManager(
+    num_shards=4, protocol="mvcc", data_dir=sys.argv[1],
+)
+smgr.create_table("A")
+smgr.register_group("g", ["A"])
+for i in range(120):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, i * 11)
+
+crash_phase = sys.argv[2]
+
+def fault(phase):
+    if phase == crash_phase:
+        os._exit(41)
+
+smgr.migration_fault = fault
+smgr.split_shard(0)
+os._exit(7)  # only when the requested phase never fired
+"""
+
+
+def _run_split_crash(tmp_path, phase: str) -> None:
+    proc = run_crash_child(_SPLIT_CRASH_SCRIPT, tmp_path, phase)
+    assert proc.returncode == 41, (proc.returncode, proc.stderr)
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("phase", ["copy", "catchup"])
+    def test_crash_before_flip_recovers_pre_split(self, tmp_path, phase):
+        _run_split_crash(tmp_path, phase)
+        reopened = ShardedTransactionManager.open(tmp_path)
+        # the grown (empty) shard reopens, but no slot routes to it
+        assert reopened.num_shards == 5
+        assert reopened.slot_map.epoch == 0
+        assert reopened.slot_map.slots_of(4) == []
+        assert scan_all(reopened, "A") == EXPECTED
+        # half-migrated target rows were purged, not resurrected.  (At
+        # the "copy" boundary the copied rows may not even have left the
+        # process's buffered LSM WAL, so only "catchup" — which cut a
+        # durable target checkpoint — *must* find rows to purge.)
+        assert list(reopened.table(4, "A").scan_live()) == []
+        if phase == "catchup":
+            assert reopened.last_recovery.stale_keys_purged > 0
+        # the manager is fully live: splitting again succeeds
+        reopened.split_shard(0)
+        assert scan_all(reopened, "A") == EXPECTED
+        reopened.close()
+
+    def test_crash_after_durable_flip_recovers_post_split(self, tmp_path):
+        _run_split_crash(tmp_path, "flip")
+        # schema.json still carries the pre-flip map: the coordinator log
+        # is the authority
+        schema = ShardedSchema.load(tmp_path)
+        assert schema.slot_epoch == 0
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.epoch == 1
+        assert reopened.slot_map.slots_of(4) == list(range(4, NUM_SLOTS, 8))
+        assert scan_all(reopened, "A") == EXPECTED
+        # stale source copies of the moved keys were purged by recovery
+        for key, _ in reopened.table(0, "A").scan_live():
+            assert reopened.shard_of(key) == 0
+        target_keys = {k for k, _ in reopened.table(4, "A").scan_live()}
+        assert target_keys == {k for k in EXPECTED if k % 8 == 4}
+        # reopening *again* must be stable (schema caught up on first open)
+        reopened.close()
+        schema = ShardedSchema.load(tmp_path)
+        assert schema.slot_epoch == 1
+        again = ShardedTransactionManager.open(tmp_path)
+        assert again.slot_map.epoch == 1
+        assert scan_all(again, "A") == EXPECTED
+        again.close()
+
+    def test_torn_flip_record_recovers_pre_split(self, tmp_path):
+        """A flip record whose tail bytes never hit the disk fails its CRC
+        and does not count — the migration never committed."""
+        _run_split_crash(tmp_path, "flip")
+        log = coordinator_log_path(tmp_path)
+        with open(log, "r+b") as fh:
+            fh.truncate(max(0, log.stat().st_size - 5))
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.epoch == 0
+        assert reopened.slot_map.slots_of(4) == []
+        assert scan_all(reopened, "A") == EXPECTED
+        assert list(reopened.table(4, "A").scan_live()) == []
+        reopened.close()
+
+    def test_post_split_crash_under_load_loses_nothing(self, tmp_path):
+        """Commits accepted AFTER a split survive a later hard kill."""
+        script = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+
+smgr = ShardedTransactionManager(num_shards=4, protocol="mvcc", data_dir=sys.argv[1])
+smgr.create_table("A")
+smgr.register_group("g", ["A"])
+for i in range(120):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, i * 11)
+smgr.split_shard(0)
+for i in range(120, 160):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, i * 11)
+os._exit(41)
+"""
+        proc = run_crash_child(script, tmp_path)
+        assert proc.returncode == 41, proc.stderr
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.epoch == 1
+        assert scan_all(reopened, "A") == {i: i * 11 for i in range(160)}
+        reopened.close()
+
+
+# ----------------------------------------------------- slot-map validation
+
+
+class TestSlotMapValidation:
+    def test_out_of_range_slot_entry_is_rejected_before_side_effects(
+        self, tmp_path
+    ):
+        smgr = make_durable(tmp_path)
+        smgr.close()
+        path = schema_path(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["slot_map"][7] = 9  # no shard 9 in a 4-shard layout
+        path.write_text(json.dumps(payload))
+        before = sorted(p.name for p in tmp_path.rglob("*"))
+        with pytest.raises(StorageError, match="slot map"):
+            ShardedTransactionManager(num_shards=4, data_dir=tmp_path)
+        with pytest.raises(StorageError, match="slot map"):
+            ShardedTransactionManager.open(tmp_path)
+        assert sorted(p.name for p in tmp_path.rglob("*")) == before
+
+    def test_stray_shard_directory_is_rejected(self, tmp_path):
+        smgr = make_durable(tmp_path)
+        smgr.close()
+        shard_dir(tmp_path, 7).mkdir()
+        with pytest.raises(StorageError, match="shard-07"):
+            ShardedTransactionManager.open(tmp_path)
+
+    def test_legacy_schema_without_slot_map_gets_uniform_default(
+        self, tmp_path
+    ):
+        smgr = make_durable(tmp_path)
+        smgr.close()
+        path = schema_path(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["slot_map"]
+        del payload["slot_epoch"]
+        path.write_text(json.dumps(payload))
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.epoch == 0
+        assert list(reopened.slot_map.slots) == [s % 4 for s in range(NUM_SLOTS)]
+        assert scan_all(reopened, "A") == EXPECTED
+        reopened.close()
+
+
+# ------------------------------------------- review-hardening regressions
+
+
+class TestLegacyRoutingRehome:
+    def test_legacy_misrouted_rows_are_rehomed_not_deleted(self, tmp_path):
+        """An epoch-0 reopen must treat a key sitting on the 'wrong' shard
+        as legacy-routing damage (pre-slot-map modulo / crc placement) and
+        move it to its slot-map home — never silently delete it.  A fork
+        twin (the key also exists at its home, the historical int/float
+        aliasing bug) keeps the reachable copy untouched."""
+        from repro.core.durability import encode_commit_record
+        from repro.core.write_set import WriteSet
+        from repro.storage.wal import KIND_TXN_COMMIT, WriteAheadLog
+
+        smgr = make_durable(tmp_path)
+        last_ts = max(s.context.last_cts("g") for s in smgr.shards)
+        smgr.close()
+        # Simulate historical placement: key 1000 (slot-map home: shard 0)
+        # committed on shard 2, and a fork of key 5 (home: shard 1, where
+        # value 55 already lives) committed on shard 3.
+        for shard, key, value in ((2, 1000, "legacy"), (3, 5, "forked-twin")):
+            ws = WriteSet()
+            ws.upsert(key, value)
+            wal = WriteAheadLog(
+                ShardedTransactionManager.commit_wal_path(tmp_path, shard),
+                sync=True,
+            )
+            wal.append(
+                KIND_TXN_COMMIT,
+                encode_commit_record(900_000 + shard, last_ts, {"A": ws}),
+            )
+            wal.close()
+
+        reopened = ShardedTransactionManager.open(tmp_path)
+        report = reopened.last_recovery
+        assert reopened.shard_of(1000) == 0
+        assert report.keys_rehomed == 1  # key 1000 moved, fork NOT rehomed
+        assert report.stale_keys_purged == 2  # both wrong-shard copies gone
+        with reopened.snapshot() as view:
+            assert view.get("A", 1000) == "legacy"  # moved, not lost
+            assert view.get("A", 5) == 55  # reachable fork copy untouched
+        assert {k for k, _ in reopened.table(2, "A").scan_live()}.isdisjoint(
+            {1000}
+        )
+        reopened.close()
+
+
+class TestHuskCompactionWatermark:
+    def test_husk_shard_does_not_pin_coordinator_log_compaction(self, tmp_path):
+        """A merged-away (slot-less) shard's frozen checkpoint timestamp
+        must not hold every later 2PC decision in the coordinator log."""
+        smgr = make_durable(tmp_path)
+        smgr.merge_shard(3, 1)
+        # a cross-shard decision strictly after the husk froze
+        with smgr.transaction() as txn:
+            smgr.write(txn, "A", 0, "x")  # shard 0
+            smgr.write(txn, "A", 2, "y")  # shard 2
+        assert len(smgr.coordinator_log) == 1
+        # advance every *active* shard past the decision, then cut
+        for key in (0, 1, 2):
+            with smgr.transaction() as txn:
+                smgr.write(txn, "A", key, "z")
+        smgr.checkpoint(parallel=False)
+        assert len(smgr.coordinator_log) == 0
+        smgr.close()
+
+
+class TestFlipDurabilityFailure:
+    def test_failed_flip_fsync_fences_the_manager(self, tmp_path):
+        """If the flip record's durability cannot be confirmed, the
+        on-disk routing state is uncertain: the manager must fence (no
+        further commits could survive a reopen that resolves post-flip)
+        and the reopen must land on a consistent pre- or post-split
+        state."""
+        from repro.errors import WALError
+
+        smgr = make_durable(tmp_path)
+
+        def boom(flip):
+            raise WALError("injected flip fsync failure")
+
+        smgr.coordinator_log.log_slot_flip = boom
+        with pytest.raises(WALError):
+            smgr.split_shard(0)
+        assert smgr.fenced
+        with pytest.raises(StorageError):
+            with smgr.transaction() as txn:
+                smgr.write(txn, "A", 0, "refused")
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.slot_map.epoch == 0  # nothing was written: pre-split
+        assert scan_all(reopened, "A") == EXPECTED
+        reopened.close()
+
+    def test_log_slot_flip_wait_failure_leaves_no_phantom_flip(self, tmp_path):
+        """A flip whose batched fsync wait fails must not linger in the
+        in-memory flip table — a later compact() rewrite would durably
+        persist a flip the migration reported as failed."""
+        from repro.core import SlotFlip
+        from repro.errors import WALError
+        from repro.recovery.sharded import CoordinatorLog
+
+        log = CoordinatorLog(tmp_path / "coordinator.log")
+
+        def failing_wait(seq, timeout=None):
+            raise WALError("injected wait failure")
+
+        log._daemon.wait_durable = failing_wait
+        with pytest.raises(WALError):
+            log.log_slot_flip(SlotFlip(1, {0: 1}))
+        assert log.slot_flips() == []
+        # a compaction rewrite after the failure re-persists no phantom
+        log.compact(10**9)
+        assert CoordinatorLog._read_log(tmp_path / "coordinator.log")[1] == {}
+
+
+def test_num_shards_beyond_slot_space_is_rejected():
+    with pytest.raises(ValueError, match="slot space"):
+        ShardedTransactionManager(num_shards=NUM_SLOTS + 1)

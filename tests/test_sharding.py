@@ -8,17 +8,27 @@ live afterwards (no leaked latches, locks or validation sections).
 
 from __future__ import annotations
 
+import threading
+from decimal import Decimal
+from fractions import Fraction
+
 import pytest
 
 from helpers import PROTOCOLS
 
 from repro.core import (
+    NUM_SLOTS,
     ShardedTransactionManager,
+    SlotFlip,
+    SlotMap,
     TxnStatus,
     shard_of_key,
+    slot_of_key,
 )
 from repro.errors import (
+    ABORT_REBALANCE,
     InvalidTransactionState,
+    StorageError,
     TransactionAborted,
     WriteConflict,
 )
@@ -114,6 +124,227 @@ class TestRouting:
             keys = [k for k, _ in table.scan_live()]
             assert keys, f"shard {shard} got no rows"
             assert all(k % 4 == shard for k in keys)
+
+    def test_equal_numeric_keys_always_co_locate(self):
+        """Property over the numeric tower: every representation of the
+        same integral value is ONE dict key, so it must be ONE routing
+        key.  Pinned because the seed code routed ``2`` by ``key % N`` but
+        ``2.0`` by ``crc32(repr)``, silently forking a key's version
+        history across two shards."""
+        values = [0, 1, 2, 7, 63, 255, 256, 257, 4096, -1, -5, -256, 2**40]
+        for value in values:
+            variants = [value, float(value), Decimal(value), Fraction(value, 1)]
+            if value in (0, 1):
+                variants.append(bool(value))
+            if value == 2:
+                variants.append(complex(2, 0))
+            # they really are one dict key...
+            assert len({hash(v) for v in variants}) == 1
+            for num_shards in (1, 2, 4, 8):
+                homes = {shard_of_key(v, num_shards) for v in variants}
+                slots = {slot_of_key(v) for v in variants}
+                assert len(homes) == 1, (value, num_shards, homes)
+                assert len(slots) == 1, (value, slots)
+        # non-integral floats stay off the integer routing but are stable
+        assert shard_of_key(2.5, 8) == shard_of_key(2.5, 8)
+        for weird in (float("nan"), float("inf"), -float("inf")):
+            assert 0 <= shard_of_key(weird, 8) < 8
+
+    def test_int_float_aliasing_end_to_end(self):
+        """A value written under ``2`` must be readable as ``2.0`` — the
+        per-shard tables treat them as the same key, so routing must too."""
+        smgr = make_sharded("mvcc")
+        with smgr.transaction() as txn:
+            smgr.write(txn, "acct", 2, "as-int")
+        with smgr.snapshot() as view:
+            assert view.get("acct", 2.0) == "as-int"
+            assert view.get("acct", Decimal(2)) == "as-int"
+        with smgr.transaction() as txn:
+            smgr.write(txn, "acct", 7.0, "as-float")
+        with smgr.snapshot() as view:
+            assert view.get("acct", 7) == "as-float"
+
+
+class TestSlotMap:
+    def test_uniform_map_composes_to_modulo(self):
+        """For shard counts dividing the slot space the slot composition
+        must reproduce the historical ``key % num_shards`` routing —
+        that is what keeps residue-class shard targeting working."""
+        for num_shards in (1, 2, 4, 8, 16):
+            smap = SlotMap.uniform(num_shards)
+            for key in list(range(-300, 300, 7)) + [2**40, -(2**40)]:
+                assert smap.shard_of(key) == key % num_shards
+                assert shard_of_key(key, num_shards) == key % num_shards
+
+    def test_full_domain_in_range_for_any_shard_count(self):
+        for num_shards in (1, 2, 3, 4, 5, 7, 8):
+            smap = SlotMap.uniform(num_shards)
+            for key in (-1, -2, -7, -8, -(10**9), -(2**63), 0, 3, 2**63, "s"):
+                assert 0 <= smap.shard_of(key) < num_shards
+
+    def test_apply_flip_is_a_new_value(self):
+        smap = SlotMap.uniform(4)
+        flip = SlotFlip(1, {0: 3, 4: 3})
+        flipped = smap.apply(flip)
+        assert flipped.epoch == 1 and smap.epoch == 0
+        assert flipped.owner(0) == 3 and smap.owner(0) == 0
+        assert flipped.slots_of(3) == sorted(smap.slots_of(3) + [0, 4])
+        with pytest.raises(ValueError):
+            smap.apply(SlotFlip(2, {NUM_SLOTS: 1}))
+
+    def test_split_default_halves_compose_to_uniform_double(self):
+        """Splitting every shard of a uniform N map (default halves) must
+        yield exactly the uniform 2N map — post-split routing equals a
+        fleet that started at 2N shards."""
+        smgr = ShardedTransactionManager(num_shards=4)
+        smgr.create_table("A")
+        for source in range(4):
+            smgr.split_shard(source)
+        assert list(smgr.slot_map.slots) == [s % 8 for s in range(NUM_SLOTS)]
+
+
+class TestOnlineSplitVolatile:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_split_preserves_state_and_routing(self, protocol):
+        smgr = make_sharded(protocol, rows=64)
+        target = smgr.split_shard(1)
+        assert target == 4 and smgr.num_shards == 5
+        with smgr.snapshot() as view:
+            assert {k: view.get("acct", k) for k in range(64)} == {
+                k: 100 for k in range(64)
+            }
+            assert dict(view.scan("acct")) == {k: 100 for k in range(64)}
+        # the moved keys now live on the target partition; the source
+        # backend dropped them (its in-memory version arrays keep a frozen
+        # stale copy for in-flight readers — unreachable via routing)
+        moved = [k for k, _ in smgr.table(target, "acct").scan_live()]
+        assert moved and all(smgr.shard_of(k) == target for k in moved)
+        src_backend_keys = {
+            smgr.table(1, "acct").key_codec.decode(kb)
+            for kb, _ in smgr.table(1, "acct").backend.scan()
+        }
+        assert not set(moved) & src_backend_keys
+        # new writes route to the new owner and commit normally
+        key = moved[0]
+        with smgr.transaction() as txn:
+            smgr.write(txn, "acct", key, 777)
+        with smgr.snapshot() as view:
+            assert view.get("acct", key) == 777
+
+    def test_merge_moves_everything_back(self):
+        smgr = make_sharded("mvcc", rows=64)
+        target = smgr.split_shard(0)
+        assert smgr.merge_shard(target, 0) == 32  # half of shard 0's 64 slots
+        assert smgr.slot_map.slots_of(target) == []
+        assert list(smgr.table(target, "acct").backend.scan()) == []
+        with smgr.snapshot() as view:
+            assert dict(view.scan("acct")) == {k: 100 for k in range(64)}
+
+    def test_in_flight_writer_aborts_retryably_across_flip(self):
+        smgr = make_sharded("mvcc", rows=64)
+        txn = smgr.begin()
+        # buffer a write for every key of shard 0 — some of its slots move
+        for key in range(0, 64, 4):
+            smgr.write(txn, "acct", key, "stale-route")
+        smgr.split_shard(0)
+        with pytest.raises(TransactionAborted) as excinfo:
+            smgr.commit(txn)
+        assert excinfo.value.reason == ABORT_REBALANCE
+        assert txn.status is TxnStatus.ABORTED
+        assert smgr.stats()["rebalance_aborts"] == 1
+        # the standard retry loop lands on the new owners
+        def work(txn):
+            for key in range(0, 64, 4):
+                smgr.write(txn, "acct", key, "fresh-route")
+        smgr.run_transaction(work)
+        with smgr.snapshot() as view:
+            assert all(view.get("acct", k) == "fresh-route" for k in range(0, 64, 4))
+
+    def test_child_is_stamped_with_the_routing_decision_epoch(self):
+        """The epoch stamped on a fresh child must be the one of the map
+        that made the routing decision, not the live epoch at creation
+        time — a flip between the two would otherwise brand a misrouted
+        child as current and the commit gate's fast path would wave its
+        writes through (lost update)."""
+        smgr = make_sharded("mvcc")
+        txn = smgr.begin()
+        stale_epoch = smgr.slot_map.epoch
+        # simulate a flip landing between shard_of() and _child()
+        smgr.split_shard(0)
+        child = smgr._child(txn, 0, stale_epoch)
+        assert child.route_epoch == stale_epoch != smgr.slot_map.epoch
+        # a write buffered through that child for a key whose slot moved
+        # (key 4: the default split moves every second owned slot) is
+        # caught by the gate scan
+        smgr.shards[0].write(child, "acct", 4, "misrouted")
+        assert smgr.shard_of(4) != 0
+        with pytest.raises(TransactionAborted) as excinfo:
+            smgr.commit(txn)
+        assert excinfo.value.reason == ABORT_REBALANCE
+
+    def test_unaffected_writer_survives_flip(self):
+        """A transaction whose keys all stay put must NOT abort."""
+        smgr = make_sharded("mvcc", rows=64)
+        txn = smgr.begin()
+        smgr.write(txn, "acct", 1, "other-shard")  # shard 1; split hits shard 0
+        smgr.split_shard(0)
+        smgr.commit(txn)
+        assert txn.status is TxnStatus.COMMITTED
+
+    def test_split_under_concurrent_commit_threads_loses_nothing(self):
+        smgr = make_sharded("mvcc", rows=256)
+        stop = threading.Event()
+        acked: dict[int, int] = {}
+        errors: list[BaseException] = []
+
+        def writer(stripe: int) -> None:
+            local = {}
+            i = 0
+            try:
+                while not stop.is_set():
+                    key = (i * 4 + stripe) % 256
+                    i += 1
+
+                    def work(txn, key=key):
+                        current = smgr.read(txn, "acct", key)
+                        smgr.write(txn, "acct", key, current + 1)
+                        return current + 1
+
+                    local[key] = smgr.run_transaction(work, max_restarts=10_000)
+            except BaseException as exc:
+                errors.append(exc)
+            acked.update(local)
+
+        threads = [threading.Thread(target=writer, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for source in range(4):
+            smgr.split_shard(source)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert smgr.num_shards == 8
+        expected = {k: 100 for k in range(256)}
+        expected.update(acked)
+        with smgr.snapshot() as view:
+            assert dict(view.scan("acct")) == expected
+
+    def test_split_validates_arguments(self, tmp_path):
+        smgr = make_sharded("mvcc")
+        with pytest.raises(ValueError):
+            smgr.split_shard(9)
+        with pytest.raises(ValueError):
+            smgr.split_shard(0, moving=[1])  # slot 1 belongs to shard 1
+        with pytest.raises(ValueError):
+            smgr.merge_shard(2, 2)
+        # wal_dir-only managers cannot persist the flip
+        smgr_wal = ShardedTransactionManager(num_shards=2, wal_dir=tmp_path)
+        try:
+            with pytest.raises(StorageError):
+                smgr_wal.split_shard(0)
+        finally:
+            smgr_wal.close()
 
 
 class TestFastPath:
