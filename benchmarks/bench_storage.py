@@ -97,6 +97,32 @@ def test_absent_key_bloom_short_circuit(benchmark, tmp_path):
     store.close()
 
 
+@pytest.mark.benchmark(group="storage-read")
+def test_miss_heavy_negative_cache(benchmark, tmp_path):
+    """Miss-heavy read mix: repeated probes for absent keys must settle in
+    the cache (negative caching), not re-walk memtables + SSTables —
+    bloom filters already skip most SSTable reads, but only the cached
+    ``absent`` verdict also skips the probabilistic check itself."""
+    store = LSMStore(tmp_path, LSMOptions(sync=False, cache_capacity=1024))
+    for i in range(ROWS):
+        store.put(KEY(i).encode(), VALUE)
+    store.flush()
+    # 32 absent keys probed over and over: after one cold round every
+    # further lookup is a negative cache hit.
+    absent = [KEY(ROWS + i).encode() + b"-absent" for i in range(32)]
+    counter = iter(range(10_000_000))
+
+    def read_absent_working_set():
+        return store.get(absent[next(counter) % len(absent)])
+
+    result = benchmark(read_absent_working_set)
+    assert result is None
+    stats = store.stats
+    assert stats.extra.get("negative_inserts", 0) >= len(absent)
+    assert stats.extra.get("negative_hits", 0) > stats.extra["negative_inserts"]
+    store.close()
+
+
 @pytest.mark.benchmark(group="storage-scan")
 def test_range_scan(benchmark, tmp_path):
     store = LSMStore(tmp_path, LSMOptions(sync=False))

@@ -54,7 +54,7 @@ from .sharding import (
     shard_of_key,
 )
 from .slots import NUM_SLOTS, SlotFlip, SlotMap, integral_key, slot_of_key
-from .snapshot import SnapshotView
+from .snapshot import GlobalSnapshot, SnapshotCoordinator, SnapshotView
 from .table import StateTable
 from .timestamps import INF_TS, ZERO_TS, AtomicBitmask, TimestampOracle
 from .transactions import StateFlag, Transaction, TxnStatus
@@ -80,6 +80,7 @@ __all__ = [
     "GCPolicy",
     "GCReport",
     "GarbageCollector",
+    "GlobalSnapshot",
     "GroupCommitCoordinator",
     "GroupFsyncDaemon",
     "GroupInfo",
@@ -107,6 +108,7 @@ __all__ = [
     "ShardedSnapshotView",
     "ShardedTransaction",
     "ShardedTransactionManager",
+    "SnapshotCoordinator",
     "SnapshotView",
     "StateContext",
     "StateFlag",

@@ -79,7 +79,18 @@ class BOCCProtocol(ConcurrencyControl):
             if entry is not None:
                 return None if entry.kind is WriteKind.DELETE else entry.value
         txn.read_set_for(state_id).record(key)
-        version = self.table(state_id).read_live(key)
+        table = self.table(state_id)
+        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
+            # Sharded child: read at the barrier-capped pin so a
+            # cross-shard commit mid phase two is never half-visible.  The
+            # read set is still recorded — backward validation stays
+            # exactly as before (per shard), so any commit this capped
+            # read missed still invalidates the transaction at commit
+            # time; the cap only makes the *observed* prefix atomic.
+            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
+            version = table.read_version_at(key, ts)
+        else:
+            version = table.read_live(key)
         return version.value if version is not None else None
 
     def scan(
@@ -90,7 +101,13 @@ class BOCCProtocol(ConcurrencyControl):
         read_set = txn.read_set_for(state_id)
         write_set = txn.write_sets.get(state_id)
         own = dict(write_set.entries) if write_set is not None else {}
-        for key, value in table.scan_live(low, high):
+        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
+            # Sharded child: scan at the barrier-capped pin (see read()).
+            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
+            rows = table.scan_at(ts, low, high)
+        else:
+            rows = table.scan_live(low, high)
+        for key, value in rows:
             read_set.record(key)
             entry = own.pop(key, None)
             if entry is None:

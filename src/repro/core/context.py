@@ -72,6 +72,13 @@ class StateContext:
         #: Optional persistence hook: called as ``hook(group_id, last_cts)``
         #: after every group commit (attached by the recovery layer).
         self._persist_hook: Callable[[str, int], None] | None = None
+        #: Optional override for the GC horizon (attached by the sharded
+        #: manager when the global snapshot service is on): a cross-shard
+        #: reader's capped pin can be *older* than anything this context
+        #: knows — the cap derives from a sibling shard's pin or from the
+        #: snapshot coordinator's barrier — so the horizon must span every
+        #: shard plus the barrier, not just the local active set.
+        self.horizon_hook: Callable[[], int] | None = None
 
     # ----------------------------------------------------------- registries
 
@@ -190,6 +197,16 @@ class StateContext:
         eligible for garbage collection.  With no active transactions this
         is the current clock value (everything superseded is collectable).
 
+        On a sharded manager with global snapshots the horizon spans every
+        shard (``horizon_hook``); standalone contexts use the local scan.
+        """
+        if self.horizon_hook is not None:
+            return self.horizon_hook()
+        return self.local_oldest_active_version()
+
+    def local_oldest_active_version(self) -> int:
+        """This context's own horizon contribution.
+
         Runs on every writing commit (the GC horizon), so the scan is
         allocation-free: both the pinned snapshots and the begin timestamp
         bound what a transaction may still read (conservative horizon).
@@ -223,11 +240,23 @@ class StateContext:
         is applied: when the new group overlaps an already-pinned group with
         an older pinned version, the older version wins, guaranteeing that
         the combined view corresponds to one global prefix of commits.
+
+        Sharded children additionally cap every pin at the global
+        cross-shard barrier — the frozen vector cap once the parent touched
+        a second shard, else the live barrier from the snapshot
+        coordinator — so no pin ever admits a cross-shard commit that is
+        only partially published (see
+        :class:`~repro.core.snapshot.SnapshotCoordinator`).
         """
         pinned = txn.read_cts.get(group_id)
         if pinned is not None:
             return pinned
         ts = self.group(group_id).last_cts
+        cap = txn.snapshot_cap
+        if cap is None and txn.snapshot_guard is not None:
+            cap = txn.snapshot_guard.barrier()
+        if cap is not None and cap < ts:
+            ts = cap
         for other_gid, other_ts in txn.read_cts.items():
             if other_ts < ts and self.groups_overlap(group_id, other_gid):
                 ts = other_ts

@@ -20,6 +20,12 @@ Operation semantics, following the paper closely:
   group ``LastCTS`` — the atomic visibility flip.
 * **abort** — clear the write set; nothing ever reached the table, so no
   undo is needed.
+
+On a sharded child transaction the pin itself is additionally capped at
+the global cross-shard barrier inside
+:meth:`~repro.core.context.StateContext.pin_snapshot` (see
+:class:`~repro.core.snapshot.SnapshotCoordinator`), so MVCC honours the
+global snapshot vector with no change to its read path.
 """
 
 from __future__ import annotations

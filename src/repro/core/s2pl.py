@@ -79,7 +79,17 @@ class S2PLProtocol(ConcurrencyControl):
                 return None if entry.kind is WriteKind.DELETE else entry.value
         self._lock(txn, _table_resource(state_id), LockMode.IS)
         self._lock(txn, _key_resource(state_id, key), LockMode.S)
-        version = self.table(state_id).read_live(key)
+        table = self.table(state_id)
+        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
+            # Sharded child: read at the pinned ReadCTS, which pin_snapshot
+            # caps at the global cross-shard barrier — a cross-shard commit
+            # mid phase two is invisible here even though its locks on
+            # *this* shard were already released.  The S lock is still
+            # taken (strict 2PL writers serialise against it as before).
+            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
+            version = table.read_version_at(key, ts)
+        else:
+            version = table.read_live(key)
         return version.value if version is not None else None
 
     def scan(
@@ -90,7 +100,13 @@ class S2PLProtocol(ConcurrencyControl):
         table = self.table(state_id)
         write_set = txn.write_sets.get(state_id)
         own = dict(write_set.entries) if write_set is not None else {}
-        for key, value in table.scan_live(low, high):
+        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
+            # Sharded child: scan at the barrier-capped pin (see read()).
+            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
+            rows = table.scan_at(ts, low, high)
+        else:
+            rows = table.scan_live(low, high)
+        for key, value in rows:
             entry = own.pop(key, None)
             if entry is None:
                 yield key, value

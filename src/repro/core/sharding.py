@@ -35,12 +35,26 @@ still acquired in client order on each shard; a lock cycle spanning two
 shards is invisible to the per-shard deadlock detectors and is resolved by
 the lock timeout — prefer MVCC/BOCC for cross-shard-heavy workloads.)
 
-Known relaxation: snapshots are per-shard.  A single-shard reader gets the
-same snapshot isolation as the unsharded manager; a cross-shard reader pins
-one snapshot per shard, which may interleave with a concurrent cross-shard
-commit (analogous to a client reading two partitions of a distributed
-store without a global snapshot service).  Cross-shard *writes* are
-all-or-nothing.
+Cross-shard snapshot consistency (the global snapshot service): a
+cross-shard 2PC decision publishes per-shard ``LastCTS`` one shard at a
+time, so per-shard snapshot pins alone could land between two publishes
+and observe half of an atomic transaction.  The manager therefore owns a
+:class:`~repro.core.snapshot.SnapshotCoordinator` that registers every
+cross-shard commit timestamp from draw to last publish and exposes a
+*barrier* — the newest timestamp at which no cross-shard commit is
+mid-apply.  Every sharded child transaction caps its snapshot pins at the
+live barrier, and on first touch of a **second** shard the transaction
+freezes a :class:`~repro.core.snapshot.GlobalSnapshot` cap (the minimum of
+the barrier and every pin already taken) that all shards then read at —
+one global ReadCTS vector, acquired lazily so the single-shard fast path
+stays allocation-free.  Cross-shard transactions are thus either entirely
+visible or entirely invisible to every reader; cross-shard *writes* were
+already all-or-nothing.  Interaction with rebalancing: slot migration
+hands over only the newest committed version per key, so a snapshot
+pinned *before* a split that reads a moved key *after* the flip still sees
+it as of the handover version or absent (the pinned-snapshot relaxation
+of :meth:`ShardedTransactionManager.split_shard`); vectors acquired after
+the flip are unaffected.
 
 Durable mode (``data_dir=``): every shard becomes durable end-to-end.  Each
 shard owns an :class:`~repro.storage.lsm.LSMStore` directory per state
@@ -102,6 +116,7 @@ from .isolation import IsolationLevel
 from .manager import TransactionManager
 from .protocol import PreparedCommit
 from .slots import SlotFlip, SlotMap, slot_of_key
+from .snapshot import GlobalSnapshot, SnapshotCoordinator
 from .table import StateTable
 from .timestamps import TimestampOracle
 from .transactions import Transaction, TxnStatus
@@ -187,6 +202,7 @@ class ShardedTransaction:
         "declared_states",
         "isolation",
         "restarts",
+        "snapshot_cap",
     )
 
     def __init__(
@@ -204,6 +220,9 @@ class ShardedTransaction:
         self.declared_states = list(declared_states or [])
         self.isolation = isolation
         self.restarts = 0
+        #: Frozen global-snapshot cap, acquired lazily on first touch of a
+        #: second shard (``None`` while the transaction is single-shard).
+        self.snapshot_cap: int | None = None
 
     def shards(self) -> list[int]:
         """Ascending indices of the shards this transaction touched."""
@@ -250,7 +269,7 @@ class ShardedTransaction:
 
 
 class ShardedSnapshotView:
-    """Read-only view over every shard (per-shard snapshot pinning)."""
+    """Read-only view over every shard, capped at the global barrier."""
 
     def __init__(self, manager: "ShardedTransactionManager", txn: ShardedTransaction) -> None:
         self._manager = manager
@@ -274,11 +293,30 @@ class ShardedSnapshotView:
         return self._manager.scan(self._txn, state_id, low, high)
 
     def pinned_snapshots(self) -> dict[int, dict[str, int]]:
-        """Shard index -> (group id -> pinned ReadCTS), diagnostics."""
-        return {
-            idx: dict(child.read_cts)
-            for idx, child in self._txn.children.items()
-        }
+        """Shard index -> (group id -> pinned ReadCTS), diagnostics.
+
+        ``pin_snapshot`` inserts into a child's ``read_cts`` without the
+        context lock (see :meth:`StateContext.oldest_active_version` for the
+        same hazard), and a concurrent read may also add a child — so a
+        stats poll racing the owning client thread can hit CPython's
+        ``RuntimeError: dictionary changed size during iteration``.  Retry
+        until a consistent copy lands; both dicts only ever grow, so the
+        retry terminates as soon as the racing insert finishes.
+        """
+        while True:
+            try:
+                return {
+                    idx: dict(child.read_cts)
+                    for idx, child in self._txn.children.items()
+                }
+            except RuntimeError:
+                continue
+
+    def global_snapshot(self) -> "GlobalSnapshot":
+        """The transaction's :class:`~repro.core.snapshot.GlobalSnapshot`:
+        the frozen cross-shard cap (``None`` while single-shard) plus the
+        per-shard ReadCTS vector enforced on the read path."""
+        return GlobalSnapshot(self._txn.snapshot_cap, self.pinned_snapshots())
 
 
 #: Upper bound on the worker pools used for all-shards maintenance
@@ -579,11 +617,13 @@ class ShardedTransactionManager:
         durability: str = DURABILITY_SYNC,
         fsync_max_batch: int = 128,
         fsync_batch_window: float = 0.0,
+        fsync_window_auto: bool = False,
         checkpoint_interval: int = 4096,
         checkpoint_mode: str = "background",
         checkpoint_flush_timeout: float | None = 30.0,
         coordinator_batching: bool = True,
         lsm_options: LSMOptions | None = None,
+        global_snapshots: bool = True,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
@@ -606,6 +646,10 @@ class ShardedTransactionManager:
         self._gc_interval = gc_interval
         self._fsync_max_batch = fsync_max_batch
         self._fsync_batch_window = fsync_batch_window
+        #: ``commit_delay`` auto-tune: each shard daemon adapts its dwell to
+        #: the observed commit arrival rate (see
+        #: :meth:`GroupFsyncDaemon._observe_arrival`).
+        self._fsync_window_auto = fsync_window_auto
         self._protocol_kwargs = dict(protocol_kwargs)
         #: state id -> adapted backend factory (``None`` = default), so a
         #: split can create the new shard's partitions the same way
@@ -640,6 +684,15 @@ class ShardedTransactionManager:
         self.lsm_options = lsm_options or LSMOptions(sync=False)
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
+        #: Global snapshot service (see the module docstring): registers
+        #: every cross-shard commit from timestamp draw to last per-shard
+        #: publish and hands readers the barrier their snapshot pins are
+        #: capped at.  ``global_snapshots=False`` restores the historical
+        #: per-shard pinning (the fractured-read window) for regression
+        #: tests and benchmarks.
+        self.snapshot_coordinator: SnapshotCoordinator | None = (
+            SnapshotCoordinator(self.oracle) if global_snapshots else None
+        )
         # Adopt-or-create the persisted catalog BEFORE any on-disk side
         # effect.  Adopting (instead of clobbering) protects the state and
         # group definitions against a crash between this constructor and
@@ -735,6 +788,7 @@ class ShardedTransactionManager:
                 mode=durability,
                 max_batch=fsync_max_batch,
                 batch_window=fsync_batch_window,
+                auto_tune_window=fsync_window_auto,
             )
             if effective_wal_dir is not None
             else None
@@ -769,6 +823,15 @@ class ShardedTransactionManager:
         # owns them.
         for idx, shard in enumerate(self.shards):
             shard.protocol.commit_gate = self._make_commit_gate(idx)
+        # With global snapshots on, a shard's GC must respect the *global*
+        # horizon: a cross-shard reader's capped pin can be older than any
+        # pin or begin timestamp the local context knows (the cap derives
+        # from a sibling shard's pin or from the coordinator barrier), so
+        # purging by the local horizon alone would destroy versions a
+        # capped read still resolves (see :meth:`_global_horizon`).
+        if self.snapshot_coordinator is not None:
+            for shard in self.shards:
+                shard.context.horizon_hook = self._global_horizon
         # Durable-mode plumbing: per-shard LastCTS write-through stores, the
         # global 2PC outcome log, and the persisted schema catalog.
         # (Imported lazily: repro.recovery depends on repro.core.)
@@ -795,6 +858,11 @@ class ShardedTransactionManager:
         self._migrating: set[int] = set()
         #: Serialises migrations (one split/merge at a time).
         self._migration_lock = threading.Lock()
+        #: Worker pool for scatter-gather scans (threads spawn on first
+        #: use, so constructing it is cheap for managers that never scan).
+        self._scan_pool = ThreadPoolExecutor(
+            max_workers=_SHARD_POOL_LIMIT, thread_name_prefix="scatter-scan"
+        )
         if self.data_dir is not None:
             from ..recovery.redo import ContextStore
             from ..recovery.sharded import (
@@ -943,6 +1011,32 @@ class ShardedTransactionManager:
             self._ensure_child_routing(child, idx)
 
         return gate
+
+    def _global_horizon(self) -> int:
+        """Cross-shard GC horizon (installed as every context's
+        ``horizon_hook`` when global snapshots are on).
+
+        Two bounds beyond a shard's local active set:
+
+        * **sibling pins** — a reader active on shard A with pin ``p`` may
+          later touch shard B with its cap clamped to ``p`` (the stale-pin
+          clamp in ``_child``), so B must keep every version visible at
+          ``p``: the min over all shards' local horizons covers it;
+        * **the barrier** — a future first pin is capped at the live
+          barrier, and a fully-published cross-shard commit whose
+          ``complete()`` has not run yet holds the barrier below its
+          timestamp *after* its children deregistered, so the barrier term
+          cannot be inferred from active transactions alone.
+
+        Any later pin is ≥ this value (pins only derive from existing pins
+        and barriers, both covered), so versions above it are never purged
+        out from under a capped read.
+        """
+        horizon = min(
+            shard.context.local_oldest_active_version() for shard in self.shards
+        )
+        barrier = self.snapshot_coordinator.barrier()
+        return barrier if barrier < horizon else horizon
 
     def _ensure_child_routing(self, child: Transaction, idx: int) -> None:
         """Abort a writer whose buffered keys a slot flip has re-homed.
@@ -1112,6 +1206,39 @@ class ShardedTransactionManager:
             child.route_epoch = (
                 self.slot_map.epoch if route_epoch is None else route_epoch
             )
+            guard = self.snapshot_coordinator
+            if guard is not None:
+                # Every sharded child caps its pins at the live cross-shard
+                # barrier (guard), so even the reads taken *before* the
+                # vector is acquired can never admit a half-published
+                # cross-shard commit.
+                child.snapshot_guard = guard
+                if txn.children and txn.snapshot_cap is None:
+                    # Second shard touched: acquire the global snapshot
+                    # vector lazily (the single-shard fast path never gets
+                    # here).  Start from the live barrier and clamp to an
+                    # earlier pin only when that shard-group has published
+                    # commits *past* the pin — a pin its group never moved
+                    # beyond is compatible with any newer snapshot, so a
+                    # quiet first shard does not drag the vector (and with
+                    # it the freshness of every other shard) backwards.
+                    # Read order is load-bearing, mirroring barrier(): the
+                    # barrier is read FIRST, so any cross-shard commit it
+                    # admits completed — fully published — before the pin
+                    # staleness check below, and a pin it bypassed would
+                    # show as stale and clamp the cap.  The children are
+                    # driven by one client thread, so iterating their pins
+                    # here is race-free.
+                    cap = guard.barrier()
+                    for idx, sibling in txn.children.items():
+                        context = self.shards[idx].context
+                        for gid, ts in sibling.read_cts.items():
+                            if ts < cap and context.last_cts(gid) > ts:
+                                cap = ts
+                    txn.snapshot_cap = cap
+                    for sibling in txn.children.values():
+                        sibling.snapshot_cap = cap
+                child.snapshot_cap = txn.snapshot_cap
             txn.children[shard] = child
         return child
 
@@ -1159,22 +1286,31 @@ class ShardedTransactionManager:
         migration's install window overlaps a lazily-consumed scan.  The
         per-row cost is one modulo+index for integer keys (every
         benchmark workload); only non-numeric keys pay a CRC.
+
+        Scatter-gather: touching every shard acquires the global snapshot
+        vector (see :meth:`_child`), then each shard's partition is
+        materialised at that vector on the scan worker pool and the sorted
+        runs are heap-merged — a consistent cross-shard analytics read.
         """
         txn.ensure_active()
         smap = self.slot_map
-        parts = [
-            self.shards[idx].scan(
-                self._child(txn, idx, smap.epoch), state_id, low, high
-            )
-            for idx in range(self.num_shards)
+        # Children are created sequentially on the caller's thread (the
+        # children dict and the lazy vector acquisition are not
+        # thread-safe); only the per-shard scan+filter work fans out.
+        children = [
+            self._child(txn, idx, smap.epoch) for idx in range(self.num_shards)
         ]
 
-        def owned(part: Iterator[tuple[Any, Any]], idx: int) -> Iterator[tuple[Any, Any]]:
-            for key, value in part:
-                if smap.shard_of(key) == idx:
-                    yield key, value
+        def materialise(idx: int) -> list[tuple[Any, Any]]:
+            part = self.shards[idx].scan(children[idx], state_id, low, high)
+            return [kv for kv in part if smap.shard_of(kv[0]) == idx]
 
-        filtered = [owned(part, idx) for idx, part in enumerate(parts)]
+        if self.num_shards == 1:
+            filtered = [materialise(0)]
+        else:
+            filtered = list(
+                self._scan_pool.map(materialise, range(self.num_shards))
+            )
         return _heap_merge(*filtered, key=lambda kv: kv[0])
 
     # txn ending ----------------------------------------------------------
@@ -1355,6 +1491,15 @@ class ShardedTransactionManager:
                 shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
                 committed.add(idx)
                 shard.gc.notify_commit(shard.tables())
+            # Every participant has published commit_ts into its LastCTS
+            # (commit_prepared is synchronous through the publish), so the
+            # commit is now atomically visible: release the snapshot
+            # barrier.  On ANY phase-two failure this line is never
+            # reached and the timestamp stays registered forever — the
+            # barrier stays pinned below it, keeping the partial apply
+            # invisible to every capped reader (see SnapshotCoordinator).
+            if self.snapshot_coordinator is not None:
+                self.snapshot_coordinator.complete(commit_ts)
         except BaseException as exc:
             # Failure mid phase-two (a shard's WAL died after the commit
             # point).  Participants that already committed stay committed;
@@ -1455,20 +1600,35 @@ class ShardedTransactionManager:
     def _sequence_cross_shard(
         self, txn: ShardedTransaction, prepared: list[tuple[int, PreparedCommit]]
     ) -> int:
-        """The 2PC commit point: one timestamp, one record per writing shard."""
+        """The 2PC commit point: one timestamp, one record per writing shard.
+
+        Both timestamp draws below register the commit as in-flight with
+        the snapshot coordinator *atomically with the draw*, so no reader
+        barrier can ever admit a timestamp whose per-shard publishes are
+        still pending.  ``reserve_group_commit`` draws while holding every
+        participant daemon lock; the coordinator lock is a leaf, so the
+        registering facade nests safely inside them.  Reservation
+        *pre-flight* failures raise before the draw and register nothing.
+        """
+        coordinator = self.snapshot_coordinator
         writers = [
             (idx, handle)
             for idx, handle in prepared
             if handle.written and self.daemons[idx] is not None
         ]
         if not writers:
+            if coordinator is not None:
+                return coordinator.begin_commit()
             return self.oracle.next()
         daemons = {idx: self.daemons[idx] for idx, _ in writers}
         bodies = {
             idx: encode_commit_body(txn.txn_id, txn.children[idx].write_sets)
             for idx, _ in writers
         }
-        commit_ts, tickets = reserve_group_commit(daemons, self.oracle, bodies)
+        oracle = (
+            self.oracle if coordinator is None else coordinator.reserve_oracle()
+        )
+        commit_ts, tickets = reserve_group_commit(daemons, oracle, bodies)
         for idx, handle in writers:
             handle.ticket = tickets[idx]
         return commit_ts
@@ -1900,6 +2060,7 @@ class ShardedTransactionManager:
                 mode=self.durability_mode,
                 max_batch=self._fsync_max_batch,
                 batch_window=self._fsync_batch_window,
+                auto_tune_window=self._fsync_window_auto,
             )
         shard = TransactionManager(
             protocol=self.protocol_name,
@@ -1910,6 +2071,8 @@ class ShardedTransactionManager:
             **self._protocol_kwargs,
         )
         shard.protocol.commit_gate = self._make_commit_gate(idx)
+        if self.snapshot_coordinator is not None:
+            shard.context.horizon_hook = self._global_horizon
         template = self.shards[0]
         for state_id in template.context.state_ids():
             src_table = template.table(state_id)
@@ -2335,6 +2498,7 @@ class ShardedTransactionManager:
             store.close()
         if self.coordinator_log is not None:
             self.coordinator_log.close()
+        self._scan_pool.shutdown(wait=False)
 
     def stats(self) -> dict[str, int]:
         """Protocol counters summed over shards + sharded-commit counters."""
@@ -2356,4 +2520,6 @@ class ShardedTransactionManager:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
         if self.checkpoint_daemon is not None:
             totals.update(self.checkpoint_daemon.stats())
+        if self.snapshot_coordinator is not None:
+            totals.update(self.snapshot_coordinator.stats())
         return totals

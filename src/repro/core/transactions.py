@@ -65,6 +65,8 @@ class Transaction:
         "isolation",
         "wal_txn_id",
         "route_epoch",
+        "snapshot_cap",
+        "snapshot_guard",
     )
 
     def __init__(
@@ -107,6 +109,14 @@ class Transaction:
         #: buffered keys a slot flip has since re-homed (see
         #: :data:`repro.errors.ABORT_REBALANCE`).
         self.route_epoch: int | None = None
+        #: Global snapshot vector (both ``None`` on unsharded managers).
+        #: ``snapshot_guard`` is the sharded manager's
+        #: :class:`~repro.core.snapshot.SnapshotCoordinator`; while set,
+        #: every pinned ReadCTS is capped at the live cross-shard barrier.
+        #: ``snapshot_cap`` freezes that cap once the transaction touches a
+        #: second shard, making all shards read at one global vector.
+        self.snapshot_cap: int | None = None
+        self.snapshot_guard = None
 
     # ----------------------------------------------------------- state sets
 

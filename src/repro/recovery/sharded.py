@@ -715,6 +715,32 @@ def recover_sharded(
     report.shards = [info for info, _, _ in outcomes]
     max_seen = max((seen for _, seen, _ in outcomes), default=0)
 
+    # Pass 2.5 — equalise each group's LastCTS to the global maximum
+    # across shards.  Recovery restores only the *newest* version per key
+    # (LSM base tables keep no history), so a shard whose local prefix
+    # ended earlier than its peers must still expose the global prefix:
+    # the global snapshot vector pins reads at the *minimum* of the pinned
+    # shards, and a row whose only restored version carries a timestamp
+    # above that minimum would otherwise vanish from capped reads.  Safe
+    # to raise: ``LastCTS`` is the max a shard ever published, so no shard
+    # holds any commit inside the gap being skipped over.
+    global_cts: dict[str, int] = {}
+    for info in report.shards:
+        for group_id, ts in info.last_cts.items():
+            if ts > global_cts.get(group_id, 0):
+                global_cts[group_id] = ts
+    for idx in shard_ids:
+        shard = manager.shards[idx]
+        merged = {
+            group_id: max(
+                global_cts.get(group_id, 0),
+                shard.context.last_cts(group_id),
+            )
+            for group_id in shard.context.group_ids()
+        }
+        shard.context.restore_last_cts(merged)
+        report.shards[idx].last_cts = merged
+
     # Pass 3 — sequential re-homing of legacy-routed rows (pre-migration
     # data dirs only; pass 2 never produces these once a migration has
     # durably started).  Each row moves to the shard its slot owns —

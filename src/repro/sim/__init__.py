@@ -10,11 +10,13 @@ from .costmodel import CostModel, SimCache
 from .des import Acquire, Delay, Release, Simulator
 from .harness import (
     LiveSplitResult,
+    ScatterGatherScanResult,
     ShardedSimResult,
     SimResult,
     run_benchmark,
     run_crash_recovery_scenario,
     run_live_split_scenario,
+    run_scatter_gather_scan_scenario,
     run_sharded_benchmark,
     sweep_cross_ratio,
     sweep_shards,
@@ -40,6 +42,7 @@ __all__ = [
     "Delay",
     "LiveSplitResult",
     "Release",
+    "ScatterGatherScanResult",
     "SIM_CHECKPOINT_BACKGROUND",
     "SIM_CHECKPOINT_INLINE",
     "SIM_DURABILITY_GROUP",
@@ -58,6 +61,7 @@ __all__ = [
     "run_benchmark",
     "run_crash_recovery_scenario",
     "run_live_split_scenario",
+    "run_scatter_gather_scan_scenario",
     "run_sharded_benchmark",
     "sharded_split",
     "sharded_writer",

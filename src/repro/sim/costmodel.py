@@ -99,6 +99,19 @@ class CostModel:
     migration_freeze_io_us: float = 120.0
     #: rebuilding one row's version-index entry from the base table.
     bootstrap_row_us: float = 0.8
+    # consistent scatter-gather scan (the global-snapshot scenario)
+    #: acquiring the global snapshot vector for a cross-shard read: one
+    #: barrier probe on the snapshot coordinator plus pinning every
+    #: shard's ReadCTS — in-memory, paid once per scan.
+    snapshot_vector_us: float = 1.0
+    #: reading one row out of a shard partition at the pinned snapshot
+    #: (version resolution + ownership filter).  The scatter-gather pool
+    #: overlaps this across shards; the sequential reference pays it for
+    #: every row back-to-back.
+    scan_row_us: float = 0.25
+    #: folding one row through the serial heap merge on the caller thread
+    #: — paid per row in both the parallel and the sequential plan.
+    scan_merge_row_us: float = 0.05
     #: restart-recovery fan-out: shards replay in a bounded worker pool
     #: (``recover_sharded``'s thread pool); 1 models the sequential
     #: reference procedure.  The estimate is the makespan of the

@@ -321,6 +321,67 @@ def sweep_cross_ratio(
 
 
 # --------------------------------------------------------------------------
+# consistent scatter-gather scan scenario
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ScatterGatherScanResult:
+    """Virtual-time pricing of one consistent cross-shard full scan.
+
+    ``parallel_us`` is the scatter-gather plan (global snapshot vector +
+    the per-shard scans overlapped on the pool + the serial heap merge);
+    ``sequential_us`` is the one-shard-after-another reference over the
+    same rows and the same merge.
+    """
+
+    num_shards: int
+    rows: int
+    parallel_us: float
+    sequential_us: float
+
+    @property
+    def speedup(self) -> float:
+        """Sequential / parallel scan time (>1 = scatter-gather wins)."""
+        if self.parallel_us <= 0.0:
+            return 0.0
+        return self.sequential_us / self.parallel_us
+
+
+def run_scatter_gather_scan_scenario(
+    num_shards: int,
+    config: WorkloadConfig | None = None,
+    cost: CostModel | None = None,
+) -> ScatterGatherScanResult:
+    """Price a consistent full scan on ``num_shards`` shards (virtual time).
+
+    Installs the workload's key space into real per-shard partitions (the
+    same slot routing the real engine uses), then compares the
+    scatter-gather plan against the sequential reference via
+    :meth:`~repro.sim.sharded.ShardedSimEnvironment.estimated_scan_us`.
+    The sim exists for the same reason the Figure-4 study runs here: the
+    GIL hides the real pool's parallelism, virtual time does not.
+    """
+    workload = config or WorkloadConfig()
+    env = ShardedSimEnvironment(workload, num_shards, cross_ratio=0.0, cost=cost)
+    commit_ts = env.oracle.next()
+    rows = 0
+    for state_id in workload.states:
+        for key in range(workload.table_size):
+            shard = env.shard_of(key)
+            env.tables[shard][state_id].mvcc_object(key, create=True).install(
+                key, commit_ts, commit_ts
+            )
+            rows += 1
+    return ScatterGatherScanResult(
+        num_shards=num_shards,
+        rows=rows,
+        parallel_us=env.estimated_scan_us(parallel=True),
+        sequential_us=env.estimated_scan_us(parallel=False),
+    )
+
+
+# --------------------------------------------------------------------------
 # crash / recover scenario
 # --------------------------------------------------------------------------
 

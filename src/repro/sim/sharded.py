@@ -235,6 +235,31 @@ class ShardedSimEnvironment:
     def shard_of(self, key: int) -> int:
         return self.slot_map[key % NUM_SLOTS] if self.num_shards > 1 else 0
 
+    def estimated_scan_us(self, parallel: bool = True) -> float:
+        """Virtual-time cost of one consistent full scan over every shard.
+
+        Mirrors :meth:`repro.core.sharding.ShardedTransactionManager.scan`:
+        acquire the global snapshot vector once
+        (``snapshot_vector_us``), read each shard's partition at its
+        pinned timestamp, heap-merge the sorted runs on the caller.
+        ``parallel=True`` prices the scatter-gather pool — the per-shard
+        scans overlap, so the scan term is the *largest* partition
+        (makespan); ``parallel=False`` prices the sequential reference,
+        which pays every partition back-to-back.  The merge is serial in
+        both plans.
+        """
+        per_shard = [
+            sum(len(t.keys()) for t in self.tables[shard].values())
+            for shard in range(self.num_shards)
+        ]
+        total = sum(per_shard)
+        rows_on_path = max(per_shard, default=0) if parallel else total
+        return (
+            self.cost.snapshot_vector_us
+            + rows_on_path * self.cost.scan_row_us
+            + total * self.cost.scan_merge_row_us
+        )
+
     def total_fsyncs(self) -> int:
         return sum(f.fsyncs for f in self.fsync)
 

@@ -147,7 +147,9 @@ class LSMStore(KVStore):
         with self._lock:
             self._wal.append(KIND_DELETE, key)
             self._memtable.delete(key)
-            self._cache.invalidate(key)
+            # A delete *is* a confirmed absence: negative-cache it instead
+            # of just evicting, so post-delete reads stay cache hits.
+            self._cache.put(key, _ABSENT)
             self.stats.deletes += 1
         self._maybe_flush()
 
@@ -178,29 +180,37 @@ class LSMStore(KVStore):
                 self.stats.puts += 1
             for key in deletes:
                 self._memtable.delete(key)
-                self._cache.invalidate(key)
+                self._cache.put(key, _ABSENT)
                 self.stats.deletes += 1
         self._maybe_flush()
 
     # ---------------------------------------------------------------- reads
+
+    def _bump(self, counter: str) -> None:
+        extra = self.stats.extra
+        extra[counter] = extra.get(counter, 0) + 1
 
     def get(self, key: bytes) -> bytes | None:
         self._ensure_open()
         self.stats.gets += 1
         cached = self._cache.get(key, _MISS)
         if cached is not _MISS:
+            if cached is _ABSENT:
+                # Negative-cache hit: the key's absence (tombstone or full
+                # miss) was confirmed earlier and nothing has written it
+                # since — skip the whole probe chain.
+                self._bump("negative_hits")
+                return None
             return cached
         with self._lock:
             value, found = self._memtable.get(key)
             if found:
-                if value is not None:
-                    self._cache.put(key, value)
+                self._cache.put(key, value if value is not None else _ABSENT)
                 return value
             if self._immutable is not None:
                 value, found = self._immutable.get(key)
                 if found:
-                    if value is not None:
-                        self._cache.put(key, value)
+                    self._cache.put(key, value if value is not None else _ABSENT)
                     return value
             for level in sorted(self._tables):
                 # newest table first within a level
@@ -211,9 +221,15 @@ class LSMStore(KVStore):
                     self.stats.sstable_reads += 1
                     value, found = table.get(key)
                     if found:
-                        if value is not None:
-                            self._cache.put(key, value)
+                        self._cache.put(
+                            key, value if value is not None else _ABSENT
+                        )
                         return value
+            # Full miss (every bloom filter said no, or every probe came
+            # back empty): remember the absence so the next read of this
+            # key is one cache hit instead of the same walk.
+            self._cache.put(key, _ABSENT)
+            self._bump("negative_inserts")
         return None
 
     def scan(
@@ -518,3 +534,10 @@ class LSMStore(KVStore):
 
 
 _MISS = object()
+#: Cached *absence*: a key confirmed missing (or deleted) is remembered in
+#: the LRU under this sentinel, so repeated point reads of absent keys —
+#: the hot case for scatter-gather scans probing every shard — answer from
+#: the cache instead of re-walking memtable, bloom filters and SSTables.
+#: Any later put of the key overwrites the sentinel through the normal
+#: write-through path.
+_ABSENT = object()

@@ -283,6 +283,87 @@ class TestGroupFsyncDaemon:
             daemon.submit(KIND_TXN_COMMIT, b"")
 
 
+class TestAutoTuneWindow:
+    """``commit_delay`` auto-tune: the dwell adapts to the arrival rate.
+
+    The estimator is driven directly with synthetic monotonic timestamps
+    so the convergence assertions are deterministic (no sleeps, no real
+    clock).
+    """
+
+    def _daemon(self, tmp_path, **kwargs) -> GroupFsyncDaemon:
+        return GroupFsyncDaemon(
+            WriteAheadLog(tmp_path / "c.wal", sync=False),
+            auto_tune_window=True,
+            **kwargs,
+        )
+
+    def test_bursty_arrivals_converge_to_positive_window(self, tmp_path):
+        daemon = self._daemon(tmp_path, max_batch=128, batch_window_max=0.002)
+        gap = 10e-6  # 10 µs apart: a dense burst worth dwelling for
+        now = 0.0
+        for _ in range(200):
+            daemon._observe_arrival(now)
+            now += gap
+        # EWMA converges to the true gap; target = (max_batch / 2) * gap.
+        expected = (daemon.max_batch / 2) * gap
+        assert daemon.batch_window == pytest.approx(expected, rel=1e-6)
+        assert 0.0 < daemon.batch_window <= daemon.batch_window_max
+        daemon.close()
+
+    def test_steady_sparse_arrivals_converge_to_zero_window(self, tmp_path):
+        daemon = self._daemon(tmp_path, max_batch=128, batch_window_max=0.002)
+        now = 0.0
+        for _ in range(50):
+            daemon._observe_arrival(now)
+            now += 0.01  # 10 ms apart: a dwell could never fill a batch
+        assert daemon.batch_window == 0.0
+        daemon.close()
+
+    def test_regime_shift_retargets_the_window(self, tmp_path):
+        daemon = self._daemon(tmp_path, max_batch=128, batch_window_max=0.002)
+        now = 0.0
+        # Sparse regime first: window closes.
+        for _ in range(50):
+            daemon._observe_arrival(now)
+            now += 0.01
+        assert daemon.batch_window == 0.0
+        # Burst arrives: the EWMA forgets the sparse history and the
+        # window reopens within a bounded number of arrivals.
+        for _ in range(200):
+            daemon._observe_arrival(now)
+            now += 10e-6
+        expected = (daemon.max_batch / 2) * 10e-6
+        assert daemon.batch_window == pytest.approx(expected, rel=1e-3)
+        daemon.close()
+
+    def test_disabled_by_default_leaves_window_untouched(self, tmp_path):
+        daemon = GroupFsyncDaemon(
+            WriteAheadLog(tmp_path / "c.wal", sync=False), batch_window=0.0005
+        )
+        assert not daemon.auto_tune_window
+        for _ in range(5):
+            daemon.submit(KIND_TXN_COMMIT, encode_commit_record(1, 1, {}))
+        assert daemon.batch_window == 0.0005
+        daemon.close()
+
+    def test_sharded_manager_wires_auto_tune_to_every_shard(self, tmp_path):
+        smgr = ShardedTransactionManager(
+            num_shards=2, wal_dir=tmp_path, fsync_window_auto=True
+        )
+        try:
+            assert all(d is not None and d.auto_tune_window for d in smgr.daemons)
+            smgr.create_table("A")
+            for i in range(8):
+                txn = smgr.begin()
+                smgr.write(txn, "A", i, i)
+                smgr.commit(txn)
+            with smgr.snapshot() as view:
+                assert view.get("A", 3) == 3
+        finally:
+            smgr.close()
+
+
 class TestAsyncDurability:
     def test_async_acknowledges_before_durable(self, tmp_path):
         mgr = TransactionManager(
