@@ -1,0 +1,383 @@
+"""Storage maintenance off the commit path: background vs inline LSM builds.
+
+The storage-maintenance-offload study, on the real engine and real files:
+
+* **flush/compaction offload** — writer threads commit 2 KiB rows through
+  a durable 4-shard manager with a deliberately tiny memtable, so every
+  handful of commits seals a memtable and the L0 fills fast enough to
+  cascade size-tiered merges.  In ``storage_maintenance="inline"`` mode
+  the committer that trips the threshold pays the whole SSTable build —
+  and whatever compaction cascade it triggers — inside its own commit
+  call.  In ``"background"`` mode (the default) the tripping writer pays
+  only the seal pivot (memtable swap + WAL sidecar rotate) and the
+  :class:`~repro.storage.maintenance.StorageMaintenanceDaemon` absorbs
+  builds and merges on its worker pool, throttled by the bounded RocksDB
+  style L0 backpressure instead of unbounded inline work.  Measured:
+  per-commit latency percentiles (p50/p95/p99) for both modes, plus the
+  engine's stall counters.
+
+* **scan under a compaction storm** — a store preloaded with dozens of
+  L0 tables runs full range scans while the daemon churns through the
+  backlog.  Every scan must return the exact same row count as the quiet
+  baseline (merges swap tables atomically under the store lock), and the
+  quiet/storm percentiles show what a read pays while maintenance runs.
+
+Device-latency dimension (same rationale as ``bench_commit_tail``): this
+container's file I/O is fast and the single-core GIL adds noise that
+swamps the structure under test, so the offload study also runs with a
+modelled device barrier — a sleep per *SSTable build*, which releases
+the GIL exactly like a real device wait, so background builds genuinely
+overlap the foreground commit stream.  The acceptance assertions run on
+the modelled configuration, where build I/O dominates the tail as it
+does in production — median of paired rounds: ≥2× lower p99 commit
+latency with background maintenance, and write stalls bounded by the
+engine's own accounting (``stall_seconds`` can never exceed what the
+stop/slowdown knobs permit).
+
+Results land in ``BENCH_compaction.json`` (smoke: the ``.smoke.json``
+sidecar; the ratio assertion relaxes — smoke grids are too small for
+stable tails; the bounded-stall and scan-consistency assertions hold in
+every mode).
+
+Run:   pytest benchmarks/bench_compaction.py --benchmark-only -s
+Smoke: pytest benchmarks/bench_compaction.py --benchmark-only -s --smoke
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.core import ShardedTransactionManager
+from repro.storage.lsm import LSMOptions, LSMStore
+from repro.storage.maintenance import StorageMaintenanceDaemon
+import repro.storage.lsm as lsm_mod
+
+from conftest import latency_stats, record_bench, report_lines
+
+NUM_SHARDS = 4
+WRITERS = 4
+TXNS_PER_WRITER = 400
+SMOKE_TXNS_PER_WRITER = 80
+#: Per-commit payload bulk: with ``MEMTABLE_BYTES`` below, every ~7
+#: commits per shard seal a memtable — the write-heavy small-memtable
+#: regime where maintenance placement decides the tail.
+PAD = "x" * 2048
+MEMTABLE_BYTES = 16 * 1024
+
+#: Backpressure knobs for the offload study: slowdown early and hard-stop
+#: late, so the daemon is throttled into equilibrium by brief sleeps and
+#: the expensive park (bounded by ``stall_timeout``) stays a last resort.
+L0_SLOWDOWN = 10
+L0_STOP = 32
+SLOWDOWN_SLEEP_S = 0.001
+STALL_TIMEOUT_S = 0.25
+
+#: Modelled device time per SSTable build (seconds): 0 = native container
+#: device, 0.003 = a cloud-volume-class build barrier.  The acceptance
+#: assertions run on the modelled configuration — only when build I/O
+#: dominates the commit does the *placement* under test (who pays the
+#: build) show through the single-core GIL instead of being hidden by it.
+BUILD_LATENCIES_S = [0.0, 0.004]
+BUILD_TAGS = {0.0: "native", 0.004: "cloud"}
+ASSERT_DEVICE = "cloud"
+CLOUD_BUILD_S = 0.004
+#: Paired rounds on the asserted configuration; the gate uses the median
+#: per-pair ratio (single-round tails on a shared container are noise).
+ASSERT_ROUNDS = 3
+
+SCAN_KEYS = 4000
+SMOKE_SCAN_KEYS = 1200
+SCAN_MEMTABLE_BYTES = 4096
+QUIET_SCANS = 15
+STORM_SCANS = 60
+
+
+class _device_model:
+    """Context manager: charge ``extra_s`` of modelled device time to
+    every SSTable build (flush and compaction alike).
+
+    Patches the writer class because builds construct their own
+    ``SSTableWriter`` deep inside the engine; runs are sequential and the
+    original is always restored.  ``time.sleep`` releases the GIL like a
+    real device wait, so background builds overlap foreground commits
+    here the way they would on multi-core production hardware.
+    """
+
+    def __init__(self, extra_s: float) -> None:
+        self.extra_s = extra_s
+        self._orig = None
+
+    def __enter__(self):
+        if self.extra_s <= 0.0:
+            return self
+        orig = lsm_mod.SSTableWriter.write
+        extra_s = self.extra_s
+
+        def slow_write(writer_self, entries):
+            result = orig(writer_self, entries)
+            time.sleep(extra_s)
+            return result
+
+        self._orig = orig
+        lsm_mod.SSTableWriter.write = slow_write
+        return self
+
+    def __exit__(self, *exc):
+        if self._orig is not None:
+            lsm_mod.SSTableWriter.write = self._orig
+        return False
+
+
+def _drive(smgr: ShardedTransactionManager, writers: int,
+           txns_each: int) -> tuple[list[float], float]:
+    """N writer threads commit disjoint single-shard rows; returns the
+    per-commit latencies (seconds) and the measured wall time."""
+    latencies: list[float] = []
+    lat_lock = threading.Lock()
+    barrier = threading.Barrier(writers + 1)
+
+    def worker(wid: int) -> None:
+        local: list[float] = []
+        barrier.wait()
+        for i in range(txns_each):
+            key = (wid * 1_000_000 + i) * NUM_SHARDS + (i % NUM_SHARDS)
+            t0 = time.perf_counter()
+            txn = smgr.begin()
+            smgr.write(txn, "t", key, {"i": i, "pad": PAD})
+            smgr.commit(txn)
+            local.append(time.perf_counter() - t0)
+        with lat_lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(writers)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return latencies, time.perf_counter() - t0
+
+
+@pytest.mark.benchmark(group="compaction")
+def test_commit_p99_background_vs_inline_maintenance(benchmark, tmp_path, smoke):
+    """Per-commit latency percentiles with LSM builds on/off the path."""
+    txns_each = SMOKE_TXNS_PER_WRITER if smoke else TXNS_PER_WRITER
+    devices = [CLOUD_BUILD_S] if smoke else BUILD_LATENCIES_S
+
+    def run_mode(mode: str, device_s: float, tag: str) -> dict:
+        gc.collect()
+        smgr = ShardedTransactionManager(
+            num_shards=NUM_SHARDS,
+            protocol="mvcc",
+            data_dir=tmp_path / tag,
+            checkpoint_interval=0,  # isolate storage maintenance
+            durability="async",  # ... from the commit fsync pipeline too
+            storage_maintenance=mode,
+            lsm_options=LSMOptions(
+                sync=False,
+                memtable_bytes=MEMTABLE_BYTES,
+                l0_slowdown_trigger=L0_SLOWDOWN,
+                l0_stop_trigger=L0_STOP,
+                slowdown_sleep=SLOWDOWN_SLEEP_S,
+                stall_timeout=STALL_TIMEOUT_S,
+            ),
+        )
+        smgr.create_table("t")
+        with _device_model(device_s):
+            latencies, wall_s = _drive(smgr, WRITERS, txns_each)
+            storage = smgr.storage_stats()
+            smgr.close()
+        row = latency_stats(latencies, scale=1e3)  # ms
+        row["throughput_tps"] = len(latencies) / wall_s
+        row["wall_s"] = round(wall_s, 3)
+        for key in ("lsm_flushes", "lsm_compactions", "lsm_stall_slowdowns",
+                    "lsm_stall_stops"):
+            row[key] = storage[key]
+        row["lsm_stall_seconds"] = round(storage["lsm_stall_seconds"], 4)
+        # Bounded-stall invariant: the engine's own accounting can never
+        # exceed what the knobs permit — every stop parks at most
+        # ``stall_timeout``, every slowdown sleeps ``slowdown_sleep``.
+        budget = (row["lsm_stall_stops"] * STALL_TIMEOUT_S
+                  + row["lsm_stall_slowdowns"] * SLOWDOWN_SLEEP_S)
+        assert storage["lsm_stall_seconds"] <= budget + 0.5, row
+        if mode == "inline":
+            assert row["lsm_stall_stops"] == 0  # inline mode never parks
+            assert row["lsm_stall_slowdowns"] == 0
+        return row
+
+    def sweep() -> dict:
+        results: dict[str, dict] = {}
+        for device_s in devices:
+            dev = BUILD_TAGS[device_s]
+            rounds = ASSERT_ROUNDS if dev == ASSERT_DEVICE and not smoke else 1
+            # Paired rounds, asserted on the median per-pair ratio, same
+            # rationale as bench_commit_tail: load drift between widely
+            # separated measurement blocks would dominate the tails.
+            pairs = []
+            for n in range(rounds):
+                pairs.append(
+                    {
+                        mode: run_mode(mode, device_s, f"{dev}-{mode}-{n}")
+                        for mode in ("inline", "background")
+                    }
+                )
+            for mode in ("inline", "background"):
+                best = dict(pairs[0][mode])
+                if rounds > 1:
+                    best["p99"] = statistics.median(p[mode]["p99"] for p in pairs)
+                    best["p95"] = statistics.median(p[mode]["p95"] for p in pairs)
+                    best["rounds"] = rounds
+                results[f"{dev}/{mode}"] = best
+            if dev == ASSERT_DEVICE:
+                results["p99_pair_ratios"] = {
+                    "ratios": [
+                        round(
+                            p["inline"]["p99"] / max(1e-9, p["background"]["p99"]),
+                            2,
+                        )
+                        for p in pairs
+                    ]
+                }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    pair_ratios = results.pop("p99_pair_ratios")["ratios"]
+    report_lines(
+        f"Commit latency, {WRITERS} writers, memtable {MEMTABLE_BYTES // 1024} KiB "
+        f"({NUM_SHARDS} shards, write-heavy)",
+        [
+            f"{key:18s}: p50 {r['p50']:6.2f} ms  p95 {r['p95']:6.2f} ms  "
+            f"p99 {r['p99']:6.2f} ms  {r['throughput_tps']:8.0f} tps  "
+            f"flushes {r['lsm_flushes']:3d}  compactions {r['lsm_compactions']:3d}  "
+            f"stalls {r['lsm_stall_slowdowns']}+{r['lsm_stall_stops']} "
+            f"({r['lsm_stall_seconds']:.3f}s)"
+            for key, r in results.items()
+        ]
+        + [f"{ASSERT_DEVICE} p99 pair ratios: {pair_ratios}"],
+    )
+    speedup = statistics.median(pair_ratios)
+    record_bench(
+        __file__,
+        "maintenance_offload",
+        {
+            "config": {
+                "num_shards": NUM_SHARDS,
+                "writers": WRITERS,
+                "txns_per_writer": txns_each,
+                "memtable_bytes": MEMTABLE_BYTES,
+                "l0_slowdown_trigger": L0_SLOWDOWN,
+                "l0_stop_trigger": L0_STOP,
+                "build_latencies_s": devices,
+                "smoke": smoke,
+            },
+            "latency_ms": results,
+            "p99_pair_ratios_cloud": pair_ratios,
+            "p99_speedup_cloud": round(speedup, 2),
+        },
+    )
+    # Both modes must actually have flushed and compacted — otherwise the
+    # comparison measures nothing.
+    for r in results.values():
+        assert r["lsm_flushes"] > 0
+        assert r["lsm_compactions"] > 0
+    if not smoke:
+        # The acceptance criterion: taking builds off the commit path must
+        # at least halve the p99 commit latency under the write-heavy
+        # small-memtable workload on the build-dominated configuration.
+        assert speedup >= 2.0, results
+
+
+@pytest.mark.benchmark(group="compaction")
+def test_scan_latency_during_compaction_storm(benchmark, tmp_path, smoke):
+    """Range-scan percentiles while the daemon churns a 40+-table L0."""
+    keys = SMOKE_SCAN_KEYS if smoke else SCAN_KEYS
+
+    def scan_round(store: LSMStore) -> tuple[int, float]:
+        t0 = time.perf_counter()
+        count = sum(1 for _ in store.scan())
+        return count, time.perf_counter() - t0
+
+    def sweep() -> dict:
+        # Preload a deep L0: tiny memtable, auto-compaction off, so every
+        # few puts flush inline and the tables pile up unmerged.
+        store = LSMStore(tmp_path / "storm", LSMOptions(
+            sync=False,
+            memtable_bytes=SCAN_MEMTABLE_BYTES,
+            auto_compact=False,
+            maintenance="background",
+            l0_slowdown_trigger=0,  # preload unthrottled
+            l0_stop_trigger=0,
+        ))
+        for i in range(keys):
+            store.put(f"k{i:08d}".encode(), b"v" * 64)
+        store.flush()
+        preload_tables = store.table_count()
+
+        quiet: list[float] = []
+        baseline, _ = scan_round(store)
+        for _ in range(QUIET_SCANS):
+            count, elapsed = scan_round(store)
+            assert count == baseline
+            quiet.append(elapsed)
+
+        # Storm: hand the backlog to the daemon and scan against the
+        # churn until the backlog drains (or the scan budget runs out).
+        daemon = StorageMaintenanceDaemon(workers=2)
+        daemon.register(store)
+        daemon.request_compaction(store)
+        storm: list[float] = []
+        for _ in range(STORM_SCANS):
+            count, elapsed = scan_round(store)
+            # Merges install atomically under the store lock: a scan in
+            # flight during the storm sees every row exactly once.
+            assert count == baseline
+            storm.append(elapsed)
+            if daemon.wait_idle(timeout=0.0) and not store.compaction_debt():
+                break
+        daemon.wait_idle(timeout=30.0)
+        daemon.close()
+        merged_tables = store.table_count()
+        compactions = store.stats.compactions
+        store.close()
+
+        assert baseline == keys
+        assert compactions > 0
+        assert merged_tables < preload_tables
+        return {
+            "rows": baseline,
+            "preload_tables": preload_tables,
+            "merged_tables": merged_tables,
+            "compactions": compactions,
+            "quiet": latency_stats(quiet, scale=1e3),
+            "storm": latency_stats(storm, scale=1e3),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_lines(
+        f"Full scans over {results['rows']} rows "
+        f"({results['preload_tables']} L0 tables -> "
+        f"{results['merged_tables']} after {results['compactions']} merges)",
+        [
+            f"{phase:6s}: p50 {r['p50']:7.2f} ms  p95 {r['p95']:7.2f} ms  "
+            f"p99 {r['p99']:7.2f} ms  ({r['count']} scans)"
+            for phase, r in (("quiet", results["quiet"]), ("storm", results["storm"]))
+        ],
+    )
+    record_bench(
+        __file__,
+        "scan_during_storm",
+        {
+            "config": {
+                "keys": keys,
+                "memtable_bytes": SCAN_MEMTABLE_BYTES,
+                "smoke": smoke,
+            },
+            **results,
+        },
+    )

@@ -77,6 +77,7 @@ replays only the tails, shards in parallel
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 import os
 import threading
@@ -98,7 +99,8 @@ from ..errors import (
     WALError,
 )
 from ..storage.kvstore import KVStore
-from ..storage.lsm import LSMOptions, LSMStore
+from ..storage.lsm import MAINTENANCE_BACKGROUND, MAINTENANCE_INLINE, LSMOptions, LSMStore
+from ..storage.maintenance import StorageMaintenanceDaemon
 from ..storage.wal import KIND_TXN_COMMIT, WriteAheadLog
 from .codecs import PICKLE_CODEC, Codec
 from .durability import (
@@ -624,6 +626,8 @@ class ShardedTransactionManager:
         coordinator_batching: bool = True,
         lsm_options: LSMOptions | None = None,
         global_snapshots: bool = True,
+        storage_maintenance: str = MAINTENANCE_BACKGROUND,
+        cache_budget: int | None = None,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
@@ -635,6 +639,11 @@ class ShardedTransactionManager:
             raise ValueError(
                 f"checkpoint_mode must be 'background' or 'inline': "
                 f"{checkpoint_mode!r}"
+            )
+        if storage_maintenance not in (MAINTENANCE_BACKGROUND, MAINTENANCE_INLINE):
+            raise ValueError(
+                f"storage_maintenance must be 'background' or 'inline': "
+                f"{storage_maintenance!r}"
             )
         self.num_shards = num_shards
         self.durability_mode = durability
@@ -680,8 +689,23 @@ class ShardedTransactionManager:
         #: the commit WAL is the durable redo authority for the tail, so the
         #: per-table LSM WAL does not need its own fsync per write — the
         #: checkpoint protocol flushes memtables to fsynced SSTables before
-        #: any commit-WAL prefix is dropped.
-        self.lsm_options = lsm_options or LSMOptions(sync=False)
+        #: any commit-WAL prefix is dropped.  The manager-level
+        #: ``storage_maintenance`` knob is authoritative over the options'
+        #: ``maintenance`` field (so benchmarks flip one argument, like
+        #: ``checkpoint_mode``): in durable mode every base table is stamped
+        #: with it and, for ``"background"``, attached to the shared
+        #: :class:`~repro.storage.maintenance.StorageMaintenanceDaemon`.
+        self.storage_maintenance = storage_maintenance
+        base_lsm_options = lsm_options or LSMOptions(sync=False)
+        if data_dir is not None:
+            base_lsm_options = dataclasses.replace(
+                base_lsm_options, maintenance=storage_maintenance
+            )
+        self.lsm_options = base_lsm_options
+        #: Fleet-wide cap on LRU value-cache entries, divided evenly across
+        #: every LSM base table the manager owns (``None`` = the historical
+        #: per-store default, 65536 entries *each* — unbounded fleet-wide).
+        self.cache_budget = cache_budget
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
         #: Global snapshot service (see the module docstring): registers
@@ -919,6 +943,19 @@ class ShardedTransactionManager:
             and checkpoint_mode == "background"
         ):
             self.checkpoint_daemon = CheckpointDaemon(self)
+        #: Shared background flush/compaction pool for every LSM base
+        #: table (durable ``storage_maintenance="background"`` mode only):
+        #: committers that trip a memtable threshold pay a seal pivot and
+        #: signal it; the daemon's debt scheduler builds SSTables and runs
+        #: the highest-debt merges, concurrently across stores and levels.
+        self.maintenance_daemon: StorageMaintenanceDaemon | None = None
+        if (
+            self.data_dir is not None
+            and storage_maintenance == MAINTENANCE_BACKGROUND
+        ):
+            self.maintenance_daemon = StorageMaintenanceDaemon(
+                workers=min(max(2, (num_shards + 1) // 2), _SHARD_POOL_LIMIT)
+            )
         # sharded-commit counters (beyond the per-shard protocol stats)
         self.single_shard_commits = 0
         self.cross_shard_commits = 0
@@ -1113,7 +1150,31 @@ class ShardedTransactionManager:
         if self._schema is not None:
             self._schema.states[state_id] = version_slots
             self._schema.save(self.data_dir)
+        self._adopt_lsm_backends()
         return tables
+
+    def _lsm_backends(self, shard: int | None = None) -> list[LSMStore]:
+        """Every LSM base table of ``shard`` (or the whole fleet)."""
+        shards = self.shards if shard is None else [self.shards[shard]]
+        return [
+            table.backend
+            for mgr in shards
+            for table in mgr.tables()
+            if isinstance(table.backend, LSMStore)
+        ]
+
+    def _adopt_lsm_backends(self) -> None:
+        """Attach new LSM base tables to the maintenance daemon and
+        re-divide the fleet-wide cache budget (called after every
+        ``create_table`` and after a split stamps out a new shard)."""
+        stores = self._lsm_backends()
+        if self.maintenance_daemon is not None:
+            for store in stores:
+                self.maintenance_daemon.register(store)
+        if self.cache_budget is not None and stores:
+            per_store = max(1, self.cache_budget // len(stores))
+            for store in stores:
+                store.set_cache_capacity(per_store)
 
     def register_group(self, group_id: str, state_ids: list[str]) -> None:
         for shard in self.shards:
@@ -2106,6 +2167,7 @@ class ShardedTransactionManager:
         # Publish the grown count last: no list index is handed out for
         # the new shard until every per-shard structure exists.
         self.num_shards = idx + 1
+        self._adopt_lsm_backends()
         return idx
 
     def _migrate_slots_locked(
@@ -2173,6 +2235,15 @@ class ShardedTransactionManager:
         self.migrations_started = True
         self._migrating.add(source)
         self._migrating.add(target)
+        # Storage maintenance of both shards is suspended like their
+        # auto-checkpoints: a background merge mid-copy would churn the
+        # very SSTables the copy phase is scanning, and suspended stores
+        # also waive backpressure (catch-up replay writes on the target
+        # must never park waiting for a daemon told not to touch it).
+        if self.maintenance_daemon is not None:
+            for idx in (source, target):
+                for store in self._lsm_backends(idx):
+                    self.maintenance_daemon.suspend(store)
         try:
             # Drain in-flight background cuts of both shards: a cut holds
             # the per-shard checkpoint lock while waiting on latches this
@@ -2374,6 +2445,10 @@ class ShardedTransactionManager:
         finally:
             self._migrating.discard(source)
             self._migrating.discard(target)
+            if self.maintenance_daemon is not None:
+                for idx in (source, target):
+                    for store in self._lsm_backends(idx):
+                        self.maintenance_daemon.resume(store)
 
     # recovery ------------------------------------------------------------
 
@@ -2473,6 +2548,14 @@ class ShardedTransactionManager:
             # checkpoint is then skipped too, because the wedged thread
             # still holds that shard's checkpoint lock and latches.
             drained = self.checkpoint_daemon.close()
+        if self.maintenance_daemon is not None:
+            # After the checkpoint daemon (its cuts enqueue flush work),
+            # before the final checkpoint: pending SSTable builds drain on
+            # the pool instead of serially inside the closing cut's
+            # synchronous flushes.  Bounded like the cut drain — a wedged
+            # build is abandoned, and the stores' own close() still owns
+            # durability of anything left sealed.
+            self.maintenance_daemon.close()
         poisoned = any(d is not None and d.failed for d in self.daemons)
         if (
             self.data_dir is not None
@@ -2520,6 +2603,53 @@ class ShardedTransactionManager:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
         if self.checkpoint_daemon is not None:
             totals.update(self.checkpoint_daemon.stats())
+        if self.maintenance_daemon is not None:
+            totals.update(self.maintenance_daemon.stats())
         if self.snapshot_coordinator is not None:
             totals.update(self.snapshot_coordinator.stats())
+        totals.update(self.storage_stats())
+        return totals
+
+    def storage_stats(self) -> dict[str, Any]:
+        """LSM engine counters aggregated over every base table.
+
+        One place for benches and pollers to read flush/compaction/stall
+        activity and cache effectiveness, instead of reaching into
+        per-shard ``table.backend.stats`` internals.  Empty for a manager
+        with no LSM backends (volatile tables).
+        """
+        stores = self._lsm_backends()
+        if not stores:
+            return {}
+        totals: dict[str, Any] = {
+            "lsm_stores": len(stores),
+            "lsm_flushes": 0,
+            "lsm_compactions": 0,
+            "lsm_bloom_skips": 0,
+            "lsm_sstable_reads": 0,
+            "lsm_negative_hits": 0,
+            "lsm_stall_slowdowns": 0,
+            "lsm_stall_stops": 0,
+            "lsm_stall_seconds": 0.0,
+            "lsm_sealed_memtables": 0,
+            "lsm_tables": 0,
+        }
+        hits = misses = 0
+        for store in stores:
+            stats = store.stats
+            totals["lsm_flushes"] += stats.flushes
+            totals["lsm_compactions"] += stats.compactions
+            totals["lsm_bloom_skips"] += stats.bloom_skips
+            totals["lsm_sstable_reads"] += stats.sstable_reads
+            totals["lsm_negative_hits"] += stats.extra.get("negative_hits", 0)
+            totals["lsm_stall_slowdowns"] += stats.stall_slowdowns
+            totals["lsm_stall_stops"] += stats.stall_stops
+            totals["lsm_stall_seconds"] += stats.stall_seconds
+            totals["lsm_sealed_memtables"] += store.flush_debt()
+            totals["lsm_tables"] += store.table_count()
+            hits += store._cache.hits
+            misses += store._cache.misses
+        totals["lsm_cache_hit_ratio"] = (
+            hits / (hits + misses) if hits + misses else 0.0
+        )
         return totals

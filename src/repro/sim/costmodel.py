@@ -70,6 +70,23 @@ class CostModel:
     #: the background thread absorbs ``checkpoint_flush_io_us`` on a
     #: spare core, overlapped with the foreground commit stream.
     checkpoint_marker_io_us: float = 60.0
+    # storage maintenance (the background flush/compaction scenario)
+    #: building one sealed memtable into an L0 SSTable — paid on the
+    #: committer's own thread by whichever writer trips the memtable
+    #: threshold in ``maintenance="inline"``; absorbed on a spare core by
+    #: the StorageMaintenanceDaemon in ``"background"``.
+    memtable_flush_io_us: float = 300.0
+    #: the seal pivot alone (memtable swap + WAL sidecar rotate) — all a
+    #: background-mode writer pays at the threshold.
+    memtable_seal_us: float = 8.0
+    #: merging one full level of SSTables into the next — the cascading
+    #: compaction an inline tripping writer can be caught paying on top
+    #: of the flush.
+    compaction_io_us: float = 900.0
+    #: one bounded L0-backpressure stall (the slowdown sleep) charged to a
+    #: background-mode writer when seals outrun the daemon — the price of
+    #: keeping L0 bounded instead of letting reads degrade.
+    l0_stall_us: float = 40.0
     #: one durable 2PC decision record on the global coordinator log —
     #: paid by every cross-shard commit between prepare and phase two.
     #: ``coordinator_durability="sync"`` charges it per commit under the

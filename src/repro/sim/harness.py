@@ -176,6 +176,13 @@ class ShardedSimResult:
     checkpoint_mode: str = "inline"
     #: durable 2PC decision fsyncs (coordinator_durability modelled only).
     coordinator_fsyncs: int = 0
+    #: storage-maintenance accounting (maintenance_interval > 0 only):
+    #: memtable-threshold trips, on-path level merges, bounded L0 stalls,
+    #: and who paid the builds ("inline" committer vs "background" daemon).
+    flushes: int = 0
+    compactions: int = 0
+    write_stalls: int = 0
+    maintenance_mode: str = "inline"
 
     @property
     def commits(self) -> int:
@@ -228,6 +235,8 @@ def run_sharded_benchmark(
     checkpoint_interval: int = 0,
     checkpoint_mode: str = "inline",
     coordinator_durability: str | None = None,
+    maintenance_interval: int = 0,
+    maintenance_mode: str = "inline",
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -262,6 +271,8 @@ def run_sharded_benchmark(
         checkpoint_interval,
         checkpoint_mode=checkpoint_mode,
         coordinator_durability=coordinator_durability,
+        maintenance_interval=maintenance_interval,
+        maintenance_mode=maintenance_mode,
     )
     sim = Simulator()
     deadline = warmup_us + duration_us
@@ -276,6 +287,9 @@ def run_sharded_benchmark(
     env.stats.aborts = 0
     env.stats.latch_waits = 0
     env.stats.fsyncs = 0
+    env.stats.flushes = 0
+    env.stats.compactions = 0
+    env.stats.write_stalls = 0
     for batcher in env.fsync:
         batcher.reset_counters()
     env.coord_fsync.reset_counters()
@@ -299,6 +313,10 @@ def run_sharded_benchmark(
         estimated_recovery_us=env.estimated_recovery_us(),
         checkpoint_mode=checkpoint_mode,
         coordinator_fsyncs=env.coord_fsync.fsyncs,
+        flushes=env.stats.flushes,
+        compactions=env.stats.compactions,
+        write_stalls=env.stats.write_stalls,
+        maintenance_mode=maintenance_mode,
     )
 
 

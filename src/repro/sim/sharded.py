@@ -57,6 +57,16 @@ SIM_DURABILITY_GROUP = "group"
 SIM_CHECKPOINT_INLINE = "inline"
 SIM_CHECKPOINT_BACKGROUND = "background"
 
+#: Storage-maintenance execution modes, mirroring the real LSM stores:
+#: ``inline`` — the committer that trips the memtable threshold pays the
+#: SSTable build (and every ``fanout``-th flush, the cascading level
+#: merge) on its own thread; ``background`` — the committer pays only the
+#: seal pivot, the StorageMaintenanceDaemon absorbs builds and merges off
+#: the commit path, and bounded L0 backpressure charges a short stall when
+#: seals outrun the daemon.
+SIM_MAINTENANCE_INLINE = "inline"
+SIM_MAINTENANCE_BACKGROUND = "background"
+
 
 @dataclass
 class ShardedSimStats:
@@ -70,6 +80,14 @@ class ShardedSimStats:
     latch_waits: int = 0
     fsyncs: int = 0
     checkpoints: int = 0
+    #: memtable flushes (inline builds, or background seals) tripped by
+    #: committers (maintenance_interval > 0 only).
+    flushes: int = 0
+    #: level merges paid *on the commit path* (inline maintenance only —
+    #: background merges run on the daemon's spare core).
+    compactions: int = 0
+    #: bounded L0-backpressure stalls charged to background-mode writers.
+    write_stalls: int = 0
     #: completed online slot migrations (live-split scenario).
     migrations: int = 0
     #: rows physically moved between partitions by migrations.
@@ -148,6 +166,10 @@ class ShardedSimEnvironment:
         checkpoint_mode: str = SIM_CHECKPOINT_INLINE,
         coordinator_durability: str | None = None,
         reserve_shards: int | None = None,
+        maintenance_interval: int = 0,
+        maintenance_mode: str = SIM_MAINTENANCE_INLINE,
+        maintenance_fanout: int = 4,
+        l0_slowdown_trigger: int = 8,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
@@ -178,6 +200,14 @@ class ShardedSimEnvironment:
                 "coordinator_durability must be None, 'sync' or 'group': "
                 f"{coordinator_durability!r}"
             )
+        if maintenance_mode not in (
+            SIM_MAINTENANCE_INLINE,
+            SIM_MAINTENANCE_BACKGROUND,
+        ):
+            raise ValueError(
+                f"maintenance_mode must be 'inline' or 'background': "
+                f"{maintenance_mode!r}"
+            )
         self.config = config
         self.num_shards = num_shards
         self.cross_ratio = cross_ratio
@@ -207,6 +237,21 @@ class ShardedSimEnvironment:
         #: :class:`~repro.core.slots.SlotMap` (uniform default — identical
         #: to ``key % num_shards`` for power-of-two shard counts).
         self.slot_map = [s % num_shards for s in range(NUM_SLOTS)]
+        #: Commits per shard between memtable-threshold trips (0 = storage
+        #: maintenance unmodelled, the pre-daemon behaviour).
+        self.maintenance_interval = maintenance_interval
+        #: Who pays the SSTable build at the threshold: the tripping
+        #: committer (``inline``) or the daemon, leaving only the seal
+        #: pivot plus bounded backpressure on the commit path.
+        self.maintenance_mode = maintenance_mode
+        #: Flushes per on-path level merge (inline mode's cascade trigger).
+        self.maintenance_fanout = maintenance_fanout
+        #: Seals per bounded stall (background mode's L0 backpressure).
+        self.l0_slowdown_trigger = l0_slowdown_trigger
+        #: shard -> commits since the last memtable-threshold trip.
+        self.mem_fill = [0] * reserve_shards
+        #: shard -> flushed-but-unmerged L0 debt (tables or pending seals).
+        self.l0_debt = [0] * reserve_shards
         #: shard -> commit-WAL tail length (records since last checkpoint);
         #: what restart recovery would have to replay if the run crashed now.
         self.wal_tail = [0] * reserve_shards
@@ -386,6 +431,39 @@ def sharded_writer(
                 env.stats.checkpoints += 1
         if ckpt_us > 0.0:
             yield Delay(ckpt_us)
+        # Storage-maintenance accounting (maintenance_interval > 0): the
+        # base-table write-through fills the shard's memtable; the commit
+        # that trips the threshold pays for it on its own thread — the
+        # whole SSTable build (plus, every ``fanout``-th flush, the
+        # cascading level merge) in ``inline`` mode, or just the seal
+        # pivot in ``background`` mode, where the daemon absorbs builds
+        # and merges on a spare core and the writer is only touched by
+        # the bounded L0 backpressure stall when seals outrun the daemon.
+        maint_us = 0.0
+        if env.maintenance_interval > 0:
+            for shard in shards:
+                env.mem_fill[shard] += 1
+                if env.mem_fill[shard] < env.maintenance_interval:
+                    continue
+                env.mem_fill[shard] = 0
+                env.stats.flushes += 1
+                env.l0_debt[shard] += 1
+                if env.maintenance_mode == SIM_MAINTENANCE_BACKGROUND:
+                    maint_us += cost.memtable_seal_us
+                    if env.l0_debt[shard] >= env.l0_slowdown_trigger:
+                        # Bounded stall: the daemon drains the debt this
+                        # slowdown bought it time for.
+                        maint_us += cost.l0_stall_us
+                        env.stats.write_stalls += 1
+                        env.l0_debt[shard] = 0
+                else:
+                    maint_us += cost.memtable_flush_io_us
+                    if env.l0_debt[shard] >= env.maintenance_fanout:
+                        maint_us += cost.compaction_io_us
+                        env.stats.compactions += 1
+                        env.l0_debt[shard] = 0
+        if maint_us > 0.0:
+            yield Delay(maint_us)
         if env.durability == SIM_DURABILITY_GROUP:
             for shard in reversed(shards):
                 yield Release(env.commit_latches[shard])

@@ -11,6 +11,7 @@ from .bloom import BloomFilter
 from .cache import LRUCache
 from .kvstore import KVStore, MemoryKVStore
 from .lsm import LSMOptions, LSMStats, LSMStore
+from .maintenance import StorageMaintenanceDaemon
 from .memtable import TOMBSTONE, MemTable, Tombstone
 from .manifest import Manifest
 from .skiplist import SkipList
@@ -30,6 +31,7 @@ __all__ = [
     "SSTable",
     "SSTableWriter",
     "SkipList",
+    "StorageMaintenanceDaemon",
     "TOMBSTONE",
     "Tombstone",
     "WriteAheadLog",

@@ -43,6 +43,16 @@ class LRUCache:
             if len(self._data) > self.capacity:
                 self._data.popitem(last=False)
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting LRU entries if shrinking (the
+        fleet-wide cache budget re-divides as shards/tables are added)."""
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity}")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._data) > capacity:
+                self._data.popitem(last=False)
+
     def invalidate(self, key: Any) -> None:
         with self._lock:
             self._data.pop(key, None)

@@ -5,32 +5,59 @@ table, RocksDB, uses):
 
 * writes go to the :class:`~repro.storage.wal.WriteAheadLog` first (durable
   when ``sync=True``, the paper's configuration), then into the memtable;
-* when the memtable exceeds ``memtable_bytes`` it is flushed to an
-  immutable :class:`~repro.storage.sstable.SSTable` at level 0;
+* when the memtable exceeds ``memtable_bytes`` it is *sealed* (an immutable
+  memtable, still consulted by reads) and built into a level-0
+  :class:`~repro.storage.sstable.SSTable`;
 * when a level accumulates ``fanout`` tables, they are merged (size-tiered
   compaction) into one table at the next level, dropping shadowed versions
-  and — at the bottom level — tombstones;
-* reads consult memtable → L0 tables (newest first) → deeper levels, with
-  bloom filters short-circuiting tables that cannot contain the key, and an
-  LRU cache making hot keys memory-resident.
+  and — at the bottom level, when no table outside the merge can hold an
+  older version — tombstones;
+* reads consult memtable → sealed memtables (newest first) → L0 tables
+  (newest first) → deeper levels, with bloom filters short-circuiting
+  tables that cannot contain the key, and an LRU cache making hot keys
+  memory-resident.
 
-Crash consistency: the manifest is replaced atomically; a flush seals the
+Maintenance modes (``LSMOptions.maintenance``):
+
+* ``"inline"`` (default): the writer that trips the memtable threshold
+  pays the SSTable build and any cascading level merges on its own thread
+  — the classic, single-threaded behaviour;
+* ``"background"``: the writer performs only the cheap **seal pivot**
+  (swap memtables, rotate the WAL sidecar — no file builds) and hands the
+  SSTable build and all compactions to an attached
+  :class:`~repro.storage.maintenance.StorageMaintenanceDaemon`.  Bounded
+  RocksDB-style backpressure (``l0_slowdown_trigger`` /
+  ``l0_stop_trigger``) keeps L0 from growing without bound when writers
+  outrun the daemon: they briefly sleep (slowdown) or park until the
+  debt drains (stop), with the stall time counted in :class:`LSMStats`.
+
+Concurrency: compactions are serialised **per level pair** (a merge holds
+its source and target level locks), not store-wide — merges of disjoint
+levels, and of different stores sharing one daemon, overlap.  Flush builds
+are serialised by ``_flush_lock`` (installs must stay oldest-first so the
+newest-wins read order is preserved).
+
+Crash consistency: the manifest is replaced atomically; a seal rotates the
 live WAL into a ``wal.log.imm-N`` sidecar (kept until its SSTable is
 installed, replayed oldest-first before the live WAL on open) so the
-expensive SSTable build can run outside the store lock without a crash
-window; SSTable creation and manifest replacement both fsync the
-directory entry, so freshly flushed files (not just their contents)
-survive a crash.
+expensive SSTable build can run outside the store lock — and, in
+background mode, on another thread — without a crash window; SSTable
+creation and manifest replacement both fsync the directory entry, so
+freshly flushed files (not just their contents) survive a crash.  A crash
+mid-build leaves a sealed sidecar (replayed) and possibly an orphan
+``.sst`` (collected by the manifest's garbage sweep on open).
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from heapq import merge as heap_merge
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..errors import StorageError
 from .cache import LRUCache
@@ -40,7 +67,13 @@ from .memtable import TOMBSTONE, MemTable, Tombstone
 from .sstable import SSTable, SSTableWriter
 from .wal import KIND_DELETE, KIND_PUT, WriteAheadLog, decode_kv, encode_kv, fsync_dir
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .maintenance import StorageMaintenanceDaemon
+
 _WAL_NAME = "wal.log"
+
+MAINTENANCE_INLINE = "inline"
+MAINTENANCE_BACKGROUND = "background"
 
 
 @dataclass
@@ -59,6 +92,21 @@ class LSMOptions:
     bloom_bits_per_key: int = 10
     cache_capacity: int = 65536
     auto_compact: bool = True
+    #: ``"inline"`` — the tripping writer pays flush + compaction;
+    #: ``"background"`` — writers only seal, builds/merges run on an
+    #: attached :class:`~repro.storage.maintenance.StorageMaintenanceDaemon`
+    #: (falls back to inline until one is attached).
+    maintenance: str = MAINTENANCE_INLINE
+    #: Background-mode backpressure (RocksDB ``level0_slowdown_writes_trigger``
+    #: in spirit): once L0 debt (sealed memtables + L0 tables) reaches this,
+    #: each write sleeps ``slowdown_sleep`` so the daemon can catch up.
+    l0_slowdown_trigger: int = 8
+    #: Hard trigger (RocksDB ``level0_stop_writes_trigger``): writes park
+    #: until the debt drops below it — bounded by ``stall_timeout`` so a
+    #: dead daemon degrades to unthrottled writes instead of a hang.
+    l0_stop_trigger: int = 16
+    slowdown_sleep: float = 0.001
+    stall_timeout: float = 10.0
 
 
 @dataclass
@@ -72,6 +120,11 @@ class LSMStats:
     compactions: int = 0
     bloom_skips: int = 0
     sstable_reads: int = 0
+    #: L0-backpressure events: brief sleeps (slowdown) and hard parks
+    #: (stop), with the total wall-clock time writers spent stalled.
+    stall_slowdowns: int = 0
+    stall_stops: int = 0
+    stall_seconds: float = 0.0
     extra: dict[str, int] = field(default_factory=dict)
 
 
@@ -81,16 +134,34 @@ class LSMStore(KVStore):
     def __init__(self, directory: str | os.PathLike[str], options: LSMOptions | None = None) -> None:
         self.directory = Path(directory)
         self.options = options or LSMOptions()
+        if self.options.maintenance not in (MAINTENANCE_INLINE, MAINTENANCE_BACKGROUND):
+            raise ValueError(
+                f"maintenance must be 'inline' or 'background': "
+                f"{self.options.maintenance!r}"
+            )
         self.stats = LSMStats()
         self._lock = threading.RLock()
-        #: Serialises flushers (and close) so at most one memtable seal is
-        #: in flight; always acquired *before* ``_lock``.
+        #: Serialises SSTable builders (flush drains and the background
+        #: daemon's build jobs) so installs stay oldest-seal-first; always
+        #: acquired *before* ``_lock``.  The seal pivot itself only needs
+        #: ``_lock`` — that is what keeps it off the writer's critical
+        #: path in background mode.
         self._flush_lock = threading.RLock()
-        #: Serialises compactors so at most one level merge is in flight;
-        #: always acquired *before* ``_lock`` (same rank as
-        #: ``_flush_lock``).  The merge itself runs outside ``_lock`` —
-        #: see :meth:`compact_level`.
-        self._compact_lock = threading.RLock()
+        #: Per-level compaction locks: a merge of ``level -> target`` holds
+        #: both (ascending order, so no cycles).  Merges of disjoint level
+        #: pairs — and the bottom-level tombstone decision, which needs the
+        #: target level frozen — proceed concurrently; the old store-wide
+        #: ``_compact_lock`` serialised every compactor in the store.
+        self._level_locks = [
+            threading.RLock() for _ in range(self.options.max_levels)
+        ]
+        #: Writers parked by the L0 stop trigger wait here; flush installs
+        #: and compactions of L0 notify it.
+        self._stall_cond = threading.Condition()
+        self._maintenance: StorageMaintenanceDaemon | None = None
+        #: Set while a shard migration suspends this store's maintenance:
+        #: backpressure returns immediately (nothing would drain the debt).
+        self._maintenance_paused = False
         self._closed = False
 
         self._manifest = Manifest(self.directory)
@@ -101,10 +172,11 @@ class LSMStore(KVStore):
         self._manifest.collect_garbage()
 
         self._memtable = MemTable()
-        #: Sealed memtable of an in-flight flush: still consulted by reads
-        #: (between the live memtable and the SSTables) until its SSTable
-        #: is installed.
-        self._immutable: MemTable | None = None
+        #: Sealed memtables of in-flight flush builds, oldest first: still
+        #: consulted by reads (between the live memtable and the SSTables)
+        #: until their SSTable is installed.  Each entry carries the seal
+        #: counter of its ``wal.log.imm-N`` sidecar.
+        self._immutables: list[tuple[int, MemTable]] = []
         self._cache = LRUCache(self.options.cache_capacity)
 
         # Crash leftovers first (a flush sealed these WALs but died before
@@ -129,6 +201,110 @@ class LSMStore(KVStore):
             elif kind == KIND_DELETE:
                 self._memtable.delete(payload)
 
+    # --------------------------------------------------------- maintenance
+
+    def attach_maintenance(self, daemon: "StorageMaintenanceDaemon") -> None:
+        """Hand this store's flush builds and compactions to ``daemon``.
+
+        Only effective with ``options.maintenance="background"``; an
+        inline store ignores the attachment (writers keep self-serving).
+        """
+        self._maintenance = daemon
+
+    @property
+    def _background(self) -> bool:
+        return (
+            self._maintenance is not None
+            and self.options.maintenance == MAINTENANCE_BACKGROUND
+        )
+
+    def set_maintenance_paused(self, paused: bool) -> None:
+        """Suspend/resume backpressure (shard migrations pause maintenance:
+        parking writers then could only time out, like the checkpoint
+        daemon's throttle on a migrating shard)."""
+        self._maintenance_paused = paused
+        if not paused:
+            self._notify_stall_waiters()
+
+    def _l0_debt(self) -> int:
+        """Sealed memtables + L0 tables — the write-stall metric.
+
+        Read without ``_lock`` on purpose: it is a backpressure heuristic
+        consulted inside the stall wait loop, and taking the store lock
+        there would deadlock against the installer that holds it while
+        draining the debt.
+        """
+        tables = self._tables.get(0)
+        return len(self._immutables) + (len(tables) if tables else 0)
+
+    def _notify_stall_waiters(self) -> None:
+        with self._stall_cond:
+            self._stall_cond.notify_all()
+
+    def _backpressure(self) -> None:
+        """RocksDB-style bounded write stalls (background mode only —
+        inline writers drain their own debt, so stalling them is
+        meaningless).  Never raises; a wedged daemon degrades to
+        unthrottled writes after ``stall_timeout``."""
+        if not self._background or self._maintenance_paused:
+            return
+        opts = self.options
+        debt = self._l0_debt()
+        if opts.l0_stop_trigger > 0 and debt >= opts.l0_stop_trigger:
+            self.stats.stall_stops += 1
+            self._kick_maintenance()
+            start = time.monotonic()
+            deadline = start + opts.stall_timeout
+            with self._stall_cond:
+                while (
+                    not self._closed
+                    and not self._maintenance_paused
+                    and self._l0_debt() >= opts.l0_stop_trigger
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._stall_cond.wait(min(remaining, 0.05))
+            self.stats.stall_seconds += time.monotonic() - start
+        elif opts.l0_slowdown_trigger > 0 and debt >= opts.l0_slowdown_trigger:
+            self.stats.stall_slowdowns += 1
+            self._kick_maintenance()
+            time.sleep(opts.slowdown_sleep)
+            self.stats.stall_seconds += opts.slowdown_sleep
+
+    def _kick_maintenance(self) -> None:
+        daemon = self._maintenance
+        if daemon is None:
+            return
+        if self._immutables:
+            daemon.request_flush(self)
+        daemon.request_compaction(self)
+
+    def flush_debt(self) -> int:
+        """Sealed memtables awaiting their SSTable build (daemon metric)."""
+        return len(self._immutables)
+
+    def compaction_debt(self) -> list[tuple[int, float]]:
+        """``(level, score)`` for every level at/over its fanout trigger.
+
+        The score the maintenance scheduler ranks merges by: table count
+        plus bytes (normalised by the memtable budget so one extra sealed
+        memtable's worth of data ≈ one table), with L0 weighted double —
+        L0 debt is what stalls writers.
+        """
+        unit = max(1, self.options.memtable_bytes)
+        out: list[tuple[int, float]] = []
+        with self._lock:
+            for level in range(self.options.max_levels):
+                tables = self._tables.get(level, [])
+                if len(tables) < self.options.fanout:
+                    continue
+                score = len(tables) + sum(t.size_bytes() for t in tables) / unit
+                if level == 0:
+                    score *= 2.0
+                out.append((level, score))
+        return out
+
     # ------------------------------------------------------------ mutations
 
     def put(self, key: bytes, value: bytes) -> None:
@@ -138,9 +314,11 @@ class LSMStore(KVStore):
             self._memtable.put(key, value)
             self._cache.put(key, value)
             self.stats.puts += 1
-        # Outside the store lock: flush acquires _flush_lock before _lock,
-        # and triggering it while holding _lock would invert that order.
+        # Outside the store lock: an inline flush acquires _flush_lock
+        # before _lock, and triggering it while holding _lock would invert
+        # that order.
         self._maybe_flush()
+        self._backpressure()
 
     def delete(self, key: bytes) -> None:
         self._ensure_open()
@@ -152,6 +330,7 @@ class LSMStore(KVStore):
             self._cache.put(key, _ABSENT)
             self.stats.deletes += 1
         self._maybe_flush()
+        self._backpressure()
 
     def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
         """Apply a batch atomically w.r.t. crash recovery.
@@ -183,6 +362,7 @@ class LSMStore(KVStore):
                 self._cache.put(key, _ABSENT)
                 self.stats.deletes += 1
         self._maybe_flush()
+        self._backpressure()
 
     # ---------------------------------------------------------------- reads
 
@@ -207,8 +387,10 @@ class LSMStore(KVStore):
             if found:
                 self._cache.put(key, value if value is not None else _ABSENT)
                 return value
-            if self._immutable is not None:
-                value, found = self._immutable.get(key)
+            # Sealed memtables: newer than every SSTable, older than the
+            # live memtable — newest seal first.
+            for _counter, sealed in reversed(self._immutables):
+                value, found = sealed.get(key)
                 if found:
                     self._cache.put(key, value if value is not None else _ABSENT)
                     return value
@@ -241,9 +423,8 @@ class LSMStore(KVStore):
             sources: list[list[tuple[bytes, bytes | Tombstone | None]]] = [
                 list(self._memtable.range(low, high))
             ]
-            if self._immutable is not None:
-                # Newer than every SSTable, older than the live memtable.
-                sources.append(list(self._immutable.range(low, high)))
+            for _counter, sealed in reversed(self._immutables):
+                sources.append(list(sealed.range(low, high)))
             for level in sorted(self._tables):
                 for table in reversed(self._tables[level]):
                     sources.append(list(table.range(low, high)))
@@ -263,12 +444,34 @@ class LSMStore(KVStore):
             yield key, value
 
     def __len__(self) -> int:
+        """Approximate live-key count, O(#runs) instead of a full merged
+        scan: live memtable counts exclude shadowed/tombstoned entries,
+        SSTable record counts still include cross-run duplicates and
+        tombstones.  Exact answers via :meth:`exact_len`."""
+        with self._lock:
+            n = self._memtable.live_count()
+            for _counter, sealed in self._immutables:
+                n += sealed.live_count()
+            for tables in self._tables.values():
+                for table in tables:
+                    n += len(table)
+        return max(0, n)
+
+    def exact_len(self) -> int:
+        """Exact live-key count — materialises a full merged scan (O(n));
+        the old ``len()`` behaviour, now behind an explicit method."""
         return sum(1 for _ in self.scan())
 
     # ------------------------------------------------------------- flushing
 
     def _maybe_flush(self) -> None:
-        if self._memtable.approximate_bytes() >= self.options.memtable_bytes:
+        if self._memtable.approximate_bytes() < self.options.memtable_bytes:
+            return
+        if self._background:
+            # Cheap seal pivot only; the build runs on the daemon.
+            if self._seal():
+                self._maintenance.request_flush(self)
+        else:
             self.flush()
 
     def _imm_wal_path(self, counter: int) -> Path:
@@ -285,100 +488,116 @@ class LSMStore(KVStore):
             found.append((counter, path))
         return sorted(found)
 
+    def _seal(self) -> bool:
+        """The seal pivot: live memtable -> immutable, WAL -> sidecar.
+
+        Under the store lock only — no file builds, so the writer that
+        trips the threshold pays a rename + WAL reopen, not an SSTable
+        write.  Returns ``False`` on an empty memtable.  Crash safety: the
+        sidecar holds every sealed record until :meth:`_build_oldest`
+        covers it with an installed SSTable; recovery replays sidecars
+        oldest-first.
+        """
+        with self._lock:
+            if self._memtable.is_empty():
+                return False
+            sealed = self._memtable
+            self._memtable = MemTable()
+            self._imm_counter += 1
+            counter = self._imm_counter
+            self._wal.close()
+            os.replace(self.directory / _WAL_NAME, self._imm_wal_path(counter))
+            fsync_dir(self.directory)
+            self._wal = WriteAheadLog(
+                self.directory / _WAL_NAME, sync=self.options.sync
+            )
+            self._immutables.append((counter, sealed))
+        return True
+
+    def _build_oldest(self) -> bool:
+        """Build + install the oldest sealed memtable's SSTable.
+
+        Caller holds ``_flush_lock`` (installs must stay oldest-first so
+        newer seals keep shadowing older ones in the L0 read order).  The
+        expensive part — file write, bloom filters, fsyncs — runs with
+        writers already appending to the fresh memtable.  On a failed
+        build (e.g. transient ENOSPC) the sealed memtable and its WAL
+        sidecar simply stay in place — reads still consult the seal, a
+        later flush retries the build, and a crash replays the sidecar —
+        and the orphan ``.sst`` is dropped.  Returns ``False`` when no
+        seal is pending.
+        """
+        with self._lock:
+            if not self._immutables:
+                return False
+            seal_counter, sealed = self._immutables[0]
+            entries = sealed.items()
+            name = f"{self._manifest.allocate_file_number():08d}.sst"
+        try:
+            writer = SSTableWriter(
+                self._manifest.table_path(name),
+                index_interval=self.options.index_interval,
+                bits_per_key=self.options.bloom_bits_per_key,
+            )
+            table = writer.write(
+                (key, None if value is TOMBSTONE else value)
+                for key, value in entries
+            )
+        except BaseException:
+            self._manifest.table_path(name).unlink(missing_ok=True)
+            raise
+        with self._lock:
+            self._tables.setdefault(0, []).append(table)
+            self._manifest.register(0, name)
+            self._manifest.save()
+            self.stats.flushes += 1
+            self._immutables.pop(0)
+        # One seal left L0, but its table arrived there: only the *install*
+        # frees backpressure once compaction also drains L0 — still notify,
+        # the stop-trigger loop re-checks the debt.
+        self._notify_stall_waiters()
+        for counter, path in self._scan_imm_wals():
+            # Everything sealed up to this seal is covered by installed
+            # SSTables (builds are strictly oldest-first).
+            if counter <= seal_counter:
+                path.unlink(missing_ok=True)
+        return True
+
     def flush(self) -> None:
-        """Persist the memtable as a new L0 SSTable and truncate the WAL.
+        """Persist all memtable data as L0 SSTables (synchronous).
 
-        The store lock is held only for the two pivots, not for the
-        SSTable build — the expensive part (file write, bloom filters,
-        fsyncs) runs with writers already appending to a fresh memtable,
-        so a background checkpoint's flush does not stall the store's
-        put/get path for its whole duration:
-
-        1. **seal** (under the lock): the live memtable becomes the
-           immutable one (still consulted by reads), its WAL is atomically
-           renamed to a sealed sidecar (``wal.log.imm-N``) and a fresh
-           WAL/memtable take over;
-        2. **build** (lock released): the sealed entries are written to a
-           new L0 SSTable and fsynced;
-        3. **install** (under the lock): the table is registered in the
-           manifest, the immutable memtable is dropped, and every sealed
-           WAL up to this seal is deleted — their contents are now in
-           durable SSTables.
-
-        Crash safety: recovery replays sealed WALs (oldest first) and then
-        the live WAL, so a crash in any window converges — before the
-        install the sealed file still holds the data; after it the replay
-        merely rewrites the same values the SSTable already holds
-        (idempotent).  ``_flush_lock`` serialises flushers (and ``close``),
-        so at most one seal is in flight.
+        Seals the live memtable and drains every pending seal — including
+        ones a background daemon has not built yet — so when this returns,
+        everything written so far is in fsynced SSTables and the live WAL
+        is empty.  Checkpoints and ``close`` rely on exactly that.
         """
         with self._flush_lock:
-            with self._lock:
-                entries = self._memtable.items()
-                if not entries:
-                    return
-                # Seal: writers immediately continue into the fresh
-                # memtable; readers see the sealed one via _immutable.
-                self._immutable = self._memtable
-                self._memtable = MemTable()
-                self._imm_counter += 1
-                seal_counter = self._imm_counter
-                imm_path = self._imm_wal_path(seal_counter)
-                self._wal.close()
-                os.replace(self.directory / _WAL_NAME, imm_path)
-                fsync_dir(self.directory)
-                self._wal = WriteAheadLog(
-                    self.directory / _WAL_NAME, sync=self.options.sync
-                )
-                name = f"{self._manifest.allocate_file_number():08d}.sst"
-            try:
-                writer = SSTableWriter(
-                    self._manifest.table_path(name),
-                    index_interval=self.options.index_interval,
-                    bits_per_key=self.options.bloom_bits_per_key,
-                )
-                table = writer.write(
-                    (key, None if value is TOMBSTONE else value)
-                    for key, value in entries
-                )
-            except BaseException:
-                # The build failed (e.g. transient ENOSPC): fold the sealed
-                # entries back *under* the live memtable — keys written
-                # since the seal are newer and must win — and drop the
-                # orphan .sst.  The sealed WAL sidecar stays on disk (its
-                # records are in no SSTable yet); the next successful
-                # flush re-covers everything and deletes it, and a crash
-                # replays it.  Without this restore the next seal would
-                # overwrite ``_immutable`` and delete the sidecar,
-                # silently losing acknowledged writes.
-                with self._lock:
-                    for key, value in entries:
-                        _, found = self._memtable.get(key)
-                        if not found:
-                            if value is TOMBSTONE:
-                                self._memtable.delete(key)
-                            else:
-                                self._memtable.put(key, value)
-                    self._immutable = None
-                self._manifest.table_path(name).unlink(missing_ok=True)
-                raise
-            with self._lock:
-                self._tables.setdefault(0, []).append(table)
-                self._manifest.register(0, name)
-                self._manifest.save()
-                self.stats.flushes += 1
-                self._immutable = None
-            if self.options.auto_compact:
-                # Outside the store lock: the compaction merge would
-                # otherwise run under it (RLock re-entry) and stall every
-                # concurrent reader/writer for the whole level merge.
-                self._compact_if_needed()
-            for counter, path in self._scan_imm_wals():
-                # Everything sealed up to this flush is covered by the new
-                # SSTable (the sealed memtable contained all replayed
-                # leftovers plus this seal's records).
-                if counter <= seal_counter:
-                    path.unlink(missing_ok=True)
+            self._seal()
+            while self._build_oldest():
+                pass
+        if self.options.auto_compact and not self._background:
+            # Outside the store lock: the compaction merge would otherwise
+            # run under it (RLock re-entry) and stall every concurrent
+            # reader/writer for the whole level merge.  Background mode
+            # leaves the cascade to the daemon's scheduler.
+            self._compact_if_needed()
+        elif self._background:
+            self._kick_maintenance()
+
+    def maintenance_flush(self) -> int:
+        """Daemon entry point: build every pending seal; returns installs.
+
+        Never raises on a closed store (the daemon may hold a stale
+        reference across ``close``); build failures propagate to the
+        daemon's error accounting.
+        """
+        built = 0
+        with self._flush_lock:
+            if self._closed:
+                return 0
+            while self._build_oldest():
+                built += 1
+        return built
 
     # ----------------------------------------------------------- compaction
 
@@ -393,8 +612,8 @@ class LSMStore(KVStore):
         """Size-tiered merge of every table at ``level`` into ``level + 1``.
 
         The store lock is held only for the two pivots — the same shape as
-        :meth:`flush` — so a level merge no longer stalls the put/get path
-        of a hot shard for its whole duration:
+        :meth:`flush` — so a level merge never stalls the put/get path of
+        a hot shard for its whole duration:
 
         1. **snapshot** (under the lock): the level's current tables
            become the merge inputs and the output file number is drawn;
@@ -406,23 +625,40 @@ class LSMStore(KVStore):
            table in the level lists and the manifest, and the input files
            are unlinked.
 
-        ``_compact_lock`` serialises compactors (acquired before the store
-        lock, like ``_flush_lock``), so level shapes and the bottom-level
-        tombstone decision cannot shift under an in-flight merge — only a
-        flush can add tables, and only at level 0, where the snapshot
-        already excludes them.  Crash safety is unchanged: the merged
+        Serialisation is **per level pair**: the merge holds the source
+        and target level locks (ascending order — no cycles), so merges
+        of disjoint levels in one store, and any merges across different
+        stores, run concurrently; the old store-wide ``_compact_lock``
+        serialised all of them.  The level locks are exactly what the
+        bottom-level tombstone decision needs: dropping a tombstone is
+        only safe while no table *outside the merge inputs* can hold an
+        older version of the key, i.e. when the target is the bottom
+        level and every resident there is a merge input — and with the
+        target lock held, no concurrent merge can install an older run
+        there mid-build (flushes only add at level 0, where the snapshot
+        already excludes them).  Crash safety is unchanged: the merged
         table is fsynced before the manifest swap, and an orphan from a
         crash mid-build is collected on the next open.
         """
-        with self._compact_lock:
+        target = min(level + 1, self.options.max_levels - 1)
+        locks = [self._level_locks[level]]
+        if target != level:
+            locks.append(self._level_locks[target])
+        try:
+            for lk in locks:
+                lk.acquire()
             with self._lock:
+                if self._closed:
+                    return
                 inputs = list(self._tables.get(level, []))
                 if not inputs:
                     return
-                target = min(level + 1, self.options.max_levels - 1)
-                is_bottom = target == self.options.max_levels - 1 and not any(
-                    self._tables.get(lvl)
-                    for lvl in range(target + 1, self.options.max_levels)
+                # Bottom-level tombstone decision (see the docstring): the
+                # target must be the last level AND hold no table outside
+                # the inputs — a resident non-input run could hold an
+                # older value the tombstone still shadows.
+                is_bottom = target == self.options.max_levels - 1 and (
+                    target == level or not self._tables.get(target)
                 )
                 name = f"{self._manifest.allocate_file_number():08d}.sst"
 
@@ -465,6 +701,11 @@ class LSMStore(KVStore):
                 for rname in removed:
                     self._manifest.table_path(rname).unlink(missing_ok=True)
                 self.stats.compactions += 1
+        finally:
+            for lk in reversed(locks):
+                lk.release()
+        if level == 0:
+            self._notify_stall_waiters()
 
     @staticmethod
     def _merge_tables(
@@ -507,10 +748,18 @@ class LSMStore(KVStore):
     def cache_hit_ratio(self) -> float:
         return self._cache.hit_ratio()
 
+    def set_cache_capacity(self, capacity: int) -> None:
+        """Re-budget the value cache (fleet-wide cache budgeting resizes
+        every store's slice when tables or shards are added)."""
+        self.options.cache_capacity = capacity
+        self._cache.resize(capacity)
+
     def close(self) -> None:
         # _flush_lock first (the flush below re-enters it): taking _lock
         # around the whole sequence would invert flush's lock order
-        # against a concurrent flusher.
+        # against a concurrent flusher — and a background build job holds
+        # _flush_lock for its whole build, so close also naturally waits
+        # out an in-flight build before draining the rest itself.
         with self._flush_lock:
             if self._closed:
                 return
@@ -518,6 +767,7 @@ class LSMStore(KVStore):
             with self._lock:
                 self._wal.close()
                 self._closed = True
+        self._notify_stall_waiters()
 
     def _ensure_open(self) -> None:
         if self._closed:

@@ -34,21 +34,30 @@ class MemTable:
 
     def __init__(self, seed: int | None = None) -> None:
         # Import here keeps the storage package import-order flexible.
-        from .skiplist import SkipList
+        from .skiplist import MISSING, SkipList
 
         self._list = SkipList(seed=seed)
+        self._missing = MISSING
         self._latch = threading.RLock()
         self._approx_bytes = 0
+        # Entries that are live values (not tombstones): the skip list's
+        # len() counts tombstoned keys, so the LSM's approximate live-key
+        # count needs this maintained alongside each insert.
+        self._live = 0
 
     def put(self, key: bytes, value: bytes) -> None:
         with self._latch:
-            self._list.insert(key, value)
+            old = self._list.insert(key, value)
+            if old is self._missing or old is TOMBSTONE:
+                self._live += 1
             self._approx_bytes += len(key) + len(value) + 24
 
     def delete(self, key: bytes) -> None:
         """Record a tombstone for ``key``."""
         with self._latch:
-            self._list.insert(key, TOMBSTONE)
+            old = self._list.insert(key, TOMBSTONE)
+            if old is not self._missing and old is not TOMBSTONE:
+                self._live -= 1
             self._approx_bytes += len(key) + 24
 
     def get(self, key: bytes) -> tuple[bytes | None, bool]:
@@ -79,6 +88,11 @@ class MemTable:
     def __len__(self) -> int:
         with self._latch:
             return len(self._list)
+
+    def live_count(self) -> int:
+        """Entries holding live values (tombstoned keys excluded)."""
+        with self._latch:
+            return self._live
 
     def is_empty(self) -> bool:
         return len(self) == 0

@@ -17,6 +17,10 @@ from typing import Any
 _MAX_LEVEL = 16
 _P = 0.5
 
+#: Returned by :meth:`SkipList.insert` when the key was not present before
+#: (``None`` is a legal stored value, so it cannot signal absence).
+MISSING = object()
+
 
 class _Node:
     __slots__ = ("key", "value", "forward")
@@ -50,8 +54,10 @@ class SkipList:
             level += 1
         return level
 
-    def insert(self, key: Any, value: Any) -> None:
-        """Insert or overwrite ``key``."""
+    def insert(self, key: Any, value: Any) -> Any:
+        """Insert or overwrite ``key``; returns the replaced value, or
+        :data:`MISSING` when the key is new (lets the memtable keep a live
+        count without a second traversal)."""
         update: list[_Node] = [self._head] * _MAX_LEVEL
         node = self._head
         for lvl in range(self._level - 1, -1, -1):
@@ -63,8 +69,9 @@ class SkipList:
 
         candidate = node.forward[0]
         if candidate is not None and candidate.key == key:
+            old = candidate.value
             candidate.value = value
-            return
+            return old
 
         level = self._random_level()
         if level > self._level:
@@ -74,6 +81,7 @@ class SkipList:
             new_node.forward[lvl] = update[lvl].forward[lvl]
             update[lvl].forward[lvl] = new_node
         self._size += 1
+        return MISSING
 
     def get(self, key: Any, default: Any = None) -> Any:
         node = self._find_floor_node(key)
