@@ -55,7 +55,7 @@ from .sharding import (
 )
 from .slots import NUM_SLOTS, SlotFlip, SlotMap, integral_key, slot_of_key
 from .snapshot import GlobalSnapshot, SnapshotCoordinator, SnapshotView
-from .table import StateTable
+from .table import RESIDENCY_FULL, RESIDENCY_LAZY, RESIDENCY_MODES, StateTable
 from .timestamps import INF_TS, ZERO_TS, AtomicBitmask, TimestampOracle
 from .transactions import StateFlag, Transaction, TxnStatus
 from .version_store import DEFAULT_SLOTS, MVCCObject, VersionEntry
@@ -101,6 +101,9 @@ __all__ = [
     "PrepareLogRecord",
     "PreparedCommit",
     "ProtocolStats",
+    "RESIDENCY_FULL",
+    "RESIDENCY_LAZY",
+    "RESIDENCY_MODES",
     "ReadSet",
     "S2PLProtocol",
     "STR_CODEC",

@@ -7,6 +7,23 @@ scoped to the single object involved).  This module adds the complementary
 maintenance sweep — a table- or context-wide collection pass — plus a
 small policy object so benchmarks can compare on-demand with periodic
 collection.
+
+Interplay with lazy residency (``StateTable(residency="lazy")``): a
+*bootstrap* version — the clean backend copy a read faulted in — is live
+(``dts == INF_TS``) until a writer supersedes it, so no GC sweep ever
+collects it while it is an object's newest version; once superseded, its
+``dts`` becomes the superseding commit's timestamp and the normal death
+test (``dts <= OldestActiveVersion``) applies, which is exactly what a
+capped cross-shard snapshot needs — the global horizon
+(:meth:`~repro.core.sharding.ShardedTransactionManager._global_horizon`)
+folds every shard's pins and the snapshot barrier in, so a bootstrap
+version stays readable for as long as any snapshot that could still
+resolve it exists.  *Residency eviction* is the separate, GC-adjacent
+mechanism that un-faults cold keys (drops the whole single-bootstrap
+array back to backend-resident, same horizon rule); it lives in
+:meth:`repro.core.table.StateTable.evict_cold_versions`, never collects
+history, and is invisible to readers — the next read faults the row back
+in.
 """
 
 from __future__ import annotations

@@ -38,7 +38,7 @@ from .group_commit import GroupCommitCoordinator
 from .isolation import IsolationLevel
 from .protocol import ConcurrencyControl, make_protocol
 from .snapshot import SnapshotView
-from .table import StateTable
+from .table import RESIDENCY_FULL, StateTable
 from .timestamps import TimestampOracle
 from .transactions import Transaction
 from .version_store import DEFAULT_SLOTS
@@ -104,6 +104,7 @@ class TransactionManager:
         value_codec: Codec = PICKLE_CODEC,
         version_slots: int = DEFAULT_SLOTS,
         location: str = "",
+        residency: str = RESIDENCY_FULL,
     ) -> StateTable:
         """Register a state and attach its transactional table."""
         self.context.register_state(state_id, location)
@@ -113,6 +114,7 @@ class TransactionManager:
             key_codec=key_codec,
             value_codec=value_codec,
             version_slots=version_slots,
+            residency=residency,
         )
         self.protocol.attach_table(table)
         return table

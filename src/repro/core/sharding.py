@@ -119,7 +119,7 @@ from .manager import TransactionManager
 from .protocol import PreparedCommit
 from .slots import SlotFlip, SlotMap, slot_of_key
 from .snapshot import GlobalSnapshot, SnapshotCoordinator
-from .table import StateTable
+from .table import RESIDENCY_FULL, RESIDENCY_LAZY, RESIDENCY_MODES, StateTable
 from .timestamps import TimestampOracle
 from .transactions import Transaction, TxnStatus
 from .version_store import DEFAULT_SLOTS
@@ -628,6 +628,8 @@ class ShardedTransactionManager:
         global_snapshots: bool = True,
         storage_maintenance: str = MAINTENANCE_BACKGROUND,
         cache_budget: int | None = None,
+        state_residency: str | None = None,
+        memory_budget: int | None = None,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
@@ -644,6 +646,11 @@ class ShardedTransactionManager:
             raise ValueError(
                 f"storage_maintenance must be 'background' or 'inline': "
                 f"{storage_maintenance!r}"
+            )
+        if state_residency is not None and state_residency not in RESIDENCY_MODES:
+            raise ValueError(
+                f"state_residency must be one of {RESIDENCY_MODES}: "
+                f"{state_residency!r}"
             )
         self.num_shards = num_shards
         self.durability_mode = durability
@@ -706,6 +713,10 @@ class ShardedTransactionManager:
         #: every LSM base table the manager owns (``None`` = the historical
         #: per-store default, 65536 entries *each* — unbounded fleet-wide).
         self.cache_budget = cache_budget
+        #: Fleet-wide cap on *resident version arrays* for lazy tables,
+        #: divided across the lazy partitions of slot-owning shards the
+        #: same way ``cache_budget`` is (``None`` = unbounded residency).
+        self.memory_budget = memory_budget
         #: One oracle shared by every shard: global timestamp total order.
         self.oracle = TimestampOracle()
         #: Global snapshot service (see the module docstring): registers
@@ -748,8 +759,22 @@ class ShardedTransactionManager:
                 # the persisted engine instead of silently rewriting it.
                 if protocol is not None:
                     adopted.protocol = protocol
+                # Residency follows the same rule: it is a read-path
+                # policy, not a data format — an explicit argument updates
+                # the catalog, ``None`` adopts the persisted mode.
+                if state_residency is not None:
+                    adopted.state_residency = state_residency
                 self._schema = adopted
+            if state_residency is not None:
+                self._schema.state_residency = state_residency
             protocol = self._schema.protocol
+            state_residency = self._schema.state_residency
+        #: Default residency mode stamped on every partition
+        #: :meth:`create_table` creates (``"full"`` bootstraps the whole
+        #: version index at open; ``"lazy"`` faults rows in on first read
+        #: — see :mod:`repro.core.table`).  Persisted in ``schema.json``
+        #: like ``protocol`` so a plain reopen keeps the store's mode.
+        self.state_residency = state_residency or RESIDENCY_FULL
         #: Live slot -> shard routing table.  Adopted from the persisted
         #: schema when one exists (validated against the shard count and
         #: the on-disk layout *before* any side effect, like the
@@ -1144,9 +1169,12 @@ class ShardedTransactionManager:
                 value_codec=value_codec,
                 version_slots=version_slots,
                 location=f"shard-{idx}",
+                residency=self.state_residency,
             )
             for idx, shard in enumerate(self.shards)
         ]
+        for idx, table in enumerate(tables):
+            self._wire_residency(idx, table)
         if self._schema is not None:
             self._schema.states[state_id] = version_slots
             self._schema.save(self.data_dir)
@@ -1163,18 +1191,79 @@ class ShardedTransactionManager:
             if isinstance(table.backend, LSMStore)
         ]
 
+    def _wire_residency(self, idx: int, table: StateTable) -> None:
+        """Hook one lazy partition into the manager's shared services.
+
+        The GC-horizon hook keeps eviction snapshot-safe: a bootstrap
+        version may only be dropped once no reader (local or capped
+        cross-shard — the context's ``horizon_hook`` folds the global
+        barrier in) could still resolve it.  The eviction trigger routes
+        over-budget sweeps to the maintenance daemon so the commit path
+        never pays them.
+        """
+        if table.residency != RESIDENCY_LAZY:
+            return
+        table.gc_horizon_hook = self.shards[idx].context.oldest_active_version
+        daemon = self.maintenance_daemon
+        if daemon is not None:
+            table.eviction_trigger = lambda t=table: daemon.request_eviction(t)
+
+    def _active_shards(self) -> list[int]:
+        """Shards that still own slots.  A merged-away shard keeps its
+        stores open for in-flight readers but takes no new traffic, so it
+        drops out of every budget division once it retires."""
+        active = [
+            idx
+            for idx in range(self.num_shards)
+            if self.slot_map.slots_of(idx)
+        ]
+        return active or list(range(self.num_shards))
+
     def _adopt_lsm_backends(self) -> None:
         """Attach new LSM base tables to the maintenance daemon and
-        re-divide the fleet-wide cache budget (called after every
-        ``create_table`` and after a split stamps out a new shard)."""
+        re-divide the fleet-wide budgets (called after every
+        ``create_table``, after a split stamps out a new shard, and after
+        a merge retires one — so the survivors reclaim the retired
+        shard's share instead of running under-provisioned forever)."""
         stores = self._lsm_backends()
         if self.maintenance_daemon is not None:
             for store in stores:
                 self.maintenance_daemon.register(store)
-        if self.cache_budget is not None and stores:
-            per_store = max(1, self.cache_budget // len(stores))
-            for store in stores:
-                store.set_cache_capacity(per_store)
+        active = set(self._active_shards())
+        if self.cache_budget is not None:
+            active_stores = [
+                store
+                for idx in active
+                for store in self._lsm_backends(idx)
+            ]
+            if active_stores:
+                per_store = max(1, self.cache_budget // len(active_stores))
+                active_ids = {id(store) for store in active_stores}
+                for store in stores:
+                    # Husk stores shrink to a floor of one entry: they only
+                    # serve the dwindling pre-merge reader population.
+                    store.set_cache_capacity(
+                        per_store if id(store) in active_ids else 1
+                    )
+        if self.memory_budget is not None:
+            lazy_tables = [
+                table
+                for idx in active
+                for table in self.shards[idx].tables()
+                if table.residency == RESIDENCY_LAZY
+            ]
+            if lazy_tables:
+                per_table = max(1, self.memory_budget // len(lazy_tables))
+                for table in lazy_tables:
+                    table.residency_budget = per_table
+            # Husk partitions get NO residency budget: their backend rows
+            # were purged by the migration, so an evicted array could not
+            # re-hydrate for the in-flight readers still pinned to them.
+            for idx in range(self.num_shards):
+                if idx in active:
+                    continue
+                for table in self.shards[idx].tables():
+                    table.residency_budget = None
 
     def register_group(self, group_id: str, state_ids: list[str]) -> None:
         for shard in self.shards:
@@ -1312,6 +1401,35 @@ class ShardedTransactionManager:
         return self.shards[shard].read(
             self._child(txn, shard, smap.epoch), state_id, key
         )
+
+    def read_many(
+        self, txn: ShardedTransaction, state_id: str, keys: list[Any]
+    ) -> dict[Any, Any | None]:
+        """Batched point read: ``{key: value_or_None}`` for every key.
+
+        Routing is amortised — the batch is partitioned per shard under
+        one slot-map snapshot, each shard's child is opened once, and on
+        lazy partitions the cold keys of the batch are pre-faulted with a
+        single :meth:`~repro.storage.kvstore.KVStore.multi_get` (one
+        cache/bloom pass per key, shared SSTable probes) instead of one
+        backend point-get per miss.  Reads then resolve through the
+        normal protocol path, so visibility, read-set tracking and
+        snapshot caps behave exactly like N separate :meth:`read` calls.
+        """
+        txn.ensure_active()
+        smap = self.slot_map
+        parts: dict[int, list[Any]] = {}
+        for key in keys:
+            parts.setdefault(smap.shard_of(key), []).append(key)
+        out: dict[Any, Any | None] = {}
+        for shard, part in parts.items():
+            mgr = self.shards[shard]
+            child = self._child(txn, shard, smap.epoch)
+            table = mgr.table(state_id)
+            table.hydrate_many(part)
+            for key in part:
+                out[key] = mgr.read(child, state_id, key)
+        return out
 
     def write(self, txn: ShardedTransaction, state_id: str, key: Any, value: Any) -> None:
         txn.ensure_active()
@@ -2060,6 +2178,10 @@ class ShardedTransactionManager:
                 )
             target = self._add_shard()
             self._migrate_slots_locked(list(moving), source, target)
+            # Divide the fleet-wide budgets again now that the target owns
+            # slots: ``_add_shard`` ran the division while the new shard
+            # was still slot-less, which classified it as a husk.
+            self._adopt_lsm_backends()
             return target
 
     def merge_shard(self, source: int, target: int) -> int:
@@ -2084,6 +2206,11 @@ class ShardedTransactionManager:
             if not moving:
                 return 0
             self._migrate_slots_locked(moving, source, target)
+            # The source is a slot-less husk now: re-divide the fleet-wide
+            # cache and memory budgets so the surviving shards reclaim its
+            # share (creation divides the budgets, but nothing else would
+            # ever expand them back after a retirement).
+            self._adopt_lsm_backends()
             return len(moving)
 
     def _check_migratable(self) -> None:
@@ -2145,6 +2272,7 @@ class ShardedTransactionManager:
                 value_codec=src_table.value_codec,
                 version_slots=src_table.version_slots,
                 location=f"shard-{idx}",
+                residency=src_table.residency,
             )
         for group_id in template.context.group_ids():
             if group_id in shard.context.group_ids():
@@ -2167,6 +2295,8 @@ class ShardedTransactionManager:
         # Publish the grown count last: no list index is handed out for
         # the new shard until every per-shard structure exists.
         self.num_shards = idx + 1
+        for table in shard.tables():
+            self._wire_residency(idx, table)
         self._adopt_lsm_backends()
         return idx
 
@@ -2362,6 +2492,39 @@ class ShardedTransactionManager:
                                     dst.value_codec.encode(live.value),
                                 )
                             )
+                    if src.residency == RESIDENCY_LAZY:
+                        # A lazy source holds moved rows its version index
+                        # never faulted in, so the purge (and, in volatile
+                        # mode, the copy) must come from the backend — or
+                        # the flip would leave cold moved rows behind for
+                        # recovery to re-purge on every reopen.  The
+                        # target needs no handover for them (a cold key
+                        # was last written before the source opened —
+                        # writes pin a key resident — so target-side lazy
+                        # hydration serves it correctly), but the SOURCE
+                        # does: an in-flight reader that routed here just
+                        # before the flip would otherwise fault against
+                        # the purged backend and read the key as absent.
+                        # Each cold moved row therefore gets a frozen
+                        # in-memory copy on the source — installed as a
+                        # committed (non-evictable) version, like the
+                        # frozen arrays full residency leaves behind, and
+                        # reclaimed the same way on the next reopen.
+                        handed = set(purge)
+                        for kbytes, vbytes in list(src.backend.scan()):
+                            if kbytes in handed:
+                                continue
+                            key = src.key_codec.decode(kbytes)
+                            if slot_of_key(key, num_slots) not in moving_set:
+                                continue
+                            purge.append(kbytes)
+                            src.mvcc_object(key, create=True).install(
+                                src.value_codec.decode(vbytes),
+                                src.bootstrap_cts,
+                                src.bootstrap_cts,
+                            )
+                            if not durable:
+                                volatile_batch.append((kbytes, vbytes))
                     if volatile_batch:
                         dst.backend.write_batch(volatile_batch, [])
                 # The target's visibility floors must cover the adopted
@@ -2594,6 +2757,17 @@ class ShardedTransactionManager:
         totals["cross_shard_commits"] = self.cross_shard_commits
         totals["cross_shard_aborts"] = self.cross_shard_aborts
         totals["cross_shard_in_doubt"] = self.cross_shard_in_doubt
+        hydrations = hydration_misses = evictions = resident = 0
+        for shard in self.shards:
+            for table in shard.tables():
+                hydrations += table.hydrations
+                hydration_misses += table.hydration_misses
+                evictions += table.residency_evictions
+                resident += table.resident_keys()
+        totals["hydrations"] = hydrations
+        totals["hydration_misses"] = hydration_misses
+        totals["residency_evictions"] = evictions
+        totals["resident_keys"] = resident
         totals["slot_epoch"] = self.slot_map.epoch
         totals["slot_migrations"] = self.slot_migrations
         totals["slots_moved"] = self.slots_moved

@@ -18,6 +18,40 @@ Division of labour:
 On restart the version index is rebuilt from the base table with a single
 bootstrap version per key (commit timestamp = the group's recovered
 ``LastCTS``), which restores exactly the view of the last completed commit.
+
+Residency modes
+---------------
+
+``residency="full"`` (the default) keeps that contract: open scans the
+whole base table into the version index, so the dataset is capped by RAM
+and ``open()`` is O(data).  ``residency="lazy"`` inverts it — the index
+starts (nearly) empty and each key moves through a small state machine:
+
+* **cold** — no index entry; the authoritative newest-committed value
+  lives only in the base table.  A point read that misses the index
+  *faults the row in*: one bloom-gated ``backend.get`` (true misses are
+  absorbed by the LSM's negative cache), then
+  :meth:`MVCCObject.install_bootstrap` under the key's latch installs the
+  value as a bootstrap version stamped with the table's
+  :attr:`bootstrap_cts` (the recovered checkpoint ``LastCTS``).  The
+  install is idempotent and racing-writer-safe: it no-ops the moment any
+  committed version exists, and a committed delete that beat the fault-in
+  leaves the bootstrap entry already-superseded instead of resurrected.
+* **resident** — the key behaves exactly like full residency: reads hit
+  the version array, commits supersede it, GC prunes it.
+* **evicted (cold again)** — when the index exceeds the residency budget,
+  a clock/second-chance sweep drops arrays whose *only* version is a
+  clean live bootstrap entry at or below the GC horizon.  Eviction
+  removes the index entry only — never the backend row — so the next
+  read faults the identical entry back in.  Bulk sweeps run on the
+  :class:`~repro.storage.maintenance.StorageMaintenanceDaemon`; the
+  faulting reader only pays a bounded inline backstop that keeps the
+  resident count hard-capped at the budget.
+
+Range scans in lazy mode merge the resident index with a base-table scan
+(cold rows are visible iff the snapshot is at or above
+``bootstrap_cts``), so consistent scatter-gather scans still see one
+capped, sorted vector per shard.
 """
 
 from __future__ import annotations
@@ -35,6 +69,13 @@ from .timestamps import ZERO_TS
 from .version_store import DEFAULT_SLOTS, MVCCObject, VersionEntry
 from .write_set import WriteKind, WriteSet
 
+#: Residency modes: ``full`` bootstraps the whole base table into the
+#: version index at open; ``lazy`` faults rows in on first read and lets
+#: the residency budget evict cold bootstrap arrays back to the backend.
+RESIDENCY_FULL = "full"
+RESIDENCY_LAZY = "lazy"
+RESIDENCY_MODES = (RESIDENCY_FULL, RESIDENCY_LAZY)
+
 
 class StateTable:
     """Versioned, backend-agnostic representation of one queryable state."""
@@ -46,12 +87,18 @@ class StateTable:
         key_codec: Codec = PICKLE_CODEC,
         value_codec: Codec = PICKLE_CODEC,
         version_slots: int = DEFAULT_SLOTS,
+        residency: str = RESIDENCY_FULL,
     ) -> None:
+        if residency not in RESIDENCY_MODES:
+            raise ValueError(
+                f"residency must be one of {RESIDENCY_MODES}: {residency!r}"
+            )
         self.state_id = state_id
         self.backend = backend if backend is not None else MemoryKVStore()
         self.key_codec = key_codec
         self.value_codec = value_codec
         self.version_slots = version_slots
+        self.residency = residency
         self._index: dict[Any, MVCCObject] = {}
         #: guards structural changes to the key -> MVCCObject mapping.
         self._index_latch = threading.RLock()
@@ -63,6 +110,27 @@ class StateTable:
         self.versions_installed = 0
         #: snapshot-consistent secondary indexes (maintained at commit).
         self.indexes = IndexSet()
+        #: commit timestamp stamped on faulted-in bootstrap versions — the
+        #: recovered group ``LastCTS`` (strictly below every post-recovery
+        #: commit), so hydration restores the checkpoint view.
+        self.bootstrap_cts = ZERO_TS
+        #: lazy-residency cap on index entries (``None`` = unbounded); the
+        #: sharded manager divides its fleet-wide ``memory_budget`` here.
+        self.residency_budget: int | None = None
+        #: supplies the GC horizon below which bootstrap arrays may be
+        #: evicted; the sharded manager wires the shard context's
+        #: ``oldest_active_version`` (which folds in the global barrier).
+        self.gc_horizon_hook: Callable[[], int] | None = None
+        #: called when a fault-in pushes the index over budget; the sharded
+        #: manager wires the maintenance daemon's eviction request here.
+        self.eviction_trigger: Callable[[], None] | None = None
+        #: lazy-residency observability counters.
+        self.hydrations = 0
+        self.hydration_misses = 0
+        self.residency_evictions = 0
+        #: clock/second-chance sweep state over a cached key snapshot.
+        self._clock_keys: list[Any] = []
+        self._clock_hand = 0
 
     # -------------------------------------------------------------- lookups
 
@@ -87,20 +155,162 @@ class StateTable:
         """Snapshot read: the version of ``key`` visible at ``ts``."""
         obj = self.mvcc_object(key)
         if obj is None:
-            return None
+            if self.residency != RESIDENCY_LAZY:
+                return None
+            obj = self._hydrate(key)
+            if obj is None:
+                return None
         return obj.read_at(ts)
 
     def read_live(self, key: Any) -> VersionEntry | None:
         """Read the newest committed version (single-version protocols)."""
         obj = self.mvcc_object(key)
         if obj is None:
-            return None
+            if self.residency != RESIDENCY_LAZY:
+                return None
+            obj = self._hydrate(key)
+            if obj is None:
+                return None
         return obj.live_version()
 
     def latest_cts(self, key: Any) -> int:
-        """Newest commit timestamp recorded for ``key`` (0 when unwritten)."""
+        """Newest commit timestamp recorded for ``key`` (0 when unwritten).
+
+        In lazy mode a cold key hydrates first: First-Committer-Wins
+        validation of a blind write must see the bootstrap timestamp, not
+        a silent 0, to match what full residency would have answered.
+        """
         obj = self.mvcc_object(key)
+        if obj is None and self.residency == RESIDENCY_LAZY:
+            obj = self._hydrate(key)
         return obj.latest_cts() if obj is not None else 0
+
+    # ------------------------------------------------------- lazy residency
+
+    def resident_keys(self) -> int:
+        """Number of keys currently holding an in-memory version array."""
+        return len(self._index)
+
+    def _hydrate(self, key: Any) -> MVCCObject | None:
+        """Fault a cold key in from the base table (lazy residency).
+
+        One bloom-gated backend point read; repeated reads of a truly
+        absent key cost one LSM negative-cache hit.  The install is
+        delegated to :meth:`MVCCObject.install_bootstrap`, which makes it
+        idempotent and safe against racing committers (see there).
+        """
+        vbytes = self.backend.get(self.key_codec.encode(key))
+        if vbytes is None:
+            self.hydration_misses += 1
+            # a racing commit may have created the object meanwhile
+            return self._index.get(key)
+        obj = self.mvcc_object(key, create=True)
+        if obj.install_bootstrap(self.value_codec.decode(vbytes), self.bootstrap_cts):
+            self.hydrations += 1
+            self._enforce_budget()
+        return obj
+
+    def hydrate_many(self, keys: list[Any]) -> int:
+        """Batched fault-in for a set of keys (the ``read_many`` path).
+
+        One ``backend.multi_get`` covers every cold key — a single
+        cache/bloom pass with shared SSTable handles instead of one full
+        probe chain per key.  Returns the number of keys installed.
+        """
+        if self.residency != RESIDENCY_LAZY:
+            return 0
+        missing = [key for key in keys if key not in self._index]
+        if not missing:
+            return 0
+        values = self.backend.multi_get(
+            [self.key_codec.encode(key) for key in missing]
+        )
+        installed = 0
+        for key, vbytes in zip(missing, values):
+            if vbytes is None:
+                self.hydration_misses += 1
+                continue
+            obj = self.mvcc_object(key, create=True)
+            if obj.install_bootstrap(
+                self.value_codec.decode(vbytes), self.bootstrap_cts
+            ):
+                installed += 1
+        if installed:
+            self.hydrations += installed
+            self._enforce_budget()
+        return installed
+
+    def _enforce_budget(self) -> None:
+        """Keep the resident count at or below the residency budget.
+
+        The maintenance daemon owns bulk sweeps (requested through
+        :attr:`eviction_trigger`, so eviction never rides the commit
+        path); the faulting reader additionally pays a small strict
+        backstop so the budget stays a hard cap between daemon passes.
+        """
+        budget = self.residency_budget
+        if budget is None or len(self._index) <= budget:
+            return
+        if self.eviction_trigger is not None:
+            self.eviction_trigger()
+        self.evict_cold_versions(strict=True)
+
+    def evict_cold_versions(
+        self,
+        limit: int | None = None,
+        horizon: int | None = None,
+        strict: bool = False,
+        max_steps: int | None = None,
+    ) -> int:
+        """Clock/second-chance sweep demoting cold keys to backend-resident.
+
+        Drops version arrays whose only version is a clean live bootstrap
+        entry at or below the GC ``horizon`` (see
+        :meth:`MVCCObject.evictable`) until the index is back under the
+        residency budget (or ``limit`` keys are evicted).  Only the index
+        entry is removed — the backend row is untouched, so the key
+        simply becomes cold again.  Holds the commit latch so no commit
+        is concurrently installing into an array being dropped; the hold
+        is bounded by ``max_steps`` clock positions.  Returns the number
+        of arrays evicted.
+        """
+        if self.residency != RESIDENCY_LAZY:
+            return 0
+        with self.commit_latch:
+            resident = len(self._index)
+            if limit is None:
+                budget = self.residency_budget
+                if budget is None or resident <= budget:
+                    return 0
+                limit = resident - budget
+            if limit <= 0 or resident == 0:
+                return 0
+            if horizon is None:
+                hook = self.gc_horizon_hook
+                horizon = hook() if hook is not None else self.bootstrap_cts
+            if max_steps is None:
+                max_steps = 2 * resident + 64
+            evicted = 0
+            steps = 0
+            while evicted < limit and steps < max_steps:
+                if self._clock_hand >= len(self._clock_keys):
+                    with self._index_latch:
+                        self._clock_keys = list(self._index)
+                    self._clock_hand = 0
+                    if not self._clock_keys:
+                        break
+                key = self._clock_keys[self._clock_hand]
+                self._clock_hand += 1
+                steps += 1
+                obj = self._index.get(key)
+                if obj is None or not obj.evictable(horizon, strict=strict):
+                    continue
+                with self._index_latch:
+                    self._index.pop(key, None)
+                evicted += 1
+            if evicted:
+                self.residency_evictions += evicted
+            return evicted
 
     def keys(self) -> list[Any]:
         """All keys with at least one version, in sorted order."""
@@ -114,7 +324,18 @@ class StateTable:
         return keys
 
     def scan_at(self, ts: int, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
-        """Snapshot range scan with ``low <= key < high`` bounds."""
+        """Snapshot range scan with ``low <= key < high`` bounds.
+
+        Lazy residency merges the resident index with a base-table scan:
+        cold rows carry the bootstrap timestamp, so they are visible iff
+        ``ts >= bootstrap_cts`` — exactly the version full residency
+        would have installed for them.
+        """
+        if self.residency == RESIDENCY_LAZY:
+            yield from self._lazy_scan(
+                low, high, lambda obj: obj.read_at(ts), ts >= self.bootstrap_cts
+            )
+            return
         for key in self.keys():
             if low is not None and key < low:
                 continue
@@ -125,6 +346,11 @@ class StateTable:
                 yield key, version.value
 
     def scan_live(self, low: Any = None, high: Any = None) -> Iterator[tuple[Any, Any]]:
+        if self.residency == RESIDENCY_LAZY:
+            yield from self._lazy_scan(
+                low, high, lambda obj: obj.live_version(), True
+            )
+            return
         for key in self.keys():
             if low is not None and key < low:
                 continue
@@ -133,6 +359,59 @@ class StateTable:
             version = self.read_live(key)
             if version is not None:
                 yield key, version.value
+
+    def _lazy_scan(
+        self,
+        low: Any,
+        high: Any,
+        read: Callable[[MVCCObject], VersionEntry | None],
+        cold_visible: bool,
+    ) -> list[tuple[Any, Any]]:
+        """One merged, sorted vector over resident + cold rows.
+
+        The resident partition is captured once (object references, so a
+        concurrent eviction cannot hide a row mid-scan); the backend scan
+        then supplies only keys outside that capture, re-checking the
+        live index per key so rows committed or faulted in after the
+        capture are read through their version array with proper
+        visibility instead of being misread as cold.  Scans do **not**
+        install bootstrap versions — one analytics pass must not blow the
+        residency budget.
+        """
+        with self._index_latch:
+            items = list(self._index.items())
+        resident = {key for key, _ in items}
+
+        def in_bounds(key: Any) -> bool:
+            if low is not None and key < low:
+                return False
+            return high is None or key < high
+
+        out: list[tuple[Any, Any]] = []
+        for key, obj in items:
+            if not in_bounds(key):
+                continue
+            version = read(obj)
+            if version is not None:
+                out.append((key, version.value))
+        if cold_visible:
+            for kbytes, vbytes in self.backend.scan():
+                key = self.key_codec.decode(kbytes)
+                if key in resident or not in_bounds(key):
+                    continue
+                obj = self._index.get(key)
+                if obj is not None:
+                    version = read(obj)
+                    if version is not None:
+                        out.append((key, version.value))
+                else:
+                    out.append((key, self.value_codec.decode(vbytes)))
+        try:
+            out.sort(key=lambda kv: kv[0])
+        except TypeError:
+            # heterogeneous keys: keep resident-then-cold order
+            pass
+        return out
 
     def __len__(self) -> int:
         """Number of keys with a live (committed, undeleted) version."""
@@ -152,6 +431,22 @@ class StateTable:
         deletes: list[bytes] = []
         for key, entry in write_set.entries.items():
             obj = self.mvcc_object(key, create=True)
+            if (
+                self.residency == RESIDENCY_LAZY
+                and obj.last_write_ts == 0
+                and obj.version_count() == 0
+            ):
+                # A commit to a *cold* key (blind write, or the writer's
+                # fault-in was evicted before this commit latched): the
+                # fresh array must carry the backend pre-image as its
+                # bootstrap underlay, or the interval below ``commit_ts``
+                # would vanish from history while a barrier-capped reader
+                # can still pin a snapshot inside it.
+                vbytes = self.backend.get(self.key_codec.encode(key))
+                if vbytes is not None:
+                    obj.install_bootstrap(
+                        self.value_codec.decode(vbytes), self.bootstrap_cts
+                    )
             if entry.kind is WriteKind.UPSERT:
                 obj.install(entry.value, commit_ts, oldest_active)
                 puts.append(
@@ -221,6 +516,7 @@ class StateTable:
         """
         count = 0
         with self.commit_latch:
+            self.bootstrap_cts = bootstrap_cts
             self._index.clear()
             for kbytes, vbytes in self.backend.scan():
                 key = self.key_codec.decode(kbytes)
@@ -246,7 +542,11 @@ class StateTable:
         deletes: list[bytes] = []
         with self._index_latch:
             for key in keys:
-                if self._index.pop(key, None) is not None:
+                resident = self._index.pop(key, None) is not None
+                # A lazy partition holds rows its index never faulted in;
+                # their backend rows must go too (callers pass keys they
+                # found in the backend), or they would re-hydrate later.
+                if resident or self.residency == RESIDENCY_LAZY:
                     deletes.append(self.key_codec.encode(key))
         if deletes:
             self.backend.write_batch([], deletes)
@@ -260,8 +560,14 @@ class StateTable:
         """Attach a snapshot-consistent secondary index.
 
         Existing committed rows are back-filled under the commit latch so
-        lookups are complete from the moment this returns.
+        lookups are complete from the moment this returns.  Unsupported
+        on lazy-residency tables: the back-fill could only see resident
+        keys, so the index would silently miss every cold row.
         """
+        if self.residency == RESIDENCY_LAZY:
+            raise ValueError(
+                f"secondary indexes require residency='full': {self.state_id}"
+            )
         with self.commit_latch:
             index = self.indexes.create(name, extractor)
             for key in self.keys():

@@ -30,11 +30,19 @@ DEFAULT_SLOTS = 8
 
 @dataclass
 class VersionEntry:
-    """One committed version: ``value`` valid during ``[cts, dts)``."""
+    """One committed version: ``value`` valid during ``[cts, dts)``.
+
+    ``bootstrap`` marks versions rebuilt from the base table (full-scan
+    bootstrap at recovery, or a lazy-residency fault-in) rather than
+    installed by a commit: their value is byte-identical to the backend
+    row, which is what makes them safe to *evict* — dropping the array
+    and re-faulting later reproduces the same entry.
+    """
 
     cts: int
     dts: int
     value: Any
+    bootstrap: bool = False
 
     def visible_at(self, ts: int) -> bool:
         """Snapshot-isolation visibility: ``cts <= ts < dts``."""
@@ -62,7 +70,16 @@ class MVCCObject:
     the faithful conservative choice.
     """
 
-    __slots__ = ("_slots", "_used", "_overflow", "_latch", "capacity", "gc_count")
+    __slots__ = (
+        "_slots",
+        "_used",
+        "_overflow",
+        "_latch",
+        "capacity",
+        "gc_count",
+        "last_write_ts",
+        "referenced",
+    )
 
     def __init__(self, capacity: int = DEFAULT_SLOTS) -> None:
         if capacity <= 0:
@@ -73,6 +90,12 @@ class MVCCObject:
         self._overflow: list[VersionEntry] = []
         self._latch = threading.Lock()
         self.gc_count = 0
+        #: Newest commit timestamp ever installed or deleted through this
+        #: object — survives GC, so a lazy fault-in can tell "this key was
+        #: written and the versions aged out" apart from "never touched".
+        self.last_write_ts = 0
+        #: Clock/second-chance reference bit for residency eviction.
+        self.referenced = False
 
     # ------------------------------------------------------------ read side
 
@@ -82,6 +105,7 @@ class MVCCObject:
         At most one version can be visible at any timestamp because version
         intervals ``[cts, dts)`` of one key never overlap.
         """
+        self.referenced = True
         with self._latch:
             candidates = [v for v in self._slots if v is not None]
             candidates.extend(self._overflow)
@@ -92,6 +116,7 @@ class MVCCObject:
 
     def live_version(self) -> VersionEntry | None:
         """Return the newest committed version (``dts == INF``)."""
+        self.referenced = True
         with self._latch:
             for version in self._slots:
                 if version is not None and version.is_live():
@@ -141,6 +166,8 @@ class MVCCObject:
         """
         entry = VersionEntry(commit_ts, INF_TS, value)
         with self._latch:
+            if commit_ts > self.last_write_ts:
+                self.last_write_ts = commit_ts
             self._supersede_live(commit_ts)
             slot = self._used.claim_free_slot()
             if slot is None:
@@ -154,7 +181,68 @@ class MVCCObject:
     def mark_deleted(self, commit_ts: int) -> None:
         """Terminate the live version at ``commit_ts`` (a committed delete)."""
         with self._latch:
+            if commit_ts > self.last_write_ts:
+                self.last_write_ts = commit_ts
             self._supersede_live(commit_ts)
+
+    def install_bootstrap(self, value: Any, cts: int) -> bool:
+        """Install a base-table row as a bootstrap version (lazy fault-in).
+
+        Racing-writer-safe and idempotent: the install happens only while
+        the object holds **no** versions — any concurrently committed
+        version (or an earlier fault-in) is newer/authoritative and wins,
+        making a second hydration of the same key a no-op.  If a commit
+        already wrote *through* this object (``last_write_ts``) while it
+        is empty — a committed delete of a still-cold key, or versions
+        that aged out past the GC horizon — the bootstrap entry is
+        installed already-superseded at that timestamp, so the backend
+        row the reader raced to fetch stays visible exactly for
+        ``[cts, last_write_ts)`` and never resurrects the deleted key.
+
+        Returns ``True`` iff a version was installed.
+        """
+        with self._latch:
+            if self._overflow or any(v is not None for v in self._slots):
+                return False
+            dts = self.last_write_ts if self.last_write_ts > cts else INF_TS
+            slot = self._used.claim_free_slot()
+            if slot is None:  # pragma: no cover - fresh objects have slots
+                return False
+            self._slots[slot] = VersionEntry(cts, dts, value, bootstrap=True)
+            return True
+
+    def evictable(self, horizon: int, strict: bool = False) -> bool:
+        """Residency-eviction eligibility test (clock/second-chance).
+
+        An array may be dropped from the version index iff its *only*
+        version is a clean live bootstrap entry no newer than the GC
+        ``horizon`` (every active or future snapshot reads at or above
+        the horizon, and a re-fault reproduces the identical entry) and
+        no commit ever wrote through the object.  Unless ``strict``, a
+        set reference bit buys the array one more clock sweep.
+        """
+        with self._latch:
+            if self._overflow:
+                return False
+            only: VersionEntry | None = None
+            for version in self._slots:
+                if version is None:
+                    continue
+                if only is not None:
+                    return False
+                only = version
+            if (
+                only is None
+                or not only.bootstrap
+                or not only.is_live()
+                or only.cts > horizon
+                or self.last_write_ts > only.cts
+            ):
+                return False
+            if self.referenced and not strict:
+                self.referenced = False
+                return False
+            return True
 
     def _supersede_live(self, commit_ts: int) -> None:
         for version in self._slots:

@@ -33,7 +33,12 @@ Recovery contract (the paper's Section 4 requirements, per shard):
    recovered;
 5. the version indexes are bootstrapped from the (now exact) base tables,
    and a fresh checkpoint truncates the replayed tails so a second crash
-   replays nothing twice.
+   replays nothing twice.  Under ``state_residency="lazy"`` step 5 is
+   O(tail) instead of O(rows): only the keys the tail touched are
+   installed eagerly (from the redo records, at their true commit
+   timestamps); every other row stays backend-resident behind the
+   partition's ``bootstrap_cts`` and faults in on first read (see
+   :mod:`repro.core.table`).
 """
 
 from __future__ import annotations
@@ -63,6 +68,13 @@ from ..core.durability import (
     apply_recovered_commit,
     commit_wal_tail,
 )
+from ..core.table import RESIDENCY_LAZY
+from ..core.write_set import WriteKind
+
+#: Sentinel marking a tail key whose newest tail record is a DELETE — it
+#: must stay cold (the redo removed the backend row, so a later fault-in
+#: correctly misses) instead of hydrating a value.
+_TAIL_DELETED = object()
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.sharding import ShardedTransactionManager
@@ -133,6 +145,11 @@ class ShardedSchema:
     #: carry this flag, and a dir that ever started a migration always
     #: does — even when a crash left ``slot_epoch`` at 0.
     migrations_started: bool = False
+    #: Residency mode every partition is created with (``"full"`` =
+    #: bootstrap the whole version index at open; ``"lazy"`` = fault rows
+    #: in on first read).  Persisted like ``protocol``: a policy of the
+    #: store, not of one process, so a plain reopen keeps it.
+    state_residency: str = "full"
 
     def save(self, data_dir: str | os.PathLike[str]) -> None:
         """Atomically persist (tmp + fsync + rename + directory fsync)."""
@@ -145,6 +162,7 @@ class ShardedSchema:
             "slot_map": self.slot_map,
             "slot_epoch": self.slot_epoch,
             "migrations_started": self.migrations_started,
+            "state_residency": self.state_residency,
         }
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -172,6 +190,7 @@ class ShardedSchema:
             slot_map=None if slot_map is None else [int(s) for s in slot_map],
             slot_epoch=int(payload.get("slot_epoch", 0)),
             migrations_started=bool(payload.get("migrations_started", False)),
+            state_residency=str(payload.get("state_residency", "full")),
         )
 
 
@@ -553,10 +572,29 @@ def _recover_shard(
         r.txn_id for r in records if isinstance(r, CommitLogRecord)
     }
 
+    # Per-state newest tail write per key (lazy partitions only): the
+    # redo above applies to the backend, and in lazy mode nothing later
+    # rebuilds the version index from it — the tail keys hydrate eagerly
+    # from these records instead (O(tail) memory), everything else stays
+    # cold until a read faults it in.
+    tail_latest: dict[str, dict[object, tuple[int, object]]] = {}
+
     def redo(writes_record, commit_ts: int) -> int:
         keys = 0
         for state_id, write_set in apply_recovered_commit(writes_record).items():
-            keys += shard.table(state_id).redo_write_set(write_set)
+            table = shard.table(state_id)
+            keys += table.redo_write_set(write_set)
+            if table.residency == RESIDENCY_LAZY:
+                latest = tail_latest.setdefault(state_id, {})
+                for key, entry in write_set.entries.items():
+                    prev = latest.get(key)
+                    if prev is None or commit_ts >= prev[0]:
+                        latest[key] = (
+                            commit_ts,
+                            _TAIL_DELETED
+                            if entry.kind is WriteKind.DELETE
+                            else entry.value,
+                        )
             gid = shard.context.group_id_of(state_id)
             group_cts[gid] = max(group_cts.get(gid, 0), commit_ts)
         return keys
@@ -601,9 +639,30 @@ def _recover_shard(
     misplaced: list[tuple[str, object, object]] = []
     for table in shard.tables():
         group = shard.context.group_of(table.state_id)
-        info.rows_loaded[table.state_id] = table.load_from_backend(
-            bootstrap_cts=group.last_cts
-        )
+        lazy = table.residency == RESIDENCY_LAZY
+        if lazy:
+            # O(WAL-tail) startup: skip the full backend scan.  Keys the
+            # tail touched hydrate from the redo records just replayed —
+            # the newest committed value at its true commit timestamp;
+            # a key whose newest tail record is a delete stays cold (its
+            # backend row is gone, so a fault-in correctly misses).
+            # Everything untouched by the tail stays cold behind
+            # ``bootstrap_cts`` and faults in on first read.
+            with table.commit_latch:
+                table.bootstrap_cts = group.last_cts
+            hydrated = 0
+            for key, (ts, value) in tail_latest.get(table.state_id, {}).items():
+                if value is _TAIL_DELETED:
+                    continue
+                if manager.slot_map.shard_of(key) != idx:
+                    continue  # stale migration leftover; swept below
+                table.mvcc_object(key, create=True).install(value, ts, ts)
+                hydrated += 1
+            info.rows_loaded[table.state_id] = hydrated
+        else:
+            info.rows_loaded[table.state_id] = table.load_from_backend(
+                bootstrap_cts=group.last_cts
+            )
         # Slot-ownership sweep.  Once any migration has durably started
         # (``migrations_started``, fsynced before the first copy phase
         # could write a byte), a key this shard's slots do not own can
@@ -617,11 +676,27 @@ def _recover_shard(
         # over a non-power-of-two shard count, or crc-routed integral
         # floats): deleting it would destroy committed data — instead it
         # is handed to the sequential re-homing pass after the joins.
-        stale = [
-            key
-            for key in table.keys()
-            if manager.slot_map.shard_of(key) != idx
-        ]
+        if lazy:
+            # The version index only holds the tail here, so the sweep
+            # must read the *backend*.  Only a dir that durably started a
+            # migration can hold leftovers (the flag is fsynced before
+            # the first copy phase writes a byte); a never-migrated lazy
+            # dir skips the scan entirely, keeping startup O(tail) — a
+            # lazy dir is never a legacy pre-slot-map layout (the
+            # residency field postdates slot routing), so the re-homing
+            # case cannot arise.
+            stale = []
+            if manager.migrations_started:
+                for kbytes, _vbytes in table.backend.scan():
+                    key = table.key_codec.decode(kbytes)
+                    if manager.slot_map.shard_of(key) != idx:
+                        stale.append(key)
+        else:
+            stale = [
+                key
+                for key in table.keys()
+                if manager.slot_map.shard_of(key) != idx
+            ]
         if stale:
             if not manager.migrations_started:
                 # Legacy rows are NOT evicted here: pass 3 must install
@@ -634,7 +709,8 @@ def _recover_shard(
                         misplaced.append((table.state_id, key, live.value))
             else:
                 info.stale_keys_purged += table.evict_keys(stale)
-                info.rows_loaded[table.state_id] -= len(stale)
+                if not lazy:
+                    info.rows_loaded[table.state_id] -= len(stale)
     daemon = manager.daemons[idx]
     if daemon is not None:
         # Seed the tail accounting so the auto-checkpoint bound and the

@@ -116,6 +116,16 @@ class CostModel:
     migration_freeze_io_us: float = 120.0
     #: rebuilding one row's version-index entry from the base table.
     bootstrap_row_us: float = 0.8
+    # lazy residency (the larger-than-memory scenario)
+    #: faulting one cold row in from the base table on first read
+    #: (``residency_mode="lazy"``): bloom-gated LSM point get + decode +
+    #: bootstrap install — the cold-read penalty lazy startup trades for
+    #: skipping the full ``bootstrap_row_us`` × rows scan at open.
+    hydration_io_us: float = 25.0
+    #: evicting one cold key's version array back to backend-resident —
+    #: in-memory clock-sweep work, paid on the maintenance daemon's
+    #: thread, never by the reader or committer.
+    residency_evict_us: float = 0.4
     # consistent scatter-gather scan (the global-snapshot scenario)
     #: acquiring the global snapshot vector for a cross-shard read: one
     #: barrier probe on the snapshot coordinator plus pinning every

@@ -183,6 +183,12 @@ class ShardedSimResult:
     compactions: int = 0
     write_stalls: int = 0
     maintenance_mode: str = "inline"
+    #: lazy-residency accounting (residency_mode="lazy" only): cold keys
+    #: faulted in on the commit path, keys evicted back to
+    #: backend-resident by the modelled daemon, and which mode ran.
+    hydrations: int = 0
+    evictions: int = 0
+    residency_mode: str = "full"
 
     @property
     def commits(self) -> int:
@@ -237,6 +243,8 @@ def run_sharded_benchmark(
     coordinator_durability: str | None = None,
     maintenance_interval: int = 0,
     maintenance_mode: str = "inline",
+    residency_mode: str = "full",
+    residency_budget: int = 0,
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -273,6 +281,8 @@ def run_sharded_benchmark(
         coordinator_durability=coordinator_durability,
         maintenance_interval=maintenance_interval,
         maintenance_mode=maintenance_mode,
+        residency_mode=residency_mode,
+        residency_budget=residency_budget,
     )
     sim = Simulator()
     deadline = warmup_us + duration_us
@@ -290,6 +300,8 @@ def run_sharded_benchmark(
     env.stats.flushes = 0
     env.stats.compactions = 0
     env.stats.write_stalls = 0
+    env.stats.hydrations = 0
+    env.stats.evictions = 0
     for batcher in env.fsync:
         batcher.reset_counters()
     env.coord_fsync.reset_counters()
@@ -317,6 +329,9 @@ def run_sharded_benchmark(
         compactions=env.stats.compactions,
         write_stalls=env.stats.write_stalls,
         maintenance_mode=maintenance_mode,
+        hydrations=env.stats.hydrations,
+        evictions=env.stats.evictions,
+        residency_mode=residency_mode,
     )
 
 

@@ -67,6 +67,17 @@ SIM_CHECKPOINT_BACKGROUND = "background"
 SIM_MAINTENANCE_INLINE = "inline"
 SIM_MAINTENANCE_BACKGROUND = "background"
 
+#: Residency modes, mirroring ``StateTable(residency=...)``: ``full`` —
+#: every key's version array is memory-resident (the pre-lazy behaviour,
+#: nothing tracked); ``lazy`` — a transaction touching a key whose array
+#: is not resident faults it in from the base table first
+#: (``hydration_io_us`` on the toucher's thread, exactly like the real
+#: read-path fault), and a bounded residency budget evicts the coldest
+#: keys back to backend-resident on the maintenance daemon's thread —
+#: counted, but never charged to a writer.
+SIM_RESIDENCY_FULL = "full"
+SIM_RESIDENCY_LAZY = "lazy"
+
 
 @dataclass
 class ShardedSimStats:
@@ -88,6 +99,11 @@ class ShardedSimStats:
     compactions: int = 0
     #: bounded L0-backpressure stalls charged to background-mode writers.
     write_stalls: int = 0
+    #: cold keys faulted in from the base table (lazy residency only).
+    hydrations: int = 0
+    #: resident version arrays evicted back to backend-resident by the
+    #: modelled maintenance daemon (lazy residency with a budget).
+    evictions: int = 0
     #: completed online slot migrations (live-split scenario).
     migrations: int = 0
     #: rows physically moved between partitions by migrations.
@@ -170,6 +186,8 @@ class ShardedSimEnvironment:
         maintenance_mode: str = SIM_MAINTENANCE_INLINE,
         maintenance_fanout: int = 4,
         l0_slowdown_trigger: int = 8,
+        residency_mode: str = SIM_RESIDENCY_FULL,
+        residency_budget: int = 0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
@@ -207,6 +225,14 @@ class ShardedSimEnvironment:
             raise ValueError(
                 f"maintenance_mode must be 'inline' or 'background': "
                 f"{maintenance_mode!r}"
+            )
+        if residency_mode not in (SIM_RESIDENCY_FULL, SIM_RESIDENCY_LAZY):
+            raise ValueError(
+                f"residency_mode must be 'full' or 'lazy': {residency_mode!r}"
+            )
+        if residency_budget < 0:
+            raise ValueError(
+                f"residency_budget must be >= 0: {residency_budget}"
             )
         self.config = config
         self.num_shards = num_shards
@@ -248,6 +274,17 @@ class ShardedSimEnvironment:
         self.maintenance_fanout = maintenance_fanout
         #: Seals per bounded stall (background mode's L0 backpressure).
         self.l0_slowdown_trigger = l0_slowdown_trigger
+        #: ``full`` or ``lazy`` (see the module constants).
+        self.residency_mode = residency_mode
+        #: Per-shard cap on resident keys in lazy mode (0 = unbounded);
+        #: exceeding it evicts the oldest-faulted keys — the clock sweep
+        #: approximated FIFO, run by the modelled daemon off the path.
+        self.residency_budget = residency_budget
+        #: shard -> insertion-ordered resident-key set (lazy mode only;
+        #: dict-as-ordered-set so eviction pops the coldest first).
+        self.resident: list[dict[tuple[str, int], None]] = [
+            {} for _ in range(reserve_shards)
+        ]
         #: shard -> commits since the last memtable-threshold trip.
         self.mem_fill = [0] * reserve_shards
         #: shard -> flushed-but-unmerged L0 debt (tables or pending seals).
@@ -322,12 +359,17 @@ class ShardedSimEnvironment:
         is bounded by the checkpoint interval instead of the whole run's
         commit count — and what the parallel-recovery fan-out divides.
         """
+        lazy = self.residency_mode == SIM_RESIDENCY_LAZY
         per_shard = []
         for shard in range(self.num_shards):
             rows = sum(len(t.keys()) for t in self.tables[shard].values())
+            # Lazy residency is what makes startup O(tail): the version
+            # indexes are not bootstrapped from the base tables — only
+            # the tail's own keys hydrate (covered by the replay term),
+            # so the per-row bootstrap term vanishes.
             per_shard.append(
                 self.wal_tail[shard] * self.cost.replay_record_us
-                + rows * self.cost.bootstrap_row_us
+                + (0.0 if lazy else rows * self.cost.bootstrap_row_us)
             )
         if not per_shard:
             return 0.0
@@ -367,6 +409,36 @@ def sharded_writer(
             yield Acquire(latch)
         env.stats.prepares += len(shards)
         yield Delay(len(shards) * (cost.latch_us + cost.validate_base_us))
+
+        # Lazy residency: the FCW validation below reads each touched
+        # key's version array, so a cold key faults in from the base
+        # table first — the hydration I/O lands on this writer's thread,
+        # exactly like the real read-path fault.  Over-budget residents
+        # are evicted FIFO by the modelled maintenance daemon: counted
+        # (and its off-path service time accumulated in ``extra``), but
+        # never charged to the writer.
+        if env.residency_mode == SIM_RESIDENCY_LAZY:
+            hydrate_us = 0.0
+            for shard in shards:
+                resident = env.resident[shard]
+                for state_id, write_set in shard_sets[shard].items():
+                    for key in write_set.entries:
+                        if (state_id, key) not in resident:
+                            resident[(state_id, key)] = None
+                            env.stats.hydrations += 1
+                            hydrate_us += cost.hydration_io_us
+                if env.residency_budget > 0:
+                    over = len(resident) - env.residency_budget
+                    if over > 0:
+                        for _ in range(over):
+                            resident.pop(next(iter(resident)))
+                        env.stats.evictions += over
+                        env.stats.extra["evict_daemon_us"] = (
+                            env.stats.extra.get("evict_daemon_us", 0.0)
+                            + over * cost.residency_evict_us
+                        )
+            if hydrate_us > 0.0:
+                yield Delay(hydrate_us)
 
         # First-Committer-Wins against each participant's real versions
         conflict = any(

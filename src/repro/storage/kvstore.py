@@ -45,6 +45,16 @@ class KVStore(abc.ABC):
     def __contains__(self, key: bytes) -> bool:
         return self.get(key) is not None
 
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched point lookup, aligned with ``keys``.
+
+        The default implementation loops :meth:`get`; structured backends
+        override it to amortise shared work across the batch (the LSM
+        store probes each level once with the sorted batch instead of
+        walking the whole chain per key).
+        """
+        return [self.get(key) for key in keys]
+
     def write_batch(self, puts: list[tuple[bytes, bytes]], deletes: list[bytes]) -> None:
         """Apply a batch of mutations.
 

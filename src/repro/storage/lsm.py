@@ -54,7 +54,7 @@ import os
 import threading
 import time
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from heapq import merge as heap_merge
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -414,6 +414,73 @@ class LSMStore(KVStore):
             self._bump("negative_inserts")
         return None
 
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched point lookup: one cache/bloom pass per key, one walk of
+        the run hierarchy for the whole batch.
+
+        Unlike ``len(keys)`` calls to :meth:`get`, every level is visited
+        once with the still-unresolved keys in sorted order — the SSTable
+        handles (and their blocks, for a paged implementation) are shared
+        across the batch instead of being re-opened per key.  Results are
+        aligned with ``keys``; cache contents and negative inserts end up
+        exactly as the equivalent ``get`` loop would leave them.
+        """
+        self._ensure_open()
+        self.stats.gets += len(keys)
+        results: list[bytes | None] = [None] * len(keys)
+        pending: list[tuple[int, bytes]] = []
+        for pos, key in enumerate(keys):
+            cached = self._cache.get(key, _MISS)
+            if cached is _MISS:
+                pending.append((pos, key))
+            elif cached is _ABSENT:
+                self._bump("negative_hits")
+            else:
+                results[pos] = cached
+        if not pending:
+            return results
+
+        def resolve(pos: int, key: bytes, value: bytes | None) -> None:
+            self._cache.put(key, value if value is not None else _ABSENT)
+            results[pos] = value
+
+        with self._lock:
+            remaining: list[tuple[int, bytes]] = []
+            for pos, key in pending:
+                value, found = self._memtable.get(key)
+                if found:
+                    resolve(pos, key, value)
+                    continue
+                for _counter, sealed in reversed(self._immutables):
+                    value, found = sealed.get(key)
+                    if found:
+                        resolve(pos, key, value)
+                        break
+                else:
+                    remaining.append((pos, key))
+            remaining.sort(key=lambda item: item[1])
+            for level in sorted(self._tables):
+                if not remaining:
+                    break
+                unresolved: list[tuple[int, bytes]] = []
+                for pos, key in remaining:
+                    for table in reversed(self._tables[level]):
+                        if not table.might_contain(key):
+                            self.stats.bloom_skips += 1
+                            continue
+                        self.stats.sstable_reads += 1
+                        value, found = table.get(key)
+                        if found:
+                            resolve(pos, key, value)
+                            break
+                    else:
+                        unresolved.append((pos, key))
+                remaining = unresolved
+            for _pos, key in remaining:
+                self._cache.put(key, _ABSENT)
+                self._bump("negative_inserts")
+        return results
+
     def scan(
         self, low: bytes | None = None, high: bytes | None = None
     ) -> Iterator[tuple[bytes, bytes]]:
@@ -750,8 +817,15 @@ class LSMStore(KVStore):
 
     def set_cache_capacity(self, capacity: int) -> None:
         """Re-budget the value cache (fleet-wide cache budgeting resizes
-        every store's slice when tables or shards are added)."""
-        self.options.cache_capacity = capacity
+        every store's slice when tables or shards are added).
+
+        The options object may be shared by every store of a fleet (the
+        sharded manager passes one ``LSMOptions`` to all of them), so the
+        store takes a private copy before recording its slice — budgets
+        are per-store, e.g. a retired husk shrinks to a floor of one
+        entry while the survivors grow.
+        """
+        self.options = replace(self.options, cache_capacity=capacity)
         self._cache.resize(capacity)
 
     def close(self) -> None:

@@ -1,0 +1,665 @@
+"""Lazy version hydration, bounded residency, and O(tail) startup.
+
+The larger-than-memory read path (``state_residency="lazy"``):
+
+* a reopened lazy manager starts with a (nearly) empty version index —
+  only the replayed commit-WAL tail is hydrated — and each point read
+  faults its row in from the base table as an idempotent bootstrap
+  version;
+* scans merge the resident index with a base-table sweep, so a lazy
+  manager answers exactly what a full-residency manager would;
+* the residency budget is a *hard* cap: the clock sweep (and the strict
+  inline backstop) demotes cold bootstrap arrays back to backend-resident
+  and the next read faults them back in unchanged;
+* ``kill -9`` mid-hydration and mid-evict both reopen — in lazy *and*
+  full mode — to the identical committed state, because hydration and
+  eviction never touch durable bytes;
+* a bootstrap version stays readable for as long as any capped snapshot
+  could still resolve it (the GC horizon folds the global barrier in);
+* the fleet-wide ``cache_budget`` and ``memory_budget`` re-divide when a
+  merge retires a shard, so survivors reclaim the husk's share.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import MVCCObject, ShardedTransactionManager, StateTable
+from repro.recovery.sharded import ShardedSchema
+from repro.storage.lsm import LSMOptions, LSMStore
+
+from helpers import run_crash_child, scan_all
+
+
+def make_lazy(tmp_path, rows=200, **kwargs) -> ShardedTransactionManager:
+    smgr = ShardedTransactionManager(
+        num_shards=4, data_dir=tmp_path, state_residency="lazy", **kwargs
+    )
+    smgr.create_table("A")
+    smgr.register_group("g", ["A"])
+    if rows:
+        smgr.bulk_load("A", [(i, i * 3) for i in range(rows)])
+    return smgr
+
+
+def resident_total(smgr: ShardedTransactionManager, state_id: str = "A") -> int:
+    return sum(
+        shard.table(state_id).resident_keys() for shard in smgr.shards
+    )
+
+
+# ---------------------------------------------------------- version arrays
+
+
+class TestBootstrapInstall:
+    def test_install_bootstrap_is_idempotent(self):
+        obj = MVCCObject()
+        assert obj.install_bootstrap("row", 5)
+        assert not obj.install_bootstrap("row", 5)
+        assert obj.version_count() == 1
+        live = obj.live_version()
+        assert live.value == "row" and live.bootstrap and live.cts == 5
+
+    def test_bootstrap_loses_to_committed_version(self):
+        obj = MVCCObject()
+        obj.install("newer", 9, 0)
+        assert not obj.install_bootstrap("stale", 5)
+        assert obj.live_version().value == "newer"
+
+    def test_bootstrap_after_committed_delete_stays_dead(self):
+        # the committed delete beat the fault-in: the racing reader's
+        # backend row must stay visible for [cts, delete_ts) only, never
+        # resurrect as live.
+        obj = MVCCObject()
+        obj.mark_deleted(12)
+        assert obj.install_bootstrap("row", 5)
+        assert obj.live_version() is None
+        assert obj.read_at(11).value == "row"
+        assert obj.read_at(12) is None
+
+    def test_evictable_only_clean_single_bootstrap(self):
+        obj = MVCCObject()
+        obj.install_bootstrap("row", 5)
+        assert not obj.evictable(horizon=4, strict=True)  # above horizon
+        assert obj.evictable(horizon=5, strict=True)
+        # second chance: a referenced array survives one non-strict sweep
+        obj.referenced = True
+        assert not obj.evictable(horizon=5)
+        assert obj.evictable(horizon=5)
+        # a committed write through the object pins it resident
+        written = MVCCObject()
+        written.install("v", 7, 0)
+        assert not written.evictable(horizon=100, strict=True)
+
+
+# ----------------------------------------------------------- table hydration
+
+
+class TestTableHydration:
+    def test_read_faults_row_in_and_counts(self):
+        table = StateTable("A", residency="lazy")
+        table.backend.put(table.key_codec.encode(1), table.value_codec.encode("x"))
+        table.bootstrap_cts = 7
+        assert table.resident_keys() == 0
+        entry = table.read_version_at(1, 10)
+        assert entry.value == "x" and entry.bootstrap
+        assert table.resident_keys() == 1
+        assert table.hydrations == 1
+        # second read is a plain index hit
+        table.read_version_at(1, 10)
+        assert table.hydrations == 1
+
+    def test_negative_miss_counts_and_returns_none(self):
+        table = StateTable("A", residency="lazy")
+        assert table.read_live(404) is None
+        assert table.hydration_misses == 1
+        assert table.resident_keys() == 0
+
+    def test_latest_cts_hydrates_for_blind_write_fcw(self):
+        # First-Committer-Wins over a cold key must see the bootstrap
+        # timestamp, not a silent 0.
+        table = StateTable("A", residency="lazy")
+        table.backend.put(table.key_codec.encode(1), table.value_codec.encode("x"))
+        table.bootstrap_cts = 7
+        assert table.latest_cts(1) == 7
+
+    def test_full_residency_never_hydrates(self):
+        table = StateTable("A")  # residency="full" default
+        table.backend.put(table.key_codec.encode(1), table.value_codec.encode("x"))
+        assert table.read_live(1) is None
+        assert table.hydrations == 0
+
+    def test_eviction_then_refault_reproduces_entry(self):
+        table = StateTable("A", residency="lazy")
+        for i in range(20):
+            table.backend.put(
+                table.key_codec.encode(i), table.value_codec.encode(i * 2)
+            )
+        table.bootstrap_cts = 3
+        for i in range(20):
+            table.read_live(i)
+        assert table.resident_keys() == 20
+        evicted = table.evict_cold_versions(limit=20, horizon=3, strict=True)
+        assert evicted == 20
+        assert table.resident_keys() == 0
+        assert table.residency_evictions == 20
+        # cold again — the refault reproduces the identical entry
+        entry = table.read_live(5)
+        assert entry.value == 10 and entry.bootstrap and entry.cts == 3
+
+    def test_budget_is_hard_cap_via_inline_backstop(self):
+        table = StateTable("A", residency="lazy")
+        for i in range(50):
+            table.backend.put(
+                table.key_codec.encode(i), table.value_codec.encode(i)
+            )
+        table.bootstrap_cts = 1
+        table.residency_budget = 8
+        table.gc_horizon_hook = lambda: 10**9
+        for i in range(50):
+            table.read_live(i)
+            assert table.resident_keys() <= 8
+        assert table.residency_evictions >= 42
+
+    def test_eviction_spares_written_keys(self):
+        table = StateTable("A", residency="lazy")
+        for i in range(10):
+            table.backend.put(
+                table.key_codec.encode(i), table.value_codec.encode(i)
+            )
+        table.bootstrap_cts = 1
+        for i in range(10):
+            table.read_live(i)
+        # a commit through key 3 pins it resident
+        table.mvcc_object(3).install("written", 50, 0)
+        table.evict_cold_versions(limit=10, horizon=10**9, strict=True)
+        assert table.resident_keys() == 1
+        assert table.read_live(3).value == "written"
+
+    def test_lazy_scan_merges_cold_and_resident(self):
+        table = StateTable("A", residency="lazy")
+        for i in range(10):
+            table.backend.put(
+                table.key_codec.encode(i), table.value_codec.encode(i * 2)
+            )
+        table.bootstrap_cts = 5
+        table.read_live(3)  # one resident key
+        # a resident write shadows its backend row
+        table.mvcc_object(3).install(99, 8, 0)
+        rows = dict(table.scan_live())
+        assert rows == {**{i: i * 2 for i in range(10)}, 3: 99}
+        # scans never install bootstrap versions
+        assert table.resident_keys() == 1
+        # snapshot below bootstrap_cts sees no cold rows at all
+        assert dict(table.scan_at(4)) == {}
+        # bounded scan
+        assert dict(table.scan_at(8, low=2, high=5)) == {2: 4, 3: 99, 4: 8}
+
+    def test_create_index_rejected_on_lazy(self):
+        table = StateTable("A", residency="lazy")
+        with pytest.raises(ValueError, match="residency"):
+            table.create_index("by_value", lambda v: v)
+
+
+# ----------------------------------------------------------- batched reads
+
+
+class TestMultiGet:
+    def test_lsm_multi_get_matches_point_gets(self, tmp_path):
+        opts = LSMOptions(sync=False, memtable_bytes=512)
+        with LSMStore(tmp_path, opts) as store:
+            for i in range(60):
+                store.put(f"k{i:03d}".encode(), f"v{i}".encode())
+            probe = [f"k{i:03d}".encode() for i in (3, 57, 0, 41, 9)]
+            probe.append(b"missing")
+            assert store.multi_get(probe) == [store.get(k) for k in probe]
+            # result order follows the request order, duplicates included
+            twice = [b"k005", b"k005"]
+            assert store.multi_get(twice) == [store.get(b"k005")] * 2
+            assert store.multi_get([]) == []
+
+    def test_hydrate_many_batch_faults_cold_keys(self):
+        table = StateTable("A", residency="lazy")
+        for i in range(30):
+            table.backend.put(
+                table.key_codec.encode(i), table.value_codec.encode(i)
+            )
+        table.bootstrap_cts = 2
+        table.read_live(4)  # already resident: not re-faulted
+        installed = table.hydrate_many(list(range(10)) + [999])
+        assert installed == 9
+        assert table.hydration_misses == 1
+        assert table.resident_keys() == 10
+
+    def test_read_many_scatter_gather(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=100)
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        keys = [5, 17, 40, 99, 123]  # 123 does not exist
+        with reopened.transaction() as txn:
+            out = reopened.read_many(txn, "A", keys)
+        assert out == {5: 15, 17: 51, 40: 120, 99: 297, 123: None}
+        # the batch faulted its keys in (and only them)
+        assert resident_total(reopened) == 4
+        reopened.close()
+
+
+# ---------------------------------------------------------- sharded manager
+
+
+class TestLazyOpen:
+    def test_schema_persists_residency(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=0)
+        smgr.close()
+        assert ShardedSchema.load(tmp_path).state_residency == "lazy"
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.state_residency == "lazy"
+        assert all(
+            t.residency == "lazy" for s in reopened.shards for t in s.tables()
+        )
+        reopened.close()
+
+    def test_clean_reopen_starts_cold_and_answers_reads(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=200)
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        # clean shutdown => empty tail => nothing hydrated at open
+        assert resident_total(reopened) == 0
+        with reopened.transaction() as txn:
+            assert reopened.read(txn, "A", 7) == 21
+            assert reopened.read(txn, "A", 1234) is None
+        stats = reopened.stats()
+        assert stats["hydrations"] == 1
+        assert stats["hydration_misses"] >= 1
+        assert scan_all(reopened, "A") == {i: i * 3 for i in range(200)}
+        # the scan answered from the backend without blowing up residency
+        assert resident_total(reopened) <= 1
+        reopened.close()
+
+    def test_tail_is_hydrated_eagerly_at_open(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=100)
+        smgr.close()
+        # crash (not close) so the committed tail survives for replay
+        script = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+smgr = ShardedTransactionManager.open(sys.argv[1])
+for i in range(10):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, {"tail": i})
+with smgr.transaction() as txn:
+    smgr.delete(txn, "A", 55)
+smgr.flush_durability()
+os._exit(42)
+"""
+        proc = run_crash_child(script, tmp_path)
+        assert proc.returncode == 42, proc.stderr
+        reopened = ShardedTransactionManager.open(tmp_path)
+        assert reopened.last_recovery.commits_replayed >= 11
+        # replayed upserts are resident at their true commit ts; the
+        # replayed delete stays cold (nothing to install)
+        assert 1 <= resident_total(reopened) <= 10
+        assert scan_all(reopened, "A") == {
+            **{i: {"tail": i} for i in range(10)},
+            **{i: i * 3 for i in range(10, 100) if i != 55},
+        }
+        reopened.close()
+
+    def test_reads_match_full_residency_reopen(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=150)
+        for i in range(0, 150, 7):
+            with smgr.transaction() as txn:
+                smgr.write(txn, "A", i, i + 1000)
+        smgr.close()
+        lazy = ShardedTransactionManager.open(tmp_path)
+        lazy_state = scan_all(lazy, "A")
+        lazy.close()
+        full = ShardedTransactionManager.open(tmp_path, state_residency="full")
+        assert scan_all(full, "A") == lazy_state
+        full.close()
+
+    def test_memory_budget_bounds_residency(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=400)
+        smgr.close()
+        # memory_budget is a runtime knob (like cache_budget), passed anew
+        reopened = ShardedTransactionManager.open(tmp_path, memory_budget=40)
+        per_table = reopened.memory_budget // 4
+        rng = random.Random(11)
+        for _ in range(300):
+            key = rng.randrange(400)
+            with reopened.transaction() as txn:
+                assert reopened.read(txn, "A", key) == key * 3
+            for shard in reopened.shards:
+                assert shard.table("A").resident_keys() <= per_table
+        assert reopened.stats()["residency_evictions"] > 0
+        reopened.close()
+
+
+class TestBudgetRedivision:
+    def test_merge_shard_rediv_cache_and_memory_budget(self, tmp_path):
+        smgr = ShardedTransactionManager(
+            num_shards=4,
+            data_dir=tmp_path,
+            state_residency="lazy",
+            cache_budget=4096,
+            memory_budget=400,
+        )
+        smgr.create_table("A")
+        smgr.bulk_load("A", [(i, i) for i in range(80)])
+        assert all(
+            s.options.cache_capacity == 1024 for s in smgr._lsm_backends()
+        )
+        assert all(
+            shard.table("A").residency_budget == 100 for shard in smgr.shards
+        )
+        smgr.merge_shard(0, 1)
+        # three active shards reclaim the husk's share
+        for idx in range(4):
+            stores = smgr._lsm_backends(idx)
+            tables = smgr.shards[idx].tables()
+            if idx == 0:
+                assert all(s.options.cache_capacity == 1 for s in stores)
+                assert all(t.residency_budget is None for t in tables)
+            else:
+                assert all(
+                    s.options.cache_capacity == 4096 // 3 for s in stores
+                )
+                assert all(t.residency_budget == 400 // 3 for t in tables)
+        smgr.close()
+
+    def test_split_shard_rediv_budgets_over_new_fleet(self, tmp_path):
+        smgr = ShardedTransactionManager(
+            num_shards=2,
+            data_dir=tmp_path,
+            state_residency="lazy",
+            cache_budget=3000,
+            memory_budget=300,
+        )
+        smgr.create_table("A")
+        smgr.bulk_load("A", [(i, i) for i in range(40)])
+        smgr.split_shard(0)
+        assert smgr.num_shards == 3
+        assert all(
+            s.options.cache_capacity == 1000 for s in smgr._lsm_backends()
+        )
+        assert all(
+            shard.table("A").residency_budget == 100 for shard in smgr.shards
+        )
+        # the new shard's lazy partition is wired for eviction too
+        new_table = smgr.shards[2].table("A")
+        assert new_table.residency == "lazy"
+        assert new_table.gc_horizon_hook is not None
+        smgr.close()
+
+
+class TestMigrationWithLazyPartitions:
+    def test_split_moves_cold_rows_and_scans_stay_exact(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=120)
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        # hydrate a handful, leave the rest cold, then split
+        with reopened.transaction() as txn:
+            for i in range(0, 120, 17):
+                reopened.read(txn, "A", i)
+        target = reopened.split_shard(0)
+        assert scan_all(reopened, "A") == {i: i * 3 for i in range(120)}
+        # moved cold keys are readable through the target's lazy fault-in
+        moved = [
+            i for i in range(120) if reopened.slot_map.shard_of(i) == target
+        ]
+        assert moved, "split moved no keys"
+        with reopened.transaction() as txn:
+            for key in moved:
+                assert reopened.read(txn, "A", key) == key * 3
+        reopened.close()
+        # durable layout is consistent after the move
+        again = ShardedTransactionManager.open(tmp_path)
+        assert scan_all(again, "A") == {i: i * 3 for i in range(120)}
+        again.close()
+
+
+# ------------------------------------------------------------- GC horizon
+
+
+class TestBootstrapGCPinning:
+    def test_snapshot_can_read_superseded_bootstrap(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=40)
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        with reopened.snapshot() as view:
+            # the capped snapshot faults key 5 in as a bootstrap version
+            assert view.get("A", 5) == 15
+            # a later commit supersedes it while the snapshot is pinned
+            with reopened.transaction() as txn:
+                reopened.write(txn, "A", 5, "new")
+            # neither GC nor a strict eviction sweep may drop the
+            # bootstrap version while this snapshot can still resolve it
+            reopened.collect_garbage()
+            for shard in reopened.shards:
+                shard.table("A").evict_cold_versions(
+                    limit=100, strict=True
+                )
+            assert view.get("A", 5) == 15
+        # snapshot released: the superseded bootstrap is now collectable
+        reopened.collect_garbage()
+        with reopened.transaction() as txn:
+            assert reopened.read(txn, "A", 5) == "new"
+        reopened.close()
+
+    def test_eviction_horizon_respects_active_snapshot(self, tmp_path):
+        smgr = make_lazy(tmp_path, rows=40)
+        smgr.close()
+        reopened = ShardedTransactionManager.open(tmp_path)
+        with reopened.snapshot() as view:
+            assert view.get("A", 5) == 15
+            shard = reopened.shards[reopened.slot_map.shard_of(5)]
+            table = shard.table("A")
+            # the wired horizon folds the pinned snapshot in; the clean
+            # bootstrap array for key 5 sits at bootstrap_cts <= horizon,
+            # so eviction MAY drop it — and the re-fault must reproduce
+            # it for the still-pinned snapshot.
+            table.evict_cold_versions(limit=100, strict=True)
+            assert view.get("A", 5) == 15
+        reopened.close()
+
+
+# ------------------------------------------------------------ crash matrix
+
+
+_CRASH_SETUP_ROWS = 240
+
+_MID_HYDRATE_SCRIPT = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+from repro.core.table import StateTable
+
+smgr = ShardedTransactionManager.open(sys.argv[1])
+assert smgr.state_residency == "lazy"
+# commit a durable tail on top of the checkpointed base
+for i in range(15):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, {"tail": i})
+with smgr.transaction() as txn:
+    smgr.delete(txn, "A", 100)
+smgr.flush_durability()
+
+orig = StateTable._hydrate
+count = [0]
+def crashing(self, key):
+    obj = orig(self, key)
+    count[0] += 1
+    if count[0] >= 7:
+        os._exit(42)
+    return obj
+StateTable._hydrate = crashing
+
+with smgr.transaction() as txn:
+    for i in range(150, 200):
+        smgr.read(txn, "A", i)
+os._exit(9)  # unreachable: the 7th fault-in must crash first
+"""
+
+_MID_EVICT_SCRIPT = r"""
+import os, sys
+from repro.core import ShardedTransactionManager
+from repro.core.version_store import MVCCObject
+
+smgr = ShardedTransactionManager.open(sys.argv[1])
+assert smgr.state_residency == "lazy"
+for i in range(15):
+    with smgr.transaction() as txn:
+        smgr.write(txn, "A", i, {"tail": i})
+smgr.flush_durability()
+# hydrate a pile of cold keys so the sweep has something to demote
+with smgr.transaction() as txn:
+    for i in range(100, 180):
+        smgr.read(txn, "A", i)
+
+orig = MVCCObject.evictable
+count = [0]
+def crashing(self, horizon, strict=False):
+    ok = orig(self, horizon, strict=strict)
+    if ok:
+        count[0] += 1
+        if count[0] >= 5:
+            os._exit(42)
+    return ok
+MVCCObject.evictable = crashing
+
+for shard in smgr.shards:
+    shard.table("A").evict_cold_versions(limit=1000, strict=True)
+os._exit(9)  # unreachable: the 5th eviction must crash first
+"""
+
+
+def _expected_after_crash(with_delete: bool) -> dict:
+    state = {i: i * 3 for i in range(_CRASH_SETUP_ROWS)}
+    state.update({i: {"tail": i} for i in range(15)})
+    if with_delete:
+        del state[100]
+    return state
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize(
+        "script,with_delete",
+        [(_MID_HYDRATE_SCRIPT, True), (_MID_EVICT_SCRIPT, False)],
+        ids=["mid-hydrate", "mid-evict"],
+    )
+    def test_crash_reopens_identical_in_both_modes(
+        self, tmp_path, script, with_delete
+    ):
+        seed = make_lazy(tmp_path, rows=_CRASH_SETUP_ROWS)
+        seed.close()
+        proc = run_crash_child(script, tmp_path)
+        assert proc.returncode == 42, proc.stderr
+        expected = _expected_after_crash(with_delete)
+        lazy = ShardedTransactionManager.open(tmp_path)
+        assert lazy.state_residency == "lazy"
+        assert scan_all(lazy, "A") == expected
+        # the crashed run's committed tail was replayed, nothing more
+        assert lazy.last_recovery.commits_replayed >= 15
+        lazy.close()
+        full = ShardedTransactionManager.open(tmp_path, state_residency="full")
+        assert scan_all(full, "A") == expected
+        full.close()
+
+
+# -------------------------------------------------------- threaded stress
+
+
+@pytest.mark.slow
+def test_threaded_hydration_under_writes_and_split(tmp_path):
+    """Readers fault cold keys in while writers transfer value and a
+    split migrates slots; the quiesced total is conserved and every key
+    still answers exactly."""
+    accounts, opening = 160, 100
+    smgr = ShardedTransactionManager(
+        num_shards=2,
+        data_dir=tmp_path,
+        state_residency="lazy",
+        memory_budget=48,
+        lsm_options=LSMOptions(sync=False),
+    )
+    smgr.create_table("acct")
+    smgr.register_group("bank", ["acct"])
+    smgr.bulk_load("acct", [(k, opening) for k in range(accounts)])
+    smgr.close()
+    smgr = ShardedTransactionManager.open(tmp_path, memory_budget=48)
+
+    errors: list = []
+    stop = threading.Event()
+
+    def reader(seed):
+        rng = random.Random(seed)
+        try:
+            while not stop.is_set():
+                key = rng.randrange(accounts)
+                # A barrier-capped snapshot pinned across a slot flip may
+                # legally observe a just-moved key as absent (the
+                # documented newest-version handover relaxation) — but
+                # only transiently: once the in-flight cross-shard
+                # commits publish, a fresh pin must see the key again.
+                # A *persistent* miss means lost history.
+                value = None
+                for _ in range(50):
+                    value = smgr.run_transaction(
+                        lambda txn, key=key: smgr.read(txn, "acct", key),
+                        max_restarts=50_000,
+                    )
+                    if value is not None:
+                        break
+                assert value is not None, f"key {key} stayed unreadable"
+        except Exception as exc:  # noqa: BLE001 - surfaced via errors
+            errors.append(exc)
+
+    def writer(seed, rounds):
+        rng = random.Random(seed)
+        try:
+            for _ in range(rounds):
+                src, dst = rng.sample(range(accounts), 2)
+                amount = rng.randrange(1, 5)
+
+                def work(txn, src=src, dst=dst, amount=amount):
+                    a = smgr.read(txn, "acct", src)
+                    b = smgr.read(txn, "acct", dst)
+                    smgr.write(txn, "acct", src, a - amount)
+                    smgr.write(txn, "acct", dst, b + amount)
+
+                smgr.run_transaction(work, max_restarts=50_000)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(seed,)) for seed in range(2)
+    ] + [
+        threading.Thread(target=writer, args=(seed, 40))
+        for seed in range(10, 12)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        smgr.split_shard(0)
+        smgr.split_shard(1)
+    finally:
+        for t in threads[2:]:
+            t.join()
+        stop.set()
+        for t in threads[:2]:
+            t.join()
+    assert not errors, errors[:3]
+    assert smgr.num_shards == 4
+    with smgr.snapshot() as view:
+        balances = dict(view.scan("acct"))
+    assert len(balances) == accounts
+    assert sum(balances.values()) == accounts * opening
+    stats = smgr.stats()
+    assert stats["hydrations"] > 0
+    smgr.close()
+    # the stressed store reopens to the same quiesced state
+    reopened = ShardedTransactionManager.open(tmp_path)
+    assert scan_all(reopened, "acct") == balances
+    reopened.close()
