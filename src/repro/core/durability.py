@@ -40,7 +40,7 @@ import time
 from collections.abc import Iterator
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import WALError
 from ..storage.wal import (
@@ -361,11 +361,34 @@ class GroupFsyncDaemon:
         self.publish_drain_timeout = 5.0
         self._failure: BaseException | None = None
         self._closed = False
+        #: Exactly-once durable-record feed for WAL-tail shipping: called
+        #: with ``[(seq, kind, payload), ...]`` after a batch (or a fuzzy
+        #: cut that absorbed pending records) made those records durable.
+        #: Invoked *outside* the daemon mutex; batches may be delivered out
+        #: of seq order across threads, so consumers buffer by seq (see
+        #: :class:`repro.core.replication.ReplicationDaemon`).
+        self._on_durable: (
+            Callable[[list[tuple[int, int, bytes]]], None] | None
+        ) = None
+        #: Replica-ack state (``ack="quorum"``): replica id -> highest seq
+        #: that replica confirmed durable.  ``_replica_quorum`` is the
+        #: number of confirmations a publish must see (0 disables gating);
+        #: ``_replica_durable_seq`` is the derived watermark — the
+        #: ``quorum``-th highest confirmed seq, i.e. the newest record at
+        #: least that many replicas hold durably.
+        self._replica_seqs: dict[int, int] = {}
+        self._replica_lagging: set[int] = set()
+        self._replica_quorum = 0
+        self._replica_ack_timeout = 5.0
+        self._replica_durable_seq = 0
+        self._replica_cv = threading.Condition(self._lock)
         # stats
         self.records_enqueued = 0
         self.batches = 0
         self.largest_batch = 0
         self.checkpoints = 0
+        self.quorum_acks = 0
+        self.replica_ack_timeouts = 0
         #: ``records_enqueued`` at the last checkpoint cut — the delta to
         #: the live counter is the replayable WAL tail length, which the
         #: sharded manager's auto-checkpoint trigger watches.
@@ -583,6 +606,7 @@ class GroupFsyncDaemon:
             # Publish-drain waiters must also wake: their commits may
             # never publish now, and the drain fails fast on the poison.
             self._publish_cv.notify_all()
+            self._replica_cv.notify_all()
         for ev in ready:
             ev.set()
 
@@ -637,6 +661,118 @@ class GroupFsyncDaemon:
                         "checkpoint aborted"
                     )
                 self._publish_cv.wait(remaining)
+
+    # ------------------------------------------------------- replica acks
+
+    def set_on_durable(
+        self, callback: Callable[[list[tuple[int, int, bytes]]], None] | None
+    ) -> None:
+        """Install the exactly-once durable-record feed (WAL-tail ship)."""
+        with self._lock:
+            self._on_durable = callback
+
+    def configure_replication(self, quorum: int, ack_timeout: float) -> None:
+        """Set how many replica confirmations a publish must gather
+        (``0`` disables the gate) and the bounded wait per commit."""
+        with self._lock:
+            self._replica_quorum = quorum
+            self._replica_ack_timeout = ack_timeout
+            self._replica_cv.notify_all()
+
+    def register_replica(self, replica_id: int) -> None:
+        """Announce a replica before it confirms anything (seq floor 0)."""
+        with self._lock:
+            self._replica_seqs.setdefault(replica_id, 0)
+
+    def retire_replica(self, replica_id: int) -> None:
+        with self._lock:
+            self._replica_seqs.pop(replica_id, None)
+            self._replica_lagging.discard(replica_id)
+            self._recompute_replica_watermark_locked()
+
+    def confirm_replica_durable(self, replica_id: int, seq: int) -> None:
+        """A replica reports every record ``<= seq`` durable on its WAL.
+
+        Monotonic per replica; heals a previously lagging replica.  Wakes
+        quorum waiters whenever the derived watermark advances.
+        """
+        with self._lock:
+            prev = self._replica_seqs.get(replica_id, 0)
+            self._replica_seqs[replica_id] = max(prev, seq)
+            self._replica_lagging.discard(replica_id)
+            self._recompute_replica_watermark_locked()
+
+    def mark_replica_lagging(self, replica_id: int) -> None:
+        """Exclude a replica from the healthy set (retry budget exhausted).
+
+        Quorum waiters re-check on the wakeup: with fewer healthy replicas
+        than the quorum they degrade immediately instead of burning the
+        full ack timeout on every commit.
+        """
+        with self._lock:
+            if replica_id in self._replica_seqs:
+                self._replica_lagging.add(replica_id)
+            self._replica_cv.notify_all()
+
+    def _recompute_replica_watermark_locked(self) -> None:
+        quorum = self._replica_quorum
+        if quorum <= 0:
+            return
+        confirmed = sorted(self._replica_seqs.values(), reverse=True)
+        mark = confirmed[quorum - 1] if len(confirmed) >= quorum else 0
+        if mark != self._replica_durable_seq:
+            self._replica_durable_seq = mark
+            self._replica_cv.notify_all()
+
+    def replica_durable_watermark(self) -> int:
+        """Highest seq confirmed durable by a replica quorum (0 when the
+        ack policy is local or no quorum has formed yet)."""
+        with self._lock:
+            return self._replica_durable_seq
+
+    def lagging_replicas(self) -> int:
+        with self._lock:
+            return len(self._replica_lagging)
+
+    def await_replica_quorum(self, seq: int, timeout: float | None = None) -> bool:
+        """Bounded wait for ``seq`` to reach the replica-durable watermark.
+
+        Returns ``True`` when the quorum confirmed (or no quorum gate is
+        configured), ``False`` on the bounded timeout or when fewer
+        healthy replicas than the quorum remain (degrade fast — a dead
+        replica set must not tax every commit with the full timeout).
+        **Never raises**: this runs inside the commit publish path, where
+        an exception would poison the durability pipeline for a commit
+        that is already locally durable.
+        """
+        if self._replica_quorum <= 0:
+            return True
+        if timeout is None:
+            timeout = self._replica_ack_timeout
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if self._replica_quorum <= 0 or self._replica_durable_seq >= seq:
+                    self.quorum_acks += 1
+                    return True
+                healthy = len(self._replica_seqs) - len(self._replica_lagging)
+                degraded = (
+                    healthy < self._replica_quorum
+                    or self._failure is not None
+                    or self._closed
+                )
+                remaining = deadline - time.monotonic()
+                if degraded or remaining <= 0:
+                    self.replica_ack_timeouts += 1
+                    return False
+                self._replica_cv.wait(min(remaining, 0.05))
+
+    def _deliver_durable(self, records: list[tuple[int, int, bytes]]) -> None:
+        """Feed freshly durable records to the ship callback (caller must
+        NOT hold the daemon mutex)."""
+        cb = self._on_durable
+        if cb is not None and records:
+            cb(records)
 
     # ---------------------------------------------------------- checkpoints
 
@@ -868,6 +1004,7 @@ class GroupFsyncDaemon:
             # now durable — the absorbed ones (pending ≤ covered_seq are
             # equally settled: their writes sit in the flushed SSTables
             # the marker covers).  Wake their committers.
+            absorbed = list(self._pending)
             if self._pending:
                 self.batches += 1
                 self.largest_batch = max(self.largest_batch, len(self._pending))
@@ -878,6 +1015,10 @@ class GroupFsyncDaemon:
             ready = self._collect_ready_waiters_locked(None)
         for ev in ready:
             ev.set()
+        # The rewrite made the absorbed pending records durable without a
+        # batch leader running — feed them to the ship callback here so
+        # replicas see every record exactly once.
+        self._deliver_durable(absorbed)
         return tail - delta
 
     # ------------------------------------------------------------- leading
@@ -923,6 +1064,8 @@ class GroupFsyncDaemon:
         # none of them re-contend the daemon lock on the way out.
         for ev in ready:
             ev.set()
+        if error is None and batch:
+            self._deliver_durable(batch)
         return error is None and bool(batch)
 
     def _collect_ready_waiters_locked(
@@ -978,6 +1121,7 @@ class GroupFsyncDaemon:
             ready = [ev for _, ev in self._waiters]
             self._waiters.clear()
             self._work.notify_all()
+            self._replica_cv.notify_all()
         for ev in ready:
             ev.set()
         if self._flusher is not None and self._flusher.is_alive():
@@ -995,6 +1139,10 @@ class GroupFsyncDaemon:
                 "checkpoints": self.checkpoints,
                 "wal_tail_records": self.records_enqueued
                 - self._records_at_checkpoint,
+                "replica_durable_watermark": self._replica_durable_seq,
+                "quorum_acks": self.quorum_acks,
+                "replica_ack_timeouts": self.replica_ack_timeouts,
+                "lagging_replicas": len(self._replica_lagging),
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -267,6 +267,18 @@ class ConcurrencyControl(abc.ABC):
         try:
             if prepared.written:
                 self._await_durable(prepared, in_latch=False)
+                # Replica-quorum gate (``ack="quorum"``): bounded wait for
+                # enough replicas to confirm the record durable before the
+                # visibility flip.  The wait NEVER raises — on timeout the
+                # commit publishes anyway (it is locally durable; holding
+                # it hostage to dead replicas would wedge the shard) and
+                # the degraded acknowledgement is surfaced by the sharded
+                # layer after the commit is fully settled.
+                if (
+                    ticket is not None
+                    and not ticket.daemon.await_replica_quorum(ticket.seq)
+                ):
+                    txn.ack_degraded = True
                 # Visibility flip: publish LastCTS after *all* states
                 # applied and the commit record is on stable storage.
                 self._publish(txn, commit_ts)

@@ -73,6 +73,36 @@ committer that trips the interval in ``"inline"`` mode.  A crashed
 process reopens with :meth:`ShardedTransactionManager.open`, which
 replays only the tails, shards in parallel
 (:mod:`repro.recovery.sharded`).
+
+Replication and ack policies (``replication_factor=``/``ack=``): each
+durable primary shard can ship its committed WAL tail to
+``replication_factor`` local :class:`~repro.core.replication.ShardReplica`
+instances through an async :class:`~repro.core.replication.ReplicationDaemon`
+(bootstrap from a checkpoint image, then contiguous shipped-batch apply).
+The ``ack`` knob decides what a returned commit *guarantees*:
+
+* ``ack="local"`` (default) — the commit returns once its record is
+  durable in the **primary's** WAL; replica shipping is fully
+  asynchronous.  A machine loss (primary WAL gone) may lose the newest
+  commits that had not shipped yet; a process crash loses nothing.
+* ``ack="quorum"`` — the commit additionally waits until
+  ``ceil((replication_factor + 1) / 2)`` replicas (primary included)
+  confirm the record durable in their replica WALs, via the
+  replica-durable watermark the fsync daemon keeps next to its local one.
+  An acked commit survives the loss of the primary's storage entirely:
+  :meth:`ShardedTransactionManager.failover` promotes the most-caught-up
+  replica over a durable SlotFlip in the coordinator log.  The wait is
+  *bounded*: if the quorum cannot confirm within ``replica_ack_timeout``
+  (replicas lagging or retired), the commit — which is already durable
+  and visible locally — raises :class:`~repro.errors.ReplicaAckTimeout`
+  **after** settling, degrading the acknowledgement instead of wedging
+  committers (cancel-sync-standby semantics).
+
+Follower reads compose with the global snapshot service:
+:meth:`ShardedTransactionManager.read_follower` serves a key from one of
+its shard's replicas at :meth:`~ShardedTransactionManager.follower_read_ts`
+— the cross-shard barrier capped by the replicas' applied watermarks — so
+a scatter of follower reads never observes a fractured cross-shard commit.
 """
 
 from __future__ import annotations
@@ -94,10 +124,12 @@ from ..errors import (
     ABORT_REBALANCE,
     ABORT_USER,
     InvalidTransactionState,
+    ReplicaAckTimeout,
     StorageError,
     TransactionAborted,
     WALError,
 )
+from ..faults import FaultInjector
 from ..storage.kvstore import KVStore
 from ..storage.lsm import MAINTENANCE_BACKGROUND, MAINTENANCE_INLINE, LSMOptions, LSMStore
 from ..storage.maintenance import StorageMaintenanceDaemon
@@ -117,6 +149,7 @@ from .gc import GCPolicy
 from .isolation import IsolationLevel
 from .manager import TransactionManager
 from .protocol import PreparedCommit
+from .replication import ReplicationDaemon, ShardReplica
 from .slots import SlotFlip, SlotMap, slot_of_key
 from .snapshot import GlobalSnapshot, SnapshotCoordinator
 from .table import RESIDENCY_FULL, RESIDENCY_LAZY, RESIDENCY_MODES, StateTable
@@ -630,6 +663,9 @@ class ShardedTransactionManager:
         cache_budget: int | None = None,
         state_residency: str | None = None,
         memory_budget: int | None = None,
+        replication_factor: int | None = None,
+        ack: str | None = None,
+        replica_ack_timeout: float = 5.0,
         **protocol_kwargs: Any,
     ) -> None:
         if num_shards <= 0:
@@ -651,6 +687,17 @@ class ShardedTransactionManager:
             raise ValueError(
                 f"state_residency must be one of {RESIDENCY_MODES}: "
                 f"{state_residency!r}"
+            )
+        if ack is not None and ack not in ("local", "quorum"):
+            raise ValueError(f"ack must be 'local' or 'quorum': {ack!r}")
+        if replication_factor is not None and replication_factor < 0:
+            raise ValueError(
+                f"replication_factor must be >= 0: {replication_factor}"
+            )
+        if replication_factor and data_dir is None:
+            raise ValueError(
+                "replication_factor needs data_dir= (replica WALs live "
+                "under the shard directories)"
             )
         self.num_shards = num_shards
         self.durability_mode = durability
@@ -736,6 +783,10 @@ class ShardedTransactionManager:
         # existing shard-NN directories from being reread under a
         # different key routing, which would orphan committed data.
         self._schema: Any | None = None
+        #: ``True`` when this constructor adopted a *pre-existing* catalog
+        #: (reopen path): replica attachment is deferred to :meth:`open`,
+        #: so bootstrap images are cut from *recovered* state.
+        self._adopted_existing_schema = False
         if self.data_dir is not None:
             from ..recovery.sharded import ShardedSchema
 
@@ -744,6 +795,7 @@ class ShardedTransactionManager:
             except StorageError:
                 self._schema = ShardedSchema(num_shards, protocol or "mvcc")
             else:
+                self._adopted_existing_schema = True
                 if adopted.num_shards != num_shards:
                     raise StorageError(
                         f"data_dir {self.data_dir} was created with "
@@ -767,14 +819,37 @@ class ShardedTransactionManager:
                 self._schema = adopted
             if state_residency is not None:
                 self._schema.state_residency = state_residency
+            # Replication knobs persist like ``protocol``/``state_residency``:
+            # an explicit argument updates the catalog, ``None`` adopts the
+            # persisted configuration.
+            if replication_factor is not None:
+                self._schema.replication_factor = replication_factor
+            if ack is not None:
+                self._schema.ack = ack
             protocol = self._schema.protocol
             state_residency = self._schema.state_residency
+            replication_factor = self._schema.replication_factor
+            ack = self._schema.ack
         #: Default residency mode stamped on every partition
         #: :meth:`create_table` creates (``"full"`` bootstraps the whole
         #: version index at open; ``"lazy"`` faults rows in on first read
         #: — see :mod:`repro.core.table`).  Persisted in ``schema.json``
         #: like ``protocol`` so a plain reopen keeps the store's mode.
         self.state_residency = state_residency or RESIDENCY_FULL
+        #: Replicas per shard (0 = replication off) and the commit-ack
+        #: policy — see the module-docstring "ack policies" section.  Both
+        #: persist in ``schema.json``; ``None`` arguments adopt them.
+        self.replication_factor = replication_factor or 0
+        self.ack = ack or "local"
+        #: Bound on a ``ack="quorum"`` commit's wait for its replica
+        #: quorum; past it the commit raises
+        #: :class:`~repro.errors.ReplicaAckTimeout` *after* settling.
+        self.replica_ack_timeout = replica_ack_timeout
+        if self.ack == "quorum" and self.replication_factor < 1:
+            raise ValueError(
+                "ack='quorum' needs replication_factor >= 1 — there is no "
+                "replica quorum to wait for"
+            )
         #: Live slot -> shard routing table.  Adopted from the persisted
         #: schema when one exists (validated against the shard count and
         #: the on-disk layout *before* any side effect, like the
@@ -991,31 +1066,49 @@ class ShardedTransactionManager:
         self.slots_moved = 0
         self.keys_migrated = 0
         self.rebalance_aborts = 0
-        #: Test hook: called as ``hook(phase)`` at the migration's durable
-        #: phase boundaries — ``"copy"`` (image copied, catch-up not yet
-        #: run), ``"catchup"`` (suffix replayed + target checkpointed, flip
-        #: record not yet durable) and ``"flip"`` (flip record durable,
-        #: schema not yet rewritten).  Crash tests ``os._exit`` here.
-        self.migration_fault: Callable[[str], None] | None = None
-        #: Test hook: called as ``hook(shard_index)`` for each participant
-        #: of a cross-shard commit once every participant has prepared and
-        #: all prepare votes are durable; raising from it simulates a
-        #: participant failure between prepare and commit.
-        self.prepare_fault: Callable[[int], None] | None = None
-        #: Test hook: called as ``hook(shard_index)`` right after that
-        #: participant's prepare *enqueued* (before the shared vote
-        #: barrier) — the injection point for partial-prepare crash
-        #: images, where only a strict subset of participants holds a
-        #: durable vote (crash the process here, flushing the shards
-        #: whose votes should count).
-        self.vote_fault: Callable[[int], None] | None = None
-        #: Test hook: called as ``hook(txn_id)`` right after the coordinator
-        #: decision became durable but before any participant applied phase
-        #: two — the in-doubt window recovery must roll *forward*.
-        self.decision_fault: Callable[[int], None] | None = None
+        # replication counters
+        #: Completed :meth:`failover` promotions.
+        self.failovers = 0
+        #: Commits that published without their replica quorum confirming
+        #: in time (each raised :class:`~repro.errors.ReplicaAckTimeout`
+        #: after settling).
+        self.ack_degraded_commits = 0
+        #: Reads served from a shard replica by :meth:`read_follower`.
+        self.follower_reads = 0
+        #: Unified fault-injection registry (see :mod:`repro.faults`).
+        #: Replication points: ``ship``, ``replica_apply``,
+        #: ``promote_pre_flip``, ``promote_post_flip``.  The legacy
+        #: per-attribute hooks (``migration_fault``, ``prepare_fault``,
+        #: ``vote_fault``, ``decision_fault``) are property shims over the
+        #: registry points ``migration``/``prepare``/``vote``/``decision``
+        #: with their historical call signatures:
+        #:
+        #: * ``migration`` — ``hook(phase)`` at the migration's durable
+        #:   phase boundaries ``"copy"``/``"catchup"``/``"flip"``;
+        #: * ``prepare`` — ``hook(shard_index)`` per participant once every
+        #:   participant prepared and all votes are durable;
+        #: * ``vote`` — ``hook(shard_index)`` right after that
+        #:   participant's prepare *enqueued* (partial-prepare images);
+        #: * ``decision`` — ``hook(txn_id)`` after the coordinator decision
+        #:   became durable, before any participant applied phase two.
+        self.faults = FaultInjector()
+        #: Per-shard replication daemons (``None`` when the shard ships to
+        #: no replicas); sized to ``num_shards`` by ``_attach_replication``
+        #: and grown alongside :meth:`_add_shard`.
+        self._replication: list[ReplicationDaemon | None] = [
+            None for _ in range(num_shards)
+        ]
+        self._replication_attached = False
+        #: Round-robin cursor for :meth:`read_follower` replica choice.
+        self._follower_rr = 0
         #: Report of the last :meth:`open`/:meth:`recover` run (``None``
         #: for a fresh, never-recovered manager).
         self.last_recovery: Any | None = None
+        # A *fresh* store attaches replication immediately; reopening an
+        # existing store defers to :meth:`open`, which attaches after
+        # recovery so bootstrap images include the recovered state.
+        if self.replication_factor > 0 and not self._adopted_existing_schema:
+            self._attach_replication()
 
     # ------------------------------------------------------------- schema
 
@@ -1575,6 +1668,7 @@ class ShardedTransactionManager:
         txn.mark_committed(commit_ts)
         self.single_shard_commits += 1
         self._maybe_checkpoint([shard])
+        self._settle_replica_ack(txn)
         return commit_ts
 
     def _commit_cross_shard(self, txn: ShardedTransaction, participants: list[int]) -> int:
@@ -1602,8 +1696,7 @@ class ShardedTransactionManager:
                     txn.children[idx], wait_vote=False
                 )
                 prepared.append((idx, handle))
-                if self.vote_fault is not None:
-                    self.vote_fault(idx)
+                self.faults.fire("vote", idx)
             # The shared vote barrier: every participant's prepare record
             # must be durable before the commit point (the timestamp draw
             # enqueues commit records that double as decision evidence).
@@ -1612,11 +1705,10 @@ class ShardedTransactionManager:
             for _idx, handle in prepared:
                 if handle.prepare_ticket is not None:
                     handle.prepare_ticket.wait()
-            if self.prepare_fault is not None:
-                # Fires once every vote is durable — the point the classic
-                # per-participant wait used to reach after each prepare.
-                for idx in participants:
-                    self.prepare_fault(idx)
+            # Fires once every vote is durable — the point the classic
+            # per-participant wait used to reach after each prepare.
+            for idx in participants:
+                self.faults.fire("prepare", idx)
         except BaseException as exc:
             self._abort_after_prepare_failure(txn, participants, prepared, exc)
             raise
@@ -1663,8 +1755,7 @@ class ShardedTransactionManager:
             if self.coordinator_log is not None and writers:
                 self.coordinator_log.log_commit(txn.txn_id, commit_ts, writers)
                 decision_durable = True
-                if self.decision_fault is not None:
-                    self.decision_fault(txn.txn_id)
+                self.faults.fire("decision", txn.txn_id)
             for idx, handle in prepared:
                 shard = self.shards[idx]
                 shard.coordinator.commit_prepared(txn.children[idx], handle, commit_ts)
@@ -1725,7 +1816,28 @@ class ShardedTransactionManager:
         txn.mark_committed(commit_ts)
         self.cross_shard_commits += 1
         self._maybe_checkpoint(participants)
+        self._settle_replica_ack(txn)
         return commit_ts
+
+    def _settle_replica_ack(self, txn: ShardedTransaction) -> None:
+        """Surface a degraded quorum acknowledgement *after* the commit is
+        fully settled (status COMMITTED, counters bumped): the transaction
+        did commit — locally durable and visible — but some participant's
+        replica quorum did not confirm within the bounded ack timeout, so
+        the caller's stronger ``ack="quorum"`` guarantee does not hold for
+        it.  Deliberately a :class:`~repro.errors.ReplicaAckTimeout`
+        (a ``StorageError``), never a ``TransactionAborted``: generic
+        retry loops must not re-run a transaction that already committed."""
+        if not any(child.ack_degraded for child in txn.children.values()):
+            return
+        self.ack_degraded_commits += 1
+        raise ReplicaAckTimeout(
+            f"transaction {txn.txn_id} committed durably on its primary "
+            f"shard(s), but its replica quorum did not confirm within "
+            f"{self.replica_ack_timeout}s (lagging or retired replicas) — "
+            "the commit IS applied and visible; only the quorum guarantee "
+            "is degraded"
+        )
 
     def _commit_evidence_durable(
         self, prepared: list[tuple[int, PreparedCommit]]
@@ -2135,11 +2247,460 @@ class ShardedTransactionManager:
         ) as pool:
             return sum(pool.map(self.checkpoint_shard, range(self.num_shards)))
 
+    # replication ----------------------------------------------------------
+
+    def _replica_dir(self, shard: int, replica_id: int) -> Path:
+        """Replica WAL directory: lives inside the shard's directory so a
+        shard's full durable footprint stays one subtree."""
+        assert self.data_dir is not None
+        return self.data_dir / f"shard-{shard:02d}" / f"replica-{replica_id}"
+
+    def _attach_replication(self) -> None:
+        """Start shipping on every shard (idempotent).  Fresh stores run
+        this from the constructor; :meth:`open` runs it after recovery so
+        bootstrap images are cut from recovered state."""
+        if self._replication_attached or self.replication_factor <= 0:
+            return
+        self._replication_attached = True
+        for idx in range(self.num_shards):
+            self._start_shard_replication(idx)
+
+    def _start_shard_replication(self, idx: int) -> None:
+        """Create + bootstrap shard ``idx``'s replicas and wire the daemon
+        chain: fsync daemon ``on_durable`` -> :class:`ReplicationDaemon`
+        buffer -> replica WAL append/apply -> ``confirm_replica_durable``."""
+        daemon = self.daemons[idx]
+        if daemon is None:
+            return
+        replicas = [
+            ShardReplica(self._replica_dir(idx, r), r)
+            for r in range(self.replication_factor)
+        ]
+        for replica in replicas:
+            daemon.register_replica(replica.replica_id)
+        repl = ReplicationDaemon(idx, daemon, replicas, faults=self.faults)
+        self._replication[idx] = repl
+        # The feed must be live BEFORE the bootstrap cut below: a commit
+        # that lands between the cut's drain and a later wiring would
+        # never be shipped — a permanent sequence gap.
+        daemon.set_on_durable(repl.ingest)
+        if self.ack == "quorum":
+            daemon.configure_replication(
+                (self.replication_factor + 2) // 2, self.replica_ack_timeout
+            )
+        self._bootstrap_shard_replicas(idx, repl)
+
+    def _bootstrap_shard_replicas(self, idx: int, repl: ReplicationDaemon) -> None:
+        """(Re)base every replica of shard ``idx`` on a fresh image — the
+        migration copy phase pointed at a replica: quiesce the shard's
+        commit latches, drain the durability pipeline, snapshot every
+        table at the newest committed timestamp and stamp the replicas'
+        confirmed floor at the WAL sequence the image covers.  Also the
+        repair path for lagging replicas (bootstrap clears the flag and
+        re-enters them into quorum accounting)."""
+        shard = self.shards[idx]
+        daemon = self.daemons[idx]
+        assert daemon is not None
+        owned = frozenset(self.slot_map.slots_of(idx))
+        num_slots = self.slot_map.num_slots
+        tables = sorted(shard.tables(), key=lambda t: t.state_id)
+        with ExitStack() as stack:
+            for table in tables:
+                stack.enter_context(table.commit_latch)
+            daemon.flush(timeout=self.checkpoint_flush_timeout)
+            daemon.wait_publishes_drained()
+            last_cts = {
+                gid: shard.context.last_cts(gid)
+                for gid in shard.context.group_ids()
+            }
+            bootstrap_cts = max(last_cts.values(), default=0)
+            # Filtered to owned slots: post-migration frozen husk rows
+            # must not leak into the image (a promoted replica would
+            # resurrect keys another shard owns).
+            image = {
+                table.state_id: [
+                    (key, value)
+                    for key, value in table.scan_at(bootstrap_cts)
+                    if slot_of_key(key, num_slots) in owned
+                ]
+                for table in tables
+            }
+            floor = daemon.last_enqueued()
+            for replica in repl.replicas:
+                replica.bootstrap(bootstrap_cts, last_cts, image, floor)
+                daemon.register_replica(replica.replica_id)
+                daemon.confirm_replica_durable(replica.replica_id, floor)
+
+    def _rebootstrap_shard_replicas(self, idx: int) -> None:
+        """Refresh shard ``idx``'s replicas after its contents changed
+        outside the commit-WAL feed (slot migration catch-up and handover
+        write through ``redo_write_set``/backend batches, which the
+        shipping loop never sees).  Starts replication for a shard that
+        does not have it yet (a split's freshly added target)."""
+        if not self._replication_attached or self.replication_factor <= 0:
+            return
+        repl = self._replication[idx]
+        if repl is None:
+            self._start_shard_replication(idx)
+        else:
+            self._bootstrap_shard_replicas(idx, repl)
+
+    def replica_durable_watermarks(self) -> list[int]:
+        """Per-shard replica-durable watermark: the highest commit-WAL
+        sequence a quorum of that shard's replicas holds durably (0 when
+        the shard ships to no replicas)."""
+        return [
+            daemon.replica_durable_watermark() if daemon is not None else 0
+            for daemon in self.daemons
+        ]
+
+    def follower_read_ts(self) -> int:
+        """Newest timestamp follower reads can serve consistently: the
+        cross-shard barrier (no cross-shard commit mid-apply — PR 6's
+        global snapshot guarantee) capped by every replicated shard's best
+        healthy applied watermark.  ``0`` when some replicated shard has
+        no healthy replica at all."""
+        ts = (
+            self.snapshot_coordinator.barrier()
+            if self.snapshot_coordinator is not None
+            else self.oracle.current()
+        )
+        for repl in self._replication:
+            if repl is None:
+                continue
+            healthy = [r.applied_cts for r in repl.replicas if not r.lagging]
+            if not healthy:
+                return 0
+            ts = min(ts, max(healthy))
+        return ts
+
+    def read_follower(self, state_id: str, key: Any, ts: int | None = None) -> Any:
+        """Serve a snapshot point read from one of the key's shard
+        replicas at ``ts`` (default :meth:`follower_read_ts`), falling
+        back to the primary when no healthy replica covers the timestamp.
+        Composes with global snapshots: reads at one ``follower_read_ts``
+        across shards never observe a fractured cross-shard commit."""
+        if ts is None:
+            ts = self.follower_read_ts()
+        shard = self.shard_of(key)
+        repl = self._replication[shard]
+        if repl is not None:
+            candidates = [
+                r
+                for r in repl.replicas
+                if not r.lagging and r.bootstrap_cts <= ts <= r.applied_cts
+            ]
+            if candidates:
+                self._follower_rr += 1
+                replica = candidates[self._follower_rr % len(candidates)]
+                self.follower_reads += 1
+                return replica.read_at(state_id, key, ts)
+        entry = self.shards[shard].table(state_id).read_version_at(key, ts)
+        return None if entry is None else entry.value
+
+    def replication_stats(self) -> dict[str, Any]:
+        """Replication health: per-shard shipping counters + watermarks,
+        manager-level failover/ack counters."""
+        shards: list[dict[str, int] | None] = []
+        for idx, repl in enumerate(self._replication):
+            if repl is None:
+                shards.append(None)
+                continue
+            entry = repl.stats()
+            daemon = self.daemons[idx]
+            if daemon is not None:
+                dstats = daemon.stats()
+                entry["replica_durable_watermark"] = dstats[
+                    "replica_durable_watermark"
+                ]
+                entry["quorum_acks"] = dstats["quorum_acks"]
+                entry["replica_ack_timeouts"] = dstats["replica_ack_timeouts"]
+            shards.append(entry)
+        return {
+            "replication_factor": self.replication_factor,
+            "ack": self.ack,
+            "failovers": self.failovers,
+            "ack_degraded_commits": self.ack_degraded_commits,
+            "follower_reads": self.follower_reads,
+            "shards": shards,
+        }
+
+    def failover(self, source: int, *, catch_up: bool = True, timeout: float = 10.0) -> int:
+        """Promote shard ``source``'s most-caught-up replica onto a fresh
+        shard via a durable :class:`~repro.core.slots.SlotFlip` — the
+        recovery path for a lost primary *machine* (storage and all).
+
+        Reuses the migration commit protocol end-to-end: the promoted
+        image is installed and checkpointed on the new shard **before**
+        the flip record is fsynced to the coordinator log (the commit
+        point — recovery presumes the source owns its slots until the
+        record is durable, and rolls the flip forward once it is), then
+        the in-memory map swaps atomically, the schema is rewritten and
+        the demoted shard's rows are purged.  A crash at either
+        promotion fault point (``promote_pre_flip`` /
+        ``promote_post_flip``) therefore reopens consistently pre- or
+        post-flip, never a mix.
+
+        ``catch_up=True`` (live failover) first drains the source's
+        durability pipeline and waits until a replica confirmed the whole
+        enqueued prefix, so *no* commit is lost.  ``catch_up=False``
+        models the machine-loss scenario: promote strictly from
+        replica-durable state — every ``ack="quorum"``-acked commit is
+        covered by construction, un-acked commits may be discarded (they
+        were never guaranteed).  Works cold too: a manager reopened with
+        ``replication_factor=0`` loads the replica WALs from disk and
+        promotes the longest confirmed prefix.
+
+        Returns the new shard's index.
+        """
+        with self._migration_lock:
+            self._check_migratable()
+            if not 0 <= source < self.num_shards:
+                raise ValueError(
+                    f"no shard {source} in a {self.num_shards}-shard manager"
+                )
+            if self.data_dir is None:
+                raise StorageError(
+                    "failover needs data_dir= (durable SlotFlip + replica WALs)"
+                )
+            moving = self.slot_map.slots_of(source)
+            if not moving:
+                raise StorageError(f"shard {source} owns no slots to fail over")
+            repl = self._replication[source]
+            daemon = self.daemons[source]
+            cold: list[ShardReplica] = []
+            if repl is None:
+                shard_path = self.data_dir / f"shard-{source:02d}"
+                for entry in sorted(shard_path.glob("replica-*")):
+                    try:
+                        rid = int(entry.name.split("-", 1)[1])
+                    except ValueError:
+                        continue
+                    cold.append(ShardReplica.load(entry, rid))
+            # Durably migration-touched BEFORE any on-disk side effect:
+            # recovery's slot-ownership sweep must treat the demoted
+            # shard's leftover rows as evictable stale copies.
+            if not self.migrations_started and self._schema is not None:
+                self._schema.migrations_started = True
+                self._schema.save(self.data_dir)
+            self.migrations_started = True
+            target = self._add_shard()
+            src_mgr = self.shards[source]
+            tgt_mgr = self.shards[target]
+            moving_set = frozenset(moving)
+            num_slots = self.slot_map.num_slots
+            promoted_keys = 0
+            self._migrating.add(source)
+            self._migrating.add(target)
+            if self.maintenance_daemon is not None:
+                for idx in (source, target):
+                    for store in self._lsm_backends(idx):
+                        self.maintenance_daemon.suspend(store)
+            try:
+                for idx in (source, target):
+                    with self._ckpt_locks[idx]:
+                        pass
+                with ExitStack() as stack:
+                    for shard_idx in sorted((source, target)):
+                        for table in sorted(
+                            self.shards[shard_idx].tables(),
+                            key=lambda t: t.state_id,
+                        ):
+                            stack.enter_context(table.commit_latch)
+                    self._ensure_not_fenced()
+                    if repl is not None and catch_up and daemon is not None:
+                        # Live catch-up drain: everything enqueued becomes
+                        # durable, published and shipped before promotion,
+                        # so the promoted image misses nothing.
+                        daemon.flush(timeout=self.checkpoint_flush_timeout)
+                        daemon.wait_publishes_drained()
+                        tail_seq = daemon.last_enqueued()
+                        if not repl.wait_shipped(tail_seq, timeout=timeout):
+                            raise StorageError(
+                                f"no replica of shard {source} confirmed "
+                                f"seq {tail_seq} within {timeout}s — "
+                                "replicas lagging; re-bootstrap or fail "
+                                "over with catch_up=False (quorum-acked "
+                                "commits only)"
+                            )
+                    replica = (
+                        repl.best_replica()
+                        if repl is not None
+                        else max(
+                            cold, key=lambda r: r.confirmed_seq, default=None
+                        )
+                    )
+                    if replica is None:
+                        raise StorageError(
+                            f"shard {source} has no replica to promote"
+                        )
+                    self.faults.fire("promote_pre_flip", source)
+                    # Version handover, exactly migration's: newest live
+                    # version per key at its original commit timestamp,
+                    # written through to the target's base tables.
+                    known_states = set(tgt_mgr.context.state_ids())
+                    for state_id, rows in replica.live_items().items():
+                        if state_id not in known_states:
+                            continue
+                        dst = tgt_mgr.table(state_id)
+                        batch: list[tuple[bytes, bytes]] = []
+                        for key, value, cts in rows:
+                            if slot_of_key(key, num_slots) not in moving_set:
+                                continue
+                            dst.mvcc_object(key, create=True).install(
+                                value, cts, cts
+                            )
+                            batch.append(
+                                (
+                                    dst.key_codec.encode(key),
+                                    dst.value_codec.encode(value),
+                                )
+                            )
+                            promoted_keys += 1
+                            if len(batch) >= 512:
+                                dst.backend.write_batch(batch, [])
+                                batch = []
+                        if batch:
+                            dst.backend.write_batch(batch, [])
+                    # Visibility floors: the replica's bootstrap floors,
+                    # raised to its applied watermark (WAL-order ==
+                    # cts-order means every commit at or below it is
+                    # applied, so pinning readers there is complete).
+                    merged = {
+                        gid: max(
+                            tgt_mgr.context.last_cts(gid),
+                            replica.last_cts.get(gid, 0),
+                            replica.applied_cts,
+                        )
+                        for gid in tgt_mgr.context.group_ids()
+                    }
+                    tgt_mgr.context.restore_last_cts(merged)
+                    # Promoted rows + marker durable BEFORE the flip can
+                    # commit — a durable flip must never point at data
+                    # only buffered in memory.
+                    self.checkpoint_shard(
+                        target, blocking=True, during_migration=True
+                    )
+                    flip = self.slot_map.promotion_flip(source, target)
+                    try:
+                        self.coordinator_log.log_slot_flip(flip)
+                    except BaseException as exc:
+                        self._fence(
+                            f"promotion flip epoch {flip.epoch} failed to "
+                            f"become durable: {exc!r}"
+                        )
+                        raise
+                    self.faults.fire("promote_post_flip", source)
+                    self.slot_map = self.slot_map.apply(flip)
+                    self._schema.slot_map = list(self.slot_map.slots)
+                    self._schema.slot_epoch = self.slot_map.epoch
+                    self._schema.save(self.data_dir)
+                    self._durable_slot_epoch = self.slot_map.epoch
+                    # Purge the demoted shard's base-table rows (version
+                    # arrays stay frozen for latch-free in-flight readers,
+                    # exactly like migration's source purge; cold rows of
+                    # a lazy source get frozen in-memory copies first).
+                    for state_id in src_mgr.context.state_ids():
+                        src = src_mgr.table(state_id)
+                        deletes: list[bytes] = []
+                        seen: set[bytes] = set()
+                        for key in src.keys():
+                            if slot_of_key(key, num_slots) not in moving_set:
+                                continue
+                            kbytes = src.key_codec.encode(key)
+                            deletes.append(kbytes)
+                            seen.add(kbytes)
+                        if src.residency == RESIDENCY_LAZY:
+                            for kbytes, vbytes in list(src.backend.scan()):
+                                if kbytes in seen:
+                                    continue
+                                key = src.key_codec.decode(kbytes)
+                                if (
+                                    slot_of_key(key, num_slots)
+                                    not in moving_set
+                                ):
+                                    continue
+                                deletes.append(kbytes)
+                                src.mvcc_object(key, create=True).install(
+                                    src.value_codec.decode(vbytes),
+                                    src.bootstrap_cts,
+                                    src.bootstrap_cts,
+                                )
+                        if deletes:
+                            src.backend.write_batch([], deletes)
+                    try:
+                        self.checkpoint_shard(
+                            source, blocking=True, during_migration=True
+                        )
+                    except (WALError, TimeoutError, StorageError):
+                        # Best effort: the demoted primary's storage may
+                        # be the very thing that failed.  Its surviving
+                        # WAL tail is harmless — post-flip recovery evicts
+                        # its copies of the moved slots as stale.
+                        pass
+                self.failovers += 1
+                # Retire the demoted shard's shipping; the new primary
+                # gets fresh replicas when live replication is on.
+                if repl is not None:
+                    repl.stop()
+                    self._replication[source] = None
+                    if daemon is not None:
+                        daemon.configure_replication(0, self.replica_ack_timeout)
+                for cold_replica in cold:
+                    cold_replica.close()
+                self._rebootstrap_shard_replicas(target)
+                self._adopt_lsm_backends()
+            finally:
+                self._migrating.discard(source)
+                self._migrating.discard(target)
+                if self.maintenance_daemon is not None:
+                    for idx in (source, target):
+                        for store in self._lsm_backends(idx):
+                            self.maintenance_daemon.resume(store)
+            return target
+
     # online rebalancing ---------------------------------------------------
 
+    # Legacy fault-hook attributes, now property shims over the unified
+    # ``self.faults`` registry (one migration path for every crash test):
+    # assigning ``manager.migration_fault = hook`` registers the hook at
+    # the ``"migration"`` point, ``None`` clears it, and reading it back
+    # returns whatever is registered — byte-for-byte the old contract.
+
+    @property
+    def migration_fault(self) -> Callable[[str], None] | None:
+        return self.faults.hook("migration")
+
+    @migration_fault.setter
+    def migration_fault(self, hook: Callable[[str], None] | None) -> None:
+        self.faults.register("migration", hook)
+
+    @property
+    def prepare_fault(self) -> Callable[[int], None] | None:
+        return self.faults.hook("prepare")
+
+    @prepare_fault.setter
+    def prepare_fault(self, hook: Callable[[int], None] | None) -> None:
+        self.faults.register("prepare", hook)
+
+    @property
+    def vote_fault(self) -> Callable[[int], None] | None:
+        return self.faults.hook("vote")
+
+    @vote_fault.setter
+    def vote_fault(self, hook: Callable[[int], None] | None) -> None:
+        self.faults.register("vote", hook)
+
+    @property
+    def decision_fault(self) -> Callable[[int], None] | None:
+        return self.faults.hook("decision")
+
+    @decision_fault.setter
+    def decision_fault(self, hook: Callable[[int], None] | None) -> None:
+        self.faults.register("decision", hook)
+
     def _fault_point(self, phase: str) -> None:
-        if self.migration_fault is not None:
-            self.migration_fault(phase)
+        self.faults.fire("migration", phase)
 
     def split_shard(
         self, source: int, moving: list[int] | None = None
@@ -2182,6 +2743,11 @@ class ShardedTransactionManager:
             # slots: ``_add_shard`` ran the division while the new shard
             # was still slot-less, which classified it as a husk.
             self._adopt_lsm_backends()
+            # Migration catch-up/handover writes bypass the commit-WAL
+            # feed (redo + backend batches), so both sides' replicas must
+            # re-base on fresh images (the target's start here).
+            self._rebootstrap_shard_replicas(source)
+            self._rebootstrap_shard_replicas(target)
             return target
 
     def merge_shard(self, source: int, target: int) -> int:
@@ -2211,6 +2777,10 @@ class ShardedTransactionManager:
             # share (creation divides the budgets, but nothing else would
             # ever expand them back after a retirement).
             self._adopt_lsm_backends()
+            # Handover wrote around the commit-WAL feed: re-base both
+            # sides' replicas (the husk's image simply goes empty).
+            self._rebootstrap_shard_replicas(source)
+            self._rebootstrap_shard_replicas(target)
             return len(moving)
 
     def _check_migratable(self) -> None:
@@ -2292,6 +2862,7 @@ class ShardedTransactionManager:
         self._ckpt_locks.append(threading.Lock())
         self._last_checkpoint_ts.append(0)
         self._auto_cut_seeded.append(False)
+        self._replication.append(None)
         # Publish the grown count last: no list index is handed out for
         # the new shard until every per-shard structure exists.
         self.num_shards = idx + 1
@@ -2656,6 +3227,11 @@ class ShardedTransactionManager:
             if recover
             else None
         )
+        # Replication attaches only now, after recovery: the replica
+        # bootstrap images must be cut from the *recovered* state, not
+        # from the empty tables the constructor starts with.
+        if manager.replication_factor > 0:
+            manager._attach_replication()
         return manager
 
     def recover(self, checkpoint: bool = True, max_workers: int | None = None):
@@ -2711,6 +3287,12 @@ class ShardedTransactionManager:
             # checkpoint is then skipped too, because the wedged thread
             # still holds that shard's checkpoint lock and latches.
             drained = self.checkpoint_daemon.close()
+        # Replication stops before the final checkpoint: the ship loops
+        # read the same WAL feed the cuts rewrite, and the replica WALs
+        # must stop moving before their files close.
+        for repl in self._replication:
+            if repl is not None:
+                repl.stop()
         if self.maintenance_daemon is not None:
             # After the checkpoint daemon (its cuts enqueue flush work),
             # before the final checkpoint: pending SSTable builds drain on
@@ -2773,6 +3355,23 @@ class ShardedTransactionManager:
         totals["slots_moved"] = self.slots_moved
         totals["keys_migrated"] = self.keys_migrated
         totals["rebalance_aborts"] = self.rebalance_aborts
+        totals["replication_factor"] = self.replication_factor
+        totals["failovers"] = self.failovers
+        totals["ack_degraded_commits"] = self.ack_degraded_commits
+        totals["follower_reads"] = self.follower_reads
+        replica_acks = records_shipped = lagging = 0
+        for idx, repl in enumerate(self._replication):
+            if repl is None:
+                continue
+            rstats = repl.stats()
+            records_shipped += rstats["records_shipped"]
+            lagging += rstats["lagging_replicas"]
+            daemon = self.daemons[idx]
+            if daemon is not None:
+                replica_acks += daemon.quorum_acks
+        totals["replica_acks"] = replica_acks
+        totals["replica_records_shipped"] = records_shipped
+        totals["replicas_lagging"] = lagging
         if self.coordinator_log is not None:
             totals["coordinator_outcomes"] = len(self.coordinator_log)
         if self.checkpoint_daemon is not None:

@@ -67,6 +67,7 @@ class Transaction:
         "route_epoch",
         "snapshot_cap",
         "snapshot_guard",
+        "ack_degraded",
     )
 
     def __init__(
@@ -117,6 +118,12 @@ class Transaction:
         #: second shard, making all shards read at one global vector.
         self.snapshot_cap: int | None = None
         self.snapshot_guard = None
+        #: ``True`` when a ``ack="quorum"`` commit published without its
+        #: replica quorum confirming in time (bounded degrade — see
+        #: :class:`~repro.errors.ReplicaAckTimeout`).  The commit itself is
+        #: durable and visible; the sharded manager surfaces the degraded
+        #: acknowledgement *after* the commit is fully settled.
+        self.ack_degraded = False
 
     # ----------------------------------------------------------- state sets
 

@@ -110,6 +110,18 @@ class WALError(StorageError):
     """The write-ahead log could not be appended to or replayed."""
 
 
+class ReplicaAckTimeout(StorageError):
+    """A ``ack="quorum"`` commit did not gather its replica quorum within
+    the bounded ack timeout.
+
+    The commit IS durable and visible on the primary — this is a degraded
+    acknowledgement, not an abort: the transaction's effects survive a
+    primary *process* crash, but the replica-loss guarantee the quorum
+    policy promises was not confirmed in time.  Deliberately not a
+    :class:`TransactionAborted` so generic retry loops do not re-run a
+    transaction that already committed."""
+
+
 class StreamError(ReproError):
     """Base class for stream-framework errors."""
 

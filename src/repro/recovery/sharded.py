@@ -150,6 +150,12 @@ class ShardedSchema:
     #: in on first read).  Persisted like ``protocol``: a policy of the
     #: store, not of one process, so a plain reopen keeps it.
     state_residency: str = "full"
+    #: Replicas per shard (0 = replication off) and the commit-ack policy
+    #: (``"local"``/``"quorum"``).  Persisted like ``protocol``: a plain
+    #: reopen keeps shipping to its replicas with the same ack guarantee;
+    #: explicit constructor arguments update the catalog.
+    replication_factor: int = 0
+    ack: str = "local"
 
     def save(self, data_dir: str | os.PathLike[str]) -> None:
         """Atomically persist (tmp + fsync + rename + directory fsync)."""
@@ -163,6 +169,8 @@ class ShardedSchema:
             "slot_epoch": self.slot_epoch,
             "migrations_started": self.migrations_started,
             "state_residency": self.state_residency,
+            "replication_factor": self.replication_factor,
+            "ack": self.ack,
         }
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
@@ -191,6 +199,8 @@ class ShardedSchema:
             slot_epoch=int(payload.get("slot_epoch", 0)),
             migrations_started=bool(payload.get("migrations_started", False)),
             state_residency=str(payload.get("state_residency", "full")),
+            replication_factor=int(payload.get("replication_factor", 0)),
+            ack=str(payload.get("ack", "local")),
         )
 
 

@@ -9,12 +9,16 @@ from .clients import CLIENTS, SimEnvironment, SimStats
 from .costmodel import CostModel, SimCache
 from .des import Acquire, Delay, Release, Simulator
 from .harness import (
+    FailoverSimResult,
+    FollowerReadResult,
     LiveSplitResult,
     ScatterGatherScanResult,
     ShardedSimResult,
     SimResult,
     run_benchmark,
     run_crash_recovery_scenario,
+    run_failover_scenario,
+    run_follower_read_scenario,
     run_live_split_scenario,
     run_scatter_gather_scan_scenario,
     run_sharded_benchmark,
@@ -24,6 +28,8 @@ from .harness import (
 )
 from .resources import SimLatch, SimLock
 from .sharded import (
+    SIM_ACK_LOCAL,
+    SIM_ACK_QUORUM,
     SIM_CHECKPOINT_BACKGROUND,
     SIM_CHECKPOINT_INLINE,
     SIM_DURABILITY_GROUP,
@@ -31,6 +37,7 @@ from .sharded import (
     ShardedSimEnvironment,
     ShardedSimStats,
     SimGroupFsync,
+    sharded_failover,
     sharded_split,
     sharded_writer,
 )
@@ -40,9 +47,13 @@ __all__ = [
     "CLIENTS",
     "CostModel",
     "Delay",
+    "FailoverSimResult",
+    "FollowerReadResult",
     "LiveSplitResult",
     "Release",
     "ScatterGatherScanResult",
+    "SIM_ACK_LOCAL",
+    "SIM_ACK_QUORUM",
     "SIM_CHECKPOINT_BACKGROUND",
     "SIM_CHECKPOINT_INLINE",
     "SIM_DURABILITY_GROUP",
@@ -60,9 +71,12 @@ __all__ = [
     "Simulator",
     "run_benchmark",
     "run_crash_recovery_scenario",
+    "run_failover_scenario",
+    "run_follower_read_scenario",
     "run_live_split_scenario",
     "run_scatter_gather_scan_scenario",
     "run_sharded_benchmark",
+    "sharded_failover",
     "sharded_split",
     "sharded_writer",
     "sweep_cross_ratio",

@@ -139,6 +139,19 @@ class CostModel:
     #: folding one row through the serial heap merge on the caller thread
     #: — paid per row in both the parallel and the sequential plan.
     scan_merge_row_us: float = 0.05
+    # replication (the quorum-ack / follower-read scenario)
+    #: shipping one committed WAL record to one replica: encode + local
+    #: loopback transfer, paid on the replication daemon's thread (off
+    #: the commit path for ``ack="local"``).
+    replication_ship_us: float = 4.0
+    #: folding one shipped record into a replica's in-memory version
+    #: store + the amortised share of its replica-WAL batch fsync.
+    replica_apply_us: float = 6.0
+    #: round trip a ``ack="quorum"`` commit waits on top of its local
+    #: fsync for the slowest replica in the quorum to confirm the batch
+    #: durable (send + replica fsync share + ack) — the quorum-vs-local
+    #: commit-latency gap the replication bench reports.
+    quorum_rtt_us: float = 45.0
     #: restart-recovery fan-out: shards replay in a bounded worker pool
     #: (``recover_sharded``'s thread pool); 1 models the sequential
     #: reference procedure.  The estimate is the makespan of the

@@ -17,8 +17,10 @@ from .clients import CLIENTS, SimEnvironment, bocc_reader, bocc_writer
 from .costmodel import CostModel
 from .des import Simulator
 from .sharded import (
+    SIM_ACK_LOCAL,
     SIM_DURABILITY_SYNC,
     ShardedSimEnvironment,
+    sharded_failover,
     sharded_split,
     sharded_writer,
 )
@@ -189,6 +191,16 @@ class ShardedSimResult:
     hydrations: int = 0
     evictions: int = 0
     residency_mode: str = "full"
+    #: replication accounting (replication_factor > 0 only): the knobs
+    #: the point ran with, quorum batch acks collected by committers
+    #: (``ack="quorum"``), replica promotions completed, and the p99 of
+    #: the end-to-end commit-latency distribution (virtual µs) — the
+    #: number the quorum-vs-local comparison reports.
+    replication_factor: int = 0
+    ack: str = "local"
+    replica_acks: int = 0
+    failovers: int = 0
+    commit_p99_us: float = 0.0
 
     @property
     def commits(self) -> int:
@@ -245,6 +257,8 @@ def run_sharded_benchmark(
     maintenance_mode: str = "inline",
     residency_mode: str = "full",
     residency_budget: int = 0,
+    replication_factor: int = 0,
+    ack: str = SIM_ACK_LOCAL,
 ) -> ShardedSimResult:
     """Run one point of the multi-shard contention scenario.
 
@@ -283,6 +297,8 @@ def run_sharded_benchmark(
         maintenance_mode=maintenance_mode,
         residency_mode=residency_mode,
         residency_budget=residency_budget,
+        replication_factor=replication_factor,
+        ack=ack,
     )
     sim = Simulator()
     deadline = warmup_us + duration_us
@@ -302,11 +318,17 @@ def run_sharded_benchmark(
     env.stats.write_stalls = 0
     env.stats.hydrations = 0
     env.stats.evictions = 0
+    env.stats.replica_acks = 0
+    env.commit_latencies_us.clear()
     for batcher in env.fsync:
         batcher.reset_counters()
     env.coord_fsync.reset_counters()
     sim.run_to_completion()
 
+    latencies = sorted(env.commit_latencies_us)
+    commit_p99_us = (
+        latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0
+    )
     return ShardedSimResult(
         num_shards=num_shards,
         cross_ratio=cross_ratio,
@@ -332,6 +354,11 @@ def run_sharded_benchmark(
         hydrations=env.stats.hydrations,
         evictions=env.stats.evictions,
         residency_mode=residency_mode,
+        replication_factor=replication_factor,
+        ack=ack,
+        replica_acks=env.stats.replica_acks,
+        failovers=env.stats.failovers,
+        commit_p99_us=commit_p99_us,
     )
 
 
@@ -595,4 +622,218 @@ def run_live_split_scenario(
         rows_migrated=env.stats.rows_migrated,
         max_migration_pause_us=env.stats.max_migration_pause_us,
         aborts=aborts_pre,
+    )
+
+
+# --------------------------------------------------------------------------
+# replication: follower-read and failover scenarios
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FollowerReadResult:
+    """Virtual-time pricing of a point-read fleet with and without replicas.
+
+    ``primary_us`` is the primary-only plan: every shard's read stream
+    serialises on that shard's one serving pipeline.  ``follower_us`` is
+    the follower-read plan: the same reads round-robin over the primary
+    plus its ``replication_factor`` replicas, each read pinned at
+    ``min(replica watermark, snapshot barrier)`` so it can never observe
+    un-replicated (or fractured cross-shard) state — the safety that
+    makes offloading legal.  Per-server read service time is identical in
+    both plans; the lift is pure fan-out.
+    """
+
+    num_shards: int
+    replication_factor: int
+    reads: int
+    primary_us: float
+    follower_us: float
+
+    @property
+    def read_speedup(self) -> float:
+        """Primary-only / follower-read makespan (>1 = followers win)."""
+        if self.follower_us <= 0.0:
+            return 0.0
+        return self.primary_us / self.follower_us
+
+
+def run_follower_read_scenario(
+    num_shards: int,
+    replication_factor: int = 2,
+    reads_per_shard: int = 10_000,
+    cost: CostModel | None = None,
+) -> FollowerReadResult:
+    """Price a read-heavy window served by primaries vs primaries+replicas.
+
+    Mirrors :meth:`repro.core.sharding.ShardedTransactionManager.read_follower`:
+    a snapshot timestamp is pinned once per batch at
+    ``min(replica watermark, barrier)`` (``snapshot_vector_us``), then
+    each point read costs one versioned probe
+    (``read_hit_us + mvcc_read_overhead_us``) on whichever server it
+    lands on.  With ``replication_factor`` replicas per shard the
+    round-robin spreads a shard's stream over ``1 + rf`` servers, so the
+    makespan divides by the fleet size — at rf=2 the model predicts ~3×,
+    which is what the replication bench's ≥1.5× assertion banks on.
+    """
+    if num_shards <= 0:
+        raise BenchmarkError(f"num_shards must be positive: {num_shards}")
+    if replication_factor < 1:
+        raise BenchmarkError(
+            "follower reads need at least one replica: "
+            f"replication_factor={replication_factor}"
+        )
+    if reads_per_shard <= 0:
+        raise BenchmarkError(f"reads_per_shard must be positive: {reads_per_shard}")
+    c = cost or CostModel()
+    read_us = c.read_hit_us + c.mvcc_read_overhead_us
+    servers = 1 + replication_factor
+    per_server = -(-reads_per_shard // servers)  # ceil division
+    return FollowerReadResult(
+        num_shards=num_shards,
+        replication_factor=replication_factor,
+        reads=num_shards * reads_per_shard,
+        primary_us=c.snapshot_vector_us + reads_per_shard * read_us,
+        follower_us=c.snapshot_vector_us + per_server * read_us,
+    )
+
+
+@dataclass
+class FailoverSimResult:
+    """Outcome of one simulated primary-loss failover (virtual time).
+
+    ``pre_commits``/``post_commits`` are measured over equal windows
+    before the primary dies and after its replica is promoted; the
+    latched promotion window itself is ``promotion_pause_us``.  A healthy
+    failover retains throughput (``retention`` ≈ 1.0): the promoted
+    replica is a full commit pipeline, not a degraded stand-in.
+    """
+
+    num_shards: int
+    replication_factor: int
+    clients: int
+    duration_us: float
+    pre_commits: int
+    post_commits: int
+    failovers: int
+    promotion_pause_us: float
+    replica_lag_records: int
+
+    @property
+    def pre_tps(self) -> float:
+        return self.pre_commits / (self.duration_us / 1_000_000.0)
+
+    @property
+    def post_tps(self) -> float:
+        return self.post_commits / (self.duration_us / 1_000_000.0)
+
+    @property
+    def retention(self) -> float:
+        """Post-failover / pre-failover throughput (≈1.0 = full recovery)."""
+        return self.post_tps / self.pre_tps if self.pre_commits else 0.0
+
+
+def run_failover_scenario(
+    num_shards: int = 4,
+    replication_factor: int = 2,
+    replica_lag_records: int = 32,
+    cross_ratio: float = 0.0,
+    clients: int = 8,
+    theta: float = 0.0,
+    duration_us: float = 200_000.0,
+    warmup_us: float = 50_000.0,
+    settle_us: float = 20_000.0,
+    config: WorkloadConfig | None = None,
+    cost: CostModel | None = None,
+    seed: int = 42,
+    durability: str = SIM_DURABILITY_SYNC,
+) -> FailoverSimResult:
+    """Measure throughput across a live replica promotion.
+
+    ``clients`` writers run continuously while shard 0's primary "dies"
+    and its most-caught-up replica (modelled by a reserved shard slot) is
+    promoted via :func:`~repro.sim.sharded.sharded_failover`.  The
+    promotion pays no bulk copy — continuous WAL-tail shipping already
+    placed the data — only the latched drain-handover-flip window, whose
+    length scales with ``replica_lag_records`` (how far the replica
+    trailed when the primary died; quorum ack bounds it to the unconfirmed
+    tail).  Steady-state throughput is measured over two equal windows so
+    the result isolates what promotion *restores* (a full commit
+    pipeline) from what it *costs* (the pause, reported separately).
+    """
+    if clients <= 0:
+        raise BenchmarkError("need at least one client")
+    if replica_lag_records < 0:
+        raise BenchmarkError(
+            f"replica_lag_records must be >= 0: {replica_lag_records}"
+        )
+    base = config or WorkloadConfig()
+    workload = WorkloadConfig(
+        table_size=base.table_size,
+        txn_length=base.txn_length,
+        theta=theta,
+        value_bytes=base.value_bytes,
+        seed=seed,
+        states=base.states,
+    )
+    env = ShardedSimEnvironment(
+        workload,
+        num_shards,
+        cross_ratio,
+        cost,
+        durability,
+        reserve_shards=num_shards + 1,
+        replication_factor=replication_factor,
+    )
+    sim = Simulator()
+    promote_allowance_us = (
+        workload.table_size
+        * len(workload.states)
+        * env.cost.migration_handover_row_us
+        + replica_lag_records
+        * (env.cost.replication_ship_us + env.cost.replica_apply_us)
+        + env.cost.migration_freeze_io_us
+        + 10_000.0
+    )
+    deadline = warmup_us + 2 * duration_us + promote_allowance_us + settle_us
+    for i in range(clients):
+        wl = WorkloadGenerator(workload, seed_offset=3000 + i)
+        sim.spawn(sharded_writer(env, sim, wl, deadline))
+
+    sim.run_until(warmup_us)
+    env.stats.single_shard_commits = 0
+    env.stats.cross_shard_commits = 0
+    env.stats.aborts = 0
+    sim.run_until(warmup_us + duration_us)
+    pre_commits = env.stats.commits
+
+    sim.spawn(
+        sharded_failover(
+            env, sim, 0, num_shards, lag_records=replica_lag_records
+        )
+    )
+    promote_deadline = sim.now + promote_allowance_us
+    while env.stats.failovers < 1 and sim.now < promote_deadline:
+        sim.run_until(min(sim.now + 1_000.0, promote_deadline))
+    if env.stats.failovers < 1:
+        raise BenchmarkError("the promotion did not finish within the allowance")
+    sim.run_until(sim.now + settle_us)
+
+    env.stats.single_shard_commits = 0
+    env.stats.cross_shard_commits = 0
+    post_start = sim.now
+    sim.run_until(post_start + duration_us)
+    post_commits = env.stats.commits
+    sim.run_to_completion()
+
+    return FailoverSimResult(
+        num_shards=num_shards,
+        replication_factor=replication_factor,
+        clients=clients,
+        duration_us=duration_us,
+        pre_commits=pre_commits,
+        post_commits=post_commits,
+        failovers=env.stats.failovers,
+        promotion_pause_us=env.stats.max_failover_pause_us,
+        replica_lag_records=replica_lag_records,
     )

@@ -78,6 +78,16 @@ SIM_MAINTENANCE_BACKGROUND = "background"
 SIM_RESIDENCY_FULL = "full"
 SIM_RESIDENCY_LAZY = "lazy"
 
+#: Commit-ack policies of the replication model, mirroring
+#: ``ShardedTransactionManager(ack=...)``: ``local`` — the commit returns
+#: after its local (possibly batched) fsync and the daemon ships the
+#: records to the replicas asynchronously, off the commit path; ``quorum``
+#: — the committer additionally parks for one ``quorum_rtt_us`` round
+#: trip, the wait for the slowest replica of the majority to confirm the
+#: shipped batch durable (the replica-durable watermark).
+SIM_ACK_LOCAL = "local"
+SIM_ACK_QUORUM = "quorum"
+
 
 @dataclass
 class ShardedSimStats:
@@ -110,6 +120,13 @@ class ShardedSimStats:
     rows_migrated: int = 0
     #: longest single freeze window (latched) any migration imposed.
     max_migration_pause_us: float = 0.0
+    #: quorum batch acknowledgements collected by committers
+    #: (``ack="quorum"`` only — one per participant shard per commit).
+    replica_acks: int = 0
+    #: replica promotions completed by the failover controller.
+    failovers: int = 0
+    #: longest single promotion freeze any failover imposed.
+    max_failover_pause_us: float = 0.0
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -188,6 +205,8 @@ class ShardedSimEnvironment:
         l0_slowdown_trigger: int = 8,
         residency_mode: str = SIM_RESIDENCY_FULL,
         residency_budget: int = 0,
+        replication_factor: int = 0,
+        ack: str = SIM_ACK_LOCAL,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive: {num_shards}")
@@ -233,6 +252,16 @@ class ShardedSimEnvironment:
         if residency_budget < 0:
             raise ValueError(
                 f"residency_budget must be >= 0: {residency_budget}"
+            )
+        if replication_factor < 0:
+            raise ValueError(
+                f"replication_factor must be >= 0: {replication_factor}"
+            )
+        if ack not in (SIM_ACK_LOCAL, SIM_ACK_QUORUM):
+            raise ValueError(f"ack must be 'local' or 'quorum': {ack!r}")
+        if ack == SIM_ACK_QUORUM and replication_factor < 1:
+            raise ValueError(
+                "ack='quorum' needs at least one replica to acknowledge"
             )
         self.config = config
         self.num_shards = num_shards
@@ -285,6 +314,18 @@ class ShardedSimEnvironment:
         self.resident: list[dict[tuple[str, int], None]] = [
             {} for _ in range(reserve_shards)
         ]
+        #: Replicas shipped to per shard (0 = replication unmodelled).
+        #: The ship/apply work itself runs on the daemon's thread — it is
+        #: *accounted* (``stats.extra["replication_daemon_us"]``) but
+        #: never charged to a writer; only the ``ack`` policy touches the
+        #: commit path.
+        self.replication_factor = replication_factor
+        #: ``"local"`` or ``"quorum"`` (see the module constants).
+        self.ack = ack
+        #: Per-commit end-to-end latencies (begin to durable-and-acked,
+        #: virtual µs) — the quorum-vs-local commit-latency distribution
+        #: the replication bench reports percentiles over.
+        self.commit_latencies_us: list[float] = []
         #: shard -> commits since the last memtable-threshold trip.
         self.mem_fill = [0] * reserve_shards
         #: shard -> flushed-but-unmerged L0 debt (tables or pending seals).
@@ -388,6 +429,7 @@ def sharded_writer(
     while sim.now < deadline:
         script = wl.sharded_transaction(env.num_shards, env.cross_ratio)
         start_ts = env.oracle.current()
+        txn_start = sim.now
         yield Delay(cost.begin_us + len(script.ops) * cost.write_buffer_us)
 
         # bucket the buffered writes by home shard
@@ -547,6 +589,24 @@ def sharded_writer(
             env.stats.fsyncs += len(shards)
             for shard in reversed(shards):
                 yield Release(env.commit_latches[shard])
+        # Replication (replication_factor > 0): the per-shard daemon
+        # ships this commit's records to every replica and each replica
+        # folds + fsyncs them — all on the daemon's thread, so the work
+        # is accumulated in ``extra`` but never charged to the writer.
+        # ``ack="quorum"`` is the one replication cost commits feel: one
+        # round trip, paid *after* the local fsync and outside every
+        # latch (the real engine's await_replica_quorum gate sits in the
+        # publish step for exactly this reason).
+        if env.replication_factor > 0:
+            env.stats.extra["replication_daemon_us"] = env.stats.extra.get(
+                "replication_daemon_us", 0.0
+            ) + nkeys * env.replication_factor * (
+                cost.replication_ship_us + cost.replica_apply_us
+            )
+            if env.ack == SIM_ACK_QUORUM:
+                yield Delay(cost.quorum_rtt_us)
+                env.stats.replica_acks += len(shards)
+        env.commit_latencies_us.append(sim.now - txn_start)
         if cross:
             env.stats.cross_shard_commits += 1
         else:
@@ -640,5 +700,89 @@ def sharded_split(
     env.stats.rows_migrated += moved
     env.stats.max_migration_pause_us = max(
         env.stats.max_migration_pause_us, pause_us
+    )
+    yield Release(latch)
+
+
+def sharded_failover(
+    env: ShardedSimEnvironment,
+    sim: Simulator,
+    source: int,
+    target: int,
+    lag_records: int = 0,
+    start_delay_us: float = 0.0,
+):
+    """Failover controller process: promote ``source``'s replica.
+
+    Mirrors the real engine's replica promotion
+    (:meth:`repro.core.sharding.ShardedTransactionManager.failover`): the
+    reserved ``target`` shard models the most-caught-up
+    :class:`~repro.core.replication.ShardReplica`.  Unlike a split there
+    is **no bulk copy phase** — bootstrap plus continuous WAL-tail
+    shipping paid for the data long ago, which is exactly what
+    replication buys the failover path.  The promotion pays only the
+    latched window:
+
+    * drain the replica's ship backlog (``lag_records`` records at
+      ship + apply cost each — zero for a fully caught-up replica);
+    * hand the version indexes over to the promoted owner
+      (``migration_handover_row_us`` per live row, like a migration's
+      freeze);
+    * land the durable promotion :class:`~repro.core.slots.SlotFlip`
+      (``migration_freeze_io_us`` — the same coordinator-log fsync +
+      checkpoint marker a split's flip pays).
+
+    Every slot ``source`` owns moves to ``target`` in one epoch — the
+    ``SlotMap.promotion_flip`` whole-range takeover.
+    """
+    cost = env.cost
+    if start_delay_us > 0.0:
+        yield Delay(start_delay_us)
+    owned = frozenset(
+        s for s, owner in enumerate(env.slot_map) if owner == source
+    )
+    if not owned:
+        return
+
+    latch = env.commit_latches[source]
+    if latch.held() or latch.queue_length():
+        env.stats.latch_waits += 1
+    yield Acquire(latch)
+    rows = sum(len(t.keys()) for t in env.tables[source].values())
+    pause_us = (
+        lag_records * (cost.replication_ship_us + cost.replica_apply_us)
+        + rows * cost.migration_handover_row_us
+        + cost.migration_freeze_io_us
+    )
+    yield Delay(pause_us)
+    for state_id, src_table in env.tables[source].items():
+        dst_table = env.tables[target][state_id]
+        keys = list(src_table.keys())
+        for key in keys:
+            live = src_table.read_live(key)
+            if live is not None:
+                dst_table.mvcc_object(key, create=True).install(
+                    live.value, live.cts, live.cts
+                )
+        src_table.evict_keys(keys)
+    env.slot_map = [
+        target if slot in owned else owner
+        for slot, owner in enumerate(env.slot_map)
+    ]
+    # Unlike a split, the logical fleet size is unchanged: the promoted
+    # replica *replaces* the dead primary (same slots, new owner index),
+    # so key generation keeps targeting the same residue classes.  Only a
+    # 1-shard fleet must bump the count, because ``shard_of``
+    # short-circuits the slot map for single-shard runs.
+    if env.num_shards == 1:
+        env.num_shards = 2
+    # The promotion's target checkpoint truncates both tails (the dead
+    # primary's tail was drained onto the replica before the flip).
+    env.wal_tail[source] = 0
+    env.wal_tail[target] = 0
+    env.stats.checkpoints += 1
+    env.stats.failovers += 1
+    env.stats.max_failover_pause_us = max(
+        env.stats.max_failover_pause_us, pause_us
     )
     yield Release(latch)
