@@ -1,0 +1,100 @@
+"""Overhead of the lock-rank sanitizer (:mod:`repro.analysis.lockcheck`).
+
+Two claims are pinned here:
+
+* **disabled = zero overhead** — with ``REPRO_LOCKCHECK`` unset the
+  factories return plain ``threading`` primitives, so the engine's hot
+  paths carry no sanitizer cost at all (asserted, not just measured);
+* **enabled = bounded overhead** — the per-acquire rank assertion and
+  graph edge recording cost is measured so the trajectory file shows
+  what a ``REPRO_LOCKCHECK=1`` CI run actually pays.
+
+Run:  pytest benchmarks/bench_lockcheck.py --benchmark-only -s [--smoke]
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockranks
+from repro.analysis.lockcheck import RankedLock, make_condition, make_lock, make_rlock
+
+from conftest import record_bench, report_lines
+
+PAIRS_PER_ROUND = 1_000
+
+
+def _acquire_release_round(lock) -> None:
+    for _ in range(PAIRS_PER_ROUND):
+        lock.acquire()
+        lock.release()
+
+
+@pytest.mark.benchmark(group="lockcheck-overhead")
+@pytest.mark.parametrize("mode", ["disabled", "enabled"])
+def test_acquire_release_cost(benchmark, monkeypatch, mode):
+    """1k uncontended acquire/release pairs through the factory output."""
+    if mode == "disabled":
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+    lock = make_lock(lockranks.WAL, name="bench-wal")
+    if mode == "disabled":
+        # The zero-overhead contract: a plain lock, not a wrapper.
+        assert type(lock) is type(threading.Lock())
+        assert not isinstance(lock, RankedLock)
+    else:
+        assert isinstance(lock, RankedLock)
+
+    result = benchmark(_acquire_release_round, lock)
+    del result
+    pair_ns = benchmark.stats.stats.mean / PAIRS_PER_ROUND * 1e9
+    record_bench(
+        __file__,
+        f"acquire_release_{mode}",
+        {"pairs_per_round": PAIRS_PER_ROUND, "ns_per_pair": pair_ns},
+    )
+    report_lines(
+        f"lockcheck {mode}",
+        [f"uncontended acquire+release: {pair_ns:.0f} ns/pair"],
+    )
+
+
+@pytest.mark.benchmark(group="lockcheck-overhead")
+def test_nested_ranked_acquisition_cost(benchmark, monkeypatch):
+    """A leafward three-deep nesting per round — the worst hot-path shape
+    the engine actually uses (daemon -> store -> oracle), sanitizer on."""
+    monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+    outer = make_lock(lockranks.CKPT, name="bench-ckpt")
+    mid = make_rlock(lockranks.LSM_STORE, name="bench-store")
+    leaf = make_lock(lockranks.ORACLE, name="bench-oracle")
+
+    def round_():
+        for _ in range(PAIRS_PER_ROUND):
+            with outer, mid, leaf:
+                pass
+
+    benchmark(round_)
+    nest_ns = benchmark.stats.stats.mean / PAIRS_PER_ROUND * 1e9
+    record_bench(
+        __file__,
+        "nested_enabled",
+        {"depth": 3, "ns_per_nest": nest_ns},
+    )
+    report_lines(
+        "lockcheck nested (enabled)",
+        [f"3-deep leafward nesting: {nest_ns:.0f} ns"],
+    )
+
+
+def test_factories_disabled_are_plain(monkeypatch):
+    """Non-benchmark guard (runs in the smoke job too): every factory
+    hands back a plain primitive when the sanitizer is off."""
+    monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+    assert type(make_lock(lockranks.WAL)) is type(threading.Lock())
+    assert type(make_rlock(lockranks.LSM_STORE)) is type(threading.RLock())
+    cond = make_condition(lockranks.MAINTENANCE)
+    assert isinstance(cond, threading.Condition)
+    assert not isinstance(cond._lock, RankedLock)

@@ -1,0 +1,31 @@
+"""Concurrency-analysis support: the lock-rank registry and the runtime
+lock-rank sanitizer (``REPRO_LOCKCHECK=1``).
+
+The static half lives in ``tools/reprolint`` (outside the library so the
+engine never imports its own linter); both halves share the single rank
+registry in :mod:`repro.analysis.lockranks`.  See ``docs/concurrency.md``
+for the canonical lock-rank table and the discipline it encodes.
+"""
+
+from .lockcheck import (
+    LockOrderViolation,
+    enabled,
+    find_cycles,
+    lock_graph,
+    make_condition,
+    make_lock,
+    make_rlock,
+)
+from .lockranks import RANK_NAMES, rank_name
+
+__all__ = [
+    "LockOrderViolation",
+    "enabled",
+    "find_cycles",
+    "lock_graph",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "RANK_NAMES",
+    "rank_name",
+]

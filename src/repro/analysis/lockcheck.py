@@ -1,0 +1,292 @@
+"""Runtime lock-rank sanitizer (``REPRO_LOCKCHECK=1``).
+
+:class:`RankedLock` wraps ``threading.Lock``/``RLock`` and asserts, on every
+acquisition, that the calling thread only moves *leafward* through the rank
+registry of :mod:`repro.analysis.lockranks` — strictly descending ranks,
+strictly ascending indices within one rank, RLock re-entry exempt.  Each
+acquisition also records an edge ``held -> acquired`` in a process-global
+acquisition graph, so orderings that only ever occur on *different* threads
+(invisible to the per-thread assertion) still surface as cycles — the
+dynamic substrate the ROADMAP's cross-shard S2PL deadlock-detection item
+needs, exported via ``ShardedTransactionManager.stats()["lock_graph"]``.
+
+Zero overhead when disabled: the :func:`make_lock`/:func:`make_rlock`/
+:func:`make_condition` factories return plain ``threading`` primitives
+unless the environment opts in, so the hot paths pay nothing beyond one
+environment check at construction time.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from typing import IO
+
+from .lockranks import rank_name
+
+_ENV_FLAG = "REPRO_LOCKCHECK"
+
+
+def enabled() -> bool:
+    """True when the sanitizer is switched on (``REPRO_LOCKCHECK=1``)."""
+    return os.environ.get(_ENV_FLAG, "") not in ("", "0")
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread acquired a lock against the declared rank order."""
+
+
+class LockGraph:
+    """Process-global acquisition graph: ``(holder, acquired) -> count``.
+
+    The mutex below is a plain unranked lock held only for the dict
+    update — never across another acquisition — so the graph itself can
+    introduce no ordering.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._edges: dict[tuple[str, str], int] = {}
+
+    def record(self, holder: str, acquired: str) -> None:
+        if holder == acquired:
+            return  # re-entry; not an ordering edge
+        with self._mutex:
+            key = (holder, acquired)
+            self._edges[key] = self._edges.get(key, 0) + 1
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._edges.clear()
+
+    def find_cycles(self) -> list[list[str]]:
+        """Elementary cycles in the acquisition graph (DFS, deduplicated
+        by node set — enough to answer "is the order globally acyclic?")."""
+        adjacency: dict[str, list[str]] = {}
+        for a, b in self.edges():
+            adjacency.setdefault(a, []).append(b)
+        cycles: list[list[str]] = []
+        seen_sets: set[frozenset[str]] = set()
+        visited: set[str] = set()
+
+        def dfs(node: str, stack: list[str], on_stack: set[str]) -> None:
+            visited.add(node)
+            stack.append(node)
+            on_stack.add(node)
+            for succ in adjacency.get(node, ()):
+                if succ in on_stack:
+                    cycle = stack[stack.index(succ) :]
+                    key = frozenset(cycle)
+                    if key not in seen_sets:
+                        seen_sets.add(key)
+                        cycles.append(cycle + [succ])
+                elif succ not in visited:
+                    dfs(succ, stack, on_stack)
+            stack.pop()
+            on_stack.discard(node)
+
+        for node in list(adjacency):
+            if node not in visited:
+                dfs(node, [], set())
+        return cycles
+
+    def report(self, out: IO[str] | None = None) -> int:
+        """Print a cycle report; returns the number of cycles found."""
+        out = out if out is not None else sys.stderr
+        cycles = self.find_cycles()
+        if cycles:
+            print(
+                f"[lockcheck] {len(cycles)} lock-acquisition cycle(s) "
+                "detected in the global acquisition graph:",
+                file=out,
+            )
+            for cycle in cycles:
+                print("[lockcheck]   " + " -> ".join(cycle), file=out)
+        return len(cycles)
+
+
+#: The default process-wide graph (tests needing an isolated graph pass
+#: their own ``LockGraph`` to ``RankedLock``).
+GLOBAL_GRAPH = LockGraph()
+
+_tls = threading.local()
+
+
+def _held_stack() -> list["RankedLock"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class RankedLock:
+    """A ``threading.Lock``/``RLock`` that enforces the rank discipline.
+
+    ``rank=None`` puts the lock in *graph-only* mode: acquisitions are
+    recorded but never asserted (used for locks whose ordering is only
+    meaningful across threads, where the per-thread assertion is mute and
+    the exit-time cycle report is the detector).
+
+    Implements the private ``_release_save``/``_acquire_restore``/
+    ``_is_owned`` protocol, so ``threading.Condition(RankedLock(...))``
+    works for both the plain and the reentrant flavour.
+    """
+
+    def __init__(
+        self,
+        rank: int | None,
+        index: int = 0,
+        *,
+        name: str | None = None,
+        rlock: bool = False,
+        graph: LockGraph | None = None,
+    ) -> None:
+        self.rank = rank
+        self.index = index
+        self.reentrant = rlock
+        if name is None:
+            base = rank_name(rank) if rank is not None else "lock"
+            name = f"{base}[{index}]" if index else base
+        self.name = name
+        self._inner = threading.RLock() if rlock else threading.Lock()
+        self._graph = graph if graph is not None else GLOBAL_GRAPH
+
+    # ------------------------------------------------------------- checking
+
+    def _check_order(self, stack: list["RankedLock"]) -> None:
+        if self.rank is None or not stack:
+            return
+        if self.reentrant and any(held is self for held in stack):
+            return  # RLock re-entry on the same object
+        ranked = [held for held in stack if held.rank is not None]
+        if not ranked:
+            return
+        floor = min(held.rank for held in ranked)
+        if self.rank < floor:
+            return
+        if self.rank == floor:
+            same = [held.index for held in ranked if held.rank == self.rank]
+            if self.index > max(same):
+                return
+        holder = min(ranked, key=lambda held: (held.rank, -held.index))
+        raise LockOrderViolation(
+            f"lock-rank violation: acquiring {self.name!r} "
+            f"(rank {self.rank}) while holding {holder.name!r} "
+            f"(rank {holder.rank}) — acquisition must move leafward "
+            "(strictly descending ranks, ascending indices within a rank); "
+            "see docs/concurrency.md"
+        )
+
+    def _note_acquired(self, stack: list["RankedLock"]) -> None:
+        if stack:
+            self._graph.record(stack[-1].name, self.name)
+        stack.append(self)
+
+    # ------------------------------------------------------- lock protocol
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _held_stack()
+        self._check_order(stack)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._note_acquired(stack)
+        return got
+
+    def release(self) -> None:
+        stack = _held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # -------------------------------------------- Condition support hooks
+
+    def _is_owned(self) -> bool:
+        return any(held is self for held in _held_stack())
+
+    def _release_save(self):
+        stack = _held_stack()
+        depth = 0
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                depth += 1
+        inner_save = getattr(self._inner, "_release_save", None)
+        if inner_save is not None:
+            return (inner_save(), depth)
+        self._inner.release()
+        return (None, depth)
+
+    def _acquire_restore(self, state) -> None:
+        inner_state, depth = state
+        inner_restore = getattr(self._inner, "_acquire_restore", None)
+        if inner_restore is not None and inner_state is not None:
+            inner_restore(inner_state)
+        else:
+            self._inner.acquire()
+        _held_stack().extend([self] * max(1, depth))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RankedLock({self.name}, rank={self.rank}, index={self.index})"
+
+
+# ------------------------------------------------------------------ factory
+
+
+def make_lock(rank: int, index: int = 0, *, name: str | None = None):
+    """A mutex at ``rank``: plain ``threading.Lock`` unless lockcheck is on."""
+    if not enabled():
+        return threading.Lock()
+    return RankedLock(rank, index, name=name)
+
+
+def make_rlock(rank: int, index: int = 0, *, name: str | None = None):
+    """A reentrant mutex at ``rank`` (plain ``RLock`` when disabled)."""
+    if not enabled():
+        return threading.RLock()
+    return RankedLock(rank, index, name=name, rlock=True)
+
+
+def make_condition(rank: int, index: int = 0, *, name: str | None = None):
+    """A standalone condition whose internal mutex carries ``rank``."""
+    if not enabled():
+        return threading.Condition()
+    return threading.Condition(RankedLock(rank, index, name=name))
+
+
+# ---------------------------------------------------------------- reporting
+
+
+def lock_graph() -> dict[str, int]:
+    """The global acquisition graph as ``{"holder->acquired": count}`` —
+    empty when the sanitizer is off (the plain primitives record nothing)."""
+    return {f"{a}->{b}": n for (a, b), n in GLOBAL_GRAPH.edges().items()}
+
+
+def find_cycles() -> list[list[str]]:
+    """Cycles in the global acquisition graph (see :class:`LockGraph`)."""
+    return GLOBAL_GRAPH.find_cycles()
+
+
+def _report_at_exit() -> None:  # pragma: no cover - exercised via suite runs
+    if enabled():
+        GLOBAL_GRAPH.report()
+
+
+atexit.register(_report_at_exit)

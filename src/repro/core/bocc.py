@@ -83,10 +83,11 @@ class BOCCProtocol(ConcurrencyControl):
         if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
             # Sharded child: read at the barrier-capped pin so a
             # cross-shard commit mid phase two is never half-visible.  The
-            # read set is still recorded — backward validation stays
-            # exactly as before (per shard), so any commit this capped
-            # read missed still invalidates the transaction at commit
-            # time; the cap only makes the *observed* prefix atomic.
+            # read set is still recorded, and validation scans back to the
+            # *pin* (see _validation_horizon), not just the begin
+            # timestamp: the cap can pin below commits that finished
+            # before this child even began, and those are exactly the
+            # writes this read misses.
             ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
             version = table.read_version_at(key, ts)
         else:
@@ -196,30 +197,61 @@ class BOCCProtocol(ConcurrencyControl):
             prepared.resources.close()
         self._finish_commit_publish(txn, prepared, commit_ts)
 
-    def _validate_backward(self, txn: Transaction) -> None:
-        """RS(T) ∩ WS(T_i) = ∅ for every T_i that *finished* after T began.
+    @staticmethod
+    def _validation_horizon(txn: Transaction) -> int:
+        """Oldest timestamp this transaction's reads could have observed.
 
-        Comparing against ``finish_ts`` (end of the write phase) covers
-        transactions whose write phase overlapped T's read phase — see
-        :class:`_CommitRecord`.
+        Usually the begin timestamp — but a sharded child reads at
+        barrier-capped snapshot pins, and the cap can sit *below* commits
+        that finished before the child began (a cross-shard commit mid
+        phase two holds the barrier down).  Those commits are invisible to
+        the pinned reads, so validation must scan back to the oldest pin
+        or it would silently admit the lost update.
+        """
+        horizon = txn.start_ts
+        if txn.read_cts:
+            horizon = min(horizon, *txn.read_cts.values())
+        return horizon
+
+    def _validate_backward(self, txn: Transaction) -> None:
+        """RS(T) ∩ WS(T_i) = ∅ for every committed T_i invisible to T's reads.
+
+        Live reads (the unsharded path) observe everything up to the read
+        instant, so a record conflicts when it *finished* after T began —
+        ``finish_ts`` (end of the write phase) rather than ``commit_ts``
+        covers writers whose apply overlapped T's read phase (see
+        :class:`_CommitRecord`).  Pinned reads (sharded children) observe
+        exactly the prefix ``commit_ts <= pin``: a record above the pin
+        conflicts even when it finished *before* this child began (the
+        barrier cap can pin below such commits — that invisible window was
+        a lost-update hole), and a record at/below the pin never does.
         """
         self.stats.validations += 1
         if not txn.read_sets:
             return
+        horizon = self._validation_horizon(txn)
         for record in reversed(self._committed):
-            if record.finish_ts <= txn.start_ts:
+            if record.finish_ts <= horizon:
                 break
             for state_id, read_set in txn.read_sets.items():
                 written_keys = record.writes.get(state_id)
-                if written_keys and read_set.intersects(written_keys):
-                    self.stats.conflicts += 1
-                    self.abort_transaction(txn)
-                    raise ValidationFailure(
-                        f"BOCC validation failed: txn {txn.txn_id} read keys "
-                        f"overwritten by commit at ts {record.commit_ts} on "
-                        f"state {state_id!r}",
-                        txn_id=txn.txn_id,
-                    )
+                if not written_keys or not read_set.intersects(written_keys):
+                    continue
+                pin = txn.read_cts.get(self.context.group_id_of(state_id))
+                if pin is not None:
+                    visible = record.commit_ts <= pin
+                else:
+                    visible = record.finish_ts <= txn.start_ts
+                if visible:
+                    continue
+                self.stats.conflicts += 1
+                self.abort_transaction(txn)
+                raise ValidationFailure(
+                    f"BOCC validation failed: txn {txn.txn_id} read keys "
+                    f"overwritten by commit at ts {record.commit_ts} on "
+                    f"state {state_id!r}",
+                    txn_id=txn.txn_id,
+                )
 
     def _prune_log(self) -> None:
         """Drop commit records no active transaction could validate against."""
@@ -227,7 +259,9 @@ class BOCCProtocol(ConcurrencyControl):
         if not actives:
             horizon = self.context.oracle.current()
         else:
-            horizon = min(t.start_ts for t in actives)
+            # Down to each active txn's *validation* horizon: a pinned
+            # child may still need records older than its start_ts.
+            horizon = min(self._validation_horizon(t) for t in actives)
         keep_from = 0
         for i, record in enumerate(self._committed):
             if record.finish_ts > horizon:

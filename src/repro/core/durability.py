@@ -33,6 +33,7 @@ remainder down with :meth:`GroupFsyncDaemon.flush`.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import threading
@@ -42,6 +43,8 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_lock
 from ..errors import WALError
 from ..storage.wal import (
     KIND_CHECKPOINT,
@@ -60,6 +63,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DURABILITY_SYNC = "sync"
 DURABILITY_ASYNC = "async"
 DURABILITY_MODES = (DURABILITY_SYNC, DURABILITY_ASYNC)
+
+#: Fallback ``lock_index`` source for daemons built without an explicit
+#: shard index (direct construction in tests / single-shard setups).  The
+#: lock-rank checker requires same-rank locks to be taken in ascending
+#: index order; :func:`reserve_group_commit` acquires participant daemons
+#: sorted by shard, so shard-owned daemons use their shard index and
+#: anonymous ones draw from far above any realistic shard count.
+_ANON_DAEMON_INDEX = itertools.count(1 << 16)
 
 
 # --------------------------------------------------------------------------
@@ -299,6 +310,7 @@ class GroupFsyncDaemon:
         wait_in_latch: bool = False,
         auto_tune_window: bool = False,
         batch_window_max: float = 0.002,
+        lock_index: int | None = None,
     ) -> None:
         if mode not in DURABILITY_MODES:
             raise ValueError(
@@ -337,7 +349,15 @@ class GroupFsyncDaemon:
         #: a batch of N wakes N threads without N serialised
         #: re-acquisitions of the mutex.  The flusher (when present)
         #: sleeps on ``_work`` until records arrive.
-        self._lock = threading.Lock()
+        #: ``lock_index`` orders same-rank daemon mutexes for the lock-rank
+        #: checker: cross-shard reservation acquires participants in
+        #: ascending shard order, so shard-owned daemons pass their shard
+        #: index here.
+        if lock_index is None:
+            lock_index = next(_ANON_DAEMON_INDEX)
+        self._lock = make_lock(
+            lockranks.DAEMON, index=lock_index, name=f"fsync-daemon[{lock_index}]"
+        )
         self._work = threading.Condition(self._lock)
         self._waiters: list[tuple[int, threading.Event]] = []
         self._pending: list[tuple[int, int, bytes]] = []

@@ -48,6 +48,8 @@ from bisect import bisect_right, insort
 from pathlib import Path
 from typing import Any
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_lock
 from ..faults import FaultInjector, retry_with_backoff
 from ..storage.wal import KIND_CHECKPOINT, KIND_TXN_COMMIT, WriteAheadLog
 from .durability import GroupFsyncDaemon, decode_commit_record
@@ -107,7 +109,11 @@ class ShardReplica:
         self.lagging = False
         #: state id -> key -> sorted [(cts, value, deleted)].
         self._versions: dict[str, dict[Any, list[tuple[int, Any, bool]]]] = {}
-        self._lock = threading.Lock()
+        # Leaf below the replication daemon's own mutex (the ship loop
+        # holds neither while appending to the replica WAL).
+        self._lock = make_lock(
+            lockranks.REPLICA, index=replica_id, name=f"replica[{replica_id}]"
+        )
         self.records_applied = 0
 
     # ------------------------------------------------------------ bootstrap
@@ -168,7 +174,9 @@ class ShardReplica:
         replica.applied_cts = 0
         replica.lagging = False
         replica._versions = {}
-        replica._lock = threading.Lock()
+        replica._lock = make_lock(
+            lockranks.REPLICA, index=replica_id, name=f"replica[{replica_id}]"
+        )
         replica.records_applied = 0
         for kind, frame in WriteAheadLog.replay(replica.wal.path):
             if kind == KIND_CHECKPOINT:
@@ -313,7 +321,14 @@ class ReplicationDaemon:
         self.retry_deadline = retry_deadline
         self.max_batch = max_batch
         self._buffer: dict[int, tuple[int, bytes]] = {}
-        self._lock = threading.Lock()
+        # Effectively a leaf: the ship loop drops this before touching the
+        # replica or the fsync daemon, and ``ingest`` runs in the daemon's
+        # durable-feed callback *after* the daemon released its own mutex.
+        self._lock = make_lock(
+            lockranks.REPL_DAEMON,
+            index=shard_idx,
+            name=f"replication-daemon[{shard_idx}]",
+        )
         self._work = threading.Condition(self._lock)
         self._stopped = False
         self.batches_shipped = 0

@@ -80,16 +80,15 @@ class S2PLProtocol(ConcurrencyControl):
         self._lock(txn, _table_resource(state_id), LockMode.IS)
         self._lock(txn, _key_resource(state_id, key), LockMode.S)
         table = self.table(state_id)
-        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
-            # Sharded child: read at the pinned ReadCTS, which pin_snapshot
-            # caps at the global cross-shard barrier — a cross-shard commit
-            # mid phase two is invisible here even though its locks on
-            # *this* shard were already released.  The S lock is still
-            # taken (strict 2PL writers serialise against it as before).
-            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
-            version = table.read_version_at(key, ts)
-        else:
-            version = table.read_live(key)
+        # Always read the live committed value.  2PL has no commit-time
+        # validation, so a read at a pinned snapshot is unsound: the pin is
+        # taken at the *first* read, and a transfer committing between that
+        # pin and a later S-lock grant would be invisible — the txn's
+        # buffered rewrite of the same key then erases it (a lost update).
+        # The S lock held until commit is what makes the live read stable,
+        # and it also makes cross-shard reads atomic: any writer whose
+        # write set intersects ours blocked at its own growing phase.
+        version = table.read_live(key)
         return version.value if version is not None else None
 
     def scan(
@@ -100,12 +99,9 @@ class S2PLProtocol(ConcurrencyControl):
         table = self.table(state_id)
         write_set = txn.write_sets.get(state_id)
         own = dict(write_set.entries) if write_set is not None else {}
-        if txn.snapshot_guard is not None and txn.isolation.pins_snapshot:
-            # Sharded child: scan at the barrier-capped pin (see read()).
-            ts = self.context.pin_snapshot(txn, self.context.group_id_of(state_id))
-            rows = table.scan_at(ts, low, high)
-        else:
-            rows = table.scan_live(low, high)
+        # Live scan under the table S lock — see read() for why a pinned
+        # snapshot is unsound without commit-time validation.
+        rows = table.scan_live(low, high)
         for key, value in rows:
             entry = own.pop(key, None)
             if entry is None:

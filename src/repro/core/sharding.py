@@ -103,6 +103,11 @@ Follower reads compose with the global snapshot service:
 its shard's replicas at :meth:`~ShardedTransactionManager.follower_read_ts`
 — the cross-shard barrier capped by the replicas' applied watermarks — so
 a scatter of follower reads never observes a fractured cross-shard commit.
+
+Locking discipline: every hot-path mutex in this module carries a rank
+from :mod:`repro.analysis.lockranks`; acquisition order, the deadlock
+argument, the runtime sanitizer (``REPRO_LOCKCHECK=1``) and the
+``reprolint`` static pass are documented in ``docs/concurrency.md``.
 """
 
 from __future__ import annotations
@@ -110,6 +115,7 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import os
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -119,6 +125,8 @@ from heapq import merge as _heap_merge
 from pathlib import Path
 from typing import Any, Callable
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import lock_graph, make_condition, make_lock
 from ..errors import (
     ABORT_GROUP,
     ABORT_REBALANCE,
@@ -398,7 +406,10 @@ class CheckpointDaemon:
         self, manager: "ShardedTransactionManager", workers: int | None = None
     ) -> None:
         self._manager = manager
-        self._cond = threading.Condition()
+        # Ranked above the per-shard fsync-daemon mutex: the auto-cut
+        # throttle samples ``records_since_checkpoint()`` (daemon lock)
+        # while holding this condition's lock.
+        self._cond = make_condition(lockranks.CKPT_DAEMON, name="ckpt-daemon")
         self._pending: set[int] = set()
         #: Shard indices currently being cut (at most one worker each).
         self._active: set[int] = set()
@@ -423,8 +434,8 @@ class CheckpointDaemon:
         #: swallowed: diagnosable via :meth:`stats`, and committers
         #: parked in :meth:`throttle` are released when the cut they are
         #: waiting for fails, rather than stalling out their timeout.
-        self.failed_cuts = 0
-        self.last_cut_error: BaseException | None = None
+        self.failed_cuts = 0  #: guarded_by(_cond)
+        self.last_cut_error: BaseException | None = None  #: guarded_by(_cond)
         #: Per-shard failure epochs: throttled committers give up only
         #: when a cut of *their* shard fails, not any shard's.
         self._shard_cut_failures: dict[int, int] = {}
@@ -913,6 +924,7 @@ class ShardedTransactionManager:
                 max_batch=fsync_max_batch,
                 batch_window=fsync_batch_window,
                 auto_tune_window=fsync_window_auto,
+                lock_index=idx,
             )
             if effective_wal_dir is not None
             else None
@@ -961,7 +973,10 @@ class ShardedTransactionManager:
         # (Imported lazily: repro.recovery depends on repro.core.)
         self.context_stores: list[Any] = []
         self.coordinator_log: Any | None = None
-        self._ckpt_locks = [threading.Lock() for _ in range(num_shards)]
+        self._ckpt_locks = [
+            make_lock(lockranks.CKPT, index=i, name=f"ckpt[{i}]")
+            for i in range(num_shards)
+        ]
         self._last_checkpoint_ts = [0] * num_shards
         #: Per-shard flag: has this *process* issued a background trigger
         #: for the shard yet?  The first trigger per shard uses a
@@ -980,8 +995,10 @@ class ShardedTransactionManager:
         #: of these shards skip (the migration owns the marker — a foreign
         #: cut would truncate the catch-up suffix the flip still needs).
         self._migrating: set[int] = set()
-        #: Serialises migrations (one split/merge at a time).
-        self._migration_lock = threading.Lock()
+        #: Serialises migrations (one split/merge at a time).  The
+        #: outermost rank: a migration quiesces shards by taking their
+        #: checkpoint locks (one at a time) while holding this.
+        self._migration_lock = make_lock(lockranks.MIGRATION, name="migration")
         #: Worker pool for scatter-gather scans (threads spawn on first
         #: use, so constructing it is cheap for managers that never scan).
         self._scan_pool = ThreadPoolExecutor(
@@ -2000,6 +2017,12 @@ class ShardedTransactionManager:
                 restarts += 1
                 if restarts > max_restarts:
                     raise
+                if restarts >= 3:
+                    # Jittered backoff: symmetric contenders (e.g. two S2PL
+                    # upgrade-deadlock victims retrying in lock-step) can
+                    # otherwise phase-lock into a livelock and burn the
+                    # whole restart budget without progress.
+                    time.sleep(random.uniform(0.0, min(5e-5 * restarts, 2e-3)))
             except BaseException:
                 # Bug in work() (or KeyboardInterrupt): not retryable, but
                 # the children must still release locks/snapshots.
@@ -2819,6 +2842,7 @@ class ShardedTransactionManager:
                 max_batch=self._fsync_max_batch,
                 batch_window=self._fsync_batch_window,
                 auto_tune_window=self._fsync_window_auto,
+                lock_index=idx,
             )
         shard = TransactionManager(
             protocol=self.protocol_name,
@@ -2859,7 +2883,13 @@ class ShardedTransactionManager:
             shard.context.attach_persistence(store.record)
         self.shards.append(shard)
         self.daemons.append(daemon)
-        self._ckpt_locks.append(threading.Lock())
+        self._ckpt_locks.append(
+            make_lock(
+                lockranks.CKPT,
+                index=len(self._ckpt_locks),
+                name=f"ckpt[{len(self._ckpt_locks)}]",
+            )
+        )
         self._last_checkpoint_ts.append(0)
         self._auto_cut_seeded.append(False)
         self._replication.append(None)
@@ -3328,9 +3358,9 @@ class ShardedTransactionManager:
             self.coordinator_log.close()
         self._scan_pool.shutdown(wait=False)
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, Any]:
         """Protocol counters summed over shards + sharded-commit counters."""
-        totals: dict[str, int] = {}
+        totals: dict[str, Any] = {}
         for shard in self.shards:
             for name, value in shard.stats().items():
                 totals[name] = totals.get(name, 0) + value
@@ -3381,6 +3411,9 @@ class ShardedTransactionManager:
         if self.snapshot_coordinator is not None:
             totals.update(self.snapshot_coordinator.stats())
         totals.update(self.storage_stats())
+        #: Edge counts of the runtime lock-acquisition graph ("held->then"
+        #: -> count); empty unless REPRO_LOCKCHECK=1 enabled the sanitizer.
+        totals["lock_graph"] = lock_graph()
         return totals
 
     def storage_stats(self) -> dict[str, Any]:

@@ -27,6 +27,8 @@ import threading
 from collections.abc import Iterator
 from typing import Any
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_lock
 from .protocol import ConcurrencyControl
 from .timestamps import TimestampOracle
 from .transactions import Transaction
@@ -101,7 +103,9 @@ class SnapshotCoordinator:
 
     def __init__(self, oracle: TimestampOracle) -> None:
         self.oracle = oracle
-        self._lock = threading.Lock()
+        # The snapshot ledger: a leaf below every daemon mutex (rank table
+        # in docs/concurrency.md) — it nests only the oracle inside.
+        self._lock = make_lock(lockranks.SNAPSHOT_LEDGER, name="snapshot-ledger")
         #: commit timestamps drawn but not yet fully published, ascending
         #: by construction (drawn under the lock from a monotone oracle).
         self._inflight: dict[int, bool] = {}

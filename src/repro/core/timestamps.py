@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import threading
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_lock
+
 #: Deletion timestamp of a live version ("infinity").  Any real timestamp
 #: produced by the oracle is strictly smaller.
 INF_TS: int = 2**63 - 1
@@ -37,7 +40,9 @@ class TimestampOracle:
     def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ValueError(f"timestamp oracle cannot start below zero: {start}")
-        self._lock = threading.Lock()
+        # The innermost leaf of the lock-rank order (docs/concurrency.md):
+        # everything that draws a timestamp may already hold its own locks.
+        self._lock = make_lock(lockranks.ORACLE, name="oracle")
         self._value = start
 
     def next(self) -> int:

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from ..core.table import StateTable
 from ..storage.lsm import LSMStore
+from ..storage.wal import fsync_dir
 
 
 @dataclass
@@ -56,6 +57,12 @@ class CheckpointManager:
                     fh.flush()
                     os.fsync(fh.fileno())
                 tmp.replace(path)
+                # The rename itself is only durable once the directory
+                # entry is flushed — without this, a crash can roll the
+                # directory back to the previous snapshot (or none) while
+                # recovery believes this checkpoint completed (reprolint
+                # RL003).
+                fsync_dir(self.directory)
                 snapshot_files.append(str(path))
         return CheckpointInfo(
             states=[t.state_id for t in tables],

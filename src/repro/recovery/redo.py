@@ -20,6 +20,7 @@ from pathlib import Path
 import zlib
 
 from ..errors import WALError
+from ..storage.wal import fsync_dir
 
 _FRAME = struct.Struct("<II")
 
@@ -128,6 +129,10 @@ class ContextStore:
             fh.flush()
             os.fsync(fh.fileno())
         tmp.replace(self.path)
+        # Durable publication of the compacted log requires flushing the
+        # parent directory entry, or a crash can resurrect the pre-compaction
+        # file while recovery assumes the rewrite completed (reprolint RL003).
+        fsync_dir(self.path.parent)
         self._records = len(self._values)
         self._file = open(self.path, "ab")
 

@@ -59,6 +59,8 @@ from heapq import merge as heap_merge
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_condition, make_rlock
 from ..errors import StorageError
 from .cache import LRUCache
 from .kvstore import KVStore
@@ -140,24 +142,29 @@ class LSMStore(KVStore):
                 f"{self.options.maintenance!r}"
             )
         self.stats = LSMStats()
-        self._lock = threading.RLock()
+        self._lock = make_rlock(lockranks.LSM_STORE, name="lsm-store")
+        #: Serialises manifest *file* writes: installs snapshot the payload
+        #: under ``_lock`` but pay the two fsyncs and the rename outside it
+        #: (acquired before ``_lock``, so saves land in install order).
+        self._manifest_lock = make_rlock(lockranks.LSM_MANIFEST, name="lsm-manifest")
         #: Serialises SSTable builders (flush drains and the background
         #: daemon's build jobs) so installs stay oldest-seal-first; always
         #: acquired *before* ``_lock``.  The seal pivot itself only needs
         #: ``_lock`` — that is what keeps it off the writer's critical
         #: path in background mode.
-        self._flush_lock = threading.RLock()
+        self._flush_lock = make_rlock(lockranks.LSM_FLUSH, name="lsm-flush")
         #: Per-level compaction locks: a merge of ``level -> target`` holds
         #: both (ascending order, so no cycles).  Merges of disjoint level
         #: pairs — and the bottom-level tombstone decision, which needs the
         #: target level frozen — proceed concurrently; the old store-wide
         #: ``_compact_lock`` serialised every compactor in the store.
         self._level_locks = [
-            threading.RLock() for _ in range(self.options.max_levels)
+            make_rlock(lockranks.LSM_LEVEL, index=i, name=f"lsm-level[{i}]")
+            for i in range(self.options.max_levels)
         ]
         #: Writers parked by the L0 stop trigger wait here; flush installs
         #: and compactions of L0 notify it.
-        self._stall_cond = threading.Condition()
+        self._stall_cond = make_condition(lockranks.LSM_STALL, name="lsm-stall")
         self._maintenance: StorageMaintenanceDaemon | None = None
         #: Set while a shard migration suspends this store's maintenance:
         #: backpressure returns immediately (nothing would drain the debt).
@@ -171,7 +178,7 @@ class LSMStore(KVStore):
             self._tables.setdefault(level, []).append(table)
         self._manifest.collect_garbage()
 
-        self._memtable = MemTable()
+        self._memtable = MemTable()  #: guarded_by(_lock)
         #: Sealed memtables of in-flight flush builds, oldest first: still
         #: consulted by reads (between the live memtable and the SSTables)
         #: until their SSTable is installed.  Each entry carries the seal
@@ -613,12 +620,19 @@ class LSMStore(KVStore):
         except BaseException:
             self._manifest.table_path(name).unlink(missing_ok=True)
             raise
-        with self._lock:
-            self._tables.setdefault(0, []).append(table)
-            self._manifest.register(0, name)
-            self._manifest.save()
-            self.stats.flushes += 1
-            self._immutables.pop(0)
+        # The manifest lock (outside ``_lock``) serialises the *file* write
+        # so it can run after the store lock is released: readers/writers
+        # proceed during the manifest's two fsyncs + rename, and the crash
+        # window is unchanged — the WAL sidecar (unlinked below, after the
+        # save) still replays the seal if the manifest never lands.
+        with self._manifest_lock:
+            with self._lock:
+                self._tables.setdefault(0, []).append(table)
+                self._manifest.register(0, name)
+                manifest_payload = self._manifest.payload()
+                self.stats.flushes += 1
+                self._immutables.pop(0)
+            self._manifest.write_payload(manifest_payload)
         # One seal left L0, but its table arrived there: only the *install*
         # frees backpressure once compaction also drains L0 — still notify,
         # the stop-trigger loop re-checks the debt.
@@ -750,24 +764,32 @@ class LSMStore(KVStore):
                 added.append((target, name))
 
             removed_set = set(removed)
-            with self._lock:
-                if self._closed:
-                    # The store closed while the merge was building: the
-                    # manifest must not change post-close; drop the output.
-                    self._manifest.table_path(name).unlink(missing_ok=True)
-                    return
-                self._tables[level] = [
-                    t
-                    for t in self._tables.get(level, [])
-                    if t.path.name not in removed_set
-                ]
-                if new_table is not None:
-                    self._tables.setdefault(target, []).append(new_table)
-                self._manifest.replace(removed, added)
-                self._manifest.save()
+            # Same shape as the flush install: in-memory swap under the
+            # store lock, manifest file write and input unlinks outside it
+            # (serialised by the manifest lock so saves stay in install
+            # order).  Crash-safe: inputs are only unlinked after the new
+            # manifest — which no longer names them — is durable.
+            with self._manifest_lock:
+                with self._lock:
+                    if self._closed:
+                        # The store closed while the merge was building:
+                        # the manifest must not change post-close; drop
+                        # the output.
+                        self._manifest.table_path(name).unlink(missing_ok=True)
+                        return
+                    self._tables[level] = [
+                        t
+                        for t in self._tables.get(level, [])
+                        if t.path.name not in removed_set
+                    ]
+                    if new_table is not None:
+                        self._tables.setdefault(target, []).append(new_table)
+                    self._manifest.replace(removed, added)
+                    manifest_payload = self._manifest.payload()
+                    self.stats.compactions += 1
+                self._manifest.write_payload(manifest_payload)
                 for rname in removed:
                     self._manifest.table_path(rname).unlink(missing_ok=True)
-                self.stats.compactions += 1
         finally:
             for lk in reversed(locks):
                 lk.release()

@@ -41,6 +41,9 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_condition
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.table import StateTable
     from .lsm import LSMStore
@@ -54,7 +57,12 @@ class StorageMaintenanceDaemon:
     """Shared flush/compaction worker pool for a fleet of LSM stores."""
 
     def __init__(self, workers: int = 2, name: str = "storage-maintenance") -> None:
-        self._cond = threading.Condition()
+        #: Scheduler mutex/condition.  Ranked above the store locks (the
+        #: debt ranking in :meth:`_pick_merge` takes each store's lock
+        #: while holding it) but below the flush lock (``LSMStore.close``
+        #: re-kicks the scheduler while holding ``_flush_lock``); workers
+        #: release it before calling into a store.
+        self._cond = make_condition(lockranks.MAINTENANCE, name="maintenance")
         #: Stores with sealed memtables awaiting their SSTable build.
         self._flush_pending: set[LSMStore] = set()
         #: Stores that may have levels at/over their compaction trigger.
@@ -83,7 +91,7 @@ class StorageMaintenanceDaemon:
         self.evictions = 0
         self.keys_evicted = 0
         self.eviction_failures = 0
-        self.last_error: BaseException | None = None
+        self.last_error: BaseException | None = None  #: guarded_by(_cond)
         self._threads = [
             threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
             for i in range(max(1, min(workers, _WORKER_LIMIT)))

@@ -74,18 +74,32 @@ class Manifest:
     def levels(self) -> list[int]:
         return sorted({lvl for lvl, _ in self.tables})
 
-    def save(self) -> None:
-        """Atomically persist the current table set."""
-        payload = {
+    def payload(self) -> dict:
+        """Snapshot of the current table set (taken under the store lock;
+        written out by :meth:`write_payload`, which need not hold it)."""
+        return {
             "next_file": self.next_file_number,
             "tables": [[level, name] for level, name in self.tables],
         }
+
+    def write_payload(self, payload: dict) -> None:
+        """Atomically persist a :meth:`payload` snapshot.
+
+        Split from :meth:`save` so the LSM install paths can take the
+        snapshot under the store lock but pay the two fsyncs and the
+        rename outside it (serialised by the store's manifest lock, which
+        keeps saves in install order).
+        """
         tmp = self.path.with_suffix(_TMP_SUFFIX)
         tmp.write_text(json.dumps(payload))
         with open(tmp, "rb+") as fh:
             os.fsync(fh.fileno())
         tmp.replace(self.path)
         fsync_dir(self.directory)
+
+    def save(self) -> None:
+        """Atomically persist the current table set."""
+        self.write_payload(self.payload())
 
     def garbage_files(self) -> list[Path]:
         """``.sst`` files present on disk but absent from the manifest."""

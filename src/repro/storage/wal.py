@@ -20,6 +20,8 @@ import zlib
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+from ..analysis import lockranks
+from ..analysis.lockcheck import make_lock
 from ..errors import WALError
 
 _HEADER = struct.Struct("<IIB")
@@ -78,8 +80,10 @@ class WriteAheadLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
         #: Serialises append/sync/close: the group-fsync daemon's leader and
-        #: an application thread calling ``close`` may race otherwise.
-        self._lock = threading.Lock()
+        #: an application thread calling ``close`` may race otherwise.  The
+        #: lowest-ranked file lock (docs/concurrency.md): it nests inside
+        #: the store locks and daemon mutexes and takes nothing itself.
+        self._lock = make_lock(lockranks.WAL, name="wal")
         self._closed = False
 
     @property

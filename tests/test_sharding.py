@@ -30,6 +30,7 @@ from repro.errors import (
     InvalidTransactionState,
     StorageError,
     TransactionAborted,
+    ValidationFailure,
     WriteConflict,
 )
 from repro.storage.kvstore import MemoryKVStore
@@ -556,6 +557,59 @@ class TestCrossShardSerializability:
                 smgr.write(txn, "acct", 1, a - 10)
                 smgr.write(txn, "acct", 6, b + 10)
         assert committed_values(smgr, [1, 6]) == {1: 50, 6: 150}
+
+    def test_s2pl_reads_live_after_interleaved_commit(self):
+        """Regression: a sharded S2PL child used to read at the ReadCTS
+        pinned by its *first* read, so a transfer committing between that
+        pin and a later S-lock grant was invisible — and with no
+        commit-time validation in 2PL, the transaction's buffered rewrite
+        of the same key then erased it (a lost update; surfaced as money
+        non-conservation by the stress suite under REPRO_LOCKCHECK=1)."""
+        smgr = make_sharded("s2pl")
+        txn = smgr.begin()
+        assert smgr.read(txn, "acct", 0) == 100  # first read: old code pinned here
+        # A disjoint-key increment commits while txn is still open (no
+        # lock conflict, so it goes through immediately).
+        with smgr.transaction() as other:
+            smgr.write(other, "acct", 4, smgr.read(other, "acct", 4) + 7)
+        # The later read must see the committed increment (live read under
+        # the freshly granted S lock), so the read-modify-write keeps it.
+        assert smgr.read(txn, "acct", 4) == 107
+        smgr.write(txn, "acct", 4, smgr.read(txn, "acct", 4) + 10)
+        smgr.commit(txn)
+        assert committed_values(smgr, [4])[4] == 117
+
+    def test_bocc_validation_scans_back_to_the_snapshot_pin(self):
+        """Regression: a sharded BOCC child reads at a barrier-capped pin
+        that can sit *below* commits which finished before the child even
+        began (a cross-shard commit mid phase two holds the barrier down).
+        Validation used to scan only back to ``start_ts``, so such a
+        commit was invisible to the pinned read AND skipped by validation
+        — a lost update (money non-conservation in the stress suite).
+        White-box: pin a transaction below a finished commit and check
+        validation refuses it, and accepts a pin that saw the commit."""
+        smgr = make_sharded("bocc")
+        shard = smgr.shards[0]
+        with smgr.transaction() as writer:
+            smgr.write(writer, "acct", 4, 93)  # shard 0: one commit record
+        record = shard.protocol._committed[-1]
+
+        # Reader begins after the commit finished, but its pin (as the
+        # barrier cap can force) predates the commit: must fail validation.
+        stale = shard.begin()
+        assert stale.start_ts > record.finish_ts
+        stale.read_set_for("acct").record(4)
+        stale.read_cts["bank"] = record.commit_ts - 1
+        with pytest.raises(ValidationFailure):
+            shard.protocol._validate_backward(stale)
+        shard.abort(stale)
+
+        # Same shape with a pin that includes the commit: clean.
+        fresh = shard.begin()
+        fresh.read_set_for("acct").record(4)
+        fresh.read_cts["bank"] = record.commit_ts
+        shard.protocol._validate_backward(fresh)
+        shard.abort(fresh)
 
 
 class TestLifecycle:

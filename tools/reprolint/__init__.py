@@ -1,0 +1,592 @@
+"""reprolint — engine-specific concurrency & durability static analysis.
+
+AST-based rules over the sharded engine's source, sharing the lock-rank
+registry with the runtime sanitizer (:mod:`repro.analysis.lockranks`):
+
+* **RL001 lock-order** — nested ``with <lock>:`` acquisitions must move
+  leafward through the declared rank registry.
+* **RL002 blocking-under-lock** — blocking operations (``os.fsync``,
+  ``fsync_dir``, ``append_many``, ``time.sleep``, ``ticket.wait``,
+  ``.result()``, ``.join()``) inside a lock body.
+* **RL003 fsync-discipline** — ``os.rename``/``os.replace`` (and
+  ``Path.replace``) in storage/recovery code must be paired with
+  ``fsync_dir`` in the same function, or the rename is not durable.
+* **RL004 swallowed-daemon-error** — ``except: pass`` inside the run
+  loops of the engine's daemons.
+* **RL005 guarded-by** — attributes annotated ``#: guarded_by(_lock)``
+  written outside a ``with`` on that lock.
+
+Findings are suppressed inline with ``# reprolint: allow[RL00N]
+reason=...`` (the reason is mandatory) or frozen in a committed baseline
+file (``tools/reprolint/baseline.json``) whose entries each carry a
+reason — pre-existing deliberate violations are documented, not ignored.
+
+Run ``python -m tools.reprolint --explain RL00N`` for the full rationale
+of each rule, and see ``docs/concurrency.md`` for the rank table.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Import the shared registry without requiring an installed package: the
+# tool runs from the repo root (``python -m tools.reprolint``), where
+# ``src`` may not be on sys.path yet.
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.lockranks import (  # noqa: E402
+    ATTR_RANK_FALLBACK,
+    STATIC_LOCK_RANKS,
+    rank_name,
+)
+
+RULES = ("RL001", "RL002", "RL003", "RL004", "RL005")
+
+#: Classes whose run loops RL004 inspects.
+DAEMON_CLASSES = {
+    "GroupFsyncDaemon",
+    "CheckpointDaemon",
+    "StorageMaintenanceDaemon",
+    "ReplicationDaemon",
+}
+#: Method names treated as daemon run loops.
+RUN_LOOP_NAMES = {"_run", "run", "_flush_loop", "_ship_loop", "_loop", "_worker"}
+
+#: Path prefixes (posix, repo-relative) where RL003 applies: everything
+#: that publishes files by rename.
+RL003_SCOPES = ("src/repro/storage/", "src/repro/recovery/")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[([A-Z0-9,\s]+)\]\s*(?:reason=(\S.*))?$"
+)
+_GUARDED_RE = re.compile(r"#:\s*guarded_by\((\w+)\)")
+
+#: ``with`` targets considered lock bodies for RL002 even when unranked.
+_LOCKISH_SUFFIXES = ("_lock", "_latch", "_mutex", "_cond", "_cv", "lock", "latch", "mutex")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    func: str
+    message: str
+    #: Line-independent identity used by the baseline (stable across
+    #: unrelated edits to the same file).
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileReport:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``allow[...]`` comments missing the mandatory reason (warned about;
+    #: the suppression is honored anyway to keep behaviour predictable? No:
+    #: without a reason the suppression is VOID and the finding stands).
+    reasonless_suppressions: list[int] = field(default_factory=list)
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _lock_attr(expr: ast.expr) -> str | None:
+    """Attribute/name a ``with`` context expression acquires, if lock-like."""
+    node = expr
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lockish(name: str) -> bool:
+    return name.endswith(_LOCKISH_SUFFIXES)
+
+
+class _Suppressions:
+    """Per-line ``# reprolint: allow[...]`` index for one file."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.reasonless: list[int] = []
+        for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            if not match.group(2):
+                self.reasonless.append(lineno)
+                continue  # a reason is mandatory; void otherwise
+            self.by_line.setdefault(lineno, set()).update(rules)
+
+    def covers(self, rule: str, *linenos: int) -> bool:
+        return any(
+            rule in self.by_line.get(lineno, ()) for lineno in linenos if lineno
+        )
+
+
+def _collect_guarded(tree: ast.Module, lines: list[str]) -> dict[str, dict[str, str]]:
+    """``{class: {attr: lock_attr}}`` from ``#: guarded_by(...)`` comments.
+
+    The marker sits on the line directly above (or trailing) the
+    attribute's assignment in ``__init__`` (or class body).
+    """
+    guarded: dict[str, dict[str, str]] = {}
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                for lineno in (node.lineno - 1, node.lineno):
+                    if 1 <= lineno <= len(lines):
+                        match = _GUARDED_RE.search(lines[lineno - 1])
+                        if match:
+                            guarded.setdefault(cls.name, {})[target.attr] = match.group(1)
+                            break
+    return guarded
+
+
+class _Analyzer(ast.NodeVisitor):
+    def __init__(self, rel_path: str, tree: ast.Module, lines: list[str]) -> None:
+        self.path = rel_path
+        self.lines = lines
+        self.suppressions = _Suppressions(lines)
+        self.guarded = _collect_guarded(tree, lines)
+        self.raw_findings: list[Finding] = []
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
+        #: Currently-entered lock bodies: (attr, rank | None, with-lineno).
+        self._lock_stack: list[tuple[str, int | None, int]] = []
+        #: Per-function RL003 frame: ([(node, desc)], saw_fsync_dir).
+        self._rename_frames: list[tuple[list[tuple[ast.AST, str]], list[bool]]] = []
+        self._rl003_in_scope = any(rel_path.startswith(p) for p in RL003_SCOPES)
+
+    # -------------------------------------------------------------- helpers
+
+    @property
+    def _qualname(self) -> str:
+        return ".".join(self._class_stack + self._func_stack) or "<module>"
+
+    def _emit(
+        self, rule: str, node: ast.AST, message: str, token: str, *anchors: int
+    ) -> None:
+        finding = Finding(
+            rule=rule,
+            path=self.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            func=self._qualname,
+            message=message,
+            fingerprint=f"{rule}|{self.path}|{self._qualname}|{token}",
+        )
+        if self.suppressions.covers(rule, node.lineno, *anchors):
+            finding.message += " (suppressed inline)"
+            self.raw_findings.append(finding)
+            finding.rule = "suppressed:" + rule
+        else:
+            self.raw_findings.append(finding)
+
+    # ------------------------------------------------------------ structure
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        saved_locks = self._lock_stack
+        self._lock_stack = []
+        self._rename_frames.append(([], [False]))
+        self.generic_visit(node)
+        renames, saw_fsync = self._rename_frames.pop()
+        if self._rl003_in_scope and not saw_fsync[0]:
+            for rename_node, desc in renames:
+                self._emit(
+                    "RL003",
+                    rename_node,
+                    f"{desc} without fsync_dir on the parent directory in "
+                    "the same function — the rename is not durable until "
+                    "the directory entry is flushed",
+                    f"rename:{desc}",
+                    node.lineno,
+                )
+        self._lock_stack = saved_locks
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # --------------------------------------------------------------- RL001
+
+    def _resolve_rank(self, attr: str) -> int | None:
+        for cls in reversed(self._class_stack):
+            rank = STATIC_LOCK_RANKS.get((cls, attr))
+            if rank is not None:
+                return rank
+        return ATTR_RANK_FALLBACK.get(attr)
+
+    def visit_With(self, node: ast.With) -> None:
+        entered = 0
+        for item in node.items:
+            attr = _lock_attr(item.context_expr)
+            if attr is None or not _is_lockish(attr):
+                continue
+            rank = self._resolve_rank(attr)
+            if rank is not None:
+                held = [
+                    (a, r, ln) for a, r, ln in self._lock_stack if r is not None
+                ]
+                if held:
+                    floor_attr, floor_rank, floor_line = min(
+                        held, key=lambda entry: entry[1]
+                    )
+                    if rank > floor_rank and attr != floor_attr:
+                        self._emit(
+                            "RL001",
+                            node,
+                            f"acquires {attr!r} ({rank_name(rank)}, rank "
+                            f"{rank}) while holding {floor_attr!r} "
+                            f"({rank_name(floor_rank)}, rank {floor_rank}, "
+                            f"line {floor_line}) — acquisition must move "
+                            "leafward through the rank registry",
+                            f"order:{floor_attr}->{attr}",
+                        )
+            self._lock_stack.append((attr, rank, node.lineno))
+            entered += 1
+        self.generic_visit(node)
+        for _ in range(entered):
+            self._lock_stack.pop()
+
+    visit_AsyncWith = visit_With
+
+    # --------------------------------------------------------------- RL002
+
+    def _blocking_call_label(self, node: ast.Call) -> str | None:
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            return "fsync_dir" if fn.id == "fsync_dir" else None
+        if not isinstance(fn, ast.Attribute):
+            return None
+        recv, attr = fn.value, fn.attr
+        recv_name = _receiver_name(recv)
+        if attr == "fsync" and recv_name == "os":
+            return "os.fsync"
+        if attr == "sleep" and recv_name == "time":
+            return "time.sleep"
+        if attr == "append_many":
+            return ".append_many()"
+        if attr == "result" and not node.args:
+            return ".result()"
+        if attr == "wait" and recv_name and "ticket" in recv_name.lower():
+            return "ticket.wait()"
+        if (
+            attr == "join"
+            and not node.args
+            and not isinstance(recv, ast.Constant)
+        ):
+            return ".join()"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # RL003 bookkeeping (independent of lock state).
+        fn = node.func
+        if isinstance(fn, ast.Attribute):
+            recv_name = _receiver_name(fn.value)
+            if self._rename_frames:
+                renames, saw_fsync = self._rename_frames[-1]
+                if fn.attr in ("rename", "replace") and recv_name == "os":
+                    renames.append((node, f"os.{fn.attr}"))
+                elif (
+                    fn.attr == "replace"
+                    and len(node.args) == 1
+                    and not isinstance(fn.value, ast.Constant)
+                    and recv_name != "os"
+                ):
+                    # One-arg .replace() is Path.replace (str.replace takes
+                    # two) — the atomic-publication rename.
+                    renames.append((node, f"{recv_name or '<expr>'}.replace"))
+        if isinstance(fn, ast.Name) and fn.id == "fsync_dir" and self._rename_frames:
+            self._rename_frames[-1][1][0] = True
+        if isinstance(fn, ast.Attribute) and fn.attr == "fsync_dir" and self._rename_frames:
+            self._rename_frames[-1][1][0] = True
+
+        # RL002: blocking operation inside a lock body.
+        if self._lock_stack:
+            label = self._blocking_call_label(node)
+            if label is not None:
+                lock_attr, _rank, with_line = self._lock_stack[-1]
+                self._emit(
+                    "RL002",
+                    node,
+                    f"blocking {label} inside the {lock_attr!r} lock body "
+                    f"(entered line {with_line}) — blocking I/O and waits "
+                    "under a hot lock serialise every contender",
+                    f"blocking:{label}@{lock_attr}",
+                    with_line,
+                )
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- RL004
+
+    def visit_Try(self, node: ast.Try) -> None:
+        in_run_loop = (
+            self._class_stack
+            and self._class_stack[-1] in DAEMON_CLASSES
+            and self._func_stack
+            and self._func_stack[-1] in RUN_LOOP_NAMES
+        )
+        if in_run_loop:
+            for handler in node.handlers:
+                broad = handler.type is None or (
+                    isinstance(handler.type, ast.Name)
+                    and handler.type.id in ("Exception", "BaseException")
+                )
+                body_is_pass = all(
+                    isinstance(stmt, ast.Pass)
+                    or (
+                        isinstance(stmt, ast.Expr)
+                        and isinstance(stmt.value, ast.Constant)
+                    )
+                    for stmt in handler.body
+                )
+                if broad and body_is_pass:
+                    self._emit(
+                        "RL004",
+                        handler,
+                        f"daemon run loop {self._qualname} swallows "
+                        "exceptions (`except: pass`) — failures must be "
+                        "recorded (counters / last_error) or re-raised, or "
+                        "the pipeline dies silently",
+                        "swallow",
+                    )
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- RL005
+
+    def _check_guarded_write(self, target: ast.expr, node: ast.AST) -> None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        for cls in reversed(self._class_stack):
+            lock_attr = self.guarded.get(cls, {}).get(target.attr)
+            if lock_attr is None:
+                continue
+            func = self._func_stack[-1] if self._func_stack else ""
+            if func == "__init__" or func.endswith("_locked"):
+                return  # construction / by-convention-held helper
+            if any(attr == lock_attr for attr, _r, _ln in self._lock_stack):
+                return
+            self._emit(
+                "RL005",
+                node,
+                f"write to self.{target.attr} (guarded_by({lock_attr})) "
+                f"outside a `with self.{lock_attr}:` block",
+                f"guarded:{target.attr}",
+            )
+            return
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_guarded_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_guarded_write(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_guarded_write(node.target, node)
+        self.generic_visit(node)
+
+
+def analyze_source(text: str, rel_path: str) -> FileReport:
+    """Run every rule over one file's source text."""
+    report = FileReport()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule="RL000",
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=exc.offset or 1,
+                func="<module>",
+                message=f"syntax error: {exc.msg}",
+                fingerprint=f"RL000|{rel_path}|<module>|syntax",
+            )
+        )
+        return report
+    lines = text.splitlines()
+    analyzer = _Analyzer(rel_path, tree, lines)
+    analyzer.visit(tree)
+    # Disambiguate repeated identical fingerprints within one function.
+    seen: dict[str, int] = {}
+    for finding in sorted(analyzer.raw_findings, key=lambda f: (f.line, f.col)):
+        count = seen.get(finding.fingerprint, 0)
+        seen[finding.fingerprint] = count + 1
+        if count:
+            finding.fingerprint += f"#{count + 1}"
+        if finding.rule.startswith("suppressed:"):
+            finding.rule = finding.rule.split(":", 1)[1]
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.reasonless_suppressions = analyzer.suppressions.reasonless
+    return report
+
+
+def iter_python_files(paths: list[str], root: Path) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def analyze_paths(paths: list[str], root: Path | None = None) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Analyze files/directories; returns (findings, suppressed, warnings)."""
+    root = root if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    warnings: list[str] = []
+    for path in iter_python_files(paths, root):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        report = analyze_source(path.read_text(encoding="utf-8"), rel)
+        findings.extend(report.findings)
+        suppressed.extend(report.suppressed)
+        for lineno in report.reasonless_suppressions:
+            warnings.append(
+                f"{rel}:{lineno}: reprolint suppression without a reason= "
+                "is void — the finding stands"
+            )
+    return findings, suppressed, warnings
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def load_baseline(path: Path) -> tuple[dict[str, dict], list[str]]:
+    """Baseline entries keyed by fingerprint; every entry must carry a
+    non-empty reason (errors returned, not raised)."""
+    errors: list[str] = []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}, [f"baseline file not found: {path}"]
+    except json.JSONDecodeError as exc:
+        return {}, [f"unreadable baseline {path}: {exc}"]
+    entries: dict[str, dict] = {}
+    for entry in payload.get("findings", []):
+        fingerprint = entry.get("fingerprint", "")
+        if not fingerprint:
+            errors.append(f"baseline entry without fingerprint: {entry!r}")
+            continue
+        if not str(entry.get("reason", "")).strip():
+            errors.append(f"baseline entry without a reason: {fingerprint}")
+        entries[fingerprint] = entry
+    return entries, errors
+
+
+def baseline_skeleton(findings: list[Finding]) -> dict:
+    return {
+        "version": 1,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "note": f.message,
+                "reason": "TODO: justify or fix",
+            }
+            for f in findings
+        ],
+    }
+
+
+# ------------------------------------------------------------------ explain
+
+EXPLAIN: dict[str, str] = {
+    "RL001": """\
+RL001 lock-order: nested `with <lock>:` acquisitions are resolved against
+the rank registry in src/repro/analysis/lockranks.py.  Ranks ascend
+outward (the timestamp oracle is the innermost leaf, the migration lock
+the outermost serialiser); a function that enters lock B while inside
+lock A must have rank(B) < rank(A), or two threads interleaving the two
+orders can deadlock.  Same-rank classes (shard fsync daemons, LSM level
+locks, checkpoint locks) are index-ordered — the static rule allows them
+and the runtime sanitizer (REPRO_LOCKCHECK=1) enforces ascending indices.
+Suppress with `# reprolint: allow[RL001] reason=...` on the `with` line.""",
+    "RL002": """\
+RL002 blocking-under-lock: os.fsync, fsync_dir, WAL append_many,
+time.sleep, durability-ticket .wait(), future .result() and thread
+.join() inside a lock body serialise every contender on that lock behind
+one thread's I/O — the exact failure mode PRs 7–9 moved off the commit
+path.  Deliberate cases (e.g. the WAL lock, which exists precisely to
+serialise fsyncs) are baselined with reasons, not ignored.  Suppress with
+`# reprolint: allow[RL002] reason=...` on the call or `with` line.""",
+    "RL003": """\
+RL003 fsync-discipline: in src/repro/storage/ and src/repro/recovery/,
+an os.rename/os.replace (or one-argument Path.replace) publishes a file
+atomically — but the rename itself is only durable once the parent
+directory entry is fsynced.  Any function performing such a rename must
+also call fsync_dir(parent) (the helper in repro.storage.wal); a crash
+after rename-without-dir-fsync can roll the directory back to the old
+entry while the data file's content survives.  Suppress with
+`# reprolint: allow[RL003] reason=...` on the rename line.""",
+    "RL004": """\
+RL004 swallowed-daemon-error: a bare `except:`/`except Exception: pass`
+inside the run loop of GroupFsyncDaemon, CheckpointDaemon,
+StorageMaintenanceDaemon or ReplicationDaemon hides pipeline failures —
+the daemon keeps "serving" while commits silently lose durability or
+checkpoints stop truncating.  Run loops must record failures (failure
+counters, last_error) or re-raise.  Suppress with
+`# reprolint: allow[RL004] reason=...` on the handler line.""",
+    "RL005": """\
+RL005 guarded-by: an attribute declared with a `#: guarded_by(_lock)`
+comment on its __init__ assignment may only be written inside a
+`with self._lock:` block (helpers whose names end in `_locked` are
+assumed to be called with the lock held, matching the codebase
+convention; __init__ itself is exempt — construction is single-threaded).
+Suppress with `# reprolint: allow[RL005] reason=...` on the write line.""",
+}

@@ -1,0 +1,96 @@
+"""CLI: ``python -m tools.reprolint src tests benchmarks --baseline ...``.
+
+Exit status 0 when every finding is suppressed inline or frozen in the
+baseline; 1 on new findings, baseline entries missing reasons, or an
+unreadable baseline.  Stale baseline entries (fixed findings) are warned
+about so the baseline can shrink, but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import (
+    EXPLAIN,
+    RULES,
+    analyze_paths,
+    baseline_skeleton,
+    load_baseline,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Concurrency & durability static analysis for the "
+        "sharded engine (rules RL001-RL005).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to analyze")
+    parser.add_argument("--baseline", type=Path, default=None, help="baseline JSON freezing pre-existing findings")
+    parser.add_argument("--write-baseline", type=Path, default=None, help="write current findings as a baseline skeleton (reasons must be filled in by hand)")
+    parser.add_argument("--explain", metavar="RL00N", default=None, help="print the rationale for one rule and exit")
+    parser.add_argument("--verbose", action="store_true", help="also list suppressed and baselined findings")
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        rule = args.explain.upper()
+        if rule not in EXPLAIN:
+            print(f"unknown rule {args.explain!r}; known: {', '.join(RULES)}", file=sys.stderr)
+            return 2
+        print(EXPLAIN[rule])
+        return 0
+
+    paths = args.paths or ["src"]
+    findings, suppressed, warnings = analyze_paths(paths)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.write_baseline is not None:
+        import json
+
+        args.write_baseline.write_text(
+            json.dumps(baseline_skeleton(findings), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    baseline_entries: dict[str, dict] = {}
+    failed = False
+    if args.baseline is not None:
+        baseline_entries, errors = load_baseline(args.baseline)
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+            failed = True
+
+    new = [f for f in findings if f.fingerprint not in baseline_entries]
+    baselined = [f for f in findings if f.fingerprint in baseline_entries]
+    stale = set(baseline_entries) - {f.fingerprint for f in findings}
+
+    for finding in new:
+        print(finding.render())
+    if args.verbose:
+        for finding in baselined:
+            print(f"{finding.render()}  [baselined]")
+        for finding in suppressed:
+            print(f"{finding.render()}  [suppressed]")
+    for fingerprint in sorted(stale):
+        print(
+            f"warning: stale baseline entry (finding fixed?): {fingerprint}",
+            file=sys.stderr,
+        )
+
+    summary = (
+        f"reprolint: {len(new)} new, {len(baselined)} baselined, "
+        f"{len(suppressed)} suppressed finding(s) across {len(paths)} path(s)"
+    )
+    print(summary, file=sys.stderr)
+    if new or failed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
